@@ -1,0 +1,24 @@
+//! # rcqa-baselines
+//!
+//! Baseline systems that the rewriting-based engine is compared against in
+//! the experiments:
+//!
+//! * [`exact`] — exhaustive repair enumeration (re-exported from
+//!   `rcqa-core`), the ground truth;
+//! * [`maxsat`] — an AggCAvSAT-style reduction of `GLB-CQA` for SUM/COUNT
+//!   queries to weighted partial MaxSAT (Dixit & Kolaitis);
+//! * [`fuxman`] — a ConQuer/Fuxman-style lower-bound rewriting for Caggforest
+//!   SUM queries, used to reproduce the Section 7.3 refutation.
+
+#![warn(missing_docs)]
+
+pub mod fuxman;
+pub mod maxsat;
+
+/// Exhaustive repair enumeration (ground truth), re-exported from `rcqa-core`.
+pub mod exact {
+    pub use rcqa_core::exact::{exact_bounds, exact_bounds_by_group, ExactBounds};
+}
+
+pub use fuxman::{fuxman_sum_glb, FuxmanGlb};
+pub use maxsat::{maxsat_glb, MaxSatGlb};

@@ -1,0 +1,101 @@
+//! Criterion benchmarks for the performance-sensitive experiments:
+//!
+//! * `glb_scaling`        (E6) — rewriting-based GLB(SUM) vs the MaxSAT
+//!   baseline vs exact repair enumeration, as the instance grows;
+//! * `inconsistency_sweep` (E7) — rewriting-based GLB(SUM) as the fraction of
+//!   key-violating blocks grows;
+//! * `rewrite_construction` (E10) — construction time of the symbolic
+//!   AGGR[FOL] rewriting as the query grows (Theorem 1.1's quadratic bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcqa_baselines::maxsat_glb;
+use rcqa_core::engine::RangeCqa;
+use rcqa_core::exact::exact_bounds;
+use rcqa_core::prepared::PreparedAggQuery;
+use rcqa_core::rewrite::{rewriting_for, BoundKind};
+use rcqa_data::{Schema, Signature};
+use rcqa_gen::JoinWorkload;
+use rcqa_query::parse_agg_query;
+
+fn glb_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("glb_scaling");
+    group.sample_size(10);
+    for &n in &[25usize, 50, 100, 200, 400] {
+        let cfg = JoinWorkload {
+            r_blocks: n,
+            y_domain: (n / 2).max(1),
+            s_blocks_per_y: 2,
+            inconsistency_ratio: 0.1,
+            block_size: 2,
+            max_value: 100,
+            seed: 7,
+        };
+        let db = cfg.generate();
+        let query = cfg.sum_query();
+        let engine = RangeCqa::new(&query, &cfg.schema()).unwrap();
+        let prepared = PreparedAggQuery::new(&query, &cfg.schema()).unwrap();
+        group.bench_with_input(BenchmarkId::new("rewriting", n), &n, |b, _| {
+            b.iter(|| engine.glb(&db).unwrap())
+        });
+        // The exponential baselines are only run on the smallest instances:
+        // the MaxSAT branch-and-bound blows up with the number of embeddings
+        // and exact enumeration with the number of inconsistent blocks.
+        if n <= 25 {
+            group.bench_with_input(BenchmarkId::new("maxsat", n), &n, |b, _| {
+                b.iter(|| maxsat_glb(&prepared, &db).unwrap())
+            });
+        }
+        if n <= 50 {
+            group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+                b.iter(|| exact_bounds(&prepared, &db, 1 << 24).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn inconsistency_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inconsistency_sweep");
+    group.sample_size(10);
+    for &ratio in &[0.0f64, 0.1, 0.2, 0.4] {
+        let cfg = JoinWorkload {
+            r_blocks: 200,
+            y_domain: 100,
+            s_blocks_per_y: 2,
+            inconsistency_ratio: ratio,
+            block_size: 2,
+            max_value: 100,
+            seed: 11,
+        };
+        let db = cfg.generate();
+        let engine = RangeCqa::new(&cfg.sum_query(), &cfg.schema()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("rewriting", format!("{:.0}%", ratio * 100.0)),
+            &ratio,
+            |b, _| b.iter(|| engine.glb(&db).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn rewrite_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite_construction");
+    for k in [2usize, 4, 6, 8] {
+        let mut schema = Schema::new();
+        let mut atoms = Vec::new();
+        for i in 0..k {
+            schema.add_relation(format!("C{i}"), Signature::new(2, 1, [1]).unwrap());
+            atoms.push(format!("C{i}(x{i}, x{})", i + 1));
+        }
+        let text = format!("SUM(x{k}) <- {}", atoms.join(", "));
+        let prepared =
+            PreparedAggQuery::new(&parse_agg_query(&text).unwrap(), &schema).unwrap();
+        group.bench_with_input(BenchmarkId::new("chain_query", k), &k, |b, _| {
+            b.iter(|| rewriting_for(&prepared, BoundKind::Glb).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, glb_scaling, inconsistency_sweep, rewrite_construction);
+criterion_main!(benches);

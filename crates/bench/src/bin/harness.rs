@@ -1,0 +1,46 @@
+//! The experiment harness: regenerates every experiment report (E1-E10).
+//!
+//! Usage:
+//!   cargo run -p rcqa-bench --bin harness --release            # all experiments
+//!   cargo run -p rcqa-bench --bin harness --release -- e3 e9   # selected ones
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+
+    println!("rcqa experiment harness — reproduction of PODS 2024 \"Computing Range");
+    println!("Consistent Answers to Aggregation Queries via Rewriting\"\n");
+
+    if want("e1") {
+        println!("{}", rcqa_bench::e1());
+    }
+    if want("e2") {
+        println!("{}", rcqa_bench::e2());
+    }
+    if want("e3") {
+        println!("{}", rcqa_bench::e3());
+    }
+    if want("e4") {
+        println!("{}", rcqa_bench::e4());
+    }
+    if want("e5") {
+        println!("{}", rcqa_bench::e5());
+    }
+    if want("e6") {
+        let sizes = [25, 50, 100, 200, 400, 800];
+        let rows = rcqa_bench::e6(&sizes, 25);
+        println!("{}", rcqa_bench::format_e6(&rows));
+    }
+    if want("e7") {
+        println!("{}", rcqa_bench::e7(&[0.0, 0.05, 0.1, 0.2, 0.4]));
+    }
+    if want("e8") {
+        println!("{}", rcqa_bench::e8());
+    }
+    if want("e9") {
+        println!("{}", rcqa_bench::e9());
+    }
+    if want("e10") {
+        println!("{}", rcqa_bench::e10());
+    }
+}

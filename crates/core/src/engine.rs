@@ -1,0 +1,497 @@
+//! The top-level range-CQA engine: classify a query, pick an evaluation
+//! strategy per bound (rewriting-based, plain extremum, or exact fallback),
+//! and compute per-group `[glb, lub]` answers on a database instance.
+
+use crate::classify::{classify_with_domain, Classification};
+use crate::error::CoreError;
+use crate::exact::exact_bounds;
+use crate::forall::{analyse_with_index, embeddings, Binding};
+use crate::glb::{global_extremum, optimal_aggregate, Choice};
+use crate::index::DbIndex;
+use crate::prepared::PreparedAggQuery;
+use crate::rewrite::{rewriting_for, BoundKind, Rewriting};
+use rcqa_data::{AggFunc, DatabaseInstance, NumericDomain, Rational, Schema, Value};
+use rcqa_query::{AggQuery, Term, Var};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How an answer was obtained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Theorem 6.1 / 7.11 rewriting semantics, evaluated operationally over
+    /// ∀embeddings.
+    Rewriting,
+    /// Theorem 7.10 semantics: plain extremum over all embeddings (MIN's glb,
+    /// MAX's lub).
+    PlainExtremum,
+    /// Exhaustive repair enumeration (exact fallback).
+    ExactEnumeration,
+}
+
+/// One bound of one group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoundAnswer {
+    /// The bound, or `None` for the distinguished answer `⊥`.
+    pub value: Option<Rational>,
+    /// How the bound was computed.
+    pub method: Method,
+}
+
+/// The `[glb, lub]` interval for one group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupRange {
+    /// The group key (empty for closed queries).
+    pub key: Vec<Value>,
+    /// Greatest lower bound, if requested.
+    pub glb: Option<BoundAnswer>,
+    /// Least upper bound, if requested.
+    pub lub: Option<BoundAnswer>,
+}
+
+/// Engine options.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptions {
+    /// Allow falling back to exhaustive repair enumeration when no rewriting
+    /// is known for the requested bound.
+    pub allow_exact_fallback: bool,
+    /// Maximum number of repairs the exact fallback may enumerate.
+    pub max_repairs: u128,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            allow_exact_fallback: true,
+            max_repairs: 1 << 22,
+        }
+    }
+}
+
+/// The range-consistent query answering engine for one aggregation query.
+#[derive(Clone, Debug)]
+pub struct RangeCqa {
+    prepared: PreparedAggQuery,
+    schema: Schema,
+    options: EngineOptions,
+}
+
+impl RangeCqa {
+    /// Validates and prepares the query.
+    pub fn new(query: &AggQuery, schema: &Schema) -> Result<RangeCqa, CoreError> {
+        Ok(RangeCqa {
+            prepared: PreparedAggQuery::new(query, schema)?,
+            schema: schema.clone(),
+            options: EngineOptions::default(),
+        })
+    }
+
+    /// Overrides the engine options.
+    pub fn with_options(mut self, options: EngineOptions) -> RangeCqa {
+        self.options = options;
+        self
+    }
+
+    /// The prepared query.
+    pub fn prepared(&self) -> &PreparedAggQuery {
+        &self.prepared
+    }
+
+    /// Classifies the query for the given numeric domain.
+    pub fn classification(&self, domain: NumericDomain) -> Result<Classification, CoreError> {
+        classify_with_domain(&self.prepared.original, &self.schema, domain)
+    }
+
+    /// The symbolic AGGR\[FOL\] rewriting for the requested bound, if one is
+    /// known (Theorems 6.1, 7.10, 7.11).
+    pub fn rewriting(&self, bound: BoundKind) -> Option<Rewriting> {
+        rewriting_for(&self.prepared, bound)
+    }
+
+    /// Computes the greatest lower bound for every group.
+    pub fn glb(&self, db: &DatabaseInstance) -> Result<Vec<(Vec<Value>, BoundAnswer)>, CoreError> {
+        self.bound(db, BoundKind::Glb)
+    }
+
+    /// Computes the least upper bound for every group.
+    pub fn lub(&self, db: &DatabaseInstance) -> Result<Vec<(Vec<Value>, BoundAnswer)>, CoreError> {
+        self.bound(db, BoundKind::Lub)
+    }
+
+    /// Computes both bounds for every group.
+    pub fn range(&self, db: &DatabaseInstance) -> Result<Vec<GroupRange>, CoreError> {
+        let glb = self.glb(db)?;
+        let lub = self.lub(db)?;
+        let mut by_key: BTreeMap<Vec<Value>, GroupRange> = BTreeMap::new();
+        for (key, b) in glb {
+            by_key
+                .entry(key.clone())
+                .or_insert(GroupRange {
+                    key,
+                    glb: None,
+                    lub: None,
+                })
+                .glb = Some(b);
+        }
+        for (key, b) in lub {
+            by_key
+                .entry(key.clone())
+                .or_insert(GroupRange {
+                    key,
+                    glb: None,
+                    lub: None,
+                })
+                .lub = Some(b);
+        }
+        Ok(by_key.into_values().collect())
+    }
+
+    fn bound(
+        &self,
+        db: &DatabaseInstance,
+        bound: BoundKind,
+    ) -> Result<Vec<(Vec<Value>, BoundAnswer)>, CoreError> {
+        if self.prepared.normalised.is_closed() {
+            let answer = self.closed_bound(&self.prepared, db, bound)?;
+            return Ok(vec![(Vec::new(), answer)]);
+        }
+        let groups = candidate_groups(&self.prepared, db);
+        let mut out = Vec::with_capacity(groups.len());
+        for key in groups {
+            let closed = substitute_group(&self.prepared, &key)?;
+            let answer = self.closed_bound(&closed, db, bound)?;
+            out.push((key, answer));
+        }
+        Ok(out)
+    }
+
+    fn closed_bound(
+        &self,
+        prepared: &PreparedAggQuery,
+        db: &DatabaseInstance,
+        bound: BoundKind,
+    ) -> Result<BoundAnswer, CoreError> {
+        let agg = prepared.normalised.agg;
+        let domain = db.numeric_domain();
+        // The Theorem 6.1 rewriting for SUM requires monotonicity, which in
+        // turn requires numeric columns over Q≥0 (Section 7.3).
+        let sum_ok = agg != AggFunc::Sum || domain == NumericDomain::NonNegative;
+        let strategy: Option<(AggFunc, Choice, bool)> = if !prepared.body.is_acyclic() {
+            None
+        } else {
+            match (bound, agg) {
+                (BoundKind::Glb, AggFunc::Sum) if sum_ok => {
+                    Some((AggFunc::Sum, Choice::Minimise, false))
+                }
+                (BoundKind::Glb, AggFunc::Max) => Some((AggFunc::Max, Choice::Minimise, false)),
+                (BoundKind::Glb, AggFunc::Min) => Some((AggFunc::Min, Choice::Minimise, true)),
+                (BoundKind::Lub, AggFunc::Max) => Some((AggFunc::Max, Choice::Maximise, true)),
+                (BoundKind::Lub, AggFunc::Min) => Some((AggFunc::Min, Choice::Maximise, false)),
+                _ => None,
+            }
+        };
+        match strategy {
+            Some((combine, choice, plain_extremum)) => {
+                let index = DbIndex::new(db);
+                let analysis = analyse_with_index(&prepared.body, &index);
+                if !analysis.certain {
+                    return Ok(BoundAnswer {
+                        value: None,
+                        method: if plain_extremum {
+                            Method::PlainExtremum
+                        } else {
+                            Method::Rewriting
+                        },
+                    });
+                }
+                if plain_extremum {
+                    // Theorem 7.10 (GLB of MIN) and its mirror (LUB of MAX).
+                    let maximise = choice == Choice::Maximise;
+                    let value =
+                        global_extremum(&analysis.embeddings, &prepared.normalised.term, maximise);
+                    Ok(BoundAnswer {
+                        value,
+                        method: Method::PlainExtremum,
+                    })
+                } else {
+                    let value = optimal_aggregate(
+                        prepared.body.levels(),
+                        &analysis.forall_embeddings,
+                        &prepared.normalised.term,
+                        combine,
+                        choice,
+                    );
+                    Ok(BoundAnswer {
+                        value,
+                        method: Method::Rewriting,
+                    })
+                }
+            }
+            None => {
+                if !self.options.allow_exact_fallback {
+                    return Err(CoreError::UnsupportedAggregate {
+                        reason: format!(
+                            "no AGGR[FOL] rewriting is known for {bound:?} of {agg} and the \
+                             exact fallback is disabled"
+                        ),
+                    });
+                }
+                let bounds = exact_bounds(prepared, db, self.options.max_repairs)?;
+                let value = match bound {
+                    BoundKind::Glb => bounds.glb,
+                    BoundKind::Lub => bounds.lub,
+                };
+                Ok(BoundAnswer {
+                    value,
+                    method: Method::ExactEnumeration,
+                })
+            }
+        }
+    }
+}
+
+/// Enumerates the candidate group keys of a query with free variables: the
+/// distinct projections, onto the GROUP BY variables, of the embeddings of
+/// the body in `db` (Section 6.2: range semantics instantiate the free
+/// variables with every possible tuple of constants; tuples with no embedding
+/// at all have answer `⊥` in every repair and are not reported).
+pub fn candidate_groups(prepared: &PreparedAggQuery, db: &DatabaseInstance) -> Vec<Vec<Value>> {
+    let free = prepared.normalised.body.free_vars();
+    if free.is_empty() {
+        return vec![Vec::new()];
+    }
+    // Re-prepare the body with no free variables so that the join enumerates
+    // values for them too.
+    let open_body = rcqa_query::ConjunctiveQuery::boolean(
+        prepared.normalised.body.atoms().iter().cloned(),
+    );
+    let open = match crate::prepared::PreparedBody::new(&open_body, db.schema()) {
+        Ok(p) => p,
+        Err(_) => return Vec::new(),
+    };
+    let index = DbIndex::new(db);
+    let levels: Vec<crate::prepared::Level> = if open.is_acyclic() {
+        open.levels().to_vec()
+    } else {
+        // Enumeration does not need a topological sort; build pseudo levels in
+        // query order.
+        open_body
+            .atoms()
+            .iter()
+            .map(|atom| crate::prepared::Level {
+                atom: atom.clone(),
+                key_len: db
+                    .schema()
+                    .signature(atom.relation())
+                    .map(|s| s.key_len())
+                    .unwrap_or(atom.arity()),
+                new_key_vars: Vec::new(),
+                new_other_vars: Vec::new(),
+                prefix_vars: Vec::new(),
+            })
+            .collect()
+    };
+    let embs = embeddings(&levels, &index, &Binding::new());
+    let mut seen: BTreeSet<Vec<Value>> = BTreeSet::new();
+    for e in embs {
+        let key: Vec<Value> = free
+            .iter()
+            .map(|v| e.get(v).cloned().expect("free variable bound by embedding"))
+            .collect();
+        seen.insert(key);
+    }
+    seen.into_iter().collect()
+}
+
+/// Substitutes a group key for the free variables of a query, producing a
+/// closed prepared query (Section 6.2: free variables are treated as
+/// constants).
+pub fn substitute_group(
+    prepared: &PreparedAggQuery,
+    key: &[Value],
+) -> Result<PreparedAggQuery, CoreError> {
+    let free = prepared.original.body.free_vars().to_vec();
+    assert_eq!(free.len(), key.len(), "group key arity mismatch");
+    let subst: BTreeMap<Var, Term> = free
+        .iter()
+        .cloned()
+        .zip(key.iter().cloned().map(Term::Const))
+        .collect();
+    let new_body = rcqa_query::ConjunctiveQuery::boolean(
+        prepared
+            .original
+            .body
+            .atoms()
+            .iter()
+            .map(|a| a.substitute(&subst)),
+    );
+    let closed = AggQuery::new(
+        prepared.original.agg,
+        prepared.original.term.clone(),
+        new_body,
+    );
+    PreparedAggQuery::new(&closed, &prepared.body.schema().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcqa_data::{fact, rat, Schema, Signature};
+    use rcqa_query::parse_agg_query;
+
+    fn db_stock() -> DatabaseInstance {
+        let schema = Schema::new()
+            .with_relation("Dealers", Signature::new(2, 1, []).unwrap())
+            .with_relation("Stock", Signature::new(3, 2, [2]).unwrap());
+        let mut db = DatabaseInstance::new(schema);
+        db.insert_all([
+            fact!("Dealers", "Smith", "Boston"),
+            fact!("Dealers", "Smith", "New York"),
+            fact!("Dealers", "James", "Boston"),
+            fact!("Stock", "Tesla X", "Boston", 35),
+            fact!("Stock", "Tesla X", "Boston", 40),
+            fact!("Stock", "Tesla Y", "Boston", 35),
+            fact!("Stock", "Tesla Y", "New York", 95),
+            fact!("Stock", "Tesla Y", "New York", 96),
+        ])
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn closed_sum_query_end_to_end() {
+        let db = db_stock();
+        let q = parse_agg_query("SUM(y) <- Dealers('Smith', t), Stock(p, t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+        let glb = engine.glb(&db).unwrap();
+        assert_eq!(glb.len(), 1);
+        assert_eq!(glb[0].1.value, Some(rat(70)));
+        assert_eq!(glb[0].1.method, Method::Rewriting);
+        // LUB of SUM has no known rewriting: exact fallback.
+        let lub = engine.lub(&db).unwrap();
+        assert_eq!(lub[0].1.value, Some(rat(96)));
+        assert_eq!(lub[0].1.method, Method::ExactEnumeration);
+        // Both bounds agree with exhaustive enumeration.
+        let bounds = exact_bounds(engine.prepared(), &db, 1 << 20).unwrap();
+        assert_eq!(bounds.glb, glb[0].1.value);
+        assert_eq!(bounds.lub, lub[0].1.value);
+    }
+
+    #[test]
+    fn group_by_query_reports_each_dealer() {
+        let db = db_stock();
+        let q = parse_agg_query("(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+        let ranges = engine.range(&db).unwrap();
+        assert_eq!(ranges.len(), 2);
+        let by_name: BTreeMap<String, &GroupRange> = ranges
+            .iter()
+            .map(|r| (r.key[0].to_string(), r))
+            .collect();
+        // James is certainly in Boston: glb = 35 + 35 = 70, lub = 40 + 35 = 75.
+        let james = by_name["James"];
+        assert_eq!(james.glb.unwrap().value, Some(rat(70)));
+        assert_eq!(james.lub.unwrap().value, Some(rat(75)));
+        // Smith: glb = 70 (Boston with minimum quantities), lub = 96 (New York).
+        let smith = by_name["Smith"];
+        assert_eq!(smith.glb.unwrap().value, Some(rat(70)));
+        assert_eq!(smith.lub.unwrap().value, Some(rat(96)));
+    }
+
+    #[test]
+    fn bottom_answer_for_uncertain_group() {
+        let db = db_stock();
+        // Tesla Z is never in stock: the closed query is falsified by every
+        // repair, so both bounds are ⊥... in fact there is no candidate group,
+        // so test the closed variant directly.
+        let q = parse_agg_query("SUM(y) <- Dealers('Smith', t), Stock('Tesla Y', t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+        let glb = engine.glb(&db).unwrap();
+        // Tesla Y is stocked in both Boston and New York, so the query is
+        // certain.
+        assert!(glb[0].1.value.is_some());
+
+        let q = parse_agg_query("SUM(y) <- Dealers('Smith', t), Stock('Tesla X', t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+        let glb = engine.glb(&db).unwrap();
+        // Tesla X is only in Boston; if Smith operates in New York the query
+        // fails, hence ⊥.
+        assert_eq!(glb[0].1.value, None);
+    }
+
+    #[test]
+    fn min_max_strategies() {
+        let db = db_stock();
+        let q = parse_agg_query("MIN(y) <- Dealers('Smith', t), Stock(p, t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+        let glb = engine.glb(&db).unwrap();
+        assert_eq!(glb[0].1.value, Some(rat(35)));
+        assert_eq!(glb[0].1.method, Method::PlainExtremum);
+        let lub = engine.lub(&db).unwrap();
+        // LUB of MIN: Smith in New York with the 96-quantity fact chosen.
+        assert_eq!(lub[0].1.value, Some(rat(96)));
+        assert_eq!(lub[0].1.method, Method::Rewriting);
+
+        let q = parse_agg_query("MAX(y) <- Dealers('Smith', t), Stock(p, t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+        let glb = engine.glb(&db).unwrap();
+        let lub = engine.lub(&db).unwrap();
+        assert_eq!(lub[0].1.method, Method::PlainExtremum);
+        // Cross-check against exhaustive enumeration.
+        let bounds = exact_bounds(engine.prepared(), &db, 1 << 20).unwrap();
+        assert_eq!(glb[0].1.value, bounds.glb);
+        assert_eq!(lub[0].1.value, bounds.lub);
+    }
+
+    #[test]
+    fn avg_uses_exact_fallback_and_can_be_disabled() {
+        let db = db_stock();
+        let q = parse_agg_query("AVG(y) <- Dealers('Smith', t), Stock(p, t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+        let glb = engine.glb(&db).unwrap();
+        assert_eq!(glb[0].1.method, Method::ExactEnumeration);
+        assert_eq!(glb[0].1.value, Some(rat(35)));
+
+        let engine = RangeCqa::new(&q, db.schema()).unwrap().with_options(EngineOptions {
+            allow_exact_fallback: false,
+            max_repairs: 1 << 20,
+        });
+        assert!(matches!(
+            engine.glb(&db),
+            Err(CoreError::UnsupportedAggregate { .. })
+        ));
+    }
+
+    #[test]
+    fn count_queries_use_rewriting() {
+        let db = db_stock();
+        let q = parse_agg_query("COUNT(*) <- Dealers('Smith', t), Stock(p, t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+        let glb = engine.glb(&db).unwrap();
+        assert_eq!(glb[0].1.value, Some(rat(1)));
+        assert_eq!(glb[0].1.method, Method::Rewriting);
+    }
+
+    #[test]
+    fn negative_numbers_disable_the_sum_rewriting() {
+        // Section 7.3: with -1 allowed, the SUM rewriting is no longer sound;
+        // the engine must fall back to exact enumeration.
+        let schema = Schema::new()
+            .with_relation("S1", Signature::new(2, 1, []).unwrap())
+            .with_relation("S2", Signature::new(2, 1, []).unwrap())
+            .with_relation("T", Signature::new(3, 2, [2]).unwrap());
+        let mut db = DatabaseInstance::new_unconstrained(schema);
+        db.insert_all([
+            fact!("S1", "u", "c1"),
+            fact!("S1", "u", "d"),
+            fact!("S2", "v", "c2"),
+            fact!("T", "u", "v", -1),
+            fact!("T", "bot", "bot", 0),
+            fact!("S1", "bot", "c1"),
+            fact!("S2", "bot", "c2"),
+        ])
+        .unwrap();
+        let q = parse_agg_query("SUM(r) <- S1(x, 'c1'), S2(y, 'c2'), T(x, y, r)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+        let glb = engine.glb(&db).unwrap();
+        assert_eq!(glb[0].1.method, Method::ExactEnumeration);
+    }
+}

@@ -1,0 +1,234 @@
+//! Exact range-consistent answers by exhaustive repair enumeration.
+//!
+//! This is the ground-truth baseline: it literally implements the definition
+//! of `GLB-CQA` / `LUB-CQA` from Section 1 of the paper by enumerating every
+//! repair, evaluating the aggregation query on each, and taking the minimum
+//! and maximum. Its cost is exponential in the number of inconsistent blocks,
+//! so it is only usable on small instances (tests, counterexamples, and the
+//! baseline arm of the benchmarks).
+
+use crate::error::CoreError;
+use crate::forall::{embeddings, Binding};
+use crate::glb::term_value;
+use crate::index::DbIndex;
+use crate::prepared::PreparedAggQuery;
+use rcqa_data::{DatabaseInstance, Rational};
+
+/// The exact lower and upper range-consistent bounds of a closed aggregation
+/// query. `None` encodes the distinguished answer `⊥` (some repair yields the
+/// empty multiset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExactBounds {
+    /// The greatest lower bound across repairs, or `None` for `⊥`.
+    pub glb: Option<Rational>,
+    /// The least upper bound across repairs, or `None` for `⊥`.
+    pub lub: Option<Rational>,
+    /// Number of repairs enumerated.
+    pub repairs: u128,
+}
+
+/// Computes the exact bounds of a closed aggregation query by enumerating all
+/// repairs of `db`.
+///
+/// Fails with [`CoreError::FallbackUnavailable`] if the number of repairs
+/// exceeds `max_repairs`.
+pub fn exact_bounds(
+    query: &PreparedAggQuery,
+    db: &DatabaseInstance,
+    max_repairs: u128,
+) -> Result<ExactBounds, CoreError> {
+    debug_assert!(
+        query.normalised.body.free_vars().is_empty(),
+        "exact_bounds expects a closed query; substitute group constants first"
+    );
+    let count = db.repair_count().unwrap_or(u128::MAX);
+    if count > max_repairs {
+        return Err(CoreError::FallbackUnavailable(format!(
+            "instance has {count} repairs, more than the configured maximum {max_repairs}"
+        )));
+    }
+    let agg = query.original.normalise_count().agg;
+    let term = &query.normalised.term;
+    let atoms = query.body.atoms_in_order();
+    // Reuse the level machinery for enumeration inside each repair by building
+    // a tiny index per repair (repairs are consistent, blocks are singletons).
+    let levels: Vec<crate::prepared::Level> = query.body.levels().to_vec();
+    let mut glb: Option<Rational> = None;
+    let mut lub: Option<Rational> = None;
+    let mut bottom = false;
+    let mut repairs = 0u128;
+    for repair in db.repairs() {
+        repairs += 1;
+        let index = DbIndex::new(&repair);
+        let embs: Vec<Binding> = if levels.is_empty() && !atoms.is_empty() {
+            // Cyclic attack graph: fall back to a naive join over atoms in
+            // query order (levels are empty in that case).
+            let pseudo_levels = pseudo_levels(query, &repair);
+            embeddings(&pseudo_levels, &index, &Binding::new())
+        } else {
+            embeddings(&levels, &index, &Binding::new())
+        };
+        if embs.is_empty() {
+            bottom = true;
+            break;
+        }
+        let values: Vec<Rational> = embs.iter().map(|b| term_value(term, b)).collect();
+        let value = agg
+            .apply(&values)
+            .expect("non-empty multiset aggregates to a value");
+        glb = Some(match glb {
+            None => value,
+            Some(g) => g.min(value),
+        });
+        lub = Some(match lub {
+            None => value,
+            Some(l) => l.max(value),
+        });
+    }
+    if bottom {
+        Ok(ExactBounds {
+            glb: None,
+            lub: None,
+            repairs,
+        })
+    } else {
+        Ok(ExactBounds { glb, lub, repairs })
+    }
+}
+
+/// Builds a level structure in plain query order (used when the attack graph
+/// is cyclic and no topological sort exists); only the fields used by the
+/// embedding enumerator are meaningful.
+fn pseudo_levels(
+    query: &PreparedAggQuery,
+    db: &DatabaseInstance,
+) -> Vec<crate::prepared::Level> {
+    query
+        .normalised
+        .body
+        .atoms()
+        .iter()
+        .map(|atom| crate::prepared::Level {
+            atom: atom.clone(),
+            key_len: db
+                .schema()
+                .signature(atom.relation())
+                .map(|s| s.key_len())
+                .unwrap_or(atom.arity()),
+            new_key_vars: Vec::new(),
+            new_other_vars: Vec::new(),
+            prefix_vars: Vec::new(),
+        })
+        .collect()
+}
+
+/// Exact bounds per group for a query with free variables: every group key
+/// appearing in some embedding of the body is reported.
+pub fn exact_bounds_by_group(
+    query: &PreparedAggQuery,
+    db: &DatabaseInstance,
+    max_repairs: u128,
+) -> Result<Vec<(Vec<rcqa_data::Value>, ExactBounds)>, CoreError> {
+    let groups = crate::engine::candidate_groups(query, db);
+    let mut out = Vec::new();
+    for key in groups {
+        let closed = crate::engine::substitute_group(query, &key)?;
+        let bounds = exact_bounds(&closed, db, max_repairs)?;
+        out.push((key, bounds));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcqa_data::{fact, rat, Schema, Signature};
+    use rcqa_query::parse_agg_query;
+
+    fn db_stock() -> DatabaseInstance {
+        let schema = Schema::new()
+            .with_relation("Dealers", Signature::new(2, 1, []).unwrap())
+            .with_relation("Stock", Signature::new(3, 2, [2]).unwrap());
+        let mut db = DatabaseInstance::new(schema);
+        db.insert_all([
+            fact!("Dealers", "Smith", "Boston"),
+            fact!("Dealers", "Smith", "New York"),
+            fact!("Dealers", "James", "Boston"),
+            fact!("Stock", "Tesla X", "Boston", 35),
+            fact!("Stock", "Tesla X", "Boston", 40),
+            fact!("Stock", "Tesla Y", "Boston", 35),
+            fact!("Stock", "Tesla Y", "New York", 95),
+            fact!("Stock", "Tesla Y", "New York", 96),
+        ])
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn introduction_example_bounds() {
+        let db = db_stock();
+        let q = PreparedAggQuery::new(
+            &parse_agg_query("SUM(y) <- Dealers('Smith', t), Stock(p, t, y)").unwrap(),
+            db.schema(),
+        )
+        .unwrap();
+        let bounds = exact_bounds(&q, &db, 1 << 20).unwrap();
+        assert_eq!(bounds.repairs, 8);
+        assert_eq!(bounds.glb, Some(rat(70)));
+        // Largest total: Smith in New York with Tesla Y at 96 -> 96; or Boston
+        // with 40 + 35 = 75; the maximum over repairs is 96.
+        assert_eq!(bounds.lub, Some(rat(96)));
+    }
+
+    #[test]
+    fn bottom_when_some_repair_falsifies_query() {
+        let db = db_stock();
+        // James only deals in Boston; ask about New York stock of Tesla X:
+        // there is none, so every repair falsifies the query -> ⊥.
+        let q = PreparedAggQuery::new(
+            &parse_agg_query("SUM(y) <- Dealers('James', t), Stock('Tesla Z', t, y)").unwrap(),
+            db.schema(),
+        )
+        .unwrap();
+        let bounds = exact_bounds(&q, &db, 1 << 20).unwrap();
+        assert_eq!(bounds.glb, None);
+        assert_eq!(bounds.lub, None);
+    }
+
+    #[test]
+    fn repair_limit_enforced() {
+        let db = db_stock();
+        let q = PreparedAggQuery::new(
+            &parse_agg_query("SUM(y) <- Dealers('Smith', t), Stock(p, t, y)").unwrap(),
+            db.schema(),
+        )
+        .unwrap();
+        assert!(matches!(
+            exact_bounds(&q, &db, 4),
+            Err(CoreError::FallbackUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn count_and_min_max() {
+        let db = db_stock();
+        let q = PreparedAggQuery::new(
+            &parse_agg_query("COUNT(*) <- Dealers('Smith', t), Stock(p, t, y)").unwrap(),
+            db.schema(),
+        )
+        .unwrap();
+        let bounds = exact_bounds(&q, &db, 1 << 20).unwrap();
+        // Smith in Boston joins 2 products, in New York 1 product.
+        assert_eq!(bounds.glb, Some(rat(1)));
+        assert_eq!(bounds.lub, Some(rat(2)));
+
+        let q = PreparedAggQuery::new(
+            &parse_agg_query("MIN(y) <- Dealers('Smith', t), Stock(p, t, y)").unwrap(),
+            db.schema(),
+        )
+        .unwrap();
+        let bounds = exact_bounds(&q, &db, 1 << 20).unwrap();
+        assert_eq!(bounds.glb, Some(rat(35)));
+        assert_eq!(bounds.lub, Some(rat(96)));
+    }
+}

@@ -1,0 +1,423 @@
+//! Embeddings, certainty checking, and ∀embeddings (Section 4 of the paper).
+//!
+//! An *embedding* of a self-join-free conjunction `q(ū)` in a database
+//! instance is a valuation of `ū` mapping every atom to a fact. For an
+//! acyclic attack graph with topological sort `(F_1, ..., F_n)`, a
+//! *ℓ-∀embedding* additionally requires, level by level, that
+//! `F_ℓ ∧ ... ∧ F_n` is certain (true in every repair) once the variables of
+//! `F_1, ..., F_{ℓ-1}` and `Key(F_ℓ)` are fixed. The set of ∀embeddings is the
+//! basis of the GLB computation (Lemma 6.3 and Corollary 6.4).
+
+use crate::index::DbIndex;
+use crate::prepared::{Level, PreparedBody};
+use rcqa_data::{DatabaseInstance, Fact, Value};
+use rcqa_query::{Atom, Term, Var};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A (partial) valuation of query variables.
+pub type Binding = BTreeMap<Var, Value>;
+
+/// Tries to match `fact` against `atom` under `binding`; on success returns
+/// the binding extended with the newly bound variables.
+pub fn match_fact(atom: &Atom, fact: &Fact, binding: &Binding) -> Option<Binding> {
+    let mut extended = binding.clone();
+    for (p, term) in atom.terms().iter().enumerate() {
+        let actual = fact.arg(p);
+        match term {
+            Term::Const(c) => {
+                if c != actual {
+                    return None;
+                }
+            }
+            Term::Var(v) => match extended.get(v) {
+                Some(bound) => {
+                    if bound != actual {
+                        return None;
+                    }
+                }
+                None => {
+                    extended.insert(v.clone(), actual.clone());
+                }
+            },
+        }
+    }
+    Some(extended)
+}
+
+/// The key pattern of an atom under a binding: one entry per key position,
+/// `Some(v)` when the position is a constant or a bound variable.
+fn key_pattern(atom: &Atom, key_len: usize, binding: &Binding) -> Vec<Option<Value>> {
+    (0..key_len)
+        .map(|p| match atom.term(p) {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => binding.get(v).cloned(),
+        })
+        .collect()
+}
+
+/// Certainty checker for the suffixes `F_ℓ ∧ ... ∧ F_n` of a topologically
+/// sorted acyclic query, with memoisation on the relevant part of the binding.
+pub struct CertaintyChecker<'a> {
+    levels: &'a [Level],
+    index: &'a DbIndex,
+    /// For each level, the variables of `F_ℓ, ..., F_n` (only these influence
+    /// the answer, so they form the memo key).
+    relevant_vars: Vec<Vec<Var>>,
+    memo: RefCell<HashMap<(usize, Vec<Option<Value>>), bool>>,
+}
+
+impl<'a> CertaintyChecker<'a> {
+    /// Creates a checker for the given levels (topological order) and index.
+    pub fn new(levels: &'a [Level], index: &'a DbIndex) -> CertaintyChecker<'a> {
+        let n = levels.len();
+        let mut relevant_vars: Vec<Vec<Var>> = vec![Vec::new(); n + 1];
+        let mut acc: BTreeSet<Var> = BTreeSet::new();
+        for l in (0..n).rev() {
+            acc.extend(levels[l].atom.vars());
+            relevant_vars[l] = acc.iter().cloned().collect();
+        }
+        CertaintyChecker {
+            levels,
+            index,
+            relevant_vars,
+            memo: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Returns `true` if `F_{level+1} ∧ ... ∧ F_n` (0-based `level`) holds in
+    /// every repair of the indexed database, for the given partial binding.
+    ///
+    /// `certain_from(0, ∅)` decides `CERTAINTY(q)` for the whole query.
+    pub fn certain_from(&self, level: usize, binding: &Binding) -> bool {
+        if level >= self.levels.len() {
+            return true;
+        }
+        let key: Vec<Option<Value>> = self.relevant_vars[level]
+            .iter()
+            .map(|v| binding.get(v).cloned())
+            .collect();
+        if let Some(&cached) = self.memo.borrow().get(&(level, key.clone())) {
+            return cached;
+        }
+        let result = self.certain_uncached(level, binding);
+        self.memo.borrow_mut().insert((level, key), result);
+        result
+    }
+
+    fn certain_uncached(&self, level: usize, binding: &Binding) -> bool {
+        let lvl = &self.levels[level];
+        let Some(rel) = self.index.relation(lvl.atom.relation()) else {
+            return false;
+        };
+        let pattern = key_pattern(&lvl.atom, lvl.key_len, binding);
+        for block in rel.blocks_matching(&pattern) {
+            let mut all_ok = true;
+            for fact in &block.facts {
+                match match_fact(&lvl.atom, fact, binding) {
+                    Some(extended) => {
+                        if !self.certain_from(level + 1, &extended) {
+                            all_ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        all_ok = false;
+                        break;
+                    }
+                }
+            }
+            if all_ok {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Enumerates all embeddings of the body (atoms in topological order) in the
+/// indexed database, starting from an initial binding.
+pub fn embeddings(levels: &[Level], index: &DbIndex, initial: &Binding) -> Vec<Binding> {
+    let mut out = Vec::new();
+    embed_rec(levels, index, 0, initial.clone(), &mut out);
+    out
+}
+
+fn embed_rec(levels: &[Level], index: &DbIndex, level: usize, binding: Binding, out: &mut Vec<Binding>) {
+    if level >= levels.len() {
+        out.push(binding);
+        return;
+    }
+    let lvl = &levels[level];
+    let Some(rel) = index.relation(lvl.atom.relation()) else {
+        return;
+    };
+    let pattern = key_pattern(&lvl.atom, lvl.key_len, &binding);
+    for block in rel.blocks_matching(&pattern) {
+        for fact in &block.facts {
+            if let Some(extended) = match_fact(&lvl.atom, fact, &binding) {
+                embed_rec(levels, index, level + 1, extended, out);
+            }
+        }
+    }
+}
+
+/// The result of analysing a (closed) prepared body against a database
+/// instance.
+#[derive(Clone, Debug)]
+pub struct ForallAnalysis {
+    /// Whether `∃ū q(ū)` is true in every repair (the `0-∀embedding` exists).
+    pub certain: bool,
+    /// All embeddings of the body.
+    pub embeddings: Vec<Binding>,
+    /// All ∀embeddings of the body (a subset of `embeddings`; empty when
+    /// `certain` is false).
+    pub forall_embeddings: Vec<Binding>,
+}
+
+/// Computes embeddings and ∀embeddings of an acyclic prepared body (with no
+/// free variables) in `db`.
+///
+/// # Panics
+/// Panics if the body's attack graph is cyclic (the notion of ∀embedding is
+/// defined relative to a topological sort).
+pub fn analyse(body: &PreparedBody, db: &DatabaseInstance) -> ForallAnalysis {
+    let index = DbIndex::new(db);
+    analyse_with_index(body, &index)
+}
+
+/// Like [`analyse`], but reuses a prebuilt [`DbIndex`].
+pub fn analyse_with_index(body: &PreparedBody, index: &DbIndex) -> ForallAnalysis {
+    assert!(
+        body.is_acyclic(),
+        "∀embeddings are only defined for acyclic attack graphs"
+    );
+    debug_assert!(
+        body.body().free_vars().is_empty(),
+        "free variables must be substituted before analysis"
+    );
+    let levels = body.levels();
+    let checker = CertaintyChecker::new(levels, index);
+    let certain = checker.certain_from(0, &Binding::new());
+    let embeddings = embeddings(levels, index, &Binding::new());
+    let forall_embeddings = if certain {
+        embeddings
+            .iter()
+            .filter(|theta| is_forall_embedding(levels, &checker, theta))
+            .cloned()
+            .collect()
+    } else {
+        Vec::new()
+    };
+    ForallAnalysis {
+        certain,
+        embeddings,
+        forall_embeddings,
+    }
+}
+
+/// Checks the level-by-level certainty conditions of the ∀embedding
+/// definition for a full embedding `theta`.
+fn is_forall_embedding(levels: &[Level], checker: &CertaintyChecker<'_>, theta: &Binding) -> bool {
+    for (l, lvl) in levels.iter().enumerate() {
+        // Restriction of theta to ū_{ℓ-1} ∪ x̄_ℓ.
+        let mut restricted = Binding::new();
+        if l > 0 {
+            for v in &levels[l - 1].prefix_vars {
+                if let Some(val) = theta.get(v) {
+                    restricted.insert(v.clone(), val.clone());
+                }
+            }
+        }
+        for v in &lvl.new_key_vars {
+            if let Some(val) = theta.get(v) {
+                restricted.insert(v.clone(), val.clone());
+            }
+        }
+        if !checker.certain_from(l, &restricted) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepared::PreparedAggQuery;
+    use rcqa_data::{fact, rat, Schema, Signature};
+    use rcqa_query::parse_agg_query;
+
+    /// The database instance of Fig. 1.
+    fn db_stock() -> DatabaseInstance {
+        let schema = Schema::new()
+            .with_relation("Dealers", Signature::new(2, 1, []).unwrap())
+            .with_relation("Stock", Signature::new(3, 2, [2]).unwrap());
+        let mut db = DatabaseInstance::new(schema);
+        db.insert_all([
+            fact!("Dealers", "Smith", "Boston"),
+            fact!("Dealers", "Smith", "New York"),
+            fact!("Dealers", "James", "Boston"),
+            fact!("Stock", "Tesla X", "Boston", 35),
+            fact!("Stock", "Tesla X", "Boston", 40),
+            fact!("Stock", "Tesla Y", "Boston", 35),
+            fact!("Stock", "Tesla Y", "New York", 95),
+            fact!("Stock", "Tesla Y", "New York", 96),
+        ])
+        .unwrap();
+        db
+    }
+
+    /// The database instance db0 of Fig. 3.
+    fn db0() -> DatabaseInstance {
+        let schema = Schema::new()
+            .with_relation("R", Signature::new(2, 1, []).unwrap())
+            .with_relation("S", Signature::new(4, 2, [3]).unwrap());
+        let mut db = DatabaseInstance::new(schema);
+        db.insert_all([
+            fact!("R", "a1", "b1"),
+            fact!("R", "a1", "b2"),
+            fact!("R", "a2", "b2"),
+            fact!("R", "a2", "b3"),
+            fact!("R", "a3", "b4"),
+            fact!("S", "b1", "c1", "d", 1),
+            fact!("S", "b1", "c1", "d", 2),
+            fact!("S", "b1", "c2", "d", 3),
+            fact!("S", "b2", "c3", "d", 5),
+            fact!("S", "b2", "c3", "d", 6),
+            fact!("S", "b3", "c4", "d", 5),
+            fact!("S", "b4", "c5", "d", 7),
+            fact!("S", "b4", "c5", "e", 8),
+        ])
+        .unwrap();
+        db
+    }
+
+    fn prepared(datalog: &str, schema: &Schema) -> PreparedAggQuery {
+        PreparedAggQuery::new(&parse_agg_query(datalog).unwrap(), schema).unwrap()
+    }
+
+    #[test]
+    fn example_4_1_forall_embeddings() {
+        // q0 = Dealers('James', t), Stock(p, t, 35): true in every repair.
+        let db = db_stock();
+        let q = prepared("COUNT(*) <- Dealers('James', t), Stock(p, t, 35)", db.schema());
+        let analysis = analyse(&q.body, &db);
+        assert!(analysis.certain);
+        // Embeddings: (Boston, Tesla X) and (Boston, Tesla Y).
+        assert_eq!(analysis.embeddings.len(), 2);
+        // Only (Boston, Tesla Y) is a ∀embedding (Example 4.1): the Tesla X
+        // block also contains quantity 40.
+        assert_eq!(analysis.forall_embeddings.len(), 1);
+        let theta = &analysis.forall_embeddings[0];
+        assert_eq!(theta.get(&Var::new("t")), Some(&Value::text("Boston")));
+        assert_eq!(theta.get(&Var::new("p")), Some(&Value::text("Tesla Y")));
+    }
+
+    #[test]
+    fn fig_3_forall_embeddings_m0() {
+        // g0() = SUM(r) <- R(x, y), S(y, z, 'd', r) over db0: the set M0 of
+        // ∀embeddings has exactly the 8 rows of Fig. 3.
+        let db = db0();
+        let q = prepared("SUM(r) <- R(x, y), S(y, z, 'd', r)", db.schema());
+        let analysis = analyse(&q.body, &db);
+        assert!(analysis.certain);
+        // There are 9 embeddings in total; (a3, b4, c5, 7) is not a
+        // ∀embedding because of the 'e' value in the last S-row.
+        assert_eq!(analysis.embeddings.len(), 9);
+        assert_eq!(analysis.forall_embeddings.len(), 8);
+        let m0: BTreeSet<(String, String, String, i64)> = analysis
+            .forall_embeddings
+            .iter()
+            .map(|b| {
+                (
+                    b[&Var::new("x")].to_string(),
+                    b[&Var::new("y")].to_string(),
+                    b[&Var::new("z")].to_string(),
+                    b[&Var::new("r")].as_num().unwrap().numerator() as i64,
+                )
+            })
+            .collect();
+        let expected: BTreeSet<(String, String, String, i64)> = [
+            ("a1", "b1", "c1", 1),
+            ("a1", "b1", "c1", 2),
+            ("a1", "b1", "c2", 3),
+            ("a1", "b2", "c3", 5),
+            ("a1", "b2", "c3", 6),
+            ("a2", "b2", "c3", 5),
+            ("a2", "b2", "c3", 6),
+            ("a2", "b3", "c4", 5),
+        ]
+        .iter()
+        .map(|(a, b, c, d)| (a.to_string(), b.to_string(), c.to_string(), *d))
+        .collect();
+        assert_eq!(m0, expected);
+        // No ∀embedding maps x to a3.
+        assert!(!analysis
+            .forall_embeddings
+            .iter()
+            .any(|b| b[&Var::new("x")] == Value::text("a3")));
+    }
+
+    #[test]
+    fn certainty_detects_falsifying_repair() {
+        // Dealers('Smith', t), Stock('Tesla Z', t, q): Tesla Z is never in
+        // stock, so no repair satisfies the query.
+        let db = db_stock();
+        let q = prepared(
+            "COUNT(*) <- Dealers('Smith', t), Stock('Tesla Z', t, q)",
+            db.schema(),
+        );
+        let analysis = analyse(&q.body, &db);
+        assert!(!analysis.certain);
+        assert!(analysis.embeddings.is_empty());
+        assert!(analysis.forall_embeddings.is_empty());
+
+        // Dealers('Smith', t), Stock(p, t, y): Smith's town is uncertain, but
+        // both Boston and New York stock something, so the query is certain.
+        let q = prepared("SUM(y) <- Dealers('Smith', t), Stock(p, t, y)", db.schema());
+        let analysis = analyse(&q.body, &db);
+        assert!(analysis.certain);
+        // No embedding through Smith/Boston or Smith/New York is a
+        // ∀embedding at level 1 (Smith's town is uncertain), except... none.
+        // Level-1 check fixes only x̄_1 = ∅ (the key 'Smith' is a constant),
+        // so certainty of the whole query from level 0 is what matters; each
+        // embedding also needs level-wise checks.
+        assert_eq!(analysis.embeddings.len(), 5);
+    }
+
+    #[test]
+    fn match_fact_handles_repeats_and_constants() {
+        let atom = Atom::new(
+            "T",
+            vec![Term::var("x"), Term::var("x"), Term::constant(3)],
+        );
+        let f_ok = fact!("T", "a", "a", 3);
+        let f_bad_repeat = fact!("T", "a", "b", 3);
+        let f_bad_const = fact!("T", "a", "a", 4);
+        assert!(match_fact(&atom, &f_ok, &Binding::new()).is_some());
+        assert!(match_fact(&atom, &f_bad_repeat, &Binding::new()).is_none());
+        assert!(match_fact(&atom, &f_bad_const, &Binding::new()).is_none());
+        // Pre-bound variable must agree.
+        let mut b = Binding::new();
+        b.insert(Var::new("x"), Value::text("z"));
+        assert!(match_fact(&atom, &f_ok, &b).is_none());
+        // Numeric values round-trip.
+        let atom = Atom::new("U", vec![Term::var("r")]);
+        let f = fact!("U", 7);
+        let m = match_fact(&atom, &f, &Binding::new()).unwrap();
+        assert_eq!(m[&Var::new("r")].as_num(), Some(rat(7)));
+    }
+
+    #[test]
+    fn empty_relation_makes_query_uncertain() {
+        let schema = Schema::new()
+            .with_relation("R", Signature::new(2, 1, []).unwrap())
+            .with_relation("S", Signature::new(2, 1, [1]).unwrap());
+        let db = DatabaseInstance::new(schema.clone());
+        let q = prepared("SUM(r) <- R(x, y), S(y, r)", &schema);
+        let analysis = analyse(&q.body, &db);
+        assert!(!analysis.certain);
+        assert!(analysis.embeddings.is_empty());
+    }
+}

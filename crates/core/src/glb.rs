@@ -1,0 +1,272 @@
+//! The operational evaluation of range-consistent aggregate bounds over
+//! ∀embeddings, following the proof of Theorem 6.1.
+//!
+//! For a monotone and associative aggregate operator `F⊕`, Corollary 6.4
+//! expresses `GLB-CQA(g())` as the minimum, over all maximal consistent
+//! subsets (MCS) of the set of ∀embeddings, of the aggregated `r`-values.
+//! The proof of Theorem 6.1 computes this minimum by recursing over the
+//! topological sort: alternatives within one block (same key values) are
+//! mutually exclusive and resolved by `MIN`, while distinct key values are
+//! independent branches combined with `F⊕` (Decomposition Lemma H.5 and
+//! Consistent Extension Lemma H.9).
+//!
+//! The same recursion with the roles of `MIN`/`MAX` mirrored computes
+//! `LUB-CQA` for `MIN`-queries (Theorem 7.11).
+
+use crate::forall::Binding;
+use crate::prepared::Level;
+use rcqa_data::{AggFunc, Rational, Value};
+use rcqa_query::{AggTerm, Var};
+use std::collections::BTreeMap;
+
+/// How alternatives within one block (same key, different non-key values) are
+/// resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Choice {
+    /// Pick the alternative minimising the aggregate (GLB semantics).
+    Minimise,
+    /// Pick the alternative maximising the aggregate (LUB semantics for
+    /// MIN-queries, via the order-reversal argument of Theorem 7.11).
+    Maximise,
+}
+
+/// The value of the aggregated term `r` under a binding.
+pub fn term_value(term: &AggTerm, binding: &Binding) -> Rational {
+    match term {
+        AggTerm::Const(c) => *c,
+        AggTerm::Var(v) => binding
+            .get(v)
+            .and_then(Value::as_num)
+            .unwrap_or_else(|| panic!("aggregated variable {v} is unbound or non-numeric")),
+    }
+}
+
+/// Computes the optimal (minimal or maximal, per `choice`) aggregated value of
+/// `term` over all maximal consistent subsets of the given ∀embeddings,
+/// combining independent branches with `combine`.
+///
+/// Returns `None` when the set of ∀embeddings is empty (which, for a certain
+/// query, cannot happen).
+pub fn optimal_aggregate(
+    levels: &[Level],
+    forall_embeddings: &[Binding],
+    term: &AggTerm,
+    combine: AggFunc,
+    choice: Choice,
+) -> Option<Rational> {
+    if forall_embeddings.is_empty() {
+        return None;
+    }
+    let refs: Vec<&Binding> = forall_embeddings.iter().collect();
+    Some(recurse(levels, 0, &refs, term, combine, choice))
+}
+
+/// Projects a binding onto a list of variables (used to group extensions).
+fn project(binding: &Binding, vars: &[Var]) -> Vec<Value> {
+    vars.iter()
+        .map(|v| binding.get(v).cloned().expect("∀embedding binds all variables"))
+        .collect()
+}
+
+fn recurse(
+    levels: &[Level],
+    level: usize,
+    subset: &[&Binding],
+    term: &AggTerm,
+    combine: AggFunc,
+    choice: Choice,
+) -> Rational {
+    if level == levels.len() {
+        // Base case of the induction in Appendix H.4: Ext(θ) = {θ} and the
+        // F⊕-minimal value is F⊕({{θ(r)}}).
+        let value = term_value(term, subset[0]);
+        return combine.apply(&[value]).expect("singleton aggregate");
+    }
+    let lvl = &levels[level];
+    // Group by the new key variables x̄_{ℓ+1}: each group corresponds to one
+    // (ℓ+1)-∀key-embedding γ_i extending the current prefix.
+    let mut key_groups: BTreeMap<Vec<Value>, Vec<&Binding>> = BTreeMap::new();
+    for b in subset {
+        key_groups
+            .entry(project(b, &lvl.new_key_vars))
+            .or_default()
+            .push(b);
+    }
+    let mut branch_values: Vec<Rational> = Vec::with_capacity(key_groups.len());
+    for (_key, group) in key_groups {
+        // Within one key group, alternatives (distinct values of ȳ_{ℓ+1}) are
+        // mutually exclusive: a repair picks exactly one fact of the block.
+        let mut alt_groups: BTreeMap<Vec<Value>, Vec<&Binding>> = BTreeMap::new();
+        for b in group {
+            alt_groups
+                .entry(project(b, &lvl.new_other_vars))
+                .or_default()
+                .push(b);
+        }
+        let mut best: Option<Rational> = None;
+        for (_alt, sub) in alt_groups {
+            let v = recurse(levels, level + 1, &sub, term, combine, choice);
+            best = Some(match (best, choice) {
+                (None, _) => v,
+                (Some(b), Choice::Minimise) => b.min(v),
+                (Some(b), Choice::Maximise) => b.max(v),
+            });
+        }
+        branch_values.push(best.expect("non-empty key group"));
+    }
+    combine
+        .apply(&branch_values)
+        .expect("non-empty branch values")
+}
+
+/// Computes the plain (non-repair-aware) extremum of the aggregated term over
+/// all embeddings: the value of `MIN(r)`'s GLB and `MAX(r)`'s LUB when the
+/// query is certain (Theorem 7.10 and its mirror in Theorem 7.11).
+pub fn global_extremum(
+    embeddings: &[Binding],
+    term: &AggTerm,
+    maximise: bool,
+) -> Option<Rational> {
+    let mut best: Option<Rational> = None;
+    for b in embeddings {
+        let v = term_value(term, b);
+        best = Some(match best {
+            None => v,
+            Some(acc) => {
+                if maximise {
+                    acc.max(v)
+                } else {
+                    acc.min(v)
+                }
+            }
+        });
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forall::analyse;
+    use crate::prepared::PreparedAggQuery;
+    use rcqa_data::{fact, rat, DatabaseInstance, Schema, Signature};
+    use rcqa_query::parse_agg_query;
+
+    fn db0() -> DatabaseInstance {
+        let schema = Schema::new()
+            .with_relation("R", Signature::new(2, 1, []).unwrap())
+            .with_relation("S", Signature::new(4, 2, [3]).unwrap());
+        let mut db = DatabaseInstance::new(schema);
+        db.insert_all([
+            fact!("R", "a1", "b1"),
+            fact!("R", "a1", "b2"),
+            fact!("R", "a2", "b2"),
+            fact!("R", "a2", "b3"),
+            fact!("R", "a3", "b4"),
+            fact!("S", "b1", "c1", "d", 1),
+            fact!("S", "b1", "c1", "d", 2),
+            fact!("S", "b1", "c2", "d", 3),
+            fact!("S", "b2", "c3", "d", 5),
+            fact!("S", "b2", "c3", "d", 6),
+            fact!("S", "b3", "c4", "d", 5),
+            fact!("S", "b4", "c5", "d", 7),
+            fact!("S", "b4", "c5", "e", 8),
+        ])
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn section_6_1_running_example_glb_is_9() {
+        // GLB-CQA(g0()) for SUM(r) <- R(x, y), S(y, z, 'd', r) on db0 is 9:
+        // 4 for the group x = a1 (1 + 3) and 5 for x = a2 (Fig. 4 / Fig. 5).
+        let db = db0();
+        let q = PreparedAggQuery::new(
+            &parse_agg_query("SUM(r) <- R(x, y), S(y, z, 'd', r)").unwrap(),
+            db.schema(),
+        )
+        .unwrap();
+        let analysis = analyse(&q.body, &db);
+        assert!(analysis.certain);
+        let glb = optimal_aggregate(
+            q.body.levels(),
+            &analysis.forall_embeddings,
+            &q.normalised.term,
+            AggFunc::Sum,
+            Choice::Minimise,
+        );
+        assert_eq!(glb, Some(rat(9)));
+    }
+
+    #[test]
+    fn fig1_smith_stock_glb_is_70() {
+        // The introduction example: the lowest total quantity of cars in
+        // Smith's town of operation is 70.
+        let schema = Schema::new()
+            .with_relation("Dealers", Signature::new(2, 1, []).unwrap())
+            .with_relation("Stock", Signature::new(3, 2, [2]).unwrap());
+        let mut db = DatabaseInstance::new(schema);
+        db.insert_all([
+            fact!("Dealers", "Smith", "Boston"),
+            fact!("Dealers", "Smith", "New York"),
+            fact!("Dealers", "James", "Boston"),
+            fact!("Stock", "Tesla X", "Boston", 35),
+            fact!("Stock", "Tesla X", "Boston", 40),
+            fact!("Stock", "Tesla Y", "Boston", 35),
+            fact!("Stock", "Tesla Y", "New York", 95),
+            fact!("Stock", "Tesla Y", "New York", 96),
+        ])
+        .unwrap();
+        let q = PreparedAggQuery::new(
+            &parse_agg_query("SUM(y) <- Dealers('Smith', t), Stock(p, t, y)").unwrap(),
+            db.schema(),
+        )
+        .unwrap();
+        let analysis = analyse(&q.body, &db);
+        assert!(analysis.certain);
+        let glb = optimal_aggregate(
+            q.body.levels(),
+            &analysis.forall_embeddings,
+            &q.normalised.term,
+            AggFunc::Sum,
+            Choice::Minimise,
+        );
+        assert_eq!(glb, Some(rat(70)));
+    }
+
+    #[test]
+    fn global_extrema() {
+        let db = db0();
+        let q = PreparedAggQuery::new(
+            &parse_agg_query("MIN(r) <- R(x, y), S(y, z, 'd', r)").unwrap(),
+            db.schema(),
+        )
+        .unwrap();
+        let analysis = analyse(&q.body, &db);
+        let min = global_extremum(&analysis.embeddings, &q.normalised.term, false);
+        let max = global_extremum(&analysis.embeddings, &q.normalised.term, true);
+        assert_eq!(min, Some(rat(1)));
+        assert_eq!(max, Some(rat(7)));
+        assert_eq!(global_extremum(&[], &q.normalised.term, false), None);
+    }
+
+    #[test]
+    fn empty_forall_embeddings_yield_none() {
+        let db = db0();
+        let q = PreparedAggQuery::new(
+            &parse_agg_query("SUM(r) <- R(x, y), S(y, z, 'd', r)").unwrap(),
+            db.schema(),
+        )
+        .unwrap();
+        assert_eq!(
+            optimal_aggregate(
+                q.body.levels(),
+                &[],
+                &q.normalised.term,
+                AggFunc::Sum,
+                Choice::Minimise
+            ),
+            None
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! A block-oriented index over a database instance, used by the operational
+//! evaluators (embedding enumeration, certainty checks, ∀embedding
+//! computation).
+
+use rcqa_data::{DatabaseInstance, Fact, Value};
+use std::collections::HashMap;
+
+/// One block: the facts of a relation sharing a primary-key value.
+#[derive(Clone, Debug)]
+pub struct IndexedBlock {
+    /// The shared key value.
+    pub key: Vec<Value>,
+    /// The facts of the block.
+    pub facts: Vec<Fact>,
+}
+
+/// Index over one relation.
+#[derive(Clone, Debug, Default)]
+pub struct RelationIndex {
+    /// All blocks of the relation.
+    pub blocks: Vec<IndexedBlock>,
+    /// Lookup from full key value to block position.
+    by_key: HashMap<Vec<Value>, usize>,
+    /// For each key position, lookup from value to the blocks having that
+    /// value at that position.
+    by_key_pos: Vec<HashMap<Value, Vec<usize>>>,
+}
+
+impl RelationIndex {
+    /// Number of facts in the relation.
+    pub fn fact_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.facts.len()).sum()
+    }
+
+    /// Looks up the block with exactly the given key.
+    pub fn block_by_key(&self, key: &[Value]) -> Option<&IndexedBlock> {
+        self.by_key.get(key).map(|&i| &self.blocks[i])
+    }
+
+    /// Returns the blocks compatible with a partially-bound key pattern:
+    /// `pattern[i] = Some(v)` requires the block key to equal `v` at
+    /// position `i`, `None` leaves the position unconstrained.
+    pub fn blocks_matching<'a>(&'a self, pattern: &[Option<Value>]) -> Vec<&'a IndexedBlock> {
+        // Fully bound: direct lookup.
+        if pattern.iter().all(Option::is_some) {
+            let key: Vec<Value> = pattern.iter().map(|v| v.clone().unwrap()).collect();
+            return self.block_by_key(&key).into_iter().collect();
+        }
+        // Use the most selective bound position, if any.
+        let mut best: Option<&Vec<usize>> = None;
+        for (p, v) in pattern.iter().enumerate() {
+            if let Some(v) = v {
+                match self.by_key_pos[p].get(v) {
+                    Some(ids) => {
+                        if best.map(|b| ids.len() < b.len()).unwrap_or(true) {
+                            best = Some(ids);
+                        }
+                    }
+                    None => return Vec::new(),
+                }
+            }
+        }
+        let candidates: Vec<usize> = match best {
+            Some(ids) => ids.clone(),
+            None => (0..self.blocks.len()).collect(),
+        };
+        candidates
+            .into_iter()
+            .map(|i| &self.blocks[i])
+            .filter(|b| {
+                pattern
+                    .iter()
+                    .enumerate()
+                    .all(|(p, v)| v.as_ref().map(|v| &b.key[p] == v).unwrap_or(true))
+            })
+            .collect()
+    }
+}
+
+/// A block index over all relations of a database instance.
+#[derive(Clone, Debug, Default)]
+pub struct DbIndex {
+    relations: HashMap<String, RelationIndex>,
+}
+
+impl DbIndex {
+    /// Builds the index for a database instance.
+    pub fn new(db: &DatabaseInstance) -> DbIndex {
+        let mut relations: HashMap<String, RelationIndex> = HashMap::new();
+        for (name, sig) in db.schema().relations() {
+            let key_len = sig.key_len();
+            let mut rel = RelationIndex {
+                blocks: Vec::new(),
+                by_key: HashMap::new(),
+                by_key_pos: vec![HashMap::new(); key_len],
+            };
+            for fact in db.facts_of(name) {
+                let key = fact.args()[..key_len].to_vec();
+                let idx = match rel.by_key.get(&key) {
+                    Some(&i) => i,
+                    None => {
+                        let i = rel.blocks.len();
+                        rel.blocks.push(IndexedBlock {
+                            key: key.clone(),
+                            facts: Vec::new(),
+                        });
+                        rel.by_key.insert(key.clone(), i);
+                        for (p, v) in key.iter().enumerate() {
+                            rel.by_key_pos[p].entry(v.clone()).or_default().push(i);
+                        }
+                        i
+                    }
+                };
+                rel.blocks[idx].facts.push(fact.clone());
+            }
+            relations.insert(name.to_string(), rel);
+        }
+        DbIndex { relations }
+    }
+
+    /// The index of a relation (every relation of the schema is present, even
+    /// if empty).
+    pub fn relation(&self, name: &str) -> Option<&RelationIndex> {
+        self.relations.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcqa_data::{fact, Schema, Signature};
+
+    fn db() -> DatabaseInstance {
+        let schema = Schema::new()
+            .with_relation("S", Signature::new(3, 2, [2]).unwrap())
+            .with_relation("Empty", Signature::new(1, 1, []).unwrap());
+        let mut db = DatabaseInstance::new(schema);
+        db.insert_all([
+            fact!("S", "b1", "c1", 1),
+            fact!("S", "b1", "c1", 2),
+            fact!("S", "b1", "c2", 3),
+            fact!("S", "b2", "c3", 5),
+        ])
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn blocks_and_lookup() {
+        let db = db();
+        let idx = DbIndex::new(&db);
+        let s = idx.relation("S").unwrap();
+        assert_eq!(s.blocks.len(), 3);
+        assert_eq!(s.fact_count(), 4);
+        let b = s
+            .block_by_key(&[Value::text("b1"), Value::text("c1")])
+            .unwrap();
+        assert_eq!(b.facts.len(), 2);
+        assert!(s.block_by_key(&[Value::text("zz"), Value::text("c1")]).is_none());
+        // Empty relation exists in the index.
+        assert_eq!(idx.relation("Empty").unwrap().blocks.len(), 0);
+        assert!(idx.relation("Missing").is_none());
+    }
+
+    #[test]
+    fn partial_key_lookup() {
+        let db = db();
+        let idx = DbIndex::new(&db);
+        let s = idx.relation("S").unwrap();
+        // All blocks with first key component b1.
+        let matched = s.blocks_matching(&[Some(Value::text("b1")), None]);
+        assert_eq!(matched.len(), 2);
+        // Unconstrained pattern returns every block.
+        let all = s.blocks_matching(&[None, None]);
+        assert_eq!(all.len(), 3);
+        // Second component only.
+        let matched = s.blocks_matching(&[None, Some(Value::text("c3"))]);
+        assert_eq!(matched.len(), 1);
+        assert_eq!(matched[0].key[0], Value::text("b2"));
+        // Value absent from the index.
+        let none = s.blocks_matching(&[Some(Value::text("zzz")), None]);
+        assert!(none.is_empty());
+        // Fully bound pattern.
+        let one = s.blocks_matching(&[Some(Value::text("b1")), Some(Value::text("c2"))]);
+        assert_eq!(one.len(), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for the data layer.
+
+use std::fmt;
+
+/// Errors raised when building schemas or database instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A signature was internally inconsistent.
+    InvalidSignature(String),
+    /// A fact referenced a relation that is not declared in the schema.
+    UnknownRelation(String),
+    /// A fact had the wrong number of arguments.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Arity of the offending fact.
+        found: usize,
+    },
+    /// A non-numeric value appeared in a numerical column.
+    NonNumericValue {
+        /// Relation name.
+        relation: String,
+        /// Offending position (0-based).
+        position: usize,
+    },
+    /// A negative value appeared in a numerical column of a database that was
+    /// declared to range over `Q≥0`.
+    NegativeValue {
+        /// Relation name.
+        relation: String,
+        /// Offending position (0-based).
+        position: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidSignature(msg) => write!(f, "invalid signature: {msg}"),
+            DataError::UnknownRelation(name) => write!(f, "unknown relation {name:?}"),
+            DataError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch for {relation}: expected {expected}, found {found}"
+            ),
+            DataError::NonNumericValue { relation, position } => write!(
+                f,
+                "non-numeric value in numerical column {position} of {relation}"
+            ),
+            DataError::NegativeValue { relation, position } => write!(
+                f,
+                "negative value in numerical column {position} of {relation} (domain is Q>=0)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

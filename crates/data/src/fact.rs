@@ -1,0 +1,131 @@
+//! Facts: ground atoms stored in a database instance.
+
+use crate::schema::{RelName, Signature};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A fact `R(v1, ..., vn)`: an atom without variables.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    relation: RelName,
+    args: Vec<Value>,
+}
+
+impl Fact {
+    /// Creates a fact for relation `relation` with the given arguments.
+    pub fn new(relation: impl AsRef<str>, args: impl IntoIterator<Item = Value>) -> Fact {
+        Fact {
+            relation: Arc::from(relation.as_ref()),
+            args: args.into_iter().collect(),
+        }
+    }
+
+    /// The relation name of the fact.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// The interned relation name.
+    pub fn relation_name(&self) -> &RelName {
+        &self.relation
+    }
+
+    /// The arguments of the fact.
+    pub fn args(&self) -> &[Value] {
+        &self.args
+    }
+
+    /// The arity of the fact.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The argument at position `p`.
+    pub fn arg(&self, p: usize) -> &Value {
+        &self.args[p]
+    }
+
+    /// The key part of the fact, given the relation's signature.
+    pub fn key(&self, sig: &Signature) -> &[Value] {
+        &self.args[..sig.key_len()]
+    }
+
+    /// The non-key part of the fact, given the relation's signature.
+    pub fn non_key(&self, sig: &Signature) -> &[Value] {
+        &self.args[sig.key_len()..]
+    }
+
+    /// Two facts are *key-equal* if they have the same relation name and agree
+    /// on the primary-key positions.
+    pub fn key_equal(&self, other: &Fact, sig: &Signature) -> bool {
+        self.relation == other.relation && self.key(sig) == other.key(sig)
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Convenience macro for building a [`Fact`].
+///
+/// ```
+/// use rcqa_data::fact;
+/// let f = fact!("Stock", "Tesla X", "Boston", 35);
+/// assert_eq!(f.relation(), "Stock");
+/// assert_eq!(f.arity(), 3);
+/// ```
+#[macro_export]
+macro_rules! fact {
+    ($rel:expr $(, $arg:expr)* $(,)?) => {
+        $crate::fact::Fact::new($rel, vec![$($crate::value::Value::from($arg)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Signature;
+
+    #[test]
+    fn key_and_nonkey() {
+        let sig = Signature::new(3, 2, [2]).unwrap();
+        let f = fact!("Stock", "Tesla X", "Boston", 35);
+        assert_eq!(f.key(&sig), &[Value::text("Tesla X"), Value::text("Boston")]);
+        assert_eq!(f.non_key(&sig), &[Value::int(35)]);
+        assert_eq!(f.arg(2), &Value::int(35));
+    }
+
+    #[test]
+    fn key_equality() {
+        let sig = Signature::new(3, 2, [2]).unwrap();
+        let a = fact!("Stock", "Tesla X", "Boston", 35);
+        let b = fact!("Stock", "Tesla X", "Boston", 40);
+        let c = fact!("Stock", "Tesla Y", "Boston", 35);
+        let d = fact!("Other", "Tesla X", "Boston", 35);
+        assert!(a.key_equal(&b, &sig));
+        assert!(!a.key_equal(&c, &sig));
+        assert!(!a.key_equal(&d, &sig));
+    }
+
+    #[test]
+    fn display() {
+        let f = fact!("Dealers", "Smith", "Boston");
+        assert_eq!(f.to_string(), "Dealers(Smith, Boston)");
+    }
+}

@@ -1,0 +1,504 @@
+//! Database instances, blocks, and repairs.
+//!
+//! A database instance is a finite set of facts. A *block* is a ⊆-maximal set
+//! of facts of the same relation that agree on the primary key. A *repair*
+//! picks exactly one fact from each block (equivalently: a ⊆-maximal
+//! consistent subset). See Sections 1 and 3 of the paper.
+
+use crate::error::DataError;
+use crate::fact::Fact;
+use crate::schema::{RelName, Schema};
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Whether numeric columns are restricted to `Q≥0` (the paper's default) or
+/// unconstrained (Section 7.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum NumericDomain {
+    /// Numeric columns only contain non-negative rationals (paper default).
+    #[default]
+    NonNegative,
+    /// Numeric columns may contain arbitrary rationals (Section 7.3).
+    Unconstrained,
+}
+
+/// A block: all facts of one relation that share a primary-key value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// The relation the block belongs to.
+    pub relation: RelName,
+    /// The shared key value.
+    pub key: Vec<Value>,
+    /// The facts in the block (at least one).
+    pub facts: Vec<Fact>,
+}
+
+impl Block {
+    /// Number of facts in the block.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// A block never has zero facts; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Returns `true` if the block contains more than one fact (i.e. violates
+    /// the primary key).
+    pub fn is_inconsistent(&self) -> bool {
+        self.facts.len() > 1
+    }
+}
+
+/// An in-memory database instance: a schema plus a set of facts per relation.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct DatabaseInstance {
+    schema: Schema,
+    domain: NumericDomain,
+    relations: BTreeMap<RelName, BTreeSet<Fact>>,
+}
+
+impl DatabaseInstance {
+    /// Creates an empty instance over `schema` with numeric columns restricted
+    /// to `Q≥0`.
+    pub fn new(schema: Schema) -> DatabaseInstance {
+        DatabaseInstance {
+            schema,
+            domain: NumericDomain::NonNegative,
+            relations: BTreeMap::new(),
+        }
+    }
+
+    /// Creates an empty instance whose numeric columns are unconstrained
+    /// (Section 7.3 of the paper).
+    pub fn new_unconstrained(schema: Schema) -> DatabaseInstance {
+        DatabaseInstance {
+            schema,
+            domain: NumericDomain::Unconstrained,
+            relations: BTreeMap::new(),
+        }
+    }
+
+    /// The schema of the instance.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The numeric-domain mode of the instance.
+    pub fn numeric_domain(&self) -> NumericDomain {
+        self.domain
+    }
+
+    /// Validates a fact against the schema without inserting it.
+    pub fn validate(&self, fact: &Fact) -> Result<(), DataError> {
+        let sig = self.schema.expect_signature(fact.relation())?;
+        if fact.arity() != sig.arity() {
+            return Err(DataError::ArityMismatch {
+                relation: fact.relation().to_string(),
+                expected: sig.arity(),
+                found: fact.arity(),
+            });
+        }
+        for &p in sig.numeric_positions() {
+            match fact.arg(p) {
+                Value::Num(r) => {
+                    if self.domain == NumericDomain::NonNegative && !r.is_non_negative() {
+                        return Err(DataError::NegativeValue {
+                            relation: fact.relation().to_string(),
+                            position: p,
+                        });
+                    }
+                }
+                Value::Text(_) => {
+                    return Err(DataError::NonNumericValue {
+                        relation: fact.relation().to_string(),
+                        position: p,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts a fact, validating it against the schema.
+    ///
+    /// Returns `true` if the fact was not already present.
+    pub fn insert(&mut self, fact: Fact) -> Result<bool, DataError> {
+        self.validate(&fact)?;
+        let name = self
+            .schema
+            .intern(fact.relation())
+            .expect("validated relation exists");
+        Ok(self.relations.entry(name).or_default().insert(fact))
+    }
+
+    /// Inserts many facts.
+    pub fn insert_all(
+        &mut self,
+        facts: impl IntoIterator<Item = Fact>,
+    ) -> Result<(), DataError> {
+        for f in facts {
+            self.insert(f)?;
+        }
+        Ok(())
+    }
+
+    /// Builder-style insertion; panics on schema violations (intended for
+    /// examples and tests).
+    pub fn with_fact(mut self, fact: Fact) -> DatabaseInstance {
+        self.insert(fact).expect("fact conforms to schema");
+        self
+    }
+
+    /// Removes a fact. Returns `true` if it was present.
+    pub fn remove(&mut self, fact: &Fact) -> bool {
+        self.relations
+            .get_mut(fact.relation())
+            .map(|set| set.remove(fact))
+            .unwrap_or(false)
+    }
+
+    /// Returns `true` if the fact is present.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.relations
+            .get(fact.relation())
+            .map(|set| set.contains(fact))
+            .unwrap_or(false)
+    }
+
+    /// The facts of relation `name` (empty iterator if none).
+    pub fn facts_of(&self, name: &str) -> impl Iterator<Item = &Fact> {
+        self.relations.get(name).into_iter().flatten()
+    }
+
+    /// All facts of the instance.
+    pub fn facts(&self) -> impl Iterator<Item = &Fact> {
+        self.relations.values().flatten()
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(|s| s.len()).sum()
+    }
+
+    /// Returns `true` if the instance has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.relations.values().all(|s| s.is_empty())
+    }
+
+    /// The blocks of relation `name`.
+    pub fn blocks_of(&self, name: &str) -> Vec<Block> {
+        let Some(sig) = self.schema.signature(name) else {
+            return Vec::new();
+        };
+        let Some(facts) = self.relations.get(name) else {
+            return Vec::new();
+        };
+        let mut by_key: BTreeMap<Vec<Value>, Vec<Fact>> = BTreeMap::new();
+        for f in facts {
+            by_key
+                .entry(f.key(sig).to_vec())
+                .or_default()
+                .push(f.clone());
+        }
+        let rel = self.schema.intern(name).expect("relation in schema");
+        by_key
+            .into_iter()
+            .map(|(key, facts)| Block {
+                relation: rel.clone(),
+                key,
+                facts,
+            })
+            .collect()
+    }
+
+    /// All blocks of the instance, grouped per relation, in relation-name
+    /// order.
+    pub fn blocks(&self) -> Vec<Block> {
+        let names: Vec<RelName> = self.relations.keys().cloned().collect();
+        names
+            .iter()
+            .flat_map(|n| self.blocks_of(n))
+            .collect()
+    }
+
+    /// Returns `true` if the instance satisfies all primary keys.
+    pub fn is_consistent(&self) -> bool {
+        self.blocks().iter().all(|b| !b.is_inconsistent())
+    }
+
+    /// Number of blocks that violate their primary key.
+    pub fn inconsistent_block_count(&self) -> usize {
+        self.blocks().iter().filter(|b| b.is_inconsistent()).count()
+    }
+
+    /// The number of repairs of the instance, i.e. the product of block sizes.
+    ///
+    /// Returns `None` on overflow (more than `u128::MAX` repairs).
+    pub fn repair_count(&self) -> Option<u128> {
+        let mut count: u128 = 1;
+        for b in self.blocks() {
+            count = count.checked_mul(b.len() as u128)?;
+        }
+        Some(count)
+    }
+
+    /// Iterates over all repairs of the instance.
+    ///
+    /// Each repair is itself a (consistent) [`DatabaseInstance`] over the same
+    /// schema. The number of repairs is exponential in the number of
+    /// inconsistent blocks; this iterator is intended for ground-truth
+    /// baselines and tests on small instances.
+    pub fn repairs(&self) -> RepairIter<'_> {
+        RepairIter::new(self)
+    }
+
+    /// The active domain: every constant appearing in the instance.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        self.facts()
+            .flat_map(|f| f.args().iter().cloned())
+            .collect()
+    }
+
+    /// Returns one (arbitrary, deterministic) repair: the first fact of each
+    /// block in sorted order.
+    pub fn any_repair(&self) -> DatabaseInstance {
+        let mut r = DatabaseInstance {
+            schema: self.schema.clone(),
+            domain: self.domain,
+            relations: BTreeMap::new(),
+        };
+        for b in self.blocks() {
+            let f = b.facts[0].clone();
+            r.relations.entry(b.relation.clone()).or_default().insert(f);
+        }
+        r
+    }
+
+    fn from_facts(&self, facts: impl IntoIterator<Item = Fact>) -> DatabaseInstance {
+        let mut r = DatabaseInstance {
+            schema: self.schema.clone(),
+            domain: self.domain,
+            relations: BTreeMap::new(),
+        };
+        for f in facts {
+            let name = self
+                .schema
+                .intern(f.relation())
+                .expect("fact relation in schema");
+            r.relations.entry(name).or_default().insert(f);
+        }
+        r
+    }
+}
+
+impl fmt::Debug for DatabaseInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DatabaseInstance {{")?;
+        for (name, facts) in &self.relations {
+            writeln!(f, "  {name}: {} facts", facts.len())?;
+            for fact in facts {
+                writeln!(f, "    {fact}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over all repairs of a database instance.
+pub struct RepairIter<'a> {
+    instance: &'a DatabaseInstance,
+    blocks: Vec<Block>,
+    /// Odometer over block choices; `None` once exhausted.
+    indices: Option<Vec<usize>>,
+}
+
+impl<'a> RepairIter<'a> {
+    fn new(instance: &'a DatabaseInstance) -> RepairIter<'a> {
+        let blocks = instance.blocks();
+        RepairIter {
+            instance,
+            indices: Some(vec![0; blocks.len()]),
+            blocks,
+        }
+    }
+
+    /// Total number of repairs this iterator will yield, if it fits in u128.
+    pub fn count_exact(&self) -> Option<u128> {
+        let mut count: u128 = 1;
+        for b in &self.blocks {
+            count = count.checked_mul(b.len() as u128)?;
+        }
+        Some(count)
+    }
+}
+
+impl Iterator for RepairIter<'_> {
+    type Item = DatabaseInstance;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let indices = self.indices.as_mut()?;
+        let facts: Vec<Fact> = self
+            .blocks
+            .iter()
+            .zip(indices.iter())
+            .map(|(b, &i)| b.facts[i].clone())
+            .collect();
+        // Advance the odometer.
+        let mut pos = self.blocks.len();
+        loop {
+            if pos == 0 {
+                self.indices = None;
+                break;
+            }
+            pos -= 1;
+            let idx = &mut self.indices.as_mut().unwrap()[pos];
+            *idx += 1;
+            if *idx < self.blocks[pos].len() {
+                break;
+            }
+            self.indices.as_mut().unwrap()[pos] = 0;
+        }
+        Some(self.instance.from_facts(facts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact;
+    use crate::schema::Signature;
+
+    fn stock_schema() -> Schema {
+        Schema::new()
+            .with_relation("Dealers", Signature::new(2, 1, []).unwrap())
+            .with_relation("Stock", Signature::new(3, 2, [2]).unwrap())
+    }
+
+    /// The database instance of Fig. 1 in the paper.
+    pub(crate) fn db_stock() -> DatabaseInstance {
+        let mut db = DatabaseInstance::new(stock_schema());
+        db.insert_all([
+            fact!("Dealers", "Smith", "Boston"),
+            fact!("Dealers", "Smith", "New York"),
+            fact!("Dealers", "James", "Boston"),
+            fact!("Stock", "Tesla X", "Boston", 35),
+            fact!("Stock", "Tesla X", "Boston", 40),
+            fact!("Stock", "Tesla Y", "Boston", 35),
+            fact!("Stock", "Tesla Y", "New York", 95),
+            fact!("Stock", "Tesla Y", "New York", 96),
+        ])
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn insertion_and_validation() {
+        let mut db = DatabaseInstance::new(stock_schema());
+        assert!(db.insert(fact!("Dealers", "Smith", "Boston")).unwrap());
+        // duplicate insert
+        assert!(!db.insert(fact!("Dealers", "Smith", "Boston")).unwrap());
+        // wrong arity
+        assert!(matches!(
+            db.insert(fact!("Dealers", "Smith")),
+            Err(DataError::ArityMismatch { .. })
+        ));
+        // unknown relation
+        assert!(matches!(
+            db.insert(fact!("Nope", "x")),
+            Err(DataError::UnknownRelation(_))
+        ));
+        // non-numeric value in numeric column
+        assert!(matches!(
+            db.insert(fact!("Stock", "Tesla X", "Boston", "many")),
+            Err(DataError::NonNumericValue { .. })
+        ));
+        // negative value rejected under Q>=0
+        assert!(matches!(
+            db.insert(fact!("Stock", "Tesla X", "Boston", -1)),
+            Err(DataError::NegativeValue { .. })
+        ));
+        // negative value allowed when unconstrained
+        let mut db2 = DatabaseInstance::new_unconstrained(stock_schema());
+        assert!(db2.insert(fact!("Stock", "Tesla X", "Boston", -1)).is_ok());
+    }
+
+    #[test]
+    fn blocks_of_fig1() {
+        let db = db_stock();
+        assert_eq!(db.len(), 8);
+        let dealer_blocks = db.blocks_of("Dealers");
+        assert_eq!(dealer_blocks.len(), 2);
+        let stock_blocks = db.blocks_of("Stock");
+        assert_eq!(stock_blocks.len(), 3);
+        assert_eq!(db.blocks().len(), 5);
+        assert!(!db.is_consistent());
+        assert_eq!(db.inconsistent_block_count(), 3);
+    }
+
+    #[test]
+    fn repairs_of_fig1() {
+        let db = db_stock();
+        assert_eq!(db.repair_count(), Some(8));
+        let repairs: Vec<_> = db.repairs().collect();
+        assert_eq!(repairs.len(), 8);
+        for r in &repairs {
+            assert!(r.is_consistent());
+            assert_eq!(r.len(), 5);
+            // Every repair is a subset of the original instance.
+            assert!(r.facts().all(|f| db.contains(f)));
+        }
+        // All repairs are distinct.
+        for i in 0..repairs.len() {
+            for j in (i + 1)..repairs.len() {
+                assert_ne!(repairs[i], repairs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_instance_has_one_repair() {
+        let mut db = DatabaseInstance::new(stock_schema());
+        db.insert(fact!("Dealers", "Smith", "Boston")).unwrap();
+        db.insert(fact!("Dealers", "James", "Boston")).unwrap();
+        assert!(db.is_consistent());
+        assert_eq!(db.repair_count(), Some(1));
+        let repairs: Vec<_> = db.repairs().collect();
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0], db);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let db = DatabaseInstance::new(stock_schema());
+        assert!(db.is_empty());
+        assert!(db.is_consistent());
+        assert_eq!(db.repair_count(), Some(1));
+        assert_eq!(db.repairs().count(), 1);
+        assert!(db.active_domain().is_empty());
+    }
+
+    #[test]
+    fn active_domain_and_any_repair() {
+        let db = db_stock();
+        let adom = db.active_domain();
+        assert!(adom.contains(&Value::text("Boston")));
+        assert!(adom.contains(&Value::int(96)));
+        let r = db.any_repair();
+        assert!(r.is_consistent());
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut db = db_stock();
+        let f = fact!("Dealers", "Smith", "New York");
+        assert!(db.contains(&f));
+        assert!(db.remove(&f));
+        assert!(!db.contains(&f));
+        assert!(!db.remove(&f));
+        assert_eq!(db.len(), 7);
+    }
+}

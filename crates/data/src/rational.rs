@@ -1,0 +1,455 @@
+//! Exact rational arithmetic.
+//!
+//! The paper restricts numeric columns to non-negative rationals `Q≥0`
+//! (Section 3), and Section 7.3 additionally considers `N ∪ {−1}`. Aggregate
+//! operators must be exact for monotonicity/associativity to hold, so the
+//! library uses an exact rational type instead of floating point.
+//!
+//! The representation is a normalised `numerator / denominator` pair of
+//! `i128`. All constructors normalise (gcd-reduced, denominator positive), so
+//! equality and hashing are structural.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+use std::str::FromStr;
+
+/// An exact rational number with `i128` numerator and denominator.
+///
+/// The value is always kept in normal form: the denominator is strictly
+/// positive and `gcd(|numerator|, denominator) == 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+/// Error returned when parsing or constructing a [`Rational`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RationalError {
+    /// The denominator was zero.
+    ZeroDenominator,
+    /// The textual form could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for RationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RationalError::ZeroDenominator => write!(f, "denominator must be non-zero"),
+            RationalError::Parse(s) => write!(f, "cannot parse rational from {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RationalError {}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// The rational number zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a rational from a numerator and denominator.
+    ///
+    /// Returns an error if the denominator is zero.
+    pub fn new(num: i128, den: i128) -> Result<Rational, RationalError> {
+        if den == 0 {
+            return Err(RationalError::ZeroDenominator);
+        }
+        Ok(Self::normalised(num, den))
+    }
+
+    fn normalised(mut num: i128, mut den: i128) -> Rational {
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        if num == 0 {
+            return Rational { num: 0, den: 1 };
+        }
+        let g = gcd(num, den);
+        Rational {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    /// Creates a rational from an integer.
+    pub const fn from_int(i: i64) -> Rational {
+        Rational {
+            num: i as i128,
+            den: 1,
+        }
+    }
+
+    /// The numerator of the normal form (sign carried here).
+    pub fn numerator(&self) -> i128 {
+        self.num
+    }
+
+    /// The denominator of the normal form (always positive).
+    pub fn denominator(&self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns `true` if the value is `>= 0`, i.e. lies in `Q≥0`.
+    pub fn is_non_negative(&self) -> bool {
+        self.num >= 0
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse; `None` for zero.
+    pub fn recip(&self) -> Option<Rational> {
+        if self.num == 0 {
+            None
+        } else {
+            Some(Self::normalised(self.den, self.num))
+        }
+    }
+
+    /// Returns the value as `f64` (approximate; only for reporting).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Checked addition (guards against i128 overflow).
+    pub fn checked_add(&self, other: &Rational) -> Option<Rational> {
+        let num = self
+            .num
+            .checked_mul(other.den)?
+            .checked_add(other.num.checked_mul(self.den)?)?;
+        let den = self.den.checked_mul(other.den)?;
+        Some(Self::normalised(num, den))
+    }
+
+    /// Checked multiplication (guards against i128 overflow).
+    pub fn checked_mul(&self, other: &Rational) -> Option<Rational> {
+        // Cross-reduce before multiplying to keep intermediate values small.
+        let g1 = gcd(self.num, other.den).max(1);
+        let g2 = gcd(other.num, self.den).max(1);
+        let num = (self.num / g1).checked_mul(other.num / g2)?;
+        let den = (self.den / g2).checked_mul(other.den / g1)?;
+        Some(Self::normalised(num, den))
+    }
+
+    /// Minimum of two rationals.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two rationals.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b (b, d > 0). Use i128 widening carefully.
+        let left = self.num.checked_mul(other.den);
+        let right = other.num.checked_mul(self.den);
+        match (left, right) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            // Fall back to float comparison in the (practically unreachable)
+            // overflow case.
+            _ => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        self.checked_add(&rhs).expect("rational addition overflow")
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        self.checked_mul(&rhs)
+            .expect("rational multiplication overflow")
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        let r = rhs.recip().expect("division by zero rational");
+        self * r
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(i: i64) -> Self {
+        Rational::from_int(i)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(i: i32) -> Self {
+        Rational::from_int(i as i64)
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(i: u32) -> Self {
+        Rational::from_int(i as i64)
+    }
+}
+
+impl From<usize> for Rational {
+    fn from(i: usize) -> Self {
+        Rational {
+            num: i as i128,
+            den: 1,
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for Rational {
+    type Err = RationalError;
+
+    /// Parses `"3"`, `"-3"`, `"3/4"`, or decimal notation `"3.25"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if let Some((n, d)) = s.split_once('/') {
+            let n: i128 = n
+                .trim()
+                .parse()
+                .map_err(|_| RationalError::Parse(s.to_string()))?;
+            let d: i128 = d
+                .trim()
+                .parse()
+                .map_err(|_| RationalError::Parse(s.to_string()))?;
+            return Rational::new(n, d);
+        }
+        if let Some((int, frac)) = s.split_once('.') {
+            let sign = if int.trim_start().starts_with('-') { -1 } else { 1 };
+            let int_part: i128 = if int.is_empty() || int == "-" {
+                0
+            } else {
+                int.parse().map_err(|_| RationalError::Parse(s.to_string()))?
+            };
+            if frac.is_empty() || !frac.chars().all(|c| c.is_ascii_digit()) {
+                return Err(RationalError::Parse(s.to_string()));
+            }
+            let frac_num: i128 = frac
+                .parse()
+                .map_err(|_| RationalError::Parse(s.to_string()))?;
+            let den: i128 = 10i128
+                .checked_pow(frac.len() as u32)
+                .ok_or_else(|| RationalError::Parse(s.to_string()))?;
+            let num = int_part
+                .checked_mul(den)
+                .and_then(|v| v.checked_add(sign * frac_num))
+                .ok_or_else(|| RationalError::Parse(s.to_string()))?;
+            return Rational::new(num, den);
+        }
+        let n: i128 = s.parse().map_err(|_| RationalError::Parse(s.to_string()))?;
+        Ok(Rational { num: n, den: 1 })
+    }
+}
+
+/// Convenience constructor: `rat(3)` is the integer 3 as a rational.
+pub fn rat(i: i64) -> Rational {
+    Rational::from_int(i)
+}
+
+/// Convenience constructor: `ratio(1, 2)` is one half.
+///
+/// # Panics
+/// Panics if `den == 0`.
+pub fn ratio(num: i64, den: i64) -> Rational {
+    Rational::new(num as i128, den as i128).expect("non-zero denominator")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(Rational::new(2, 4).unwrap(), ratio(1, 2));
+        assert_eq!(Rational::new(-2, -4).unwrap(), ratio(1, 2));
+        assert_eq!(Rational::new(2, -4).unwrap(), ratio(-1, 2));
+        assert_eq!(Rational::new(0, -7).unwrap(), Rational::ZERO);
+        assert!(Rational::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in ["3", "-3", "1/2", "-7/3", "0"] {
+            let r: Rational = s.parse().unwrap();
+            assert_eq!(r.to_string(), s);
+        }
+        assert_eq!("3.25".parse::<Rational>().unwrap(), ratio(13, 4));
+        assert_eq!("-0.5".parse::<Rational>().unwrap(), ratio(-1, 2));
+        assert_eq!(".".parse::<Rational>().ok(), None);
+        assert!("abc".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(ratio(1, 2) + ratio(1, 3), ratio(5, 6));
+        assert_eq!(ratio(1, 2) - ratio(1, 3), ratio(1, 6));
+        assert_eq!(ratio(2, 3) * ratio(3, 4), ratio(1, 2));
+        assert_eq!(ratio(1, 2) / ratio(1, 4), rat(2));
+        assert_eq!(-ratio(1, 2), ratio(-1, 2));
+        assert_eq!(rat(5).abs(), rat(5));
+        assert_eq!(rat(-5).abs(), rat(5));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(ratio(1, 3) < ratio(1, 2));
+        assert!(rat(-1) < Rational::ZERO);
+        assert_eq!(rat(3).min(rat(4)), rat(3));
+        assert_eq!(rat(3).max(rat(4)), rat(4));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(rat(0).is_zero());
+        assert!(rat(3).is_integer());
+        assert!(!ratio(1, 2).is_integer());
+        assert!(rat(0).is_non_negative());
+        assert!(!rat(-1).is_non_negative());
+        assert_eq!(ratio(2, 5).recip(), Some(ratio(5, 2)));
+        assert_eq!(Rational::ZERO.recip(), None);
+    }
+
+    fn small_rational() -> impl Strategy<Value = Rational> {
+        (-1000i128..1000, 1i128..100).prop_map(|(n, d)| Rational::new(n, d).unwrap())
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in small_rational(), b in small_rational()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn prop_add_associative(a in small_rational(), b in small_rational(), c in small_rational()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn prop_mul_distributes(a in small_rational(), b in small_rational(), c in small_rational()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn prop_ordering_total(a in small_rational(), b in small_rational()) {
+            let by_float = a.to_f64().partial_cmp(&b.to_f64()).unwrap();
+            // Exact comparison must agree with float comparison on small inputs
+            // unless the float comparison says Equal due to rounding.
+            if a != b {
+                prop_assert!(by_float == a.cmp(&b) || by_float == Ordering::Equal);
+            }
+        }
+
+        #[test]
+        fn prop_roundtrip_display(a in small_rational()) {
+            let s = a.to_string();
+            prop_assert_eq!(s.parse::<Rational>().unwrap(), a);
+        }
+
+        #[test]
+        fn prop_neg_involution(a in small_rational()) {
+            prop_assert_eq!(-(-a), a);
+        }
+    }
+}

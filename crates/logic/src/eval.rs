@@ -1,0 +1,375 @@
+//! Active-domain evaluation of AGGR\[FOL\] formulas and numerical terms over
+//! a database instance.
+//!
+//! This evaluator gives the rewritings produced by the core crate a reference
+//! semantics: quantifiers range over the active domain of the instance, and
+//! aggregate terms enumerate all satisfying valuations of their bound
+//! variables, exactly as in Section 5.2 of the paper. The evaluator is
+//! intentionally simple (its cost is `O(|adom|^k)` for `k` nested quantified
+//! variables); the operational evaluator in `rcqa-core` is the fast path.
+
+use crate::ast::{Formula, NumTerm, NumericalQuery};
+use rcqa_data::{DatabaseInstance, Rational, Value};
+use rcqa_query::{Term, Var};
+use std::collections::BTreeMap;
+
+/// A (partial) assignment of values to variables.
+pub type Valuation = BTreeMap<Var, Value>;
+
+/// Evaluates formulas and numerical terms over one database instance.
+pub struct Evaluator<'a> {
+    db: &'a DatabaseInstance,
+    adom: Vec<Value>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator whose quantifiers range over the active domain of
+    /// `db`.
+    pub fn new(db: &'a DatabaseInstance) -> Evaluator<'a> {
+        Evaluator {
+            db,
+            adom: db.active_domain().into_iter().collect(),
+        }
+    }
+
+    /// The active domain used for quantification.
+    pub fn domain(&self) -> &[Value] {
+        &self.adom
+    }
+
+    fn resolve(&self, term: &Term, val: &Valuation) -> Value {
+        match term {
+            Term::Const(c) => c.clone(),
+            Term::Var(v) => val
+                .get(v)
+                .cloned()
+                .unwrap_or_else(|| panic!("unbound variable {v} during evaluation")),
+        }
+    }
+
+    /// Evaluates a formula under a valuation of (at least) its free variables.
+    pub fn eval_formula(&self, formula: &Formula, val: &Valuation) -> bool {
+        match formula {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Atom(atom) => {
+                let args: Vec<Value> =
+                    atom.terms().iter().map(|t| self.resolve(t, val)).collect();
+                self.db
+                    .facts_of(atom.relation())
+                    .any(|f| f.args() == args.as_slice())
+            }
+            Formula::Eq(a, b) => self.resolve(a, val) == self.resolve(b, val),
+            Formula::Leq(a, b) => match (self.eval_num(a, val), self.eval_num(b, val)) {
+                (Some(x), Some(y)) => x <= y,
+                _ => false,
+            },
+            Formula::Lt(a, b) => match (self.eval_num(a, val), self.eval_num(b, val)) {
+                (Some(x), Some(y)) => x < y,
+                _ => false,
+            },
+            Formula::NumEq(a, b) => match (self.eval_num(a, val), self.eval_num(b, val)) {
+                (Some(x), Some(y)) => x == y,
+                (None, None) => true,
+                _ => false,
+            },
+            Formula::Not(inner) => !self.eval_formula(inner, val),
+            Formula::And(parts) => parts.iter().all(|p| self.eval_formula(p, val)),
+            Formula::Or(parts) => parts.iter().any(|p| self.eval_formula(p, val)),
+            Formula::Implies(a, b) => !self.eval_formula(a, val) || self.eval_formula(b, val),
+            Formula::Exists(vars, inner) => self.eval_quantified(vars, inner, val, true),
+            Formula::Forall(vars, inner) => !self.eval_quantified(vars, inner, val, false),
+        }
+    }
+
+    /// For `Exists` (witness = true): returns whether some extension satisfies
+    /// `inner`. For `Forall` (witness = false): returns whether some extension
+    /// *falsifies* `inner` (the caller negates).
+    fn eval_quantified(
+        &self,
+        vars: &[Var],
+        inner: &Formula,
+        val: &Valuation,
+        witness: bool,
+    ) -> bool {
+        if vars.is_empty() {
+            let result = self.eval_formula(inner, val);
+            return if witness { result } else { !result };
+        }
+        let (first, rest) = vars.split_first().unwrap();
+        for value in &self.adom {
+            let mut extended = val.clone();
+            extended.insert(first.clone(), value.clone());
+            if self.eval_quantified(rest, inner, &extended, witness) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Evaluates a numerical term. Returns `None` when an aggregate term has
+    /// no satisfying valuation (the paper's `f0` case).
+    pub fn eval_num(&self, term: &NumTerm, val: &Valuation) -> Option<Rational> {
+        match term {
+            NumTerm::Const(c) => Some(*c),
+            NumTerm::Var(v) => match val.get(v) {
+                Some(Value::Num(r)) => Some(*r),
+                Some(Value::Text(_)) => None,
+                None => panic!("unbound numerical variable {v} during evaluation"),
+            },
+            NumTerm::Aggr {
+                op,
+                bound,
+                arg,
+                formula,
+            } => {
+                let mut values: Vec<Rational> = Vec::new();
+                self.collect_aggregate(bound, formula, arg, val, &mut values);
+                if values.is_empty() {
+                    None
+                } else {
+                    op.apply(&values)
+                }
+            }
+        }
+    }
+
+    fn collect_aggregate(
+        &self,
+        bound: &[Var],
+        formula: &Formula,
+        arg: &NumTerm,
+        val: &Valuation,
+        out: &mut Vec<Rational>,
+    ) {
+        if bound.is_empty() {
+            if self.eval_formula(formula, val) {
+                if let Some(v) = self.eval_num(arg, val) {
+                    out.push(v);
+                }
+            }
+            return;
+        }
+        let (first, rest) = bound.split_first().unwrap();
+        for value in &self.adom {
+            let mut extended = val.clone();
+            extended.insert(first.clone(), value.clone());
+            self.collect_aggregate(rest, formula, arg, &extended, out);
+        }
+    }
+
+    /// Evaluates a [`NumericalQuery`]: for every assignment of the free
+    /// variables (over the active domain) satisfying the guard, reports the
+    /// value of the term. Closed queries yield exactly one row with an empty
+    /// group key.
+    pub fn eval_query(&self, query: &NumericalQuery) -> Vec<(Vec<Value>, Option<Rational>)> {
+        let mut rows = Vec::new();
+        self.eval_query_rec(query, &query.free_vars, &BTreeMap::new(), &mut rows);
+        rows
+    }
+
+    fn eval_query_rec(
+        &self,
+        query: &NumericalQuery,
+        remaining: &[Var],
+        val: &Valuation,
+        rows: &mut Vec<(Vec<Value>, Option<Rational>)>,
+    ) {
+        if remaining.is_empty() {
+            if self.eval_formula(&query.guard, val) {
+                let key: Vec<Value> = query
+                    .free_vars
+                    .iter()
+                    .map(|v| val.get(v).cloned().expect("free variable bound"))
+                    .collect();
+                rows.push((key, self.eval_num(&query.term, val)));
+            }
+            return;
+        }
+        let (first, rest) = remaining.split_first().unwrap();
+        for value in &self.adom {
+            let mut extended = val.clone();
+            extended.insert(first.clone(), value.clone());
+            self.eval_query_rec(query, rest, &extended, rows);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::{nvar, var};
+    use rcqa_data::{fact, rat, AggFunc, AggOp, Schema, Signature};
+    use rcqa_query::Atom;
+
+    fn simple_db() -> DatabaseInstance {
+        let schema = Schema::new()
+            .with_relation("R", Signature::new(2, 1, []).unwrap())
+            .with_relation("S", Signature::new(3, 2, [2]).unwrap());
+        let mut db = DatabaseInstance::new(schema);
+        db.insert_all([
+            fact!("R", "a1", "b1"),
+            fact!("R", "a2", "b2"),
+            fact!("S", "b1", "c1", 3),
+            fact!("S", "b1", "c2", 5),
+            fact!("S", "b2", "c3", 7),
+        ])
+        .unwrap();
+        db
+    }
+
+    fn atom(rel: &str, terms: &[Term]) -> Formula {
+        Formula::Atom(Atom::new(rel, terms.to_vec()))
+    }
+
+    #[test]
+    fn atoms_and_equality() {
+        let db = simple_db();
+        let ev = Evaluator::new(&db);
+        let val = Valuation::new();
+        assert!(ev.eval_formula(
+            &atom("R", &[Term::constant("a1"), Term::constant("b1")]),
+            &val
+        ));
+        assert!(!ev.eval_formula(
+            &atom("R", &[Term::constant("a1"), Term::constant("b2")]),
+            &val
+        ));
+        assert!(ev.eval_formula(
+            &Formula::Eq(Term::constant("x"), Term::constant("x")),
+            &val
+        ));
+        let mut v = Valuation::new();
+        v.insert(Var::new("x"), Value::text("a1"));
+        assert!(ev.eval_formula(&atom("R", &[var("x"), Term::constant("b1")]), &v));
+    }
+
+    #[test]
+    fn quantifiers() {
+        let db = simple_db();
+        let ev = Evaluator::new(&db);
+        let val = Valuation::new();
+        // Every R-tuple has an S-partner: forall x y (R(x,y) -> exists z r S(y,z,r)).
+        let f = Formula::forall(
+            [Var::new("x"), Var::new("y")],
+            Formula::implies(
+                atom("R", &[var("x"), var("y")]),
+                Formula::exists(
+                    [Var::new("z"), Var::new("r")],
+                    atom("S", &[var("y"), var("z"), var("r")]),
+                ),
+            ),
+        );
+        assert!(ev.eval_formula(&f, &val));
+        // There is an S-value 9: false.
+        let g = Formula::exists(
+            [Var::new("y"), Var::new("z")],
+            atom("S", &[var("y"), var("z"), Term::constant(9)]),
+        );
+        assert!(!ev.eval_formula(&g, &val));
+    }
+
+    #[test]
+    fn aggregation_terms() {
+        let db = simple_db();
+        let ev = Evaluator::new(&db);
+        let val = Valuation::new();
+        // SUM of all S values.
+        let sum_all = NumTerm::aggr(
+            AggOp::positive(AggFunc::Sum),
+            [Var::new("y"), Var::new("z"), Var::new("r")],
+            nvar("r"),
+            atom("S", &[var("y"), var("z"), var("r")]),
+        );
+        assert_eq!(ev.eval_num(&sum_all, &val), Some(rat(15)));
+        // MAX of S values in block b1.
+        let max_b1 = NumTerm::aggr(
+            AggOp::positive(AggFunc::Max),
+            [Var::new("z"), Var::new("r")],
+            nvar("r"),
+            atom("S", &[Term::constant("b1"), var("z"), var("r")]),
+        );
+        assert_eq!(ev.eval_num(&max_b1, &val), Some(rat(5)));
+        // Aggregation over an empty set yields None.
+        let empty = NumTerm::aggr(
+            AggOp::positive(AggFunc::Sum),
+            [Var::new("z"), Var::new("r")],
+            nvar("r"),
+            atom("S", &[Term::constant("nope"), var("z"), var("r")]),
+        );
+        assert_eq!(ev.eval_num(&empty, &val), None);
+        // Dual operator flips the sign.
+        let dual = NumTerm::aggr(
+            AggOp::dual_of(AggFunc::Sum),
+            [Var::new("z"), Var::new("r")],
+            nvar("r"),
+            atom("S", &[Term::constant("b1"), var("z"), var("r")]),
+        );
+        assert_eq!(ev.eval_num(&dual, &val), Some(rat(-8)));
+    }
+
+    #[test]
+    fn comparisons_and_numeq() {
+        let db = simple_db();
+        let ev = Evaluator::new(&db);
+        let val = Valuation::new();
+        let three = NumTerm::Const(rat(3));
+        let five = NumTerm::Const(rat(5));
+        assert!(ev.eval_formula(&Formula::Leq(three.clone(), five.clone()), &val));
+        assert!(ev.eval_formula(&Formula::Lt(three.clone(), five.clone()), &val));
+        assert!(!ev.eval_formula(&Formula::Lt(five.clone(), three.clone()), &val));
+        assert!(ev.eval_formula(&Formula::NumEq(three.clone(), three.clone()), &val));
+        // Comparison against an empty aggregate is false; equality of two
+        // empty aggregates is true.
+        let empty = NumTerm::aggr(
+            AggOp::positive(AggFunc::Sum),
+            [Var::new("z"), Var::new("r")],
+            nvar("r"),
+            atom("S", &[Term::constant("nope"), var("z"), var("r")]),
+        );
+        assert!(!ev.eval_formula(&Formula::Leq(empty.clone(), five), &val));
+        assert!(ev.eval_formula(&Formula::NumEq(empty.clone(), empty), &val));
+    }
+
+    #[test]
+    fn numerical_query_with_groups() {
+        let db = simple_db();
+        let ev = Evaluator::new(&db);
+        // For every y such that some R(x, y) holds, the sum of S-values at y.
+        let guard = Formula::exists([Var::new("x")], atom("R", &[var("x"), var("y")]));
+        let term = NumTerm::aggr(
+            AggOp::positive(AggFunc::Sum),
+            [Var::new("z"), Var::new("r")],
+            nvar("r"),
+            atom("S", &[var("y"), var("z"), var("r")]),
+        );
+        let q = NumericalQuery {
+            free_vars: vec![Var::new("y")],
+            term,
+            guard,
+        };
+        let mut rows = ev.eval_query(&q);
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                (vec![Value::text("b1")], Some(rat(8))),
+                (vec![Value::text("b2")], Some(rat(7))),
+            ]
+        );
+        // Closed query evaluates to a single row.
+        let closed = NumericalQuery::closed(NumTerm::Const(rat(42)));
+        assert_eq!(ev.eval_query(&closed), vec![(vec![], Some(rat(42)))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn unbound_variable_panics() {
+        let db = simple_db();
+        let ev = Evaluator::new(&db);
+        ev.eval_formula(
+            &atom("R", &[var("unbound"), Term::constant("b1")]),
+            &Valuation::new(),
+        );
+    }
+}

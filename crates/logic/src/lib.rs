@@ -1,0 +1,14 @@
+//! # rcqa-logic
+//!
+//! The aggregate logic AGGR\[FOL\] of Section 5.2 of the paper: first-order
+//! formulas over the database vocabulary extended with aggregate numerical
+//! terms, together with an active-domain evaluator that serves as the
+//! reference semantics for the rewritings produced by `rcqa-core`.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+
+pub use ast::{build, Formula, NumTerm, NumericalQuery};
+pub use eval::{Evaluator, Valuation};

@@ -1,0 +1,569 @@
+//! Attack graphs for self-join-free conjunctive queries.
+//!
+//! The attack graph (Section 3, after [Koutris & Wijsen, TODS 2017]) is the
+//! central tool of the paper: `CERTAINTY(q)` is in FO iff the attack graph of
+//! `q` is acyclic (Theorem 3.2), and the separation theorem for aggregation
+//! queries (Theorem 1.1) hinges on the same acyclicity condition.
+//!
+//! Free variables of the query are treated as constants (Section 6.2).
+
+use crate::ast::{Atom, ConjunctiveQuery, Var};
+use crate::fd::FdSet;
+use rcqa_data::Schema;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// The complexity of `CERTAINTY(q)` according to the trichotomy of
+/// Koutris and Wijsen (see Section 2 and Section 8 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CertaintyComplexity {
+    /// Attack graph acyclic: expressible in first-order logic.
+    FirstOrder,
+    /// Attack graph cyclic but all cycles weak: solvable in polynomial time
+    /// (L-complete).
+    PolynomialTime,
+    /// Attack graph contains a strong cycle: coNP-complete.
+    CoNpComplete,
+}
+
+impl fmt::Display for CertaintyComplexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertaintyComplexity::FirstOrder => write!(f, "FO"),
+            CertaintyComplexity::PolynomialTime => write!(f, "P (L-complete)"),
+            CertaintyComplexity::CoNpComplete => write!(f, "coNP-complete"),
+        }
+    }
+}
+
+/// The attack graph of a self-join-free conjunctive query.
+#[derive(Clone, Debug)]
+pub struct AttackGraph {
+    atoms: Vec<Atom>,
+    key_lens: Vec<usize>,
+    frozen: BTreeSet<Var>,
+    /// `F^{+,q}` for each atom.
+    plus: Vec<BTreeSet<Var>>,
+    /// Variables attacked by each atom.
+    attacked_vars: Vec<BTreeSet<Var>>,
+    /// Adjacency: `edges[i]` contains `j` iff atom `i` attacks atom `j`.
+    edges: Vec<BTreeSet<usize>>,
+    /// `weak[(i, j)]` records whether the attack `i ⇝ j` is weak.
+    weak: BTreeMap<(usize, usize), bool>,
+}
+
+impl AttackGraph {
+    /// Builds the attack graph of `query` with key positions taken from
+    /// `schema`. Relations missing from the schema are treated as full-key.
+    pub fn new(query: &ConjunctiveQuery, schema: &Schema) -> AttackGraph {
+        let atoms: Vec<Atom> = query.atoms().to_vec();
+        let frozen: BTreeSet<Var> = query.free_vars().iter().cloned().collect();
+        let key_lens: Vec<usize> = atoms
+            .iter()
+            .map(|a| {
+                schema
+                    .signature(a.relation())
+                    .map(|s| s.key_len())
+                    .unwrap_or(a.arity())
+            })
+            .collect();
+        let n = atoms.len();
+
+        let full_fds = FdSet::keys_of(query, schema);
+
+        // F^{+,q} = closure of Key(F) under K(q \ {F}).
+        let mut plus: Vec<BTreeSet<Var>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let without = query.without_atom(atoms[i].relation());
+            let fds = FdSet::keys_of(&without, schema);
+            let key: BTreeSet<Var> = atoms[i]
+                .key_vars(key_lens[i])
+                .into_iter()
+                .filter(|v| !frozen.contains(v))
+                .collect();
+            plus.push(fds.closure(&key));
+        }
+
+        // Variable co-occurrence adjacency (restricted later per atom).
+        let all_vars: BTreeSet<Var> = query
+            .vars()
+            .into_iter()
+            .filter(|v| !frozen.contains(v))
+            .collect();
+        let mut cooccur: BTreeMap<Var, BTreeSet<Var>> = all_vars
+            .iter()
+            .map(|v| (v.clone(), BTreeSet::new()))
+            .collect();
+        for atom in &atoms {
+            let vars: Vec<Var> = atom
+                .vars()
+                .into_iter()
+                .filter(|v| !frozen.contains(v))
+                .collect();
+            for a in &vars {
+                for b in &vars {
+                    if a != b {
+                        cooccur.get_mut(a).unwrap().insert(b.clone());
+                    }
+                }
+            }
+        }
+
+        // Attacked variables per atom: BFS from notKey(F) \ F^{+,q} over
+        // variables outside F^{+,q}.
+        let mut attacked_vars: Vec<BTreeSet<Var>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut reached: BTreeSet<Var> = BTreeSet::new();
+            let mut queue: VecDeque<Var> = VecDeque::new();
+            for v in atoms[i].non_key_vars(key_lens[i]) {
+                if !frozen.contains(&v) && !plus[i].contains(&v) && reached.insert(v.clone()) {
+                    queue.push_back(v);
+                }
+            }
+            while let Some(v) = queue.pop_front() {
+                if let Some(neigh) = cooccur.get(&v) {
+                    for w in neigh {
+                        if !plus[i].contains(w) && reached.insert(w.clone()) {
+                            queue.push_back(w.clone());
+                        }
+                    }
+                }
+            }
+            attacked_vars.push(reached);
+        }
+
+        // Edges and weakness.
+        let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        let mut weak: BTreeMap<(usize, usize), bool> = BTreeMap::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let target_vars = atoms[j].vars();
+                if target_vars.iter().any(|v| attacked_vars[i].contains(v)) {
+                    edges[i].insert(j);
+                    let key_i: BTreeSet<Var> = atoms[i]
+                        .key_vars(key_lens[i])
+                        .into_iter()
+                        .filter(|v| !frozen.contains(v))
+                        .collect();
+                    let key_j: BTreeSet<Var> = atoms[j]
+                        .key_vars(key_lens[j])
+                        .into_iter()
+                        .filter(|v| !frozen.contains(v))
+                        .collect();
+                    weak.insert((i, j), full_fds.implies(&key_i, &key_j));
+                }
+            }
+        }
+
+        AttackGraph {
+            atoms,
+            key_lens,
+            frozen,
+            plus,
+            attacked_vars,
+            edges,
+            weak,
+        }
+    }
+
+    /// Number of atoms (vertices).
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Returns `true` if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The atom at index `i`.
+    pub fn atom(&self, i: usize) -> &Atom {
+        &self.atoms[i]
+    }
+
+    /// All atoms, in query order.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// The key length of atom `i`.
+    pub fn key_len(&self, i: usize) -> usize {
+        self.key_lens[i]
+    }
+
+    /// `F^{+,q}` of atom `i`.
+    pub fn plus(&self, i: usize) -> &BTreeSet<Var> {
+        &self.plus[i]
+    }
+
+    /// Variables treated as constants (free variables of the query).
+    pub fn frozen(&self) -> &BTreeSet<Var> {
+        &self.frozen
+    }
+
+    /// Returns `true` if atom `i` attacks variable `v`.
+    pub fn attacks_var(&self, i: usize, v: &Var) -> bool {
+        self.attacked_vars[i].contains(v)
+    }
+
+    /// Returns `true` if variable `v` is unattacked (no atom attacks it).
+    pub fn is_unattacked_var(&self, v: &Var) -> bool {
+        !self.attacked_vars.iter().any(|s| s.contains(v))
+    }
+
+    /// Returns `true` if atom `i` attacks atom `j`.
+    pub fn attacks(&self, i: usize, j: usize) -> bool {
+        self.edges[i].contains(&j)
+    }
+
+    /// The outgoing edges of atom `i`.
+    pub fn successors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges[i].iter().copied()
+    }
+
+    /// All edges `(i, j)` of the graph.
+    pub fn edge_list(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, succ) in self.edges.iter().enumerate() {
+            for &j in succ {
+                out.push((i, j));
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if the attack `i ⇝ j` exists and is weak, i.e.
+    /// `K(q) ⊨ Key(F_i) → Key(F_j)`.
+    pub fn is_weak_attack(&self, i: usize, j: usize) -> bool {
+        self.weak.get(&(i, j)).copied().unwrap_or(false)
+    }
+
+    /// Returns `true` if the attack graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_sort().is_some()
+    }
+
+    /// Returns a topological sort of the atoms (indices into [`Self::atoms`])
+    /// if the graph is acyclic, `None` otherwise.
+    ///
+    /// The sort is deterministic: among available vertices the smallest index
+    /// is taken first (Lemma 4.2 shows that the choice of topological sort
+    /// does not matter for ∀embeddings).
+    pub fn topological_sort(&self) -> Option<Vec<usize>> {
+        let n = self.atoms.len();
+        let mut indegree = vec![0usize; n];
+        for succ in &self.edges {
+            for &j in succ {
+                indegree[j] += 1;
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut available: BTreeSet<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        while let Some(&i) = available.iter().next() {
+            available.remove(&i);
+            order.push(i);
+            for &j in &self.edges[i] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    available.insert(j);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Strongly connected components (Tarjan), returned as lists of atom
+    /// indices.
+    pub fn strongly_connected_components(&self) -> Vec<Vec<usize>> {
+        struct State {
+            index: usize,
+            indices: Vec<Option<usize>>,
+            lowlink: Vec<usize>,
+            on_stack: Vec<bool>,
+            stack: Vec<usize>,
+            components: Vec<Vec<usize>>,
+        }
+        fn strongconnect(v: usize, edges: &[BTreeSet<usize>], st: &mut State) {
+            st.indices[v] = Some(st.index);
+            st.lowlink[v] = st.index;
+            st.index += 1;
+            st.stack.push(v);
+            st.on_stack[v] = true;
+            for &w in &edges[v] {
+                if st.indices[w].is_none() {
+                    strongconnect(w, edges, st);
+                    st.lowlink[v] = st.lowlink[v].min(st.lowlink[w]);
+                } else if st.on_stack[w] {
+                    st.lowlink[v] = st.lowlink[v].min(st.indices[w].unwrap());
+                }
+            }
+            if st.lowlink[v] == st.indices[v].unwrap() {
+                let mut comp = Vec::new();
+                loop {
+                    let w = st.stack.pop().unwrap();
+                    st.on_stack[w] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                st.components.push(comp);
+            }
+        }
+        let n = self.atoms.len();
+        let mut st = State {
+            index: 0,
+            indices: vec![None; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            components: Vec::new(),
+        };
+        for v in 0..n {
+            if st.indices[v].is_none() {
+                strongconnect(v, &self.edges, &mut st);
+            }
+        }
+        st.components
+    }
+
+    /// Returns `true` if some cycle of the attack graph contains a strong
+    /// attack.
+    pub fn contains_strong_cycle(&self) -> bool {
+        let sccs = self.strongly_connected_components();
+        let mut comp_of = vec![usize::MAX; self.atoms.len()];
+        for (c, comp) in sccs.iter().enumerate() {
+            for &v in comp {
+                comp_of[v] = c;
+            }
+        }
+        for (c, comp) in sccs.iter().enumerate() {
+            if comp.len() < 2 {
+                continue;
+            }
+            for &i in comp {
+                for &j in &self.edges[i] {
+                    if comp_of[j] == c && !self.is_weak_attack(i, j) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The complexity of `CERTAINTY(q)` implied by the attack graph
+    /// (Koutris–Wijsen trichotomy).
+    pub fn certainty_complexity(&self) -> CertaintyComplexity {
+        if self.is_acyclic() {
+            CertaintyComplexity::FirstOrder
+        } else if !self.contains_strong_cycle() {
+            CertaintyComplexity::PolynomialTime
+        } else {
+            CertaintyComplexity::CoNpComplete
+        }
+    }
+
+    /// Renders the graph in Graphviz DOT format (for documentation/debugging).
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph attack {\n");
+        for (i, a) in self.atoms.iter().enumerate() {
+            s.push_str(&format!("  n{i} [label=\"{a}\"];\n"));
+        }
+        for (i, j) in self.edge_list() {
+            let style = if self.is_weak_attack(i, j) { "solid" } else { "bold" };
+            s.push_str(&format!("  n{i} -> n{j} [style={style}];\n"));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Term;
+    use rcqa_data::Signature;
+
+    fn atom(rel: &str, vars: &[&str]) -> Atom {
+        Atom::new(rel, vars.iter().map(|v| Term::var(*v)))
+    }
+
+    /// The query q0 of Example 3.1 / Fig. 2:
+    /// R(x, y), S(y, z, u), T(y, z, w), N(u, v, r), M(u, w)
+    /// with keys R:{x}, S:{y,z}, T:{y,z}, N:{u,v}, M:{u,w} (full key).
+    fn example_3_1() -> (ConjunctiveQuery, Schema) {
+        let schema = Schema::new()
+            .with_relation("R", Signature::new(2, 1, []).unwrap())
+            .with_relation("S", Signature::new(3, 2, []).unwrap())
+            .with_relation("T", Signature::new(3, 2, []).unwrap())
+            .with_relation("N", Signature::new(3, 2, []).unwrap())
+            .with_relation("M", Signature::new(2, 2, []).unwrap());
+        let q = ConjunctiveQuery::boolean([
+            atom("R", &["x", "y"]),
+            atom("S", &["y", "z", "u"]),
+            atom("T", &["y", "z", "w"]),
+            atom("N", &["u", "v", "r"]),
+            atom("M", &["u", "w"]),
+        ]);
+        (q, schema)
+    }
+
+    fn index_of(g: &AttackGraph, rel: &str) -> usize {
+        (0..g.len()).find(|&i| g.atom(i).relation() == rel).unwrap()
+    }
+
+    fn vset(names: &[&str]) -> BTreeSet<Var> {
+        names.iter().map(|n| Var::new(n)).collect()
+    }
+
+    #[test]
+    fn example_3_1_plus_sets() {
+        let (q, schema) = example_3_1();
+        let g = AttackGraph::new(&q, &schema);
+        assert_eq!(g.plus(index_of(&g, "R")), &vset(&["x"]));
+        assert_eq!(g.plus(index_of(&g, "T")), &vset(&["y", "z", "u"]));
+        assert_eq!(g.plus(index_of(&g, "S")), &vset(&["y", "z", "w"]));
+        assert_eq!(g.plus(index_of(&g, "M")), &vset(&["u", "w"]));
+        assert_eq!(g.plus(index_of(&g, "N")), &vset(&["u", "v"]));
+    }
+
+    #[test]
+    fn example_3_1_attacks() {
+        let (q, schema) = example_3_1();
+        let g = AttackGraph::new(&q, &schema);
+        let (r, s, t, n, m) = (
+            index_of(&g, "R"),
+            index_of(&g, "S"),
+            index_of(&g, "T"),
+            index_of(&g, "N"),
+            index_of(&g, "M"),
+        );
+        // R attacks everything reachable from y.
+        assert!(g.attacks(r, s));
+        assert!(g.attacks(r, t));
+        assert!(g.attacks(r, n));
+        assert!(g.attacks(r, m));
+        // S attacks N and M through u.
+        assert!(g.attacks(s, n));
+        assert!(g.attacks(s, m));
+        assert!(!g.attacks(s, r));
+        assert!(!g.attacks(s, t));
+        // T attacks M through w.
+        assert!(g.attacks(t, m));
+        assert!(!g.attacks(t, n));
+        // N and M attack nothing.
+        assert!(g.successors(n).count() == 0);
+        assert!(g.successors(m).count() == 0);
+        // The graph is acyclic; a valid topological sort starts with R.
+        assert!(g.is_acyclic());
+        let sort = g.topological_sort().unwrap();
+        assert_eq!(sort[0], r);
+        assert_eq!(g.certainty_complexity(), CertaintyComplexity::FirstOrder);
+    }
+
+    #[test]
+    fn example_3_1_instantiated_stays_acyclic() {
+        // Fig. 2 (right): initialising x to b and y to c keeps the graph acyclic.
+        let (q, schema) = example_3_1();
+        let mut subst = BTreeMap::new();
+        subst.insert(Var::new("x"), Term::constant("b"));
+        subst.insert(Var::new("y"), Term::constant("c"));
+        let q2 = q.substitute(&subst);
+        let g = AttackGraph::new(&q2, &schema);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn fig3_query_single_attack() {
+        // R(x, y), S(y, z, d, r): single attack from R to S (Section 6.1).
+        let schema = Schema::new()
+            .with_relation("R", Signature::new(2, 1, []).unwrap())
+            .with_relation("S", Signature::new(4, 2, [3]).unwrap());
+        let q = ConjunctiveQuery::boolean([
+            atom("R", &["x", "y"]),
+            Atom::new(
+                "S",
+                vec![
+                    Term::var("y"),
+                    Term::var("z"),
+                    Term::constant("d"),
+                    Term::var("r"),
+                ],
+            ),
+        ]);
+        let g = AttackGraph::new(&q, &schema);
+        assert_eq!(g.edge_list(), vec![(0, 1)]);
+        assert!(g.is_acyclic());
+        assert_eq!(g.topological_sort().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn weak_cycle_is_ptime() {
+        // R(x, y), S(y, x): classic weak cycle, CERTAINTY is L-complete.
+        let schema = Schema::new()
+            .with_relation("R", Signature::new(2, 1, []).unwrap())
+            .with_relation("S", Signature::new(2, 1, []).unwrap());
+        let q = ConjunctiveQuery::boolean([atom("R", &["x", "y"]), atom("S", &["y", "x"])]);
+        let g = AttackGraph::new(&q, &schema);
+        assert!(!g.is_acyclic());
+        assert!(g.attacks(0, 1));
+        assert!(g.attacks(1, 0));
+        assert!(g.is_weak_attack(0, 1));
+        assert!(g.is_weak_attack(1, 0));
+        assert!(!g.contains_strong_cycle());
+        assert_eq!(g.certainty_complexity(), CertaintyComplexity::PolynomialTime);
+        assert_eq!(g.topological_sort(), None);
+    }
+
+    #[test]
+    fn strong_cycle_is_conp() {
+        // R(x, y), S(z, y): strong cycle, CERTAINTY is coNP-complete.
+        let schema = Schema::new()
+            .with_relation("R", Signature::new(2, 1, []).unwrap())
+            .with_relation("S", Signature::new(2, 1, []).unwrap());
+        let q = ConjunctiveQuery::boolean([atom("R", &["x", "y"]), atom("S", &["z", "y"])]);
+        let g = AttackGraph::new(&q, &schema);
+        assert!(!g.is_acyclic());
+        assert!(!g.is_weak_attack(0, 1));
+        assert!(g.contains_strong_cycle());
+        assert_eq!(g.certainty_complexity(), CertaintyComplexity::CoNpComplete);
+    }
+
+    #[test]
+    fn free_variables_treated_as_constants() {
+        // Body R(x, y), S(y, x) is a weak cycle, but grouping by y breaks it:
+        // with y frozen both atoms become key-determined.
+        let schema = Schema::new()
+            .with_relation("R", Signature::new(2, 1, []).unwrap())
+            .with_relation("S", Signature::new(2, 1, []).unwrap());
+        let q = ConjunctiveQuery::with_free_vars(
+            [atom("R", &["x", "y"]), atom("S", &["y", "x"])],
+            [Var::new("y")],
+        );
+        let g = AttackGraph::new(&q, &schema);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn single_atom_and_dot_output() {
+        let schema = Schema::new().with_relation("R", Signature::new(2, 1, []).unwrap());
+        let q = ConjunctiveQuery::boolean([atom("R", &["x", "y"])]);
+        let g = AttackGraph::new(&q, &schema);
+        assert!(g.is_acyclic());
+        assert!(g.edge_list().is_empty());
+        assert!(g.is_unattacked_var(&Var::new("x")));
+        // y is attacked by R itself (it reaches itself), but that creates no edge.
+        assert!(g.attacks_var(0, &Var::new("y")));
+        let dot = g.to_dot();
+        assert!(dot.contains("digraph attack"));
+        assert!(dot.contains("R(x, y)"));
+    }
+}

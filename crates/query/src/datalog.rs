@@ -1,0 +1,380 @@
+//! Parser for the extended Datalog syntax used throughout the paper.
+//!
+//! Examples of accepted input:
+//!
+//! ```text
+//! SUM(y) <- Dealers('Smith', t), Stock(p, t, y)
+//! (x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)
+//! COUNT(*) <- R(x, y), S(y, z)
+//! MIN(r) <- S(y, z, 'd', r)
+//! ```
+//!
+//! Unquoted identifiers denote variables; single- or double-quoted strings
+//! denote symbolic constants; numeric literals denote rational constants.
+
+use crate::ast::{AggQuery, AggTerm, Atom, ConjunctiveQuery, Term, Var};
+use crate::error::QueryError;
+use rcqa_data::{AggFunc, Rational, Value};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(Rational),
+    LParen,
+    RParen,
+    Comma,
+    Arrow,
+    Star,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Tok>, QueryError> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < chars.len() && chars[i + 1] == '-' {
+                    toks.push(Tok::Arrow);
+                    i += 2;
+                } else {
+                    return Err(QueryError::Parse(format!("unexpected character '<' at {i}")));
+                }
+            }
+            ':' => {
+                // also accept ":-" as the rule arrow
+                if i + 1 < chars.len() && chars[i + 1] == '-' {
+                    toks.push(Tok::Arrow);
+                    i += 2;
+                } else {
+                    return Err(QueryError::Parse(format!("unexpected character ':' at {i}")));
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != quote {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(QueryError::Parse("unterminated string literal".to_string()));
+                }
+                i += 1;
+                toks.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()) =>
+            {
+                let start = i;
+                i += 1;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == '/')
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let r: Rational = text
+                    .parse()
+                    .map_err(|_| QueryError::Parse(format!("bad number literal {text:?}")))?;
+                toks.push(Tok::Num(r));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '-')
+                {
+                    // allow hyphens inside identifiers only for aggregate
+                    // names like COUNT-DISTINCT
+                    if chars[i] == '-'
+                        && !(i + 1 < chars.len() && chars[i + 1].is_alphabetic())
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok::Ident(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(QueryError::Parse(format!(
+                    "unexpected character {other:?} at position {i}"
+                )))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), QueryError> {
+        match self.next() {
+            Some(t) if &t == tok => Ok(()),
+            other => Err(QueryError::Parse(format!(
+                "expected {tok:?}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, QueryError> {
+        match self.next() {
+            Some(Tok::Ident(name)) => Ok(Term::Var(Var::new(name))),
+            Some(Tok::Str(s)) => Ok(Term::Const(Value::text(s))),
+            Some(Tok::Num(r)) => Ok(Term::Const(Value::Num(r))),
+            other => Err(QueryError::Parse(format!("expected a term, found {other:?}"))),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, QueryError> {
+        let rel = match self.next() {
+            Some(Tok::Ident(name)) => name,
+            other => {
+                return Err(QueryError::Parse(format!(
+                    "expected a relation name, found {other:?}"
+                )))
+            }
+        };
+        self.expect(&Tok::LParen)?;
+        let mut terms = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                terms.push(self.parse_term()?);
+                match self.peek() {
+                    Some(Tok::Comma) => {
+                        self.next();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(Atom::new(rel, terms))
+    }
+
+    fn parse_body(&mut self) -> Result<Vec<Atom>, QueryError> {
+        let mut atoms = vec![self.parse_atom()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.next();
+            atoms.push(self.parse_atom()?);
+        }
+        if self.pos != self.toks.len() {
+            return Err(QueryError::Parse(format!(
+                "trailing tokens starting at {:?}",
+                self.peek()
+            )));
+        }
+        Ok(atoms)
+    }
+
+    /// Parses `AGG(term)` and returns the aggregate plus its argument.
+    fn parse_agg_head(&mut self) -> Result<(AggFunc, AggTerm), QueryError> {
+        let name = match self.next() {
+            Some(Tok::Ident(name)) => name,
+            other => {
+                return Err(QueryError::Parse(format!(
+                    "expected an aggregate symbol, found {other:?}"
+                )))
+            }
+        };
+        let agg = AggFunc::parse(&name)
+            .ok_or_else(|| QueryError::Parse(format!("unknown aggregate symbol {name:?}")))?;
+        self.expect(&Tok::LParen)?;
+        let term = match self.next() {
+            Some(Tok::Star) => {
+                if agg != AggFunc::Count && agg != AggFunc::CountDistinct {
+                    return Err(QueryError::Parse(format!("{agg}(*) is not supported")));
+                }
+                AggTerm::Const(Rational::ONE)
+            }
+            Some(Tok::Ident(v)) => AggTerm::Var(Var::new(v)),
+            Some(Tok::Num(r)) => AggTerm::Const(r),
+            other => {
+                return Err(QueryError::Parse(format!(
+                    "expected an aggregate argument, found {other:?}"
+                )))
+            }
+        };
+        self.expect(&Tok::RParen)?;
+        Ok((agg, term))
+    }
+}
+
+/// Parses a conjunction of atoms, e.g. `"R(x, y), S(y, z, 'd', r)"`.
+pub fn parse_body(input: &str) -> Result<ConjunctiveQuery, QueryError> {
+    let mut p = Parser {
+        toks: tokenize(input)?,
+        pos: 0,
+    };
+    Ok(ConjunctiveQuery::boolean(p.parse_body()?))
+}
+
+/// Parses an aggregation query in the extended Datalog syntax, e.g.
+/// `"SUM(y) <- Dealers('Smith', t), Stock(p, t, y)"` or, with GROUP BY
+/// variables, `"(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)"`.
+pub fn parse_agg_query(input: &str) -> Result<AggQuery, QueryError> {
+    let mut p = Parser {
+        toks: tokenize(input)?,
+        pos: 0,
+    };
+    // Head: either `AGG(term)` or `(v1, ..., vk, AGG(term))`.
+    let (group_by, agg, term) = if p.peek() == Some(&Tok::LParen) {
+        p.next();
+        let mut group_by: Vec<Var> = Vec::new();
+        loop {
+            // Either a group-by variable followed by a comma, or the aggregate.
+            match p.peek() {
+                Some(Tok::Ident(name)) => {
+                    // Look ahead: if the next token after the identifier is a
+                    // '(', this is the aggregate symbol.
+                    if p.toks.get(p.pos + 1) == Some(&Tok::LParen) {
+                        let (agg, term) = p.parse_agg_head()?;
+                        p.expect(&Tok::RParen)?;
+                        break (group_by, agg, term);
+                    }
+                    group_by.push(Var::new(name.clone()));
+                    p.next();
+                    p.expect(&Tok::Comma)?;
+                }
+                other => {
+                    return Err(QueryError::Parse(format!(
+                        "expected a group-by variable or aggregate, found {other:?}"
+                    )))
+                }
+            }
+        }
+    } else {
+        let (agg, term) = p.parse_agg_head()?;
+        (Vec::new(), agg, term)
+    };
+    p.expect(&Tok::Arrow)?;
+    let atoms = p.parse_body()?;
+    let body = ConjunctiveQuery::with_free_vars(atoms, group_by);
+    Ok(AggQuery::new(agg, term, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_g0_from_introduction() {
+        let q = parse_agg_query("SUM(y) <- Dealers('Smith', t), Stock(p, t, y)").unwrap();
+        assert_eq!(q.agg, AggFunc::Sum);
+        assert_eq!(q.term, AggTerm::Var(Var::new("y")));
+        assert_eq!(q.body.atoms().len(), 2);
+        assert_eq!(q.body.atoms()[0].relation(), "Dealers");
+        assert_eq!(
+            q.body.atoms()[0].term(0),
+            &Term::Const(Value::text("Smith"))
+        );
+        assert!(q.is_closed());
+        assert_eq!(
+            q.to_string(),
+            "SUM(y) <- Dealers('Smith', t), Stock(p, t, y)"
+        );
+    }
+
+    #[test]
+    fn parse_group_by_head() {
+        let q = parse_agg_query("(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+        assert_eq!(q.group_by(), &[Var::new("x")]);
+        assert_eq!(q.agg, AggFunc::Sum);
+        let q2 =
+            parse_agg_query("(x, t, COUNT(*)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+        assert_eq!(q2.group_by().len(), 2);
+        assert_eq!(q2.term, AggTerm::Const(Rational::ONE));
+    }
+
+    #[test]
+    fn parse_count_star_and_constants() {
+        let q = parse_agg_query("COUNT(*) <- R(x, y)").unwrap();
+        assert_eq!(q.agg, AggFunc::Count);
+        assert_eq!(q.term, AggTerm::Const(Rational::ONE));
+
+        let q = parse_agg_query("SUM(1) <- R(x, y)").unwrap();
+        assert_eq!(q.term, AggTerm::Const(Rational::ONE));
+
+        let q = parse_agg_query("MIN(r) <- S(y, z, 'd', r)").unwrap();
+        assert_eq!(q.agg, AggFunc::Min);
+        assert_eq!(q.body.atoms()[0].term(2), &Term::Const(Value::text("d")));
+
+        // numeric constants in atoms
+        let q = parse_agg_query("MAX(r) <- Stock(p, \"Boston\", 35), T(r)").unwrap();
+        assert_eq!(q.body.atoms()[0].term(2), &Term::Const(Value::int(35)));
+    }
+
+    #[test]
+    fn parse_alternative_arrow_and_distinct() {
+        let q = parse_agg_query("COUNT-DISTINCT(r) :- R(x, r)").unwrap();
+        assert_eq!(q.agg, AggFunc::CountDistinct);
+        let q = parse_agg_query("AVG(r) :- R(x, r)").unwrap();
+        assert_eq!(q.agg, AggFunc::Avg);
+    }
+
+    #[test]
+    fn parse_body_only() {
+        let b = parse_body("R(x, y), S(y, z, u), T(y, z, w)").unwrap();
+        assert_eq!(b.atoms().len(), 3);
+        assert!(b.is_self_join_free());
+        let b = parse_body("R(x, y), S(y, x)").unwrap();
+        assert_eq!(b.atoms().len(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_agg_query("SUM(y) Dealers(x)").is_err());
+        assert!(parse_agg_query("FOO(y) <- R(x, y)").is_err());
+        assert!(parse_agg_query("SUM(*) <- R(x, y)").is_err());
+        assert!(parse_agg_query("SUM(y) <- R(x, y").is_err());
+        assert!(parse_agg_query("SUM(y) <- R(x, 'unterminated)").is_err());
+        assert!(parse_agg_query("").is_err());
+        assert!(parse_body("R(x,y) extra !").is_err());
+        assert!(parse_agg_query("SUM(y) <- R(x, y) trailing").is_err());
+    }
+
+    #[test]
+    fn negative_and_fractional_literals() {
+        let b = parse_body("T(x, y, -1), U(z, 3/4)").unwrap();
+        assert_eq!(b.atoms()[0].term(2), &Term::Const(Value::int(-1)));
+        assert_eq!(
+            b.atoms()[1].term(1),
+            &Term::Const(Value::Num(rcqa_data::ratio(3, 4)))
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Functional dependencies over query variables.
+//!
+//! For a query `q` in sjfBCQ, the paper defines `K(q)` as the set of
+//! functional dependencies `Key(F) → vars(F)` for every atom `F ∈ q`
+//! (Section 3, "Attack graph"). Logical implication of such dependencies is
+//! computed with the classical attribute-closure algorithm.
+
+use crate::ast::{ConjunctiveQuery, Var};
+use rcqa_data::Schema;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A functional dependency `lhs → rhs` over variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fd {
+    /// Left-hand side (determinant).
+    pub lhs: BTreeSet<Var>,
+    /// Right-hand side (dependent).
+    pub rhs: BTreeSet<Var>,
+}
+
+impl Fd {
+    /// Creates a functional dependency.
+    pub fn new(
+        lhs: impl IntoIterator<Item = Var>,
+        rhs: impl IntoIterator<Item = Var>,
+    ) -> Fd {
+        Fd {
+            lhs: lhs.into_iter().collect(),
+            rhs: rhs.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_set = |s: &BTreeSet<Var>| {
+            s.iter()
+                .map(|v| v.name().to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        write!(f, "{} -> {}", fmt_set(&self.lhs), fmt_set(&self.rhs))
+    }
+}
+
+/// A set of functional dependencies, supporting closure and implication.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FdSet {
+    fds: Vec<Fd>,
+}
+
+impl FdSet {
+    /// Creates an empty set.
+    pub fn new() -> FdSet {
+        FdSet::default()
+    }
+
+    /// Creates a set from the given dependencies.
+    pub fn from_fds(fds: impl IntoIterator<Item = Fd>) -> FdSet {
+        FdSet {
+            fds: fds.into_iter().collect(),
+        }
+    }
+
+    /// Adds a dependency.
+    pub fn add(&mut self, fd: Fd) {
+        self.fds.push(fd);
+    }
+
+    /// The dependencies in the set.
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// Computes `K(q)`: the dependency `Key(F) → vars(F)` for every atom of
+    /// `q`, where key positions are taken from the schema. Constants and free
+    /// variables contribute nothing (free variables are treated as constants,
+    /// cf. Section 6.2), so they are removed from both sides.
+    pub fn keys_of(query: &ConjunctiveQuery, schema: &Schema) -> FdSet {
+        let frozen: BTreeSet<Var> = query.free_vars().iter().cloned().collect();
+        let mut set = FdSet::new();
+        for atom in query.atoms() {
+            let key_len = schema
+                .signature(atom.relation())
+                .map(|s| s.key_len())
+                .unwrap_or(atom.arity());
+            let lhs: BTreeSet<Var> = atom
+                .key_vars(key_len)
+                .into_iter()
+                .filter(|v| !frozen.contains(v))
+                .collect();
+            let rhs: BTreeSet<Var> = atom
+                .vars()
+                .into_iter()
+                .filter(|v| !frozen.contains(v))
+                .collect();
+            set.add(Fd { lhs, rhs });
+        }
+        set
+    }
+
+    /// Computes the closure of a set of variables under the dependencies.
+    pub fn closure(&self, vars: &BTreeSet<Var>) -> BTreeSet<Var> {
+        let mut closure = vars.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for fd in &self.fds {
+                if fd.lhs.is_subset(&closure) && !fd.rhs.is_subset(&closure) {
+                    closure.extend(fd.rhs.iter().cloned());
+                    changed = true;
+                }
+            }
+        }
+        closure
+    }
+
+    /// Returns `true` if the set logically implies `lhs → rhs`.
+    pub fn implies(&self, lhs: &BTreeSet<Var>, rhs: &BTreeSet<Var>) -> bool {
+        rhs.is_subset(&self.closure(lhs))
+    }
+
+    /// Returns `true` if the set logically implies `lhs → {v}`.
+    pub fn implies_var(&self, lhs: &BTreeSet<Var>, v: &Var) -> bool {
+        self.closure(lhs).contains(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Term};
+    use rcqa_data::Signature;
+
+    fn vars(names: &[&str]) -> BTreeSet<Var> {
+        names.iter().map(|n| Var::new(n)).collect()
+    }
+
+    #[test]
+    fn closure_basic() {
+        // x -> y, y -> z
+        let set = FdSet::from_fds([
+            Fd::new([Var::new("x")], [Var::new("y")]),
+            Fd::new([Var::new("y")], [Var::new("z")]),
+        ]);
+        assert_eq!(set.closure(&vars(&["x"])), vars(&["x", "y", "z"]));
+        assert_eq!(set.closure(&vars(&["y"])), vars(&["y", "z"]));
+        assert!(set.implies(&vars(&["x"]), &vars(&["z"])));
+        assert!(!set.implies(&vars(&["z"]), &vars(&["x"])));
+        assert!(set.implies_var(&vars(&["x"]), &Var::new("z")));
+    }
+
+    #[test]
+    fn keys_of_query() {
+        // q0 of Fig. 3: R(x, y), S(y, z, d, r) with key(R)={1}, key(S)={1,2}.
+        let schema = Schema::new()
+            .with_relation("R", Signature::new(2, 1, []).unwrap())
+            .with_relation("S", Signature::new(4, 2, [3]).unwrap());
+        let r = Atom::new("R", vec![Term::var("x"), Term::var("y")]);
+        let s = Atom::new(
+            "S",
+            vec![
+                Term::var("y"),
+                Term::var("z"),
+                Term::constant("d"),
+                Term::var("r"),
+            ],
+        );
+        let q = ConjunctiveQuery::boolean([r, s]);
+        let k = FdSet::keys_of(&q, &schema);
+        // K(q0) = {x -> y, yz -> r} as in Section 6.1.
+        assert!(k.implies(&vars(&["x"]), &vars(&["y"])));
+        assert!(k.implies(&vars(&["y", "z"]), &vars(&["r"])));
+        assert!(!k.implies(&vars(&["y"]), &vars(&["r"])));
+        assert!(!k.implies(&vars(&["x"]), &vars(&["r"])));
+        assert!(k.implies(&vars(&["x", "z"]), &vars(&["x", "y", "z", "r"])));
+    }
+
+    #[test]
+    fn free_vars_are_frozen() {
+        let schema = Schema::new()
+            .with_relation("R", Signature::new(2, 1, []).unwrap());
+        let r = Atom::new("R", vec![Term::var("x"), Term::var("y")]);
+        let q = ConjunctiveQuery::with_free_vars([r], [Var::new("x")]);
+        let k = FdSet::keys_of(&q, &schema);
+        // x is treated as a constant, so the FD becomes {} -> {y}.
+        assert!(k.implies(&BTreeSet::new(), &vars(&["y"])));
+    }
+
+    #[test]
+    fn display() {
+        let fd = Fd::new([Var::new("x"), Var::new("y")], [Var::new("z")]);
+        assert_eq!(fd.to_string(), "x,y -> z");
+    }
+}

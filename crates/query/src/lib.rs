@@ -1,0 +1,33 @@
+//! # rcqa-query
+//!
+//! Query representation and analysis for the class AGGR\[sjfBCQ\] of the
+//! PODS 2024 paper *"Computing Range Consistent Answers to Aggregation
+//! Queries via Rewriting"*:
+//!
+//! * abstract syntax for self-join-free conjunctive queries and aggregation
+//!   queries (with GROUP BY / free variables),
+//! * a Datalog-style parser and a SQL front-end,
+//! * functional-dependency reasoning (`K(q)` and attribute closures),
+//! * attack graphs (acyclicity, topological sorts, weak/strong cycles) and the
+//!   implied `CERTAINTY(q)` complexity,
+//! * Fuxman graphs and the Cforest / Caggforest classes used by ConQuer.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod attack;
+pub mod catalog;
+pub mod datalog;
+pub mod error;
+pub mod fd;
+pub mod fuxman;
+pub mod sql;
+
+pub use ast::{AggQuery, AggTerm, Atom, ConjunctiveQuery, Term, Var};
+pub use attack::{AttackGraph, CertaintyComplexity};
+pub use catalog::{Catalog, TableDef};
+pub use datalog::{parse_agg_query, parse_body};
+pub use error::QueryError;
+pub use fd::{Fd, FdSet};
+pub use fuxman::{is_caggforest, is_cforest, FuxmanGraph};
+pub use sql::{parse_sql, SqlQuery};

@@ -1,0 +1,724 @@
+//! SQL front-end: a parser for the SELECT-FROM-WHERE-GROUP BY fragment the
+//! paper targets (Section 1), translating into AGGR\[sjfBCQ\].
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! SELECT [col_ref ,]* AGG( col_ref | * | number )
+//! FROM   table [AS alias] (, table [AS alias])*
+//! [WHERE  col_ref = (col_ref | literal) (AND ...)*]
+//! [GROUP BY col_ref (, col_ref)*]
+//! ```
+//!
+//! Every table occurrence becomes one atom; equality conditions are applied
+//! by unifying variables or substituting constants; GROUP BY columns become
+//! the free variables of the body. Two occurrences of the same table (a
+//! self-join) are rejected, matching the paper's restriction to
+//! self-join-free queries.
+
+use crate::ast::{AggQuery, AggTerm, Atom, ConjunctiveQuery, Term, Var};
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use rcqa_data::{AggFunc, Rational, Value};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(Rational),
+    Comma,
+    Dot,
+    Star,
+    Eq,
+    LParen,
+    RParen,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Tok>, QueryError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ';' => i += 1,
+            '\'' | '"' => {
+                let quote = c;
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != quote {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(QueryError::Parse("unterminated string literal".into()));
+                }
+                i += 1;
+                toks.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()) =>
+            {
+                let start = i;
+                i += 1;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let r: Rational = text
+                    .parse()
+                    .map_err(|_| QueryError::Parse(format!("bad number literal {text:?}")))?;
+                toks.push(Tok::Num(r));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(QueryError::Parse(format!(
+                    "unexpected character {other:?} in SQL query"
+                )))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// A column reference `alias.column` or bare `column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ColRef {
+    qualifier: Option<String>,
+    column: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum SelectItem {
+    Column(ColRef),
+    Aggregate(AggFunc, AggArg),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum AggArg {
+    Star,
+    Column(ColRef),
+    Number(Rational),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum RhsValue {
+    Column(ColRef),
+    Text(String),
+    Number(Rational),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ParsedSql {
+    select: Vec<SelectItem>,
+    from: Vec<(String, String)>, // (table, alias)
+    conditions: Vec<(ColRef, RhsValue)>,
+    group_by: Vec<ColRef>,
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), QueryError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(QueryError::Parse(format!(
+                "expected keyword {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), QueryError> {
+        match self.next() {
+            Some(t) if &t == tok => Ok(()),
+            other => Err(QueryError::Parse(format!(
+                "expected {tok:?}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_ident(&mut self) -> Result<String, QueryError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(QueryError::Parse(format!(
+                "expected an identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_col_ref(&mut self) -> Result<ColRef, QueryError> {
+        let first = self.parse_ident()?;
+        if self.peek() == Some(&Tok::Dot) {
+            self.next();
+            let column = self.parse_ident()?;
+            Ok(ColRef {
+                qualifier: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColRef {
+                qualifier: None,
+                column: first,
+            })
+        }
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, QueryError> {
+        // Aggregate if identifier is a known aggregate name followed by '('.
+        if let Some(Tok::Ident(name)) = self.peek() {
+            let is_agg = AggFunc::parse(name).is_some()
+                && self.toks.get(self.pos + 1) == Some(&Tok::LParen);
+            if is_agg {
+                let name = self.parse_ident()?;
+                let mut agg = AggFunc::parse(&name).expect("checked above");
+                self.expect(&Tok::LParen)?;
+                let distinct = self.eat_keyword("DISTINCT");
+                if distinct {
+                    agg = match agg {
+                        AggFunc::Count => AggFunc::CountDistinct,
+                        AggFunc::Sum => AggFunc::SumDistinct,
+                        other => {
+                            return Err(QueryError::Unsupported(format!(
+                                "DISTINCT is not supported for {other}"
+                            )))
+                        }
+                    };
+                }
+                let arg = match self.peek() {
+                    Some(Tok::Star) => {
+                        self.next();
+                        AggArg::Star
+                    }
+                    Some(Tok::Num(_)) => {
+                        if let Some(Tok::Num(r)) = self.next() {
+                            AggArg::Number(r)
+                        } else {
+                            unreachable!()
+                        }
+                    }
+                    _ => AggArg::Column(self.parse_col_ref()?),
+                };
+                self.expect(&Tok::RParen)?;
+                return Ok(SelectItem::Aggregate(agg, arg));
+            }
+        }
+        Ok(SelectItem::Column(self.parse_col_ref()?))
+    }
+
+    fn parse(&mut self) -> Result<ParsedSql, QueryError> {
+        self.expect_keyword("SELECT")?;
+        let mut select = vec![self.parse_select_item()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.next();
+            select.push(self.parse_select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.parse_ident()?;
+            let alias = if self.eat_keyword("AS") {
+                self.parse_ident()?
+            } else if let Some(Tok::Ident(s)) = self.peek() {
+                // implicit alias, unless the identifier is a keyword
+                if ["WHERE", "GROUP", "ORDER"]
+                    .iter()
+                    .any(|kw| s.eq_ignore_ascii_case(kw))
+                {
+                    table.clone()
+                } else {
+                    self.parse_ident()?
+                }
+            } else {
+                table.clone()
+            };
+            from.push((table, alias));
+            if self.peek() == Some(&Tok::Comma) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        let mut conditions = Vec::new();
+        if self.eat_keyword("WHERE") {
+            loop {
+                let lhs = self.parse_col_ref()?;
+                self.expect(&Tok::Eq)?;
+                let rhs = match self.next() {
+                    Some(Tok::Str(s)) => RhsValue::Text(s),
+                    Some(Tok::Num(r)) => RhsValue::Number(r),
+                    Some(Tok::Ident(name)) => {
+                        if self.peek() == Some(&Tok::Dot) {
+                            self.next();
+                            let column = self.parse_ident()?;
+                            RhsValue::Column(ColRef {
+                                qualifier: Some(name),
+                                column,
+                            })
+                        } else {
+                            RhsValue::Column(ColRef {
+                                qualifier: None,
+                                column: name,
+                            })
+                        }
+                    }
+                    other => {
+                        return Err(QueryError::Parse(format!(
+                            "expected a column or literal, found {other:?}"
+                        )))
+                    }
+                };
+                conditions.push((lhs, rhs));
+                if !self.eat_keyword("AND") {
+                    break;
+                }
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.parse_col_ref()?);
+            while self.peek() == Some(&Tok::Comma) {
+                self.next();
+                group_by.push(self.parse_col_ref()?);
+            }
+        }
+        if self.pos != self.toks.len() {
+            return Err(QueryError::Parse(format!(
+                "trailing tokens starting at {:?}",
+                self.peek()
+            )));
+        }
+        Ok(ParsedSql {
+            select,
+            from,
+            conditions,
+            group_by,
+        })
+    }
+}
+
+/// Union-find over variable indices, with an optional constant per class.
+struct Unifier {
+    parent: Vec<usize>,
+    constant: Vec<Option<Value>>,
+}
+
+impl Unifier {
+    fn new(n: usize) -> Unifier {
+        Unifier {
+            parent: (0..n).collect(),
+            constant: vec![None; n],
+        }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] != i {
+            let root = self.find(self.parent[i]);
+            self.parent[i] = root;
+        }
+        self.parent[i]
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> Result<(), QueryError> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return Ok(());
+        }
+        let merged = match (self.constant[ra].clone(), self.constant[rb].clone()) {
+            (Some(x), Some(y)) if x != y => {
+                return Err(QueryError::Parse(format!(
+                    "contradictory constants {x} and {y} for the same column"
+                )))
+            }
+            (Some(x), _) | (_, Some(x)) => Some(x),
+            _ => None,
+        };
+        self.parent[rb] = ra;
+        self.constant[ra] = merged;
+        Ok(())
+    }
+
+    fn assign(&mut self, i: usize, v: Value) -> Result<(), QueryError> {
+        let r = self.find(i);
+        match &self.constant[r] {
+            Some(existing) if existing != &v => Err(QueryError::Parse(format!(
+                "contradictory constants {existing} and {v} for the same column"
+            ))),
+            _ => {
+                self.constant[r] = Some(v);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The result of translating a SQL query: an [`AggQuery`] plus, for reporting,
+/// the SELECT-clause column names in output order (group-by columns followed
+/// by the aggregate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlQuery {
+    /// The translated aggregation query.
+    pub query: AggQuery,
+    /// Human-readable output column names, one per GROUP BY column plus one
+    /// for the aggregate.
+    pub output_columns: Vec<String>,
+}
+
+/// Parses a SQL aggregation query against a [`Catalog`] and translates it into
+/// AGGR\[sjfBCQ\].
+pub fn parse_sql(input: &str, catalog: &Catalog) -> Result<SqlQuery, QueryError> {
+    let mut parser = Parser {
+        toks: tokenize(input)?,
+        pos: 0,
+    };
+    let parsed = parser.parse()?;
+
+    // Reject self-joins (same table twice).
+    for i in 0..parsed.from.len() {
+        for j in (i + 1)..parsed.from.len() {
+            if parsed.from[i].0.eq_ignore_ascii_case(&parsed.from[j].0) {
+                return Err(QueryError::SelfJoin(parsed.from[i].0.clone()));
+            }
+        }
+    }
+
+    // Assign one variable id per (alias, column position).
+    let mut var_ids: BTreeMap<(String, usize), usize> = BTreeMap::new();
+    let mut var_names: Vec<String> = Vec::new();
+    let mut alias_to_table: BTreeMap<String, String> = BTreeMap::new();
+    for (table, alias) in &parsed.from {
+        let def = catalog.expect_table(table)?;
+        alias_to_table.insert(alias.to_ascii_lowercase(), def.name().to_string());
+        for (p, col) in def.columns().iter().enumerate() {
+            let id = var_names.len();
+            var_names.push(format!("{}_{}", alias.to_ascii_lowercase(), col.to_ascii_lowercase()));
+            var_ids.insert((alias.to_ascii_lowercase(), p), id);
+        }
+    }
+    let mut unifier = Unifier::new(var_names.len());
+
+    // Resolve a column reference to a variable id.
+    let resolve = |col: &ColRef| -> Result<usize, QueryError> {
+        let candidates: Vec<usize> = parsed
+            .from
+            .iter()
+            .filter(|(_, alias)| match &col.qualifier {
+                Some(q) => alias.eq_ignore_ascii_case(q),
+                None => true,
+            })
+            .filter_map(|(table, alias)| {
+                let def = catalog.table(table)?;
+                let p = def.position_of(&col.column)?;
+                var_ids.get(&(alias.to_ascii_lowercase(), p)).copied()
+            })
+            .collect();
+        match candidates.len() {
+            1 => Ok(candidates[0]),
+            0 => Err(QueryError::UnknownColumn {
+                table: col.qualifier.clone().unwrap_or_else(|| "?".to_string()),
+                column: col.column.clone(),
+            }),
+            _ => Err(QueryError::Parse(format!(
+                "ambiguous column reference {}",
+                col.column
+            ))),
+        }
+    };
+
+    // Apply WHERE conditions.
+    for (lhs, rhs) in &parsed.conditions {
+        let l = resolve(lhs)?;
+        match rhs {
+            RhsValue::Column(c) => {
+                let r = resolve(c)?;
+                unifier.union(l, r)?;
+            }
+            RhsValue::Text(s) => unifier.assign(l, Value::text(s))?,
+            RhsValue::Number(r) => unifier.assign(l, Value::Num(*r))?,
+        }
+    }
+
+    // Build the term for a variable id after unification.
+    let term_of = |id: usize, unifier: &mut Unifier| -> Term {
+        let root = unifier.find(id);
+        match &unifier.constant[root] {
+            Some(c) => Term::Const(c.clone()),
+            None => Term::Var(Var::new(&var_names[root])),
+        }
+    };
+
+    // Build atoms.
+    let mut atoms = Vec::new();
+    for (table, alias) in &parsed.from {
+        let def = catalog.expect_table(table)?;
+        let terms: Vec<Term> = (0..def.columns().len())
+            .map(|p| {
+                let id = var_ids[&(alias.to_ascii_lowercase(), p)];
+                term_of(id, &mut unifier)
+            })
+            .collect();
+        atoms.push(Atom::new(def.name(), terms));
+    }
+
+    // SELECT items: non-aggregate columns must be in GROUP BY.
+    let mut aggregate: Option<(AggFunc, AggArg)> = None;
+    let mut selected_columns: Vec<ColRef> = Vec::new();
+    for item in &parsed.select {
+        match item {
+            SelectItem::Aggregate(agg, arg) => {
+                if aggregate.is_some() {
+                    return Err(QueryError::Unsupported(
+                        "only one aggregate per query is supported".into(),
+                    ));
+                }
+                aggregate = Some((*agg, arg.clone()));
+            }
+            SelectItem::Column(c) => selected_columns.push(c.clone()),
+        }
+    }
+    let (agg, arg) = aggregate.ok_or_else(|| {
+        QueryError::Unsupported("the SELECT clause must contain an aggregate".into())
+    })?;
+
+    for c in &selected_columns {
+        let in_group_by = parsed.group_by.iter().any(|g| {
+            g.column.eq_ignore_ascii_case(&c.column) && g.qualifier == c.qualifier
+        }) || parsed
+            .group_by
+            .iter()
+            .any(|g| g.column.eq_ignore_ascii_case(&c.column));
+        if !in_group_by {
+            return Err(QueryError::Unsupported(format!(
+                "selected column {} must appear in GROUP BY",
+                c.column
+            )));
+        }
+    }
+
+    // GROUP BY columns become free variables.
+    let mut free_vars: Vec<Var> = Vec::new();
+    let mut output_columns: Vec<String> = Vec::new();
+    for g in &parsed.group_by {
+        let id = resolve(g)?;
+        let root = unifier.find(id);
+        match &unifier.constant[root] {
+            Some(_) => {
+                // Grouping by a column forced to a constant is harmless: the
+                // group key is fixed; we simply skip it as a free variable.
+            }
+            None => {
+                let v = Var::new(&var_names[root]);
+                if !free_vars.contains(&v) {
+                    free_vars.push(v);
+                }
+            }
+        }
+        output_columns.push(g.column.clone());
+    }
+
+    // Aggregate argument.
+    let term = match arg {
+        AggArg::Star => {
+            if agg != AggFunc::Count && agg != AggFunc::CountDistinct {
+                return Err(QueryError::Unsupported(format!("{agg}(*) is not supported")));
+            }
+            AggTerm::Const(Rational::ONE)
+        }
+        AggArg::Number(r) => AggTerm::Const(r),
+        AggArg::Column(c) => {
+            let id = resolve(&c)?;
+            let root = unifier.find(id);
+            match &unifier.constant[root] {
+                Some(Value::Num(r)) => AggTerm::Const(*r),
+                Some(Value::Text(_)) => {
+                    return Err(QueryError::Unsupported(format!(
+                        "aggregating the non-numeric constant column {}",
+                        c.column
+                    )))
+                }
+                None => AggTerm::Var(Var::new(&var_names[root])),
+            }
+        }
+    };
+    output_columns.push(format!("{agg}"));
+
+    let body = ConjunctiveQuery::with_free_vars(atoms, free_vars);
+    Ok(SqlQuery {
+        query: AggQuery::new(agg, term, body),
+        output_columns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TableDef;
+
+    fn stock_catalog() -> Catalog {
+        Catalog::new()
+            .with_table(TableDef::new("Dealers").key_column("Name").column("Town"))
+            .with_table(
+                TableDef::new("Stock")
+                    .key_column("Product")
+                    .key_column("Town")
+                    .numeric_column("Qty"),
+            )
+    }
+
+    #[test]
+    fn translate_introduction_query() {
+        // The GROUP BY example from Section 1 of the paper.
+        let sql = "SELECT D.Name, SUM(S.Qty) \
+                   FROM Dealers AS D, Stock AS S \
+                   WHERE D.Town = S.Town \
+                   GROUP BY D.Name";
+        let out = parse_sql(sql, &stock_catalog()).unwrap();
+        let q = &out.query;
+        assert_eq!(q.agg, AggFunc::Sum);
+        assert_eq!(q.body.atoms().len(), 2);
+        assert_eq!(q.group_by().len(), 1);
+        // The shared Town variable must be the same in both atoms.
+        let dealers = q.body.atom_for("Dealers").unwrap();
+        let stock = q.body.atom_for("Stock").unwrap();
+        assert_eq!(dealers.term(1), stock.term(1));
+        assert_eq!(out.output_columns, vec!["Name".to_string(), "SUM".to_string()]);
+        // Validation against the catalog's schema succeeds.
+        assert!(q.validate(&stock_catalog().schema()).is_ok());
+    }
+
+    #[test]
+    fn translate_constant_selection() {
+        // g0 from the introduction: Smith's total stock.
+        let sql = "SELECT SUM(S.Qty) FROM Dealers AS D, Stock AS S \
+                   WHERE D.Town = S.Town AND D.Name = 'Smith'";
+        let out = parse_sql(sql, &stock_catalog()).unwrap();
+        let q = &out.query;
+        assert!(q.is_closed());
+        let dealers = q.body.atom_for("Dealers").unwrap();
+        assert_eq!(dealers.term(0), &Term::Const(Value::text("Smith")));
+        assert_eq!(q.agg, AggFunc::Sum);
+    }
+
+    #[test]
+    fn count_star_and_numeric_literal_conditions() {
+        let sql = "SELECT COUNT(*) FROM Stock AS S WHERE S.Qty = 35";
+        let out = parse_sql(sql, &stock_catalog()).unwrap();
+        assert_eq!(out.query.agg, AggFunc::Count);
+        assert_eq!(out.query.term, AggTerm::Const(Rational::ONE));
+        let stock = out.query.body.atom_for("Stock").unwrap();
+        assert_eq!(stock.term(2), &Term::Const(Value::int(35)));
+    }
+
+    #[test]
+    fn distinct_aggregates() {
+        let sql = "SELECT COUNT(DISTINCT S.Qty) FROM Stock AS S";
+        let out = parse_sql(sql, &stock_catalog()).unwrap();
+        assert_eq!(out.query.agg, AggFunc::CountDistinct);
+        let sql = "SELECT SUM(DISTINCT S.Qty) FROM Stock AS S";
+        let out = parse_sql(sql, &stock_catalog()).unwrap();
+        assert_eq!(out.query.agg, AggFunc::SumDistinct);
+        let sql = "SELECT MIN(DISTINCT S.Qty) FROM Stock AS S";
+        assert!(parse_sql(sql, &stock_catalog()).is_err());
+    }
+
+    #[test]
+    fn unqualified_columns_and_implicit_alias() {
+        let sql = "SELECT MAX(Qty) FROM Stock WHERE Product = 'Tesla X'";
+        let out = parse_sql(sql, &stock_catalog()).unwrap();
+        assert_eq!(out.query.agg, AggFunc::Max);
+        let stock = out.query.body.atom_for("Stock").unwrap();
+        assert_eq!(stock.term(0), &Term::Const(Value::text("Tesla X")));
+    }
+
+    #[test]
+    fn errors() {
+        let cat = stock_catalog();
+        // self-join
+        assert!(matches!(
+            parse_sql("SELECT SUM(a.Qty) FROM Stock AS a, Stock AS b", &cat),
+            Err(QueryError::SelfJoin(_))
+        ));
+        // unknown table
+        assert!(parse_sql("SELECT SUM(x.Qty) FROM Nope AS x", &cat).is_err());
+        // unknown column
+        assert!(matches!(
+            parse_sql("SELECT SUM(S.Weight) FROM Stock AS S", &cat),
+            Err(QueryError::UnknownColumn { .. })
+        ));
+        // no aggregate
+        assert!(parse_sql("SELECT S.Qty FROM Stock AS S", &cat).is_err());
+        // selected column not grouped
+        assert!(parse_sql("SELECT S.Town, SUM(S.Qty) FROM Stock AS S", &cat).is_err());
+        // contradictory constants
+        assert!(parse_sql(
+            "SELECT SUM(S.Qty) FROM Stock AS S WHERE S.Town = 'a' AND S.Town = 'b'",
+            &cat
+        )
+        .is_err());
+        // trailing garbage
+        assert!(parse_sql("SELECT SUM(S.Qty) FROM Stock AS S LIMIT 5", &cat).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! CNF formulas: variables, literals, clauses.
+
+use std::fmt;
+
+/// A propositional variable, identified by a positive index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BoolVar(pub u32);
+
+/// A literal: a variable with a polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    /// The underlying variable.
+    pub var: BoolVar,
+    /// `true` for the positive literal, `false` for the negated one.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal of a variable.
+    pub fn pos(var: BoolVar) -> Lit {
+        Lit { var, positive: true }
+    }
+
+    /// Negative literal of a variable.
+    pub fn neg(var: BoolVar) -> Lit {
+        Lit {
+            var,
+            positive: false,
+        }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Evaluates the literal under an assignment of its variable.
+    pub fn eval(self, value: bool) -> bool {
+        if self.positive {
+            value
+        } else {
+            !value
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var.0)
+        } else {
+            write!(f, "-x{}", self.var.0)
+        }
+    }
+}
+
+/// A clause: a disjunction of literals.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Clause {
+    /// The literals of the clause.
+    pub literals: Vec<Lit>,
+}
+
+impl Clause {
+    /// Creates a clause from literals.
+    pub fn new(literals: impl IntoIterator<Item = Lit>) -> Clause {
+        Clause {
+            literals: literals.into_iter().collect(),
+        }
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// Whether the clause is empty (unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.literals.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A CNF formula builder that also allocates variables.
+#[derive(Clone, Debug, Default)]
+pub struct CnfFormula {
+    num_vars: u32,
+    /// The clauses of the formula.
+    pub clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula.
+    pub fn new() -> CnfFormula {
+        CnfFormula::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> BoolVar {
+        let v = BoolVar(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Adds a clause.
+    pub fn add_clause(&mut self, literals: impl IntoIterator<Item = Lit>) {
+        self.clauses.push(Clause::new(literals));
+    }
+
+    /// Adds clauses stating that exactly one of the literals holds
+    /// (at-least-one plus pairwise at-most-one).
+    pub fn add_exactly_one(&mut self, literals: &[Lit]) {
+        self.add_clause(literals.to_vec());
+        for i in 0..literals.len() {
+            for j in (i + 1)..literals.len() {
+                self.add_clause([literals[i].negated(), literals[j].negated()]);
+            }
+        }
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the formula has no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals() {
+        let v = BoolVar(3);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.negated(), n);
+        assert_eq!(n.negated(), p);
+        assert!(p.eval(true));
+        assert!(!p.eval(false));
+        assert!(n.eval(false));
+        assert_eq!(p.to_string(), "x3");
+        assert_eq!(n.to_string(), "-x3");
+    }
+
+    #[test]
+    fn formula_building() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var();
+        let b = f.new_var();
+        let c = f.new_var();
+        assert_eq!(f.num_vars(), 3);
+        f.add_clause([Lit::pos(a), Lit::neg(b)]);
+        assert_eq!(f.len(), 1);
+        f.add_exactly_one(&[Lit::pos(a), Lit::pos(b), Lit::pos(c)]);
+        // 1 original + 1 at-least-one + 3 pairwise at-most-one.
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.clauses[0].len(), 2);
+        assert_eq!(f.clauses[0].to_string(), "(x0 | -x1)");
+    }
+}

@@ -1,0 +1,17 @@
+//! # rcqa-sat
+//!
+//! A small, self-contained SAT / weighted-partial-MaxSAT substrate used by the
+//! AggCAvSAT-style baseline of the `rcqa` workspace (see Section 2 of the
+//! paper: Dixit and Kolaitis compute range consistent answers with SAT
+//! solvers). Hard clauses encode the block structure of repairs; soft weighted
+//! clauses encode the contribution of each query embedding to the aggregate.
+
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod maxsat;
+pub mod solver;
+
+pub use cnf::{BoolVar, Clause, CnfFormula, Lit};
+pub use maxsat::{MaxSatInstance, MaxSatResult};
+pub use solver::{SatResult, Solver};

@@ -1,0 +1,282 @@
+//! A DPLL SAT solver with unit propagation and pure-literal elimination.
+//!
+//! The solver is intentionally simple: the CQA workloads produced by the
+//! AggCAvSAT-style baseline generate modestly sized formulas whose hard part
+//! is the optimisation layer (weighted MaxSAT, see [`crate::maxsat`]), not raw
+//! SAT solving.
+
+use crate::cnf::{BoolVar, Clause, CnfFormula, Lit};
+
+/// The result of a satisfiability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witnessing assignment (indexed by variable id).
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Returns `true` if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// A DPLL solver over a fixed clause set.
+pub struct Solver {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+#[derive(Clone)]
+struct State {
+    /// Partial assignment: `None` = unassigned.
+    assignment: Vec<Option<bool>>,
+}
+
+impl Solver {
+    /// Creates a solver for the given formula.
+    pub fn new(formula: &CnfFormula) -> Solver {
+        Solver {
+            num_vars: formula.num_vars() as usize,
+            clauses: formula.clauses.clone(),
+        }
+    }
+
+    /// Creates a solver from raw clauses and an explicit variable count.
+    pub fn from_clauses(num_vars: usize, clauses: Vec<Clause>) -> Solver {
+        Solver { num_vars, clauses }
+    }
+
+    /// Decides satisfiability, optionally under a set of assumption literals.
+    pub fn solve_with_assumptions(&self, assumptions: &[Lit]) -> SatResult {
+        let mut state = State {
+            assignment: vec![None; self.num_vars],
+        };
+        for lit in assumptions {
+            let idx = lit.var.0 as usize;
+            match state.assignment[idx] {
+                Some(v) if v != lit.positive => return SatResult::Unsat,
+                _ => state.assignment[idx] = Some(lit.positive),
+            }
+        }
+        if self.dpll(&mut state) {
+            SatResult::Sat(
+                state
+                    .assignment
+                    .iter()
+                    .map(|v| v.unwrap_or(false))
+                    .collect(),
+            )
+        } else {
+            SatResult::Unsat
+        }
+    }
+
+    /// Decides satisfiability.
+    pub fn solve(&self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Evaluates the clause status: `Some(true)` satisfied, `Some(false)`
+    /// falsified, `None` undetermined.
+    fn clause_status(clause: &Clause, assignment: &[Option<bool>]) -> Option<bool> {
+        let mut undetermined = false;
+        for lit in &clause.literals {
+            match assignment[lit.var.0 as usize] {
+                Some(v) => {
+                    if lit.eval(v) {
+                        return Some(true);
+                    }
+                }
+                None => undetermined = true,
+            }
+        }
+        if undetermined {
+            None
+        } else {
+            Some(false)
+        }
+    }
+
+    fn unit_propagate(&self, state: &mut State) -> bool {
+        loop {
+            let mut changed = false;
+            for clause in &self.clauses {
+                match Self::clause_status(clause, &state.assignment) {
+                    Some(true) => continue,
+                    Some(false) => return false,
+                    None => {
+                        let unassigned: Vec<&Lit> = clause
+                            .literals
+                            .iter()
+                            .filter(|l| state.assignment[l.var.0 as usize].is_none())
+                            .collect();
+                        if unassigned.len() == 1 {
+                            let lit = unassigned[0];
+                            state.assignment[lit.var.0 as usize] = Some(lit.positive);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    fn dpll(&self, state: &mut State) -> bool {
+        if !self.unit_propagate(state) {
+            return false;
+        }
+        // Find an unassigned variable occurring in an unsatisfied clause.
+        let mut branch_var: Option<BoolVar> = None;
+        let mut all_satisfied = true;
+        for clause in &self.clauses {
+            match Self::clause_status(clause, &state.assignment) {
+                Some(true) => continue,
+                Some(false) => return false,
+                None => {
+                    all_satisfied = false;
+                    if branch_var.is_none() {
+                        branch_var = clause
+                            .literals
+                            .iter()
+                            .find(|l| state.assignment[l.var.0 as usize].is_none())
+                            .map(|l| l.var);
+                    }
+                }
+            }
+        }
+        if all_satisfied {
+            return true;
+        }
+        let var = branch_var.expect("an unsatisfied clause has an unassigned literal");
+        for value in [true, false] {
+            let mut next = state.clone();
+            next.assignment[var.0 as usize] = Some(value);
+            if self.dpll(&mut next) {
+                *state = next;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_model(clauses: &[Clause], model: &[bool]) -> bool {
+        clauses.iter().all(|c| {
+            c.literals
+                .iter()
+                .any(|l| l.eval(model[l.var.0 as usize]))
+        })
+    }
+
+    #[test]
+    fn simple_sat_and_unsat() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var();
+        let b = f.new_var();
+        f.add_clause([Lit::pos(a), Lit::pos(b)]);
+        f.add_clause([Lit::neg(a)]);
+        let solver = Solver::new(&f);
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                assert!(!model[a.0 as usize]);
+                assert!(model[b.0 as usize]);
+                assert!(check_model(&f.clauses, &model));
+            }
+            SatResult::Unsat => panic!("expected SAT"),
+        }
+        // Add the contradiction.
+        f.add_clause([Lit::neg(b)]);
+        assert_eq!(Solver::new(&f).solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn exactly_one_constraints() {
+        let mut f = CnfFormula::new();
+        let vars: Vec<_> = (0..4).map(|_| f.new_var()).collect();
+        let lits: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+        f.add_exactly_one(&lits);
+        // Force the first two to be false.
+        f.add_clause([Lit::neg(vars[0])]);
+        f.add_clause([Lit::neg(vars[1])]);
+        match Solver::new(&f).solve() {
+            SatResult::Sat(model) => {
+                let chosen: Vec<usize> = vars
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| model[v.0 as usize])
+                    .map(|(i, _)| i)
+                    .collect();
+                assert_eq!(chosen.len(), 1);
+                assert!(chosen[0] >= 2);
+            }
+            SatResult::Unsat => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn assumptions() {
+        let mut f = CnfFormula::new();
+        let a = f.new_var();
+        let b = f.new_var();
+        f.add_clause([Lit::pos(a), Lit::pos(b)]);
+        let solver = Solver::new(&f);
+        assert!(solver
+            .solve_with_assumptions(&[Lit::neg(a), Lit::neg(b)])
+            .is_sat()
+            .eq(&false));
+        assert!(solver.solve_with_assumptions(&[Lit::neg(a)]).is_sat());
+        // Contradictory assumptions.
+        assert_eq!(
+            solver.solve_with_assumptions(&[Lit::pos(a), Lit::neg(a)]),
+            SatResult::Unsat
+        );
+    }
+
+    proptest! {
+        /// Random 3-CNF formulas: whenever the solver reports SAT, the model
+        /// must satisfy every clause; whenever it reports UNSAT, brute force
+        /// over all assignments must agree (small numbers of variables only).
+        #[test]
+        fn prop_agrees_with_brute_force(
+            clause_data in proptest::collection::vec(
+                proptest::collection::vec((0u32..6, proptest::bool::ANY), 1..=3),
+                1..12,
+            )
+        ) {
+            let mut f = CnfFormula::new();
+            for _ in 0..6 {
+                f.new_var();
+            }
+            for clause in &clause_data {
+                f.add_clause(clause.iter().map(|&(v, pos)| Lit {
+                    var: BoolVar(v),
+                    positive: pos,
+                }));
+            }
+            let solver = Solver::new(&f);
+            let result = solver.solve();
+            let brute = (0..(1u32 << 6)).any(|bits| {
+                let model: Vec<bool> = (0..6).map(|i| bits & (1 << i) != 0).collect();
+                check_model(&f.clauses, &model)
+            });
+            match result {
+                SatResult::Sat(model) => {
+                    prop_assert!(check_model(&f.clauses, &model));
+                    prop_assert!(brute);
+                }
+                SatResult::Unsat => prop_assert!(!brute),
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Classification audit: run the separation decision (Theorem 1.1 /
+//! Theorem 7.11) on a suite of aggregation queries and report, for each one,
+//! whether its greatest-lower-bound and least-upper-bound consistent answers
+//! are expressible in AGGR[FOL], together with the complexity of the
+//! underlying CERTAINTY problem and Caggforest membership.
+//!
+//! Run with: `cargo run --example classification_audit`
+
+use rcqa::core::classify;
+use rcqa::core::Expressibility;
+use rcqa::data::{Schema, Signature};
+use rcqa::query::parse_agg_query;
+
+fn short(e: &Expressibility) -> &'static str {
+    match e {
+        Expressibility::Rewritable { .. } => "rewritable",
+        Expressibility::NotRewritable { .. } => "no rewriting",
+        Expressibility::Open { .. } => "open",
+    }
+}
+
+fn main() {
+    let schema = Schema::new()
+        .with_relation("R", Signature::new(2, 1, [1]).unwrap())
+        .with_relation("S", Signature::new(4, 2, [3]).unwrap())
+        .with_relation("S1", Signature::new(2, 1, []).unwrap())
+        .with_relation("S2", Signature::new(2, 1, []).unwrap())
+        .with_relation("T", Signature::new(3, 2, [2]).unwrap())
+        .with_relation("U", Signature::new(2, 1, [1]).unwrap());
+
+    let suite = [
+        // Theorem 6.1 cases.
+        "SUM(r) <- R(x, r), S(x, z, 'd', r)",
+        "COUNT(*) <- R(x, y), S(x, z, 'd', r)",
+        "MAX(r) <- S(y, z, 'd', r)",
+        // Theorem 7.10 / 7.11 cases.
+        "MIN(r) <- R(x, r), S(x, z, 'd', r)",
+        // A Caggforest query (ConQuer could also handle it over Q>=0).
+        "SUM(r) <- S1(x, 'c1'), S2(y, 'c2'), T(x, y, r)",
+        // Cyclic attack graph: Theorem 5.5 applies.
+        "SUM(y) <- R(x, y), U(y, x)",
+        // Aggregates outside the positive results (Section 7 / Section 8).
+        "AVG(r) <- R(x, r), S(x, z, 'd', r)",
+        "PRODUCT(r) <- R(x, r)",
+        "COUNT-DISTINCT(r) <- R(x, r)",
+        "SUM-DISTINCT(r) <- R(x, r)",
+    ];
+
+    println!(
+        "{:<48} {:>8} {:>16} {:>13} {:>13} {:>11}",
+        "query", "acyclic", "CERTAINTY", "GLB-CQA", "LUB-CQA", "Caggforest"
+    );
+    println!("{}", "-".repeat(115));
+    for text in suite {
+        let query = parse_agg_query(text).unwrap();
+        let c = classify(&query, &schema).unwrap();
+        println!(
+            "{:<48} {:>8} {:>16} {:>13} {:>13} {:>11}",
+            text,
+            c.attack_graph_acyclic,
+            c.certainty.to_string(),
+            short(&c.glb),
+            short(&c.lub),
+            c.in_caggforest
+        );
+    }
+
+    println!("\nJustifications for the first query:");
+    let c = classify(&parse_agg_query(suite[0]).unwrap(), &schema).unwrap();
+    println!("  GLB: {}", c.glb);
+    println!("  LUB: {}", c.lub);
+}

@@ -1,0 +1,70 @@
+//! Generates a synthetic inconsistent database with the workload generator,
+//! answers a SUM query with the rewriting-based engine, and cross-checks the
+//! result against the MaxSAT baseline and exact repair enumeration.
+//!
+//! Run with: `cargo run --example synthetic_workload --release`
+
+use rcqa::baselines::maxsat_glb;
+use rcqa::core::engine::RangeCqa;
+use rcqa::core::exact::exact_bounds;
+use rcqa::core::prepared::PreparedAggQuery;
+use rcqa::gen::JoinWorkload;
+use std::time::Instant;
+
+fn main() {
+    let cfg = JoinWorkload {
+        r_blocks: 25,
+        y_domain: 12,
+        s_blocks_per_y: 2,
+        inconsistency_ratio: 0.1,
+        block_size: 2,
+        max_value: 100,
+        seed: 2024,
+    };
+    let db = cfg.generate();
+    let query = cfg.sum_query();
+    println!("workload : {query}");
+    println!(
+        "database : {} facts, {} inconsistent blocks, ~2^{} repairs",
+        db.len(),
+        db.inconsistent_block_count(),
+        db.inconsistent_block_count()
+    );
+
+    let engine = RangeCqa::new(&query, &cfg.schema()).unwrap();
+    let prepared = PreparedAggQuery::new(&query, &cfg.schema()).unwrap();
+
+    let t = Instant::now();
+    let glb = engine.glb(&db).unwrap()[0].1;
+    println!(
+        "\nrewriting-based engine : glb = {} in {:.2} ms ({:?})",
+        glb.value.unwrap(),
+        t.elapsed().as_secs_f64() * 1e3,
+        glb.method
+    );
+
+    let t = Instant::now();
+    let maxsat = maxsat_glb(&prepared, &db).unwrap();
+    println!(
+        "MaxSAT baseline        : glb = {} in {:.2} ms ({} vars, {} hard, {} soft)",
+        maxsat.glb.unwrap(),
+        t.elapsed().as_secs_f64() * 1e3,
+        maxsat.variables,
+        maxsat.hard_clauses,
+        maxsat.soft_clauses
+    );
+
+    let t = Instant::now();
+    let exact = exact_bounds(&prepared, &db, 1 << 24).unwrap();
+    println!(
+        "exact enumeration      : glb = {} in {:.2} ms ({} repairs)",
+        exact.glb.unwrap(),
+        t.elapsed().as_secs_f64() * 1e3,
+        exact.repairs
+    );
+
+    assert_eq!(glb.value, maxsat.glb);
+    assert_eq!(glb.value, exact.glb);
+    println!("\nall three methods agree; the rewriting is polynomial in the data,");
+    println!("the baselines are exponential in the number of inconsistent blocks.");
+}

@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the rcqa workspace.
+pub use rcqa_baselines as baselines;
+pub use rcqa_core as core;
+pub use rcqa_data as data;
+pub use rcqa_gen as gen;
+pub use rcqa_logic as logic;
+pub use rcqa_query as query;
+pub use rcqa_sat as sat;
