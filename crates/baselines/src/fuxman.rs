@@ -62,11 +62,13 @@ pub fn fuxman_sum_glb(
             .ok_or_else(|| CoreError::UnsupportedAggregate {
                 reason: "aggregated variable does not occur in the body".into(),
             })?,
-        AggTerm::Const(_) => body.atoms().last().ok_or_else(|| {
-            CoreError::UnsupportedAggregate {
-                reason: "empty query body".into(),
-            }
-        })?,
+        AggTerm::Const(_) => {
+            body.atoms()
+                .last()
+                .ok_or_else(|| CoreError::UnsupportedAggregate {
+                    reason: "empty query body".into(),
+                })?
+        }
     };
     let dimension_atoms: Vec<&Atom> = body
         .atoms()
@@ -75,9 +77,12 @@ pub fn fuxman_sum_glb(
         .collect();
 
     let index = DbIndex::new(db);
-    let fact_index = index
-        .relation(fact_atom.relation())
-        .ok_or_else(|| CoreError::FallbackUnavailable("fact relation missing".into()))?;
+    if !index.has_relation(fact_atom.relation()) {
+        return Err(CoreError::FallbackUnavailable(
+            "fact relation missing".into(),
+        ));
+    }
+    let fact_index = index.relation(fact_atom.relation());
     let fact_key_len = db
         .schema()
         .signature(fact_atom.relation())
@@ -146,18 +151,21 @@ pub fn fuxman_sum_glb(
                     Term::Var(v) => key_binding.get(v).cloned(),
                 })
                 .collect();
-            let Some(dim_index) = index.relation(dim.relation()) else {
-                dropped += 1;
-                continue 'blocks;
-            };
-            let blocks = dim_index.blocks_matching(&pattern);
-            let certain = !blocks.is_empty()
-                && blocks.iter().all(|b| {
-                    b.facts
-                        .iter()
-                        .all(|f| match_fact(dim, f, &key_binding).is_some())
-                });
-            if !certain {
+            let dim_index = index.relation(dim.relation());
+            let mut any_block = false;
+            let mut certain = true;
+            for b in dim_index.blocks_matching(&pattern) {
+                any_block = true;
+                if !b
+                    .facts
+                    .iter()
+                    .all(|f| match_fact(dim, f, &key_binding).is_some())
+                {
+                    certain = false;
+                    break;
+                }
+            }
+            if !any_block || !certain {
                 dropped += 1;
                 continue 'blocks;
             }

@@ -37,10 +37,7 @@ pub struct MaxSatGlb {
 }
 
 /// Computes `GLB-CQA` of a closed SUM or COUNT query by the MaxSAT reduction.
-pub fn maxsat_glb(
-    query: &PreparedAggQuery,
-    db: &DatabaseInstance,
-) -> Result<MaxSatGlb, CoreError> {
+pub fn maxsat_glb(query: &PreparedAggQuery, db: &DatabaseInstance) -> Result<MaxSatGlb, CoreError> {
     let agg = query.normalised.agg;
     if agg != AggFunc::Sum {
         return Err(CoreError::UnsupportedAggregate {
@@ -67,12 +64,7 @@ pub fn maxsat_glb(
         // avoid for large instances anyway.
         let analysis_certain = db.repairs().all(|r| {
             let idx = DbIndex::new(&r);
-            !embeddings(
-                &pseudo_levels(query, &r),
-                &idx,
-                &Binding::new(),
-            )
-            .is_empty()
+            !embeddings(&pseudo_levels(query, &r), &idx, &Binding::new()).is_empty()
         });
         if !analysis_certain {
             return Ok(MaxSatGlb {
@@ -83,8 +75,7 @@ pub fn maxsat_glb(
             });
         }
     } else {
-        let checker =
-            rcqa_core::forall::CertaintyChecker::new(query.body.levels(), &index);
+        let checker = rcqa_core::forall::CertaintyChecker::new(query.body.levels(), &index);
         if !checker.certain_from(0, &Binding::new()) {
             return Ok(MaxSatGlb {
                 glb: None,

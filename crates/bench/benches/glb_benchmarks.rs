@@ -88,8 +88,7 @@ fn rewrite_construction(c: &mut Criterion) {
             atoms.push(format!("C{i}(x{i}, x{})", i + 1));
         }
         let text = format!("SUM(x{k}) <- {}", atoms.join(", "));
-        let prepared =
-            PreparedAggQuery::new(&parse_agg_query(&text).unwrap(), &schema).unwrap();
+        let prepared = PreparedAggQuery::new(&parse_agg_query(&text).unwrap(), &schema).unwrap();
         group.bench_with_input(BenchmarkId::new("chain_query", k), &k, |b, _| {
             b.iter(|| rewriting_for(&prepared, BoundKind::Glb).unwrap())
         });
@@ -97,5 +96,10 @@ fn rewrite_construction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, glb_scaling, inconsistency_sweep, rewrite_construction);
+criterion_group!(
+    benches,
+    glb_scaling,
+    inconsistency_sweep,
+    rewrite_construction
+);
 criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the grouped (GROUP BY) evaluation pipeline:
+//!
+//! * `groupby_pipeline` — the one-pass shared-index engine (`RangeCqa::glb`,
+//!   `RangeCqa::range`) vs the seed per-group re-preparation strategy
+//!   (`rcqa_bench::legacy::grouped_sum_glb`), as the number of groups grows.
+//!   The seed strategy rebuilds the database index and re-runs attack-graph
+//!   analysis once per group, so its cost is quadratic in the group count
+//!   while the one-pass pipeline stays linear in the data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcqa_bench::legacy;
+use rcqa_core::engine::RangeCqa;
+use rcqa_gen::JoinWorkload;
+use rcqa_query::parse_agg_query;
+
+fn groupby_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("groupby_pipeline");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200] {
+        let cfg = JoinWorkload {
+            r_blocks: n,
+            y_domain: (n / 2).max(1),
+            s_blocks_per_y: 2,
+            inconsistency_ratio: 0.1,
+            block_size: 2,
+            max_value: 100,
+            seed: 13,
+        };
+        let db = cfg.generate();
+        let query = cfg.grouped_sum_query();
+        let schema = cfg.schema();
+        let engine = RangeCqa::new(&query, &schema).unwrap();
+        group.bench_with_input(BenchmarkId::new("one_pass_glb", n), &n, |b, _| {
+            b.iter(|| engine.glb(&db).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("seed_strategy_glb", n), &n, |b, _| {
+            b.iter(|| legacy::grouped_sum_glb(&query, &schema, &db))
+        });
+        // Both bounds of MAX are rewriting-backed, so `range` exercises the
+        // shared-analysis path end to end (SUM's LUB would fall back to
+        // exponential repair enumeration and swamp the measurement).
+        let max_query = parse_agg_query("(x, MAX(r)) <- R(x, y), S(y, z, r)").unwrap();
+        let max_engine = RangeCqa::new(&max_query, &schema).unwrap();
+        group.bench_with_input(BenchmarkId::new("one_pass_max_range", n), &n, |b, _| {
+            b.iter(|| max_engine.range(&db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, groupby_pipeline);
+criterion_main!(benches);

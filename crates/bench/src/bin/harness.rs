@@ -1,8 +1,14 @@
-//! The experiment harness: regenerates every experiment report (E1-E10).
+//! The experiment harness: regenerates every experiment report (E1-E11).
 //!
 //! Usage:
 //!   cargo run -p rcqa-bench --bin harness --release            # all experiments
 //!   cargo run -p rcqa-bench --bin harness --release -- e3 e9   # selected ones
+//!   cargo run -p rcqa-bench --bin harness --release -- groupby # E11 + BENCH_groupby.json
+//!
+//! The `groupby` mode additionally writes the machine-readable
+//! `BENCH_groupby.json` (path overridable via the `BENCH_GROUPBY_PATH`
+//! environment variable), tracking the one-pass pipeline's speedup over the
+//! seed per-group strategy.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
@@ -42,5 +48,16 @@ fn main() {
     }
     if want("e10") {
         println!("{}", rcqa_bench::e10());
+    }
+    // E11 is opt-in (it times two full pipeline arms): `harness groupby`.
+    if args.iter().any(|a| a == "groupby" || a == "e11") {
+        let bench = rcqa_bench::bench_groupby(150, 5);
+        println!("{}", rcqa_bench::format_groupby(&bench));
+        let path = std::env::var("BENCH_GROUPBY_PATH")
+            .unwrap_or_else(|_| "BENCH_groupby.json".to_string());
+        match std::fs::write(&path, bench.to_json()) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(err) => eprintln!("  failed to write {path}: {err}"),
+        }
     }
 }

@@ -95,8 +95,8 @@ pub fn e2() -> String {
         .with_relation("T", Signature::new(3, 2, []).unwrap())
         .with_relation("N", Signature::new(3, 2, []).unwrap())
         .with_relation("M", Signature::new(2, 2, []).unwrap());
-    let body = rcqa_query::parse_body("R(x, y), S(y, z, u), T(y, z, w), N(u, v, r), M(u, w)")
-        .unwrap();
+    let body =
+        rcqa_query::parse_body("R(x, y), S(y, z, u), T(y, z, w), N(u, v, r), M(u, w)").unwrap();
     let graph = AttackGraph::new(&body, &schema);
     let mut out = String::new();
     writeln!(out, "E2  Fig. 2 / Example 3.1: attack graph of q0").unwrap();
@@ -106,7 +106,11 @@ pub fn e2() -> String {
             "  {} ⇝ {}   ({})",
             graph.atom(i).relation(),
             graph.atom(j).relation(),
-            if graph.is_weak_attack(i, j) { "weak" } else { "strong" }
+            if graph.is_weak_attack(i, j) {
+                "weak"
+            } else {
+                "strong"
+            }
         )
         .unwrap();
     }
@@ -145,7 +149,12 @@ pub fn e3() -> String {
     )
     .unwrap();
     writeln!(out, "  paper glb              : 9").unwrap();
-    writeln!(out, "  measured glb           : {}", fmt_bound(glb[0].1.value)).unwrap();
+    writeln!(
+        out,
+        "  measured glb           : {}",
+        fmt_bound(glb[0].1.value)
+    )
+    .unwrap();
     writeln!(out, "  rewriting size (nodes) : {}", rewriting.size()).unwrap();
     writeln!(out, "  certainty rewriting    : {}", rewriting.certainty).unwrap();
     out
@@ -158,7 +167,11 @@ pub fn e4() -> String {
     let prepared = PreparedAggQuery::new(&q, db.schema()).unwrap();
     let analysis = forall::analyse(&prepared.body, &db);
     let mut out = String::new();
-    writeln!(out, "E4  Examples 4.1 / 4.4: ∀embeddings of q0 over dbStock").unwrap();
+    writeln!(
+        out,
+        "E4  Examples 4.1 / 4.4: ∀embeddings of q0 over dbStock"
+    )
+    .unwrap();
     writeln!(
         out,
         "  certain (0-∀embedding exists) : {} (paper: yes)",
@@ -203,7 +216,11 @@ pub fn e5() -> String {
         "COUNT-DISTINCT(r) <- R(x, r)",
     ];
     let mut out = String::new();
-    writeln!(out, "E5  Separation decision (Theorems 1.1, 5.5, 6.1, 7.10, 7.11)").unwrap();
+    writeln!(
+        out,
+        "E5  Separation decision (Theorems 1.1, 5.5, 6.1, 7.10, 7.11)"
+    )
+    .unwrap();
     writeln!(
         out,
         "  {:<48} {:>8} {:>14} {:>14}",
@@ -305,7 +322,11 @@ pub fn e6(sizes: &[usize], with_baselines_up_to: usize) -> Vec<ScalingRow> {
 /// Formats the E6 rows as a table.
 pub fn format_e6(rows: &[ScalingRow]) -> String {
     let mut out = String::new();
-    writeln!(out, "E6  GLB(SUM) scaling: rewriting vs MaxSAT vs exact enumeration").unwrap();
+    writeln!(
+        out,
+        "E6  GLB(SUM) scaling: rewriting vs MaxSAT vs exact enumeration"
+    )
+    .unwrap();
     writeln!(
         out,
         "  {:>8} {:>10} {:>12} {:>14} {:>14} {:>14} {:>7}",
@@ -383,7 +404,11 @@ pub fn e8() -> String {
     let engine = RangeCqa::new(&q, db.schema()).unwrap();
     let ranges = engine.range(&db).unwrap();
     let mut out = String::new();
-    writeln!(out, "E8  GROUP BY range semantics (Section 1 / 6.2 SQL example)").unwrap();
+    writeln!(
+        out,
+        "E8  GROUP BY range semantics (Section 1 / 6.2 SQL example)"
+    )
+    .unwrap();
     writeln!(out, "  {:<10} {:>8} {:>8}", "dealer", "glb", "lub").unwrap();
     for row in &ranges {
         writeln!(
@@ -408,13 +433,26 @@ pub fn e9() -> String {
     let engine = RangeCqa::new(&query, db.schema()).unwrap();
     let ours = engine.glb(&db).unwrap()[0].1;
     let classification =
-        rcqa_core::classify_with_domain(&query, db.schema(), NumericDomain::Unconstrained)
-            .unwrap();
+        rcqa_core::classify_with_domain(&query, db.schema(), NumericDomain::Unconstrained).unwrap();
     let mut out = String::new();
-    writeln!(out, "E9  Section 7.3: refuting the Caggforest claim of [21]").unwrap();
+    writeln!(
+        out,
+        "E9  Section 7.3: refuting the Caggforest claim of [21]"
+    )
+    .unwrap();
     writeln!(out, "  query                     : {query}").unwrap();
-    writeln!(out, "  in Caggforest             : {}", classification.in_caggforest).unwrap();
-    writeln!(out, "  exact glb (ground truth)  : {}", fmt_bound(exact.glb)).unwrap();
+    writeln!(
+        out,
+        "  in Caggforest             : {}",
+        classification.in_caggforest
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  exact glb (ground truth)  : {}",
+        fmt_bound(exact.glb)
+    )
+    .unwrap();
     writeln!(out, "  Fuxman-style rewriting    : {}", fux.glb).unwrap();
     writeln!(
         out,
@@ -458,7 +496,12 @@ pub fn e10() -> String {
         .unwrap();
     }
     writeln!(out, "  rewriting size vs query size (chain queries):").unwrap();
-    writeln!(out, "  {:>6} {:>16} {:>16}", "atoms", "certainty size", "total size").unwrap();
+    writeln!(
+        out,
+        "  {:>6} {:>16} {:>16}",
+        "atoms", "certainty size", "total size"
+    )
+    .unwrap();
     for k in 1..=6usize {
         let mut schema = Schema::new();
         let mut atoms = Vec::new();
@@ -508,4 +551,170 @@ mod tests {
         assert!(table.contains("rewriting ms"));
         assert!(e7(&[0.0, 0.2]).contains("Sensitivity"));
     }
+
+    #[test]
+    fn groupby_bench_agrees_and_serialises() {
+        let bench = bench_groupby(24, 2);
+        assert!(bench.groups > 0);
+        assert!(bench.agree, "one-pass and seed strategies must agree");
+        let json = bench.to_json();
+        assert!(json.contains("\"groups\": "));
+        assert!(json.contains("\"speedup\": "));
+        assert!(format_groupby(&bench).contains("answers agree : true"));
+    }
+}
+
+/// The seed evaluation strategy for grouped GLB(SUM) queries, retained as a
+/// regression baseline for the one-pass pipeline: enumerate candidate groups
+/// (one index build), then **per group** re-substitute the key, re-run query
+/// preparation (attack graph included), rebuild the database index, and
+/// evaluate the closed query from scratch. A GROUP BY query over `G` groups
+/// therefore pays `G + 1` index builds and `G` preparations per bound, which
+/// is exactly what `BENCH_groupby.json` measures the new pipeline against.
+pub mod legacy {
+    use rcqa_core::engine::{candidate_groups, substitute_group};
+    use rcqa_core::forall::analyse;
+    use rcqa_core::glb::optimal_aggregate;
+    use rcqa_core::prepared::PreparedAggQuery;
+    use rcqa_core::Choice;
+    use rcqa_data::{AggFunc, DatabaseInstance, Rational, Schema, Value};
+    use rcqa_query::AggQuery;
+
+    /// Grouped GLB of a SUM query, one full re-preparation and index rebuild
+    /// per group (the pre-optimisation engine behaviour).
+    pub fn grouped_sum_glb(
+        query: &AggQuery,
+        schema: &Schema,
+        db: &DatabaseInstance,
+    ) -> Vec<(Vec<Value>, Option<Rational>)> {
+        let prepared = PreparedAggQuery::new(query, schema).expect("benchmark query prepares");
+        let groups = candidate_groups(&prepared, db);
+        let mut out = Vec::with_capacity(groups.len());
+        for key in groups {
+            let closed = substitute_group(&prepared, &key).expect("group key substitutes");
+            let analysis = analyse(&closed.body, db);
+            let value = if analysis.certain {
+                optimal_aggregate(
+                    closed.body.levels(),
+                    &analysis.forall_embeddings,
+                    &closed.normalised.term,
+                    AggFunc::Sum,
+                    Choice::Minimise,
+                )
+            } else {
+                None
+            };
+            out.push((key, value));
+        }
+        out
+    }
+}
+
+/// Result of the GROUP BY pipeline benchmark (E11): the one-pass engine vs
+/// the seed per-group strategy on the same grouped SUM workload.
+#[derive(Clone, Debug)]
+pub struct GroupbyBench {
+    /// Number of GROUP BY groups answered.
+    pub groups: usize,
+    /// Number of facts in the instance.
+    pub facts: usize,
+    /// Number of timed samples per arm (best sample reported).
+    pub samples: usize,
+    /// Best wall-clock time of the one-pass engine (milliseconds).
+    pub optimized_ms: f64,
+    /// Best wall-clock time of the seed strategy (milliseconds).
+    pub legacy_ms: f64,
+    /// `legacy_ms / optimized_ms`.
+    pub speedup: f64,
+    /// Whether both strategies returned identical per-group answers.
+    pub agree: bool,
+}
+
+impl GroupbyBench {
+    /// Machine-readable JSON encoding (no external serialisation crates in
+    /// this offline workspace, so the fields are written by hand).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"groupby_one_pass_vs_seed\",\n  \"groups\": {},\n  \
+             \"facts\": {},\n  \"samples\": {},\n  \"optimized_ms\": {:.3},\n  \
+             \"legacy_ms\": {:.3},\n  \"speedup\": {:.2},\n  \"agree\": {}\n}}\n",
+            self.groups,
+            self.facts,
+            self.samples,
+            self.optimized_ms,
+            self.legacy_ms,
+            self.speedup,
+            self.agree
+        )
+    }
+}
+
+/// E11 — GROUP BY scaling: the one-pass shared-index pipeline vs the seed
+/// per-group re-preparation strategy, on a grouped SUM workload with
+/// `r_blocks` groups. Reports best-of-`samples` wall-clock per arm.
+pub fn bench_groupby(r_blocks: usize, samples: usize) -> GroupbyBench {
+    let cfg = JoinWorkload {
+        r_blocks,
+        y_domain: (r_blocks / 2).max(1),
+        s_blocks_per_y: 2,
+        inconsistency_ratio: 0.1,
+        block_size: 2,
+        max_value: 100,
+        seed: 13,
+    };
+    let db = cfg.generate();
+    let query = cfg.grouped_sum_query();
+    let schema = cfg.schema();
+    let engine = RangeCqa::new(&query, &schema).expect("benchmark query prepares");
+
+    let best = |f: &mut dyn FnMut()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..samples.max(1) {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+
+    let mut optimized: Vec<(Vec<rcqa_data::Value>, Option<rcqa_data::Rational>)> = Vec::new();
+    let optimized_ms = best(&mut || {
+        optimized = engine
+            .glb(&db)
+            .expect("benchmark query evaluates")
+            .into_iter()
+            .map(|(k, a)| (k, a.value))
+            .collect();
+    });
+    let mut legacy_answers: Vec<(Vec<rcqa_data::Value>, Option<rcqa_data::Rational>)> = Vec::new();
+    let legacy_ms = best(&mut || {
+        legacy_answers = legacy::grouped_sum_glb(&query, &schema, &db);
+    });
+
+    GroupbyBench {
+        groups: optimized.len(),
+        facts: db.len(),
+        samples: samples.max(1),
+        optimized_ms,
+        legacy_ms,
+        speedup: legacy_ms / optimized_ms.max(f64::MIN_POSITIVE),
+        agree: optimized == legacy_answers,
+    }
+}
+
+/// Formats the E11 report for the harness.
+pub fn format_groupby(bench: &GroupbyBench) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E11 GROUP BY: one-pass shared-index pipeline vs seed strategy"
+    )
+    .unwrap();
+    writeln!(out, "  groups        : {}", bench.groups).unwrap();
+    writeln!(out, "  facts         : {}", bench.facts).unwrap();
+    writeln!(out, "  one-pass ms   : {:.3}", bench.optimized_ms).unwrap();
+    writeln!(out, "  seed-strategy : {:.3} ms", bench.legacy_ms).unwrap();
+    writeln!(out, "  speedup       : {:.2}x", bench.speedup).unwrap();
+    writeln!(out, "  answers agree : {}", bench.agree).unwrap();
+    out
 }

@@ -100,8 +100,7 @@ pub fn classify_with_domain(
             justification: if query.agg == AggFunc::Count {
                 "Theorem 6.1 via COUNT = SUM(1)".to_string()
             } else {
-                "Theorem 6.1: monotone and associative aggregate, acyclic attack graph"
-                    .to_string()
+                "Theorem 6.1: monotone and associative aggregate, acyclic attack graph".to_string()
             },
         }
     } else if effective == AggFunc::Min {

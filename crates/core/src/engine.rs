@@ -1,18 +1,61 @@
 //! The top-level range-CQA engine: classify a query, pick an evaluation
 //! strategy per bound (rewriting-based, plain extremum, or exact fallback),
 //! and compute per-group `[glb, lub]` answers on a database instance.
+//!
+//! ## Evaluation strategies
+//!
+//! Per `(aggregate, bound)` pair, the engine picks the cheapest sound path
+//! (the query body must in addition have an acyclic attack graph for the
+//! first two rows; otherwise every cell falls back to exact enumeration):
+//!
+//! | aggregate            | GLB path                          | LUB path                          |
+//! |----------------------|-----------------------------------|-----------------------------------|
+//! | `SUM` over `Q≥0`     | Theorem 6.1 rewriting             | exact enumeration                 |
+//! | `SUM` with negatives | exact enumeration (Section 7.3)   | exact enumeration                 |
+//! | `COUNT` (= `SUM(1)`) | Theorem 6.1 rewriting             | exact enumeration                 |
+//! | `MAX`                | Theorem 7.11 rewriting (minimise) | Theorem 7.10 plain extremum       |
+//! | `MIN`                | Theorem 7.10 plain extremum       | Theorem 7.11 rewriting (maximise) |
+//! | `AVG`, others        | exact enumeration                 | exact enumeration                 |
+//!
+//! "Rewriting" evaluates the Theorem 6.1 / 7.11 semantics operationally over
+//! ∀embeddings ([`crate::glb::optimal_aggregate`]); "plain extremum" takes
+//! the extremum over all embeddings ([`crate::glb::global_extremum`]); exact
+//! enumeration walks every repair ([`crate::exact::exact_bounds`]) and is
+//! exponential in the number of inconsistent blocks.
+//!
+//! ## One-pass grouped evaluation
+//!
+//! Each public entry point ([`RangeCqa::glb`], [`RangeCqa::lub`],
+//! [`RangeCqa::range`]) builds **one** [`DbIndex`] and performs **one** join
+//! pass, regardless of the number of GROUP BY groups:
+//!
+//! 1. the open body (GROUP BY variables un-frozen, level order precomputed at
+//!    preparation time) is enumerated once over the shared index;
+//! 2. embeddings are partitioned by group key — no per-group re-preparation,
+//!    no attack-graph recomputation, no per-group index rebuild;
+//! 3. one [`CertaintyChecker`] is shared by all groups: its memo keys include
+//!    the frozen group variables, so certainty sub-problems proved for one
+//!    group are reused by every other group;
+//! 4. `range` derives both bounds from the same per-group analysis instead
+//!    of running the pipeline twice.
+//!
+//! The exact-enumeration fallback is the only path that constructs further
+//! indexes (one per enumerated repair, by design).
 
 use crate::classify::{classify_with_domain, Classification};
 use crate::error::CoreError;
-use crate::exact::exact_bounds;
-use crate::forall::{analyse_with_index, embeddings, Binding};
+use crate::exact::{exact_bounds, ExactBounds};
+use crate::forall::{
+    analyse_group_with_embeddings, embeddings_compiled, Binding, CertaintyChecker, CompiledLevels,
+    ForallAnalysis,
+};
 use crate::glb::{global_extremum, optimal_aggregate, Choice};
 use crate::index::DbIndex;
 use crate::prepared::PreparedAggQuery;
 use crate::rewrite::{rewriting_for, BoundKind, Rewriting};
 use rcqa_data::{AggFunc, DatabaseInstance, NumericDomain, Rational, Schema, Value};
 use rcqa_query::{AggQuery, Term, Var};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// How an answer was obtained.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,6 +109,11 @@ impl Default for EngineOptions {
     }
 }
 
+/// How one bound of the query is evaluated: `combine` aggregates independent
+/// branches, `choice` resolves alternatives within a block, and the flag
+/// selects the Theorem 7.10 plain-extremum shortcut.
+type Strategy = (AggFunc, Choice, bool);
+
 /// The range-consistent query answering engine for one aggregation query.
 #[derive(Clone, Debug)]
 pub struct RangeCqa {
@@ -107,134 +155,213 @@ impl RangeCqa {
     }
 
     /// Computes the greatest lower bound for every group.
+    ///
+    /// Builds exactly one [`DbIndex`] regardless of the number of groups.
     pub fn glb(&self, db: &DatabaseInstance) -> Result<Vec<(Vec<Value>, BoundAnswer)>, CoreError> {
-        self.bound(db, BoundKind::Glb)
+        let index = DbIndex::new(db);
+        let groups = self.evaluate(db, &index, true, false)?;
+        Ok(groups
+            .into_iter()
+            .map(|g| (g.key, g.glb.expect("glb was requested")))
+            .collect())
     }
 
     /// Computes the least upper bound for every group.
+    ///
+    /// Builds exactly one [`DbIndex`] regardless of the number of groups.
     pub fn lub(&self, db: &DatabaseInstance) -> Result<Vec<(Vec<Value>, BoundAnswer)>, CoreError> {
-        self.bound(db, BoundKind::Lub)
+        let index = DbIndex::new(db);
+        let groups = self.evaluate(db, &index, false, true)?;
+        Ok(groups
+            .into_iter()
+            .map(|g| (g.key, g.lub.expect("lub was requested")))
+            .collect())
     }
 
     /// Computes both bounds for every group.
+    ///
+    /// Builds exactly one [`DbIndex`] and derives both bounds from one shared
+    /// per-group analysis (a single join pass, a single certainty memo).
     pub fn range(&self, db: &DatabaseInstance) -> Result<Vec<GroupRange>, CoreError> {
-        let glb = self.glb(db)?;
-        let lub = self.lub(db)?;
-        let mut by_key: BTreeMap<Vec<Value>, GroupRange> = BTreeMap::new();
-        for (key, b) in glb {
-            by_key
-                .entry(key.clone())
-                .or_insert(GroupRange {
-                    key,
-                    glb: None,
-                    lub: None,
-                })
-                .glb = Some(b);
-        }
-        for (key, b) in lub {
-            by_key
-                .entry(key.clone())
-                .or_insert(GroupRange {
-                    key,
-                    glb: None,
-                    lub: None,
-                })
-                .lub = Some(b);
-        }
-        Ok(by_key.into_values().collect())
+        let index = DbIndex::new(db);
+        self.evaluate(db, &index, true, true)
     }
 
-    fn bound(
+    /// The per-bound strategy of the module-level table, or `None` when only
+    /// exact enumeration is sound.
+    fn strategy_for(&self, bound: BoundKind, domain: NumericDomain) -> Option<Strategy> {
+        if !self.prepared.body.is_acyclic() {
+            return None;
+        }
+        let agg = self.prepared.normalised.agg;
+        // The Theorem 6.1 rewriting for SUM requires monotonicity, which in
+        // turn requires numeric columns over Q≥0 (Section 7.3).
+        let sum_ok = agg != AggFunc::Sum || domain == NumericDomain::NonNegative;
+        match (bound, agg) {
+            (BoundKind::Glb, AggFunc::Sum) if sum_ok => {
+                Some((AggFunc::Sum, Choice::Minimise, false))
+            }
+            (BoundKind::Glb, AggFunc::Max) => Some((AggFunc::Max, Choice::Minimise, false)),
+            (BoundKind::Glb, AggFunc::Min) => Some((AggFunc::Min, Choice::Minimise, true)),
+            (BoundKind::Lub, AggFunc::Max) => Some((AggFunc::Max, Choice::Maximise, true)),
+            (BoundKind::Lub, AggFunc::Min) => Some((AggFunc::Min, Choice::Maximise, false)),
+            _ => None,
+        }
+    }
+
+    /// The shared evaluation pipeline behind `glb`/`lub`/`range`.
+    fn evaluate(
         &self,
         db: &DatabaseInstance,
-        bound: BoundKind,
-    ) -> Result<Vec<(Vec<Value>, BoundAnswer)>, CoreError> {
-        if self.prepared.normalised.is_closed() {
-            let answer = self.closed_bound(&self.prepared, db, bound)?;
-            return Ok(vec![(Vec::new(), answer)]);
-        }
-        let groups = candidate_groups(&self.prepared, db);
+        index: &DbIndex,
+        want_glb: bool,
+        want_lub: bool,
+    ) -> Result<Vec<GroupRange>, CoreError> {
+        let domain = db.numeric_domain();
+        let glb_strategy = want_glb.then(|| self.strategy_for(BoundKind::Glb, domain));
+        let lub_strategy = want_lub.then(|| self.strategy_for(BoundKind::Lub, domain));
+        let needs_analysis = glb_strategy.flatten().is_some() || lub_strategy.flatten().is_some();
+        let needs_forall = glb_strategy
+            .flatten()
+            .map(|(_, _, plain)| !plain)
+            .unwrap_or(false)
+            || lub_strategy
+                .flatten()
+                .map(|(_, _, plain)| !plain)
+                .unwrap_or(false);
+
+        // One compilation of the (closed) body; one certainty checker whose
+        // memo is shared by every group.
+        let compiled = CompiledLevels::new(self.prepared.body.levels());
+        let checker = CertaintyChecker::with_compiled(compiled.clone(), index);
+
+        let free = self.prepared.normalised.body.free_vars().to_vec();
+        let groups: Vec<(Vec<Value>, Vec<Binding>)> = if free.is_empty() {
+            let embs = if needs_analysis {
+                embeddings_compiled(&compiled, index, &compiled.binding())
+            } else {
+                Vec::new()
+            };
+            vec![(Vec::new(), embs)]
+        } else {
+            partition_groups(&self.prepared, index, &compiled, &free, needs_analysis)
+        };
+
+        // Slots of the free variables in the closed body's table, for seeding
+        // per-group base bindings. (With an acyclic body every free variable
+        // occurs in some atom and therefore has a slot.)
+        let free_slots: Vec<Option<usize>> =
+            free.iter().map(|v| compiled.table().slot(v)).collect();
+
         let mut out = Vec::with_capacity(groups.len());
-        for key in groups {
-            let closed = substitute_group(&self.prepared, &key)?;
-            let answer = self.closed_bound(&closed, db, bound)?;
-            out.push((key, answer));
+        for (key, embs) in groups {
+            let analysis = if needs_analysis {
+                let mut base = compiled.binding();
+                for (slot, value) in free_slots.iter().zip(key.iter()) {
+                    if let Some(s) = slot {
+                        base.set_slot(*s, value.clone());
+                    }
+                }
+                Some(analyse_group_with_embeddings(
+                    &checker,
+                    &base,
+                    embs,
+                    needs_forall,
+                ))
+            } else {
+                None
+            };
+            let mut exact_cache: Option<ExactBounds> = None;
+            let glb = match glb_strategy {
+                Some(strategy) => Some(self.bound_answer(
+                    BoundKind::Glb,
+                    strategy,
+                    analysis.as_ref(),
+                    &key,
+                    db,
+                    &mut exact_cache,
+                )?),
+                None => None,
+            };
+            let lub = match lub_strategy {
+                Some(strategy) => Some(self.bound_answer(
+                    BoundKind::Lub,
+                    strategy,
+                    analysis.as_ref(),
+                    &key,
+                    db,
+                    &mut exact_cache,
+                )?),
+                None => None,
+            };
+            out.push(GroupRange { key, glb, lub });
         }
         Ok(out)
     }
 
-    fn closed_bound(
+    /// Computes one bound of one group from the shared analysis (or the
+    /// cached exact enumeration when no rewriting applies).
+    fn bound_answer(
         &self,
-        prepared: &PreparedAggQuery,
-        db: &DatabaseInstance,
         bound: BoundKind,
+        strategy: Option<Strategy>,
+        analysis: Option<&ForallAnalysis>,
+        key: &[Value],
+        db: &DatabaseInstance,
+        exact_cache: &mut Option<ExactBounds>,
     ) -> Result<BoundAnswer, CoreError> {
-        let agg = prepared.normalised.agg;
-        let domain = db.numeric_domain();
-        // The Theorem 6.1 rewriting for SUM requires monotonicity, which in
-        // turn requires numeric columns over Q≥0 (Section 7.3).
-        let sum_ok = agg != AggFunc::Sum || domain == NumericDomain::NonNegative;
-        let strategy: Option<(AggFunc, Choice, bool)> = if !prepared.body.is_acyclic() {
-            None
-        } else {
-            match (bound, agg) {
-                (BoundKind::Glb, AggFunc::Sum) if sum_ok => {
-                    Some((AggFunc::Sum, Choice::Minimise, false))
-                }
-                (BoundKind::Glb, AggFunc::Max) => Some((AggFunc::Max, Choice::Minimise, false)),
-                (BoundKind::Glb, AggFunc::Min) => Some((AggFunc::Min, Choice::Minimise, true)),
-                (BoundKind::Lub, AggFunc::Max) => Some((AggFunc::Max, Choice::Maximise, true)),
-                (BoundKind::Lub, AggFunc::Min) => Some((AggFunc::Min, Choice::Maximise, false)),
-                _ => None,
-            }
-        };
+        let term = &self.prepared.normalised.term;
         match strategy {
             Some((combine, choice, plain_extremum)) => {
-                let index = DbIndex::new(db);
-                let analysis = analyse_with_index(&prepared.body, &index);
+                let analysis = analysis.expect("rewriting strategies require the analysis");
+                let method = if plain_extremum {
+                    Method::PlainExtremum
+                } else {
+                    Method::Rewriting
+                };
                 if !analysis.certain {
                     return Ok(BoundAnswer {
                         value: None,
-                        method: if plain_extremum {
-                            Method::PlainExtremum
-                        } else {
-                            Method::Rewriting
-                        },
+                        method,
                     });
                 }
-                if plain_extremum {
+                let value = if plain_extremum {
                     // Theorem 7.10 (GLB of MIN) and its mirror (LUB of MAX).
-                    let maximise = choice == Choice::Maximise;
-                    let value =
-                        global_extremum(&analysis.embeddings, &prepared.normalised.term, maximise);
-                    Ok(BoundAnswer {
-                        value,
-                        method: Method::PlainExtremum,
-                    })
+                    global_extremum(&analysis.embeddings, term, choice == Choice::Maximise)
                 } else {
-                    let value = optimal_aggregate(
-                        prepared.body.levels(),
+                    optimal_aggregate(
+                        self.prepared.body.levels(),
                         &analysis.forall_embeddings,
-                        &prepared.normalised.term,
+                        term,
                         combine,
                         choice,
-                    );
-                    Ok(BoundAnswer {
-                        value,
-                        method: Method::Rewriting,
-                    })
-                }
+                    )
+                };
+                Ok(BoundAnswer { value, method })
             }
             None => {
                 if !self.options.allow_exact_fallback {
                     return Err(CoreError::UnsupportedAggregate {
                         reason: format!(
-                            "no AGGR[FOL] rewriting is known for {bound:?} of {agg} and the \
-                             exact fallback is disabled"
+                            "no AGGR[FOL] rewriting is known for {bound:?} of {} and the \
+                             exact fallback is disabled",
+                            self.prepared.normalised.agg
                         ),
                     });
                 }
-                let bounds = exact_bounds(prepared, db, self.options.max_repairs)?;
+                let bounds = match exact_cache {
+                    Some(bounds) => *bounds,
+                    None => {
+                        let computed = if key.is_empty() {
+                            exact_bounds(&self.prepared, db, self.options.max_repairs)?
+                        } else {
+                            let closed = substitute_group(&self.prepared, key)?;
+                            exact_bounds(&closed, db, self.options.max_repairs)?
+                        };
+                        *exact_cache = Some(computed);
+                        computed
+                    }
+                };
                 let value = match bound {
                     BoundKind::Glb => bounds.glb,
                     BoundKind::Lub => bounds.lub,
@@ -248,62 +375,89 @@ impl RangeCqa {
     }
 }
 
+/// Enumerates the open body once over the shared index and partitions the
+/// embeddings by group key, re-expressed over the closed body's slot table
+/// (so downstream certainty checks need no per-group re-preparation).
+fn partition_groups(
+    prepared: &PreparedAggQuery,
+    index: &DbIndex,
+    closed: &CompiledLevels,
+    free: &[Var],
+    keep_embeddings: bool,
+) -> Vec<(Vec<Value>, Vec<Binding>)> {
+    let open = CompiledLevels::new(prepared.open_levels());
+    let open_embeddings = embeddings_compiled(&open, index, &open.binding());
+    let free_slots: Vec<usize> = free
+        .iter()
+        .map(|v| {
+            open.table()
+                .slot(v)
+                .expect("free variable occurs in the open body")
+        })
+        .collect();
+    // Slot remapping open → closed (same variable set, possibly different
+    // topological order). Unknown slots only arise for cyclic closed bodies,
+    // whose evaluation never consumes the embeddings.
+    let remap: Vec<Option<usize>> = open
+        .table()
+        .vars()
+        .iter()
+        .map(|v| closed.table().slot(v))
+        .collect();
+    let mut groups: BTreeMap<Vec<Value>, Vec<Binding>> = BTreeMap::new();
+    for theta in open_embeddings {
+        let slots = theta.slots();
+        let key: Vec<Value> = free_slots
+            .iter()
+            .map(|&s| slots[s].clone().expect("free variable bound by embedding"))
+            .collect();
+        let bucket = groups.entry(key).or_default();
+        if keep_embeddings {
+            let mut closed_slots: Vec<Option<Value>> = vec![None; closed.table().len()];
+            for (o, c) in remap.iter().enumerate() {
+                if let Some(c) = c {
+                    closed_slots[*c] = slots[o].clone();
+                }
+            }
+            bucket.push(Binding::from_slots(closed.table().clone(), closed_slots));
+        }
+    }
+    groups.into_iter().collect()
+}
+
 /// Enumerates the candidate group keys of a query with free variables: the
 /// distinct projections, onto the GROUP BY variables, of the embeddings of
 /// the body in `db` (Section 6.2: range semantics instantiate the free
 /// variables with every possible tuple of constants; tuples with no embedding
 /// at all have answer `⊥` in every repair and are not reported).
 pub fn candidate_groups(prepared: &PreparedAggQuery, db: &DatabaseInstance) -> Vec<Vec<Value>> {
-    let free = prepared.normalised.body.free_vars();
+    let index = DbIndex::new(db);
+    candidate_groups_with_index(prepared, &index)
+}
+
+/// Like [`candidate_groups`], but reuses a prebuilt [`DbIndex`].
+pub fn candidate_groups_with_index(
+    prepared: &PreparedAggQuery,
+    index: &DbIndex,
+) -> Vec<Vec<Value>> {
+    let free = prepared.normalised.body.free_vars().to_vec();
     if free.is_empty() {
         return vec![Vec::new()];
     }
-    // Re-prepare the body with no free variables so that the join enumerates
-    // values for them too.
-    let open_body = rcqa_query::ConjunctiveQuery::boolean(
-        prepared.normalised.body.atoms().iter().cloned(),
-    );
-    let open = match crate::prepared::PreparedBody::new(&open_body, db.schema()) {
-        Ok(p) => p,
-        Err(_) => return Vec::new(),
-    };
-    let index = DbIndex::new(db);
-    let levels: Vec<crate::prepared::Level> = if open.is_acyclic() {
-        open.levels().to_vec()
-    } else {
-        // Enumeration does not need a topological sort; build pseudo levels in
-        // query order.
-        open_body
-            .atoms()
-            .iter()
-            .map(|atom| crate::prepared::Level {
-                atom: atom.clone(),
-                key_len: db
-                    .schema()
-                    .signature(atom.relation())
-                    .map(|s| s.key_len())
-                    .unwrap_or(atom.arity()),
-                new_key_vars: Vec::new(),
-                new_other_vars: Vec::new(),
-                prefix_vars: Vec::new(),
-            })
-            .collect()
-    };
-    let embs = embeddings(&levels, &index, &Binding::new());
-    let mut seen: BTreeSet<Vec<Value>> = BTreeSet::new();
-    for e in embs {
-        let key: Vec<Value> = free
-            .iter()
-            .map(|v| e.get(v).cloned().expect("free variable bound by embedding"))
-            .collect();
-        seen.insert(key);
-    }
-    seen.into_iter().collect()
+    let compiled = CompiledLevels::new(prepared.open_levels());
+    partition_groups(prepared, index, &compiled, &free, false)
+        .into_iter()
+        .map(|(key, _)| key)
+        .collect()
 }
 
 /// Substitutes a group key for the free variables of a query, producing a
 /// closed prepared query (Section 6.2: free variables are treated as
 /// constants).
+///
+/// The one-pass pipeline no longer calls this per group for rewriting-backed
+/// strategies; it remains the entry into the exact-enumeration fallback and
+/// the repair-enumeration baselines.
 pub fn substitute_group(
     prepared: &PreparedAggQuery,
     key: &[Value],
@@ -382,10 +536,8 @@ mod tests {
         let engine = RangeCqa::new(&q, db.schema()).unwrap();
         let ranges = engine.range(&db).unwrap();
         assert_eq!(ranges.len(), 2);
-        let by_name: BTreeMap<String, &GroupRange> = ranges
-            .iter()
-            .map(|r| (r.key[0].to_string(), r))
-            .collect();
+        let by_name: BTreeMap<String, &GroupRange> =
+            ranges.iter().map(|r| (r.key[0].to_string(), r)).collect();
         // James is certainly in Boston: glb = 35 + 35 = 70, lub = 40 + 35 = 75.
         let james = by_name["James"];
         assert_eq!(james.glb.unwrap().value, Some(rat(70)));
@@ -450,10 +602,12 @@ mod tests {
         assert_eq!(glb[0].1.method, Method::ExactEnumeration);
         assert_eq!(glb[0].1.value, Some(rat(35)));
 
-        let engine = RangeCqa::new(&q, db.schema()).unwrap().with_options(EngineOptions {
-            allow_exact_fallback: false,
-            max_repairs: 1 << 20,
-        });
+        let engine = RangeCqa::new(&q, db.schema())
+            .unwrap()
+            .with_options(EngineOptions {
+                allow_exact_fallback: false,
+                max_repairs: 1 << 20,
+            });
         assert!(matches!(
             engine.glb(&db),
             Err(CoreError::UnsupportedAggregate { .. })
@@ -493,5 +647,91 @@ mod tests {
         let engine = RangeCqa::new(&q, db.schema()).unwrap();
         let glb = engine.glb(&db).unwrap();
         assert_eq!(glb[0].1.method, Method::ExactEnumeration);
+    }
+
+    #[test]
+    fn one_index_build_per_call() {
+        // The acceptance criterion of the one-pass pipeline: each of glb,
+        // lub, and range constructs exactly one DbIndex, even with GROUP BY
+        // (rewriting-backed strategies only; the exact fallback enumerates
+        // repairs and indexes each repair by design). MAX is rewriting-backed
+        // for both bounds.
+        let db = db_stock();
+        let q = parse_agg_query("(x, MAX(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+
+        let before = DbIndex::builds_on_this_thread();
+        let glb = engine.glb(&db).unwrap();
+        assert_eq!(
+            DbIndex::builds_on_this_thread() - before,
+            1,
+            "glb must build exactly one index"
+        );
+        assert_eq!(glb.len(), 2);
+
+        let before = DbIndex::builds_on_this_thread();
+        let lub = engine.lub(&db).unwrap();
+        assert_eq!(
+            DbIndex::builds_on_this_thread() - before,
+            1,
+            "lub must build exactly one index"
+        );
+        assert_eq!(lub.len(), 2);
+
+        let before = DbIndex::builds_on_this_thread();
+        let ranges = engine.range(&db).unwrap();
+        assert_eq!(
+            DbIndex::builds_on_this_thread() - before,
+            1,
+            "range must build exactly one index"
+        );
+        assert_eq!(ranges.len(), 2);
+
+        // The closed variant holds the invariant too.
+        let q = parse_agg_query("SUM(y) <- Dealers('Smith', t), Stock(p, t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+        let before = DbIndex::builds_on_this_thread();
+        engine.glb(&db).unwrap();
+        assert_eq!(DbIndex::builds_on_this_thread() - before, 1);
+    }
+
+    #[test]
+    fn grouped_range_matches_per_bound_calls() {
+        // range() shares one analysis between the bounds; it must agree with
+        // independent glb()/lub() calls.
+        let db = db_stock();
+        for text in [
+            "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)",
+            "(x, MIN(y)) <- Dealers(x, t), Stock(p, t, y)",
+            "(x, MAX(y)) <- Dealers(x, t), Stock(p, t, y)",
+            "(x, AVG(y)) <- Dealers(x, t), Stock(p, t, y)",
+        ] {
+            let q = parse_agg_query(text).unwrap();
+            let engine = RangeCqa::new(&q, db.schema()).unwrap();
+            let ranges = engine.range(&db).unwrap();
+            let glb = engine.glb(&db).unwrap();
+            let lub = engine.lub(&db).unwrap();
+            assert_eq!(ranges.len(), glb.len(), "{text}");
+            for (range, (gk, g)) in ranges.iter().zip(glb.iter()) {
+                assert_eq!(&range.key, gk, "{text}");
+                assert_eq!(range.glb.as_ref().unwrap(), g, "{text}");
+            }
+            for (range, (lk, l)) in ranges.iter().zip(lub.iter()) {
+                assert_eq!(&range.key, lk, "{text}");
+                assert_eq!(range.lub.as_ref().unwrap(), l, "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_groups_are_sorted_and_complete() {
+        let db = db_stock();
+        let q = parse_agg_query("(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+        let prepared = PreparedAggQuery::new(&q, db.schema()).unwrap();
+        let groups = candidate_groups(&prepared, &db);
+        assert_eq!(
+            groups,
+            vec![vec![Value::text("James")], vec![Value::text("Smith")]]
+        );
     }
 }

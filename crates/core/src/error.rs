@@ -31,7 +31,10 @@ impl fmt::Display for CoreError {
             CoreError::Query(e) => write!(f, "query error: {e}"),
             CoreError::Data(e) => write!(f, "data error: {e}"),
             CoreError::CyclicAttackGraph => {
-                write!(f, "the attack graph is cyclic: not expressible in AGGR[FOL]")
+                write!(
+                    f,
+                    "the attack graph is cyclic: not expressible in AGGR[FOL]"
+                )
             }
             CoreError::UnsupportedAggregate { reason } => {
                 write!(f, "unsupported aggregate for rewriting: {reason}")

@@ -99,10 +99,7 @@ pub fn exact_bounds(
 /// Builds a level structure in plain query order (used when the attack graph
 /// is cyclic and no topological sort exists); only the fields used by the
 /// embedding enumerator are meaningful.
-fn pseudo_levels(
-    query: &PreparedAggQuery,
-    db: &DatabaseInstance,
-) -> Vec<crate::prepared::Level> {
+fn pseudo_levels(query: &PreparedAggQuery, db: &DatabaseInstance) -> Vec<crate::prepared::Level> {
     query
         .normalised
         .body

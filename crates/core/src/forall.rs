@@ -7,19 +7,388 @@
 //! `F_ℓ ∧ ... ∧ F_n` is certain (true in every repair) once the variables of
 //! `F_1, ..., F_{ℓ-1}` and `Key(F_ℓ)` are fixed. The set of ∀embeddings is the
 //! basis of the GLB computation (Lemma 6.3 and Corollary 6.4).
+//!
+//! ## Representation
+//!
+//! Query variables are interned into dense *slots* ([`VarTable`]), so a
+//! (partial) valuation is a flat `Vec<Option<Value>>` instead of a tree map.
+//! The join core ([`embeddings`], [`CertaintyChecker`]) matches facts against
+//! [`CompiledLevels`] — atoms pre-resolved to slot indices — mutating a
+//! single slot vector with trail-based backtracking, so a matched fact costs
+//! a handful of slot writes rather than a `BTreeMap` clone. The public
+//! [`Binding`] type wraps the slot vector together with its (shared) variable
+//! table and still offers map-like, by-variable access.
 
 use crate::index::DbIndex;
 use crate::prepared::{Level, PreparedBody};
 use rcqa_data::{DatabaseInstance, Fact, Value};
 use rcqa_query::{Atom, Term, Var};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::ops::Index;
+use std::sync::Arc;
 
-/// A (partial) valuation of query variables.
-pub type Binding = BTreeMap<Var, Value>;
+/// An interning table mapping the variables of a query body to dense slot
+/// indices. Built once per prepared body and shared (via `Arc`) by every
+/// [`Binding`] produced from it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VarTable {
+    vars: Vec<Var>,
+    slots: HashMap<Var, usize>,
+}
+
+impl VarTable {
+    /// An empty table.
+    pub fn new() -> VarTable {
+        VarTable::default()
+    }
+
+    /// Collects every variable occurring in the atoms of `levels`, in
+    /// first-occurrence order (deterministic for a fixed level list).
+    pub fn from_levels(levels: &[Level]) -> VarTable {
+        let mut table = VarTable::new();
+        for level in levels {
+            for term in level.atom.terms() {
+                if let Some(v) = term.as_var() {
+                    table.intern(v);
+                }
+            }
+        }
+        table
+    }
+
+    /// Interns a variable, returning its slot.
+    fn intern(&mut self, v: &Var) -> usize {
+        if let Some(&s) = self.slots.get(v) {
+            return s;
+        }
+        let s = self.vars.len();
+        self.vars.push(v.clone());
+        self.slots.insert(v.clone(), s);
+        s
+    }
+
+    /// The slot of a variable, if interned.
+    pub fn slot(&self, v: &Var) -> Option<usize> {
+        self.slots.get(v).copied()
+    }
+
+    /// The interned variables, in slot order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns `true` if no variable is interned.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+/// A (partial) valuation of query variables: a flat slot vector plus the
+/// shared [`VarTable`] that names the slots.
+///
+/// Cloning a binding copies the slot vector (values are `Arc`-backed and
+/// cheap) and bumps the table's reference count; no tree rebalancing or
+/// per-entry node allocation happens, which is what makes the join core
+/// allocation-light compared to the previous `BTreeMap<Var, Value>`
+/// representation.
+#[derive(Clone, Default)]
+pub struct Binding {
+    table: Arc<VarTable>,
+    slots: Vec<Option<Value>>,
+}
+
+impl Binding {
+    /// An empty binding over an empty variable table. Variables inserted
+    /// later grow the table on demand, so this behaves like the map it
+    /// replaced.
+    pub fn new() -> Binding {
+        Binding::default()
+    }
+
+    /// An unbound valuation over the given table.
+    pub fn for_table(table: Arc<VarTable>) -> Binding {
+        let slots = vec![None; table.len()];
+        Binding { table, slots }
+    }
+
+    /// The table naming this binding's slots.
+    pub fn table(&self) -> &Arc<VarTable> {
+        &self.table
+    }
+
+    /// The value bound to `v`, if any.
+    pub fn get(&self, v: &Var) -> Option<&Value> {
+        self.table
+            .slot(v)
+            .and_then(|s| self.slots.get(s))
+            .and_then(Option::as_ref)
+    }
+
+    /// Binds `v` to `value`, growing the variable table if `v` is new.
+    /// Returns the previously bound value, if any.
+    pub fn insert(&mut self, v: Var, value: Value) -> Option<Value> {
+        let slot = match self.table.slot(&v) {
+            Some(s) => s,
+            None => Arc::make_mut(&mut self.table).intern(&v),
+        };
+        if slot >= self.slots.len() {
+            self.slots.resize(self.table.len(), None);
+        }
+        self.slots[slot].replace(value)
+    }
+
+    /// Iterates over the bound `(variable, value)` pairs, in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &Value)> {
+        self.table
+            .vars()
+            .iter()
+            .zip(self.slots.iter())
+            .filter_map(|(v, val)| val.as_ref().map(|val| (v, val)))
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Returns `true` if no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Converts to the ordered-map representation used by the symbolic
+    /// evaluator ([`rcqa_logic::Valuation`]).
+    pub fn to_valuation(&self) -> BTreeMap<Var, Value> {
+        self.iter()
+            .map(|(v, val)| (v.clone(), val.clone()))
+            .collect()
+    }
+
+    /// Direct slot access for the join core.
+    #[inline]
+    pub(crate) fn slots(&self) -> &[Option<Value>] {
+        &self.slots
+    }
+
+    /// Binds a slot directly (the slot must belong to this binding's table).
+    #[inline]
+    pub(crate) fn set_slot(&mut self, slot: usize, value: Value) {
+        self.slots[slot] = Some(value);
+    }
+
+    /// Wraps raw slots produced by the join core.
+    pub(crate) fn from_slots(table: Arc<VarTable>, slots: Vec<Option<Value>>) -> Binding {
+        Binding { table, slots }
+    }
+
+    /// Re-expresses this binding over `table`, dropping variables the target
+    /// table does not know. Cheap when the binding already uses `table`.
+    pub(crate) fn adapt_to(&self, table: &Arc<VarTable>) -> Binding {
+        if Arc::ptr_eq(&self.table, table) || self.table == *table {
+            return Binding {
+                table: table.clone(),
+                slots: {
+                    let mut slots = self.slots.clone();
+                    slots.resize(table.len(), None);
+                    slots
+                },
+            };
+        }
+        let mut out = Binding::for_table(table.clone());
+        for (v, val) in self.iter() {
+            if let Some(s) = table.slot(v) {
+                out.slots[s] = Some(val.clone());
+            }
+        }
+        out
+    }
+}
+
+impl Index<&Var> for Binding {
+    type Output = Value;
+
+    fn index(&self, v: &Var) -> &Value {
+        self.get(v)
+            .unwrap_or_else(|| panic!("variable {v} is unbound"))
+    }
+}
+
+impl FromIterator<(Var, Value)> for Binding {
+    fn from_iter<I: IntoIterator<Item = (Var, Value)>>(iter: I) -> Binding {
+        let mut binding = Binding::new();
+        for (v, val) in iter {
+            binding.insert(v, val);
+        }
+        binding
+    }
+}
+
+impl PartialEq for Binding {
+    fn eq(&self, other: &Binding) -> bool {
+        if Arc::ptr_eq(&self.table, &other.table) {
+            return self.slots == other.slots;
+        }
+        // Structural equality across tables: same bound pairs.
+        self.to_valuation() == other.to_valuation()
+    }
+}
+
+impl Eq for Binding {}
+
+impl fmt::Debug for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+/// One position of a compiled atom: a constant to compare or a slot to
+/// bind/check.
+#[derive(Clone, Debug)]
+enum SlotTerm {
+    Const(Value),
+    Slot(usize),
+}
+
+/// One level of a topologically-sorted body with its atom pre-resolved to
+/// slot indices.
+#[derive(Clone, Debug)]
+pub struct CompiledLevel {
+    relation: String,
+    key_len: usize,
+    terms: Vec<SlotTerm>,
+    /// `x̄_ℓ` as slots.
+    new_key_slots: Vec<usize>,
+    /// `ū_ℓ` as slots.
+    prefix_slots: Vec<usize>,
+}
+
+/// A body compiled for the slot-based join core: per-level slot-resolved
+/// atoms plus the shared [`VarTable`].
+#[derive(Clone, Debug)]
+pub struct CompiledLevels {
+    levels: Vec<CompiledLevel>,
+    table: Arc<VarTable>,
+}
+
+impl CompiledLevels {
+    /// Compiles a level list, interning its variables.
+    pub fn new(levels: &[Level]) -> CompiledLevels {
+        let table = Arc::new(VarTable::from_levels(levels));
+        let compiled = levels
+            .iter()
+            .map(|level| {
+                let slot = |v: &Var| table.slot(v).expect("level variable interned");
+                CompiledLevel {
+                    relation: level.atom.relation().to_string(),
+                    key_len: level.key_len,
+                    terms: level
+                        .atom
+                        .terms()
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(c) => SlotTerm::Const(c.clone()),
+                            Term::Var(v) => SlotTerm::Slot(slot(v)),
+                        })
+                        .collect(),
+                    new_key_slots: level.new_key_vars.iter().map(&slot).collect(),
+                    prefix_slots: level.prefix_vars.iter().map(slot).collect(),
+                }
+            })
+            .collect();
+        CompiledLevels {
+            levels: compiled,
+            table,
+        }
+    }
+
+    /// The shared variable table.
+    pub fn table(&self) -> &Arc<VarTable> {
+        &self.table
+    }
+
+    /// An unbound valuation over this body's variables.
+    pub fn binding(&self) -> Binding {
+        Binding::for_table(self.table.clone())
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Returns `true` if there are no levels.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+}
+
+/// Tries to match `fact` against the compiled `level` by mutating `slots` in
+/// place; newly bound slots are recorded on `trail` (even on failure, so the
+/// caller can undo a partial match).
+#[inline]
+fn match_level(
+    level: &CompiledLevel,
+    fact: &Fact,
+    slots: &mut [Option<Value>],
+    trail: &mut Vec<usize>,
+) -> bool {
+    for (p, term) in level.terms.iter().enumerate() {
+        let actual = fact.arg(p);
+        match term {
+            SlotTerm::Const(c) => {
+                if c != actual {
+                    return false;
+                }
+            }
+            SlotTerm::Slot(s) => match &slots[*s] {
+                Some(bound) => {
+                    if bound != actual {
+                        return false;
+                    }
+                }
+                None => {
+                    slots[*s] = Some(actual.clone());
+                    trail.push(*s);
+                }
+            },
+        }
+    }
+    true
+}
+
+/// Undoes the slot writes recorded after `mark` and truncates the trail.
+#[inline]
+fn unwind(slots: &mut [Option<Value>], trail: &mut Vec<usize>, mark: usize) {
+    for &s in &trail[mark..] {
+        slots[s] = None;
+    }
+    trail.truncate(mark);
+}
+
+/// The key pattern of a compiled atom under the current slots: one entry per
+/// key position, `Some(v)` when the position is a constant or a bound slot.
+fn key_pattern(level: &CompiledLevel, slots: &[Option<Value>]) -> Vec<Option<Value>> {
+    level.terms[..level.key_len]
+        .iter()
+        .map(|t| match t {
+            SlotTerm::Const(c) => Some(c.clone()),
+            SlotTerm::Slot(s) => slots[*s].clone(),
+        })
+        .collect()
+}
 
 /// Tries to match `fact` against `atom` under `binding`; on success returns
 /// the binding extended with the newly bound variables.
+///
+/// This is the by-name convenience entry point (used by the baselines); the
+/// join core uses the slot-based [`CompiledLevels`] machinery instead.
 pub fn match_fact(atom: &Atom, fact: &Fact, binding: &Binding) -> Option<Binding> {
     let mut extended = binding.clone();
     for (p, term) in atom.terms().iter().enumerate() {
@@ -45,44 +414,62 @@ pub fn match_fact(atom: &Atom, fact: &Fact, binding: &Binding) -> Option<Binding
     Some(extended)
 }
 
-/// The key pattern of an atom under a binding: one entry per key position,
-/// `Some(v)` when the position is a constant or a bound variable.
-fn key_pattern(atom: &Atom, key_len: usize, binding: &Binding) -> Vec<Option<Value>> {
-    (0..key_len)
-        .map(|p| match atom.term(p) {
-            Term::Const(c) => Some(c.clone()),
-            Term::Var(v) => binding.get(v).cloned(),
-        })
-        .collect()
-}
+/// Memo of decided certainty sub-problems: (level, relevant slot values).
+type CertaintyMemo = HashMap<(usize, Vec<Option<Value>>), bool>;
 
 /// Certainty checker for the suffixes `F_ℓ ∧ ... ∧ F_n` of a topologically
 /// sorted acyclic query, with memoisation on the relevant part of the binding.
+///
+/// The memo key is slot-projected, and free (frozen) variables of the query
+/// occur in the atoms and hence in the relevant slots — so a single checker
+/// can be shared across **all groups** of a grouped query: certainty work
+/// done for one group key is reused for every other group that leads to the
+/// same sub-problem.
 pub struct CertaintyChecker<'a> {
-    levels: &'a [Level],
+    compiled: CompiledLevels,
     index: &'a DbIndex,
-    /// For each level, the variables of `F_ℓ, ..., F_n` (only these influence
-    /// the answer, so they form the memo key).
-    relevant_vars: Vec<Vec<Var>>,
-    memo: RefCell<HashMap<(usize, Vec<Option<Value>>), bool>>,
+    /// For each level, the slots of the variables of `F_ℓ, ..., F_n` (only
+    /// these influence the answer, so they form the memo key).
+    relevant_slots: Vec<Vec<usize>>,
+    memo: RefCell<CertaintyMemo>,
 }
 
 impl<'a> CertaintyChecker<'a> {
     /// Creates a checker for the given levels (topological order) and index.
-    pub fn new(levels: &'a [Level], index: &'a DbIndex) -> CertaintyChecker<'a> {
-        let n = levels.len();
-        let mut relevant_vars: Vec<Vec<Var>> = vec![Vec::new(); n + 1];
-        let mut acc: BTreeSet<Var> = BTreeSet::new();
+    pub fn new(levels: &[Level], index: &'a DbIndex) -> CertaintyChecker<'a> {
+        CertaintyChecker::with_compiled(CompiledLevels::new(levels), index)
+    }
+
+    /// Creates a checker over an already-compiled body, sharing its variable
+    /// table (and therefore its slot layout) with bindings produced from the
+    /// same [`CompiledLevels`].
+    pub fn with_compiled(compiled: CompiledLevels, index: &'a DbIndex) -> CertaintyChecker<'a> {
+        let n = compiled.levels.len();
+        let mut relevant_slots: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        let mut acc: Vec<usize> = Vec::new();
         for l in (0..n).rev() {
-            acc.extend(levels[l].atom.vars());
-            relevant_vars[l] = acc.iter().cloned().collect();
+            for term in &compiled.levels[l].terms {
+                if let SlotTerm::Slot(s) = term {
+                    if !acc.contains(s) {
+                        acc.push(*s);
+                    }
+                }
+            }
+            let mut sorted = acc.clone();
+            sorted.sort_unstable();
+            relevant_slots[l] = sorted;
         }
         CertaintyChecker {
-            levels,
+            compiled,
             index,
-            relevant_vars,
+            relevant_slots,
             memo: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// The compiled body this checker runs over.
+    pub fn compiled(&self) -> &CompiledLevels {
+        &self.compiled
     }
 
     /// Returns `true` if `F_{level+1} ∧ ... ∧ F_n` (0-based `level`) holds in
@@ -90,41 +477,44 @@ impl<'a> CertaintyChecker<'a> {
     ///
     /// `certain_from(0, ∅)` decides `CERTAINTY(q)` for the whole query.
     pub fn certain_from(&self, level: usize, binding: &Binding) -> bool {
-        if level >= self.levels.len() {
+        let adapted = binding.adapt_to(&self.compiled.table);
+        let mut slots = adapted.slots;
+        self.certain_from_slots(level, &mut slots)
+    }
+
+    /// Slot-based entry point for callers that already share this checker's
+    /// table (no adaptation, no allocation beyond the memo key).
+    pub(crate) fn certain_from_slots(&self, level: usize, slots: &mut Vec<Option<Value>>) -> bool {
+        if level >= self.compiled.levels.len() {
             return true;
         }
-        let key: Vec<Option<Value>> = self.relevant_vars[level]
+        let key: Vec<Option<Value>> = self.relevant_slots[level]
             .iter()
-            .map(|v| binding.get(v).cloned())
+            .map(|&s| slots[s].clone())
             .collect();
         if let Some(&cached) = self.memo.borrow().get(&(level, key.clone())) {
             return cached;
         }
-        let result = self.certain_uncached(level, binding);
+        let result = self.certain_uncached(level, slots);
         self.memo.borrow_mut().insert((level, key), result);
         result
     }
 
-    fn certain_uncached(&self, level: usize, binding: &Binding) -> bool {
-        let lvl = &self.levels[level];
-        let Some(rel) = self.index.relation(lvl.atom.relation()) else {
-            return false;
-        };
-        let pattern = key_pattern(&lvl.atom, lvl.key_len, binding);
+    fn certain_uncached(&self, level: usize, slots: &mut Vec<Option<Value>>) -> bool {
+        let lvl = &self.compiled.levels[level];
+        let rel = self.index.relation(&lvl.relation);
+        let pattern = key_pattern(lvl, slots);
+        let mut trail: Vec<usize> = Vec::new();
         for block in rel.blocks_matching(&pattern) {
             let mut all_ok = true;
             for fact in &block.facts {
-                match match_fact(&lvl.atom, fact, binding) {
-                    Some(extended) => {
-                        if !self.certain_from(level + 1, &extended) {
-                            all_ok = false;
-                            break;
-                        }
-                    }
-                    None => {
-                        all_ok = false;
-                        break;
-                    }
+                let mark = trail.len();
+                let matched = match_level(lvl, fact, slots, &mut trail);
+                let ok = matched && self.certain_from_slots(level + 1, slots);
+                unwind(slots, &mut trail, mark);
+                if !ok {
+                    all_ok = false;
+                    break;
                 }
             }
             if all_ok {
@@ -138,26 +528,45 @@ impl<'a> CertaintyChecker<'a> {
 /// Enumerates all embeddings of the body (atoms in topological order) in the
 /// indexed database, starting from an initial binding.
 pub fn embeddings(levels: &[Level], index: &DbIndex, initial: &Binding) -> Vec<Binding> {
+    embeddings_compiled(&CompiledLevels::new(levels), index, initial)
+}
+
+/// Like [`embeddings`], but over an already-compiled body (the engine
+/// compiles once per call and reuses the compilation across groups).
+pub fn embeddings_compiled(
+    compiled: &CompiledLevels,
+    index: &DbIndex,
+    initial: &Binding,
+) -> Vec<Binding> {
+    let mut slots = initial.adapt_to(&compiled.table).slots;
+    let mut trail = Vec::new();
     let mut out = Vec::new();
-    embed_rec(levels, index, 0, initial.clone(), &mut out);
+    embed_rec(compiled, index, 0, &mut slots, &mut trail, &mut out);
     out
 }
 
-fn embed_rec(levels: &[Level], index: &DbIndex, level: usize, binding: Binding, out: &mut Vec<Binding>) {
-    if level >= levels.len() {
-        out.push(binding);
+fn embed_rec(
+    compiled: &CompiledLevels,
+    index: &DbIndex,
+    level: usize,
+    slots: &mut Vec<Option<Value>>,
+    trail: &mut Vec<usize>,
+    out: &mut Vec<Binding>,
+) {
+    if level >= compiled.levels.len() {
+        out.push(Binding::from_slots(compiled.table.clone(), slots.clone()));
         return;
     }
-    let lvl = &levels[level];
-    let Some(rel) = index.relation(lvl.atom.relation()) else {
-        return;
-    };
-    let pattern = key_pattern(&lvl.atom, lvl.key_len, &binding);
+    let lvl = &compiled.levels[level];
+    let rel = index.relation(&lvl.relation);
+    let pattern = key_pattern(lvl, slots);
     for block in rel.blocks_matching(&pattern) {
         for fact in &block.facts {
-            if let Some(extended) = match_fact(&lvl.atom, fact, &binding) {
-                embed_rec(levels, index, level + 1, extended, out);
+            let mark = trail.len();
+            if match_level(lvl, fact, slots, trail) {
+                embed_rec(compiled, index, level + 1, slots, trail, out);
             }
+            unwind(slots, trail, mark);
         }
     }
 }
@@ -196,14 +605,41 @@ pub fn analyse_with_index(body: &PreparedBody, index: &DbIndex) -> ForallAnalysi
         body.body().free_vars().is_empty(),
         "free variables must be substituted before analysis"
     );
-    let levels = body.levels();
-    let checker = CertaintyChecker::new(levels, index);
-    let certain = checker.certain_from(0, &Binding::new());
-    let embeddings = embeddings(levels, index, &Binding::new());
-    let forall_embeddings = if certain {
+    let checker = CertaintyChecker::new(body.levels(), index);
+    let base = checker.compiled().binding();
+    analyse_group(&checker, index, &base)
+}
+
+/// Computes the per-group analysis — certainty, embeddings, ∀embeddings —
+/// for the group fixed by `base` (free variables bound to the group key;
+/// empty for closed queries), sharing the checker's memo across groups.
+pub fn analyse_group(
+    checker: &CertaintyChecker<'_>,
+    index: &DbIndex,
+    base: &Binding,
+) -> ForallAnalysis {
+    let compiled = checker.compiled();
+    let embeddings = embeddings_compiled(compiled, index, base);
+    analyse_group_with_embeddings(checker, base, embeddings, true)
+}
+
+/// Like [`analyse_group`], but for a group whose embeddings have already
+/// been enumerated (the engine enumerates all groups in one pass and
+/// partitions the result). When `compute_forall` is `false` the ∀embedding
+/// filter is skipped (the plain-extremum strategies of Theorem 7.10 only
+/// need the embeddings and the certainty bit).
+pub fn analyse_group_with_embeddings(
+    checker: &CertaintyChecker<'_>,
+    base: &Binding,
+    embeddings: Vec<Binding>,
+    compute_forall: bool,
+) -> ForallAnalysis {
+    let mut base_slots = base.adapt_to(&checker.compiled().table).slots;
+    let certain = checker.certain_from_slots(0, &mut base_slots);
+    let forall_embeddings = if certain && compute_forall {
         embeddings
             .iter()
-            .filter(|theta| is_forall_embedding(levels, &checker, theta))
+            .filter(|theta| is_forall_embedding(checker, &base_slots, theta))
             .cloned()
             .collect()
     } else {
@@ -217,24 +653,29 @@ pub fn analyse_with_index(body: &PreparedBody, index: &DbIndex) -> ForallAnalysi
 }
 
 /// Checks the level-by-level certainty conditions of the ∀embedding
-/// definition for a full embedding `theta`.
-fn is_forall_embedding(levels: &[Level], checker: &CertaintyChecker<'_>, theta: &Binding) -> bool {
-    for (l, lvl) in levels.iter().enumerate() {
-        // Restriction of theta to ū_{ℓ-1} ∪ x̄_ℓ.
-        let mut restricted = Binding::new();
+/// definition for a full embedding `theta`, relative to the frozen base
+/// binding (group key) in `base_slots`.
+fn is_forall_embedding(
+    checker: &CertaintyChecker<'_>,
+    base_slots: &[Option<Value>],
+    theta: &Binding,
+) -> bool {
+    let compiled = checker.compiled();
+    debug_assert!(Arc::ptr_eq(theta.table(), &compiled.table));
+    let theta_slots = theta.slots();
+    let mut restricted = base_slots.to_vec();
+    for (l, lvl) in compiled.levels.iter().enumerate() {
+        // Restriction of theta to ū_{ℓ-1} ∪ x̄_ℓ (plus the frozen base).
+        restricted.clone_from_slice(base_slots);
         if l > 0 {
-            for v in &levels[l - 1].prefix_vars {
-                if let Some(val) = theta.get(v) {
-                    restricted.insert(v.clone(), val.clone());
-                }
+            for &s in &compiled.levels[l - 1].prefix_slots {
+                restricted[s] = theta_slots[s].clone();
             }
         }
-        for v in &lvl.new_key_vars {
-            if let Some(val) = theta.get(v) {
-                restricted.insert(v.clone(), val.clone());
-            }
+        for &s in &lvl.new_key_slots {
+            restricted[s] = theta_slots[s].clone();
         }
-        if !checker.certain_from(l, &restricted) {
+        if !checker.certain_from_slots(l, &mut restricted) {
             return false;
         }
     }
@@ -247,6 +688,7 @@ mod tests {
     use crate::prepared::PreparedAggQuery;
     use rcqa_data::{fact, rat, Schema, Signature};
     use rcqa_query::parse_agg_query;
+    use std::collections::BTreeSet;
 
     /// The database instance of Fig. 1.
     fn db_stock() -> DatabaseInstance {
@@ -301,7 +743,10 @@ mod tests {
     fn example_4_1_forall_embeddings() {
         // q0 = Dealers('James', t), Stock(p, t, 35): true in every repair.
         let db = db_stock();
-        let q = prepared("COUNT(*) <- Dealers('James', t), Stock(p, t, 35)", db.schema());
+        let q = prepared(
+            "COUNT(*) <- Dealers('James', t), Stock(p, t, 35)",
+            db.schema(),
+        );
         let analysis = analyse(&q.body, &db);
         assert!(analysis.certain);
         // Embeddings: (Boston, Tesla X) and (Boston, Tesla Y).
@@ -388,10 +833,7 @@ mod tests {
 
     #[test]
     fn match_fact_handles_repeats_and_constants() {
-        let atom = Atom::new(
-            "T",
-            vec![Term::var("x"), Term::var("x"), Term::constant(3)],
-        );
+        let atom = Atom::new("T", vec![Term::var("x"), Term::var("x"), Term::constant(3)]);
         let f_ok = fact!("T", "a", "a", 3);
         let f_bad_repeat = fact!("T", "a", "b", 3);
         let f_bad_const = fact!("T", "a", "a", 4);
@@ -419,5 +861,45 @@ mod tests {
         let analysis = analyse(&q.body, &db);
         assert!(!analysis.certain);
         assert!(analysis.embeddings.is_empty());
+    }
+
+    #[test]
+    fn binding_behaves_like_a_map() {
+        let mut b = Binding::new();
+        assert!(b.is_empty());
+        assert_eq!(b.insert(Var::new("x"), Value::int(1)), None);
+        assert_eq!(b.insert(Var::new("x"), Value::int(2)), Some(Value::int(1)));
+        b.insert(Var::new("y"), Value::text("a"));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(&Var::new("x")), Some(&Value::int(2)));
+        assert_eq!(b.get(&Var::new("z")), None);
+        let pairs: Vec<_> = b.iter().map(|(v, _)| v.name().to_string()).collect();
+        assert_eq!(pairs, vec!["x", "y"]);
+        // Structural equality across differently-built tables.
+        let c: Binding = vec![
+            (Var::new("y"), Value::text("a")),
+            (Var::new("x"), Value::int(2)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(b, c);
+        assert_eq!(b.to_valuation(), c.to_valuation());
+    }
+
+    #[test]
+    fn grouped_analysis_shares_one_checker() {
+        // Group-by on the Fig. 1 instance: analysing Smith and James with one
+        // shared checker gives the same per-group results as substituting.
+        let db = db_stock();
+        let index = DbIndex::new(&db);
+        let q = prepared("(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)", db.schema());
+        let checker = CertaintyChecker::new(q.body.levels(), &index);
+        for (dealer, n_embs) in [("Smith", 5), ("James", 3)] {
+            let mut base = checker.compiled().binding();
+            base.insert(Var::new("x"), Value::text(dealer));
+            let analysis = analyse_group(&checker, &index, &base);
+            assert!(analysis.certain, "{dealer} group must be certain");
+            assert_eq!(analysis.embeddings.len(), n_embs, "{dealer} embeddings");
+        }
     }
 }

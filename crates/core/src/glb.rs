@@ -64,7 +64,12 @@ pub fn optimal_aggregate(
 /// Projects a binding onto a list of variables (used to group extensions).
 fn project(binding: &Binding, vars: &[Var]) -> Vec<Value> {
     vars.iter()
-        .map(|v| binding.get(v).cloned().expect("∀embedding binds all variables"))
+        .map(|v| {
+            binding
+                .get(v)
+                .cloned()
+                .expect("∀embedding binds all variables")
+        })
         .collect()
 }
 
@@ -122,11 +127,7 @@ fn recurse(
 /// Computes the plain (non-repair-aware) extremum of the aggregated term over
 /// all embeddings: the value of `MIN(r)`'s GLB and `MAX(r)`'s LUB when the
 /// query is certain (Theorem 7.10 and its mirror in Theorem 7.11).
-pub fn global_extremum(
-    embeddings: &[Binding],
-    term: &AggTerm,
-    maximise: bool,
-) -> Option<Rational> {
+pub fn global_extremum(embeddings: &[Binding], term: &AggTerm, maximise: bool) -> Option<Rational> {
     let mut best: Option<Rational> = None;
     for b in embeddings {
         let v = term_value(term, b);

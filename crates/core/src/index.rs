@@ -1,9 +1,23 @@
 //! A block-oriented index over a database instance, used by the operational
 //! evaluators (embedding enumeration, certainty checks, ∀embedding
 //! computation).
+//!
+//! Building a [`DbIndex`] is `O(|db|)` and is the only full scan the engine
+//! performs: every evaluation entry point ([`crate::engine::RangeCqa::glb`],
+//! `lub`, `range`) builds **exactly one** index per call and threads it by
+//! reference through candidate-group enumeration, certainty checking, and
+//! ∀embedding computation. The thread-local [`DbIndex::builds_on_this_thread`]
+//! counter exists so tests can assert that invariant.
 
 use rcqa_data::{DatabaseInstance, Fact, Value};
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::ops::Range;
+
+thread_local! {
+    /// Number of [`DbIndex`] constructions performed by this thread.
+    static BUILD_COUNT: Cell<u64> = const { Cell::new(0) };
+}
 
 /// One block: the facts of a relation sharing a primary-key value.
 #[derive(Clone, Debug)]
@@ -37,43 +51,94 @@ impl RelationIndex {
         self.by_key.get(key).map(|&i| &self.blocks[i])
     }
 
-    /// Returns the blocks compatible with a partially-bound key pattern:
-    /// `pattern[i] = Some(v)` requires the block key to equal `v` at
-    /// position `i`, `None` leaves the position unconstrained.
-    pub fn blocks_matching<'a>(&'a self, pattern: &[Option<Value>]) -> Vec<&'a IndexedBlock> {
-        // Fully bound: direct lookup.
-        if pattern.iter().all(Option::is_some) {
+    /// Returns an iterator over the blocks compatible with a partially-bound
+    /// key pattern: `pattern[i] = Some(v)` requires the block key to equal
+    /// `v` at position `i`, `None` leaves the position unconstrained.
+    ///
+    /// The iterator borrows both the index and the pattern and allocates
+    /// nothing beyond the (rare) fully-bound direct lookup; candidate lists
+    /// are walked in place instead of being copied out.
+    pub fn blocks_matching<'a, 'p>(
+        &'a self,
+        pattern: &'p [Option<Value>],
+    ) -> BlocksMatching<'a, 'p> {
+        // Fully bound: direct lookup, no filtering needed.
+        if !pattern.is_empty() && pattern.iter().all(Option::is_some) {
             let key: Vec<Value> = pattern.iter().map(|v| v.clone().unwrap()).collect();
-            return self.block_by_key(&key).into_iter().collect();
+            return BlocksMatching {
+                blocks: &self.blocks,
+                pattern,
+                source: BlockSource::One(self.block_by_key(&key)),
+            };
         }
         // Use the most selective bound position, if any.
         let mut best: Option<&Vec<usize>> = None;
         for (p, v) in pattern.iter().enumerate() {
             if let Some(v) = v {
-                match self.by_key_pos[p].get(v) {
+                match self.by_key_pos.get(p).and_then(|m| m.get(v)) {
                     Some(ids) => {
                         if best.map(|b| ids.len() < b.len()).unwrap_or(true) {
                             best = Some(ids);
                         }
                     }
-                    None => return Vec::new(),
+                    None => {
+                        return BlocksMatching {
+                            blocks: &self.blocks,
+                            pattern,
+                            source: BlockSource::One(None),
+                        }
+                    }
                 }
             }
         }
-        let candidates: Vec<usize> = match best {
-            Some(ids) => ids.clone(),
-            None => (0..self.blocks.len()).collect(),
+        let source = match best {
+            Some(ids) => BlockSource::Candidates(ids.iter()),
+            None => BlockSource::All(0..self.blocks.len()),
         };
-        candidates
-            .into_iter()
-            .map(|i| &self.blocks[i])
-            .filter(|b| {
-                pattern
-                    .iter()
-                    .enumerate()
-                    .all(|(p, v)| v.as_ref().map(|v| &b.key[p] == v).unwrap_or(true))
-            })
-            .collect()
+        BlocksMatching {
+            blocks: &self.blocks,
+            pattern,
+            source,
+        }
+    }
+}
+
+/// Where [`BlocksMatching`] draws candidate block positions from.
+enum BlockSource<'a> {
+    /// A single pre-resolved block (fully-bound pattern), already verified.
+    One(Option<&'a IndexedBlock>),
+    /// The posting list of the most selective bound key position.
+    Candidates(std::slice::Iter<'a, usize>),
+    /// Every block of the relation (no key position bound).
+    All(Range<usize>),
+}
+
+/// Iterator returned by [`RelationIndex::blocks_matching`].
+pub struct BlocksMatching<'a, 'p> {
+    blocks: &'a [IndexedBlock],
+    pattern: &'p [Option<Value>],
+    source: BlockSource<'a>,
+}
+
+impl<'a> Iterator for BlocksMatching<'a, '_> {
+    type Item = &'a IndexedBlock;
+
+    fn next(&mut self) -> Option<&'a IndexedBlock> {
+        loop {
+            let candidate = match &mut self.source {
+                BlockSource::One(slot) => return slot.take(),
+                BlockSource::Candidates(ids) => self.blocks.get(*ids.next()?)?,
+                BlockSource::All(range) => &self.blocks[range.next()?],
+            };
+            let matches = self
+                .pattern
+                .iter()
+                .enumerate()
+                .all(|(p, v)| v.as_ref().map(|v| &candidate.key[p] == v).unwrap_or(true));
+            if matches {
+                return Some(candidate);
+            }
+        }
     }
 }
 
@@ -81,11 +146,14 @@ impl RelationIndex {
 #[derive(Clone, Debug, Default)]
 pub struct DbIndex {
     relations: HashMap<String, RelationIndex>,
+    /// Returned for names outside the schema, so lookups are total.
+    empty: RelationIndex,
 }
 
 impl DbIndex {
     /// Builds the index for a database instance.
     pub fn new(db: &DatabaseInstance) -> DbIndex {
+        BUILD_COUNT.with(|c| c.set(c.get() + 1));
         let mut relations: HashMap<String, RelationIndex> = HashMap::new();
         for (name, sig) in db.schema().relations() {
             let key_len = sig.key_len();
@@ -115,13 +183,33 @@ impl DbIndex {
             }
             relations.insert(name.to_string(), rel);
         }
-        DbIndex { relations }
+        DbIndex {
+            relations,
+            empty: RelationIndex::default(),
+        }
     }
 
-    /// The index of a relation (every relation of the schema is present, even
-    /// if empty).
-    pub fn relation(&self, name: &str) -> Option<&RelationIndex> {
-        self.relations.get(name)
+    /// The index of a relation. Every relation of the schema is present (even
+    /// if it holds no facts); names outside the schema resolve to a shared
+    /// empty index, so the lookup is infallible.
+    pub fn relation(&self, name: &str) -> &RelationIndex {
+        self.relations.get(name).unwrap_or(&self.empty)
+    }
+
+    /// Returns `true` if `name` is a relation of the indexed schema.
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Number of [`DbIndex`] values constructed by the current thread since
+    /// it started.
+    ///
+    /// The engine guarantees exactly one construction per `glb`/`lub`/`range`
+    /// call (on rewriting-backed paths); tests assert this by differencing
+    /// the counter around a call. Thread-local so parallel test execution
+    /// cannot interfere.
+    pub fn builds_on_this_thread() -> u64 {
+        BUILD_COUNT.with(|c| c.get())
     }
 }
 
@@ -149,39 +237,67 @@ mod tests {
     fn blocks_and_lookup() {
         let db = db();
         let idx = DbIndex::new(&db);
-        let s = idx.relation("S").unwrap();
+        let s = idx.relation("S");
         assert_eq!(s.blocks.len(), 3);
         assert_eq!(s.fact_count(), 4);
         let b = s
             .block_by_key(&[Value::text("b1"), Value::text("c1")])
             .unwrap();
         assert_eq!(b.facts.len(), 2);
-        assert!(s.block_by_key(&[Value::text("zz"), Value::text("c1")]).is_none());
+        assert!(s
+            .block_by_key(&[Value::text("zz"), Value::text("c1")])
+            .is_none());
         // Empty relation exists in the index.
-        assert_eq!(idx.relation("Empty").unwrap().blocks.len(), 0);
-        assert!(idx.relation("Missing").is_none());
+        assert_eq!(idx.relation("Empty").blocks.len(), 0);
+        // Unknown relations resolve to an empty index instead of a panic or
+        // an Option (doc contract: lookups are total).
+        assert!(!idx.has_relation("Missing"));
+        assert_eq!(idx.relation("Missing").blocks.len(), 0);
+        assert_eq!(
+            idx.relation("Missing")
+                .blocks_matching(&[Some(Value::text("b1"))])
+                .count(),
+            0
+        );
     }
 
     #[test]
     fn partial_key_lookup() {
         let db = db();
         let idx = DbIndex::new(&db);
-        let s = idx.relation("S").unwrap();
+        let s = idx.relation("S");
         // All blocks with first key component b1.
-        let matched = s.blocks_matching(&[Some(Value::text("b1")), None]);
+        let matched: Vec<_> = s
+            .blocks_matching(&[Some(Value::text("b1")), None])
+            .collect();
         assert_eq!(matched.len(), 2);
         // Unconstrained pattern returns every block.
-        let all = s.blocks_matching(&[None, None]);
-        assert_eq!(all.len(), 3);
+        assert_eq!(s.blocks_matching(&[None, None]).count(), 3);
         // Second component only.
-        let matched = s.blocks_matching(&[None, Some(Value::text("c3"))]);
+        let matched: Vec<_> = s
+            .blocks_matching(&[None, Some(Value::text("c3"))])
+            .collect();
         assert_eq!(matched.len(), 1);
         assert_eq!(matched[0].key[0], Value::text("b2"));
         // Value absent from the index.
-        let none = s.blocks_matching(&[Some(Value::text("zzz")), None]);
-        assert!(none.is_empty());
+        assert_eq!(
+            s.blocks_matching(&[Some(Value::text("zzz")), None]).count(),
+            0
+        );
         // Fully bound pattern.
-        let one = s.blocks_matching(&[Some(Value::text("b1")), Some(Value::text("c2"))]);
-        assert_eq!(one.len(), 1);
+        assert_eq!(
+            s.blocks_matching(&[Some(Value::text("b1")), Some(Value::text("c2"))])
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn build_counter_increments_per_construction() {
+        let db = db();
+        let before = DbIndex::builds_on_this_thread();
+        let _a = DbIndex::new(&db);
+        let _b = DbIndex::new(&db);
+        assert_eq!(DbIndex::builds_on_this_thread() - before, 2);
     }
 }

@@ -61,7 +61,8 @@ pub use classify::{classify, classify_with_domain, Classification, Expressibilit
 pub use engine::{BoundAnswer, EngineOptions, GroupRange, Method, RangeCqa};
 pub use error::CoreError;
 pub use exact::{exact_bounds, exact_bounds_by_group, ExactBounds};
-pub use forall::{analyse, Binding, ForallAnalysis};
+pub use forall::{analyse, Binding, CertaintyChecker, CompiledLevels, ForallAnalysis, VarTable};
 pub use glb::{global_extremum, optimal_aggregate, Choice};
+pub use index::DbIndex;
 pub use prepared::{PreparedAggQuery, PreparedBody};
 pub use rewrite::{rewriting_for, BoundKind, Rewriting};

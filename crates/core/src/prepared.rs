@@ -12,8 +12,8 @@
 //! treated as constants and excluded from all three.
 
 use crate::error::CoreError;
-use rcqa_query::{AggQuery, Atom, AttackGraph, ConjunctiveQuery, Var};
 use rcqa_data::Schema;
+use rcqa_query::{AggQuery, Atom, AttackGraph, ConjunctiveQuery, Var};
 use std::collections::BTreeSet;
 
 /// The per-level variable structure for one atom of the topological sort.
@@ -142,7 +142,10 @@ impl PreparedBody {
     /// Atoms in topological order (falls back to query order when cyclic).
     pub fn atoms_in_order(&self) -> Vec<Atom> {
         match &self.topo {
-            Some(order) => order.iter().map(|&i| self.body.atoms()[i].clone()).collect(),
+            Some(order) => order
+                .iter()
+                .map(|&i| self.body.atoms()[i].clone())
+                .collect(),
             None => self.body.atoms().to_vec(),
         }
     }
@@ -175,6 +178,11 @@ pub struct PreparedAggQuery {
     pub normalised: AggQuery,
     /// The prepared body.
     pub body: PreparedBody,
+    /// Level structure of the *open* body — the body with the GROUP BY
+    /// variables un-frozen — used to enumerate candidate groups in one join
+    /// pass. Empty for closed queries. Computed once here so evaluation never
+    /// re-runs attack-graph analysis per call (let alone per group).
+    open_levels: Vec<Level>,
 }
 
 impl PreparedAggQuery {
@@ -183,11 +191,48 @@ impl PreparedAggQuery {
         query.validate(schema)?;
         let normalised = query.normalise_count();
         let body = PreparedBody::new(&normalised.body, schema)?;
+        let open_levels = if normalised.body.free_vars().is_empty() {
+            Vec::new()
+        } else {
+            Self::build_open_levels(&normalised.body, schema)
+        };
         Ok(PreparedAggQuery {
             original: query.clone(),
             normalised,
             body,
+            open_levels,
         })
+    }
+
+    /// The level structure of the open body (candidate-group enumeration
+    /// order). Empty for closed queries.
+    pub fn open_levels(&self) -> &[Level] {
+        &self.open_levels
+    }
+
+    fn build_open_levels(body: &ConjunctiveQuery, schema: &Schema) -> Vec<Level> {
+        let open_body = ConjunctiveQuery::boolean(body.atoms().iter().cloned());
+        if let Ok(open) = PreparedBody::new(&open_body, schema) {
+            if open.is_acyclic() {
+                return open.levels().to_vec();
+            }
+        }
+        // Enumeration does not need a topological sort; fall back to pseudo
+        // levels in query order (only the atom and key length are used).
+        open_body
+            .atoms()
+            .iter()
+            .map(|atom| Level {
+                atom: atom.clone(),
+                key_len: schema
+                    .signature(atom.relation())
+                    .map(|s| s.key_len())
+                    .unwrap_or(atom.arity()),
+                new_key_vars: Vec::new(),
+                new_other_vars: Vec::new(),
+                prefix_vars: Vec::new(),
+            })
+            .collect()
     }
 }
 

@@ -47,10 +47,7 @@ impl Gensym {
 /// `∃(non-frozen vars) F_1 ∧ ... ∧ F_n` under `θ`.
 pub fn certainty_rewriting(levels: &[Level], frozen: &BTreeSet<Var>) -> Formula {
     let mut gensym = Gensym::default();
-    let atoms: Vec<(Atom, usize)> = levels
-        .iter()
-        .map(|l| (l.atom.clone(), l.key_len))
-        .collect();
+    let atoms: Vec<(Atom, usize)> = levels.iter().map(|l| (l.atom.clone(), l.key_len)).collect();
     certain_rec(&atoms, &BTreeMap::new(), frozen, &mut gensym)
 }
 
@@ -263,12 +260,7 @@ pub fn construct_rewriting(
             .collect();
         let psi_full = Formula::exists(later_vars.clone(), forall.clone());
         // V_{ℓ+1}(ū_ℓ, x̄_{ℓ+1}) := choice over ȳ_{ℓ+1} of T_{ℓ+1}.
-        let v_term = NumTerm::aggr(
-            choice_op,
-            lvl.new_other_vars.clone(),
-            term,
-            psi_full,
-        );
+        let v_term = NumTerm::aggr(choice_op, lvl.new_other_vars.clone(), term, psi_full);
         // ψ^key_{ℓ+1}(ū_ℓ, x̄_{ℓ+1}): some extension of the key prefix is a
         // ∀embedding.
         let psi_key = Formula::exists(
@@ -346,9 +338,11 @@ pub fn rewriting_for(prepared: &PreparedAggQuery, bound: BoundKind) -> Option<Re
         }
         (BoundKind::Glb, AggFunc::Min) => Some(extremum_rewriting(prepared, false)),
         (BoundKind::Lub, AggFunc::Max) => Some(extremum_rewriting(prepared, true)),
-        (BoundKind::Lub, AggFunc::Min) => {
-            Some(construct_rewriting(prepared, AggFunc::Min, Choice::Maximise))
-        }
+        (BoundKind::Lub, AggFunc::Min) => Some(construct_rewriting(
+            prepared,
+            AggFunc::Min,
+            Choice::Maximise,
+        )),
         _ => None,
     }
 }
@@ -418,7 +412,10 @@ mod tests {
             fact!("Stock", "Tesla Y", "New York", 95),
         ])
         .unwrap();
-        let q2 = prepared("SUM(y) <- Dealers('James', t), Stock(p, t, y)", db2.schema());
+        let q2 = prepared(
+            "SUM(y) <- Dealers('James', t), Stock(p, t, y)",
+            db2.schema(),
+        );
         let cert2 = certainty_rewriting(q2.body.levels(), &BTreeSet::new());
         let ev2 = Evaluator::new(&db2);
         assert!(!ev2.eval_formula(&cert2, &Default::default()));
@@ -434,7 +431,7 @@ mod tests {
         // Every operational ∀embedding satisfies the formula, and every
         // operational embedding that is not a ∀embedding falsifies it.
         for emb in &analysis.embeddings {
-            let val: rcqa_logic::Valuation = emb.clone();
+            let val: rcqa_logic::Valuation = emb.to_valuation();
             let by_formula = ev.eval_formula(&phi, &val);
             let by_operational = analysis.forall_embeddings.contains(emb);
             assert_eq!(by_formula, by_operational, "embedding {emb:?}");
@@ -514,7 +511,10 @@ mod tests {
         }
         // Certainty rewriting grows and stays within a quadratic envelope.
         for (n, cert_size, _) in &sizes {
-            assert!(*cert_size <= 40 * n * n + 40, "certainty size {cert_size} for n={n}");
+            assert!(
+                *cert_size <= 40 * n * n + 40,
+                "certainty size {cert_size} for n={n}"
+            );
         }
         // Total rewriting size is monotonically increasing in query size.
         for w in sizes.windows(2) {

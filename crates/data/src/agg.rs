@@ -216,11 +216,7 @@ impl AggOp {
             // for multiset extension, not pointwise), but the paper only needs
             // the negative results here; we conservatively report duals of the
             // standard operators.
-            match self.func {
-                // F_MIN^dual({{x}}) = -x decreases when x grows and when the
-                // multiset is extended with smaller elements; not monotone.
-                _ => false,
-            }
+            false
         } else {
             self.func.is_monotone(domain)
         }
@@ -230,7 +226,10 @@ impl AggOp {
     /// have descending chains).
     pub fn has_descending_chain(&self, domain: NumericDomain) -> bool {
         if self.dual {
-            matches!(self.func, AggFunc::Sum | AggFunc::Avg | AggFunc::Product | AggFunc::Count)
+            matches!(
+                self.func,
+                AggFunc::Sum | AggFunc::Avg | AggFunc::Product | AggFunc::Count
+            )
         } else {
             self.func.has_descending_chain(domain)
         }
@@ -261,7 +260,10 @@ mod tests {
         assert_eq!(AggFunc::Min.apply(&vals), Some(rat(5)));
         assert_eq!(AggFunc::Max.apply(&vals), Some(rat(8)));
         assert_eq!(AggFunc::Avg.apply(&vals), Some(ratio(13, 2)));
-        assert_eq!(AggFunc::Product.apply(&[rat(2), rat(3), rat(4)]), Some(rat(24)));
+        assert_eq!(
+            AggFunc::Product.apply(&[rat(2), rat(3), rat(4)]),
+            Some(rat(24))
+        );
         assert_eq!(AggFunc::Sum.apply(&[]), None);
     }
 
@@ -330,7 +332,10 @@ mod tests {
     fn parse_names() {
         assert_eq!(AggFunc::parse("sum"), Some(AggFunc::Sum));
         assert_eq!(AggFunc::parse(" MAX "), Some(AggFunc::Max));
-        assert_eq!(AggFunc::parse("count-distinct"), Some(AggFunc::CountDistinct));
+        assert_eq!(
+            AggFunc::parse("count-distinct"),
+            Some(AggFunc::CountDistinct)
+        );
         assert_eq!(AggFunc::parse("median"), None);
         for f in AggFunc::ALL {
             assert_eq!(AggFunc::parse(f.name()), Some(f));

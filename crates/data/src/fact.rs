@@ -106,7 +106,10 @@ mod tests {
     fn key_and_nonkey() {
         let sig = Signature::new(3, 2, [2]).unwrap();
         let f = fact!("Stock", "Tesla X", "Boston", 35);
-        assert_eq!(f.key(&sig), &[Value::text("Tesla X"), Value::text("Boston")]);
+        assert_eq!(
+            f.key(&sig),
+            &[Value::text("Tesla X"), Value::text("Boston")]
+        );
         assert_eq!(f.non_key(&sig), &[Value::int(35)]);
         assert_eq!(f.arg(2), &Value::int(35));
     }

@@ -135,10 +135,7 @@ impl DatabaseInstance {
     }
 
     /// Inserts many facts.
-    pub fn insert_all(
-        &mut self,
-        facts: impl IntoIterator<Item = Fact>,
-    ) -> Result<(), DataError> {
+    pub fn insert_all(&mut self, facts: impl IntoIterator<Item = Fact>) -> Result<(), DataError> {
         for f in facts {
             self.insert(f)?;
         }
@@ -218,10 +215,7 @@ impl DatabaseInstance {
     /// order.
     pub fn blocks(&self) -> Vec<Block> {
         let names: Vec<RelName> = self.relations.keys().cloned().collect();
-        names
-            .iter()
-            .flat_map(|n| self.blocks_of(n))
-            .collect()
+        names.iter().flat_map(|n| self.blocks_of(n)).collect()
     }
 
     /// Returns `true` if the instance satisfies all primary keys.
@@ -277,7 +271,7 @@ impl DatabaseInstance {
         r
     }
 
-    fn from_facts(&self, facts: impl IntoIterator<Item = Fact>) -> DatabaseInstance {
+    fn with_facts(&self, facts: impl IntoIterator<Item = Fact>) -> DatabaseInstance {
         let mut r = DatabaseInstance {
             schema: self.schema.clone(),
             domain: self.domain,
@@ -361,7 +355,7 @@ impl Iterator for RepairIter<'_> {
             }
             self.indices.as_mut().unwrap()[pos] = 0;
         }
-        Some(self.instance.from_facts(facts))
+        Some(self.instance.with_facts(facts))
     }
 }
 

@@ -239,6 +239,8 @@ impl Mul for Rational {
 
 impl Div for Rational {
     type Output = Rational;
+    // Division multiplies by the reciprocal, which clippy flags as suspicious.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Rational) -> Rational {
         let r = rhs.recip().expect("division by zero rational");
         self * r
@@ -316,11 +318,16 @@ impl FromStr for Rational {
             return Rational::new(n, d);
         }
         if let Some((int, frac)) = s.split_once('.') {
-            let sign = if int.trim_start().starts_with('-') { -1 } else { 1 };
+            let sign = if int.trim_start().starts_with('-') {
+                -1
+            } else {
+                1
+            };
             let int_part: i128 = if int.is_empty() || int == "-" {
                 0
             } else {
-                int.parse().map_err(|_| RationalError::Parse(s.to_string()))?
+                int.parse()
+                    .map_err(|_| RationalError::Parse(s.to_string()))?
             };
             if frac.is_empty() || !frac.chars().all(|c| c.is_ascii_digit()) {
                 return Err(RationalError::Parse(s.to_string()));

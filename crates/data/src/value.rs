@@ -149,11 +149,21 @@ mod tests {
 
     #[test]
     fn ordering_numbers_before_text() {
-        let mut vals = vec![Value::text("a"), Value::int(5), Value::text("b"), Value::int(2)];
+        let mut vals = vec![
+            Value::text("a"),
+            Value::int(5),
+            Value::text("b"),
+            Value::int(2),
+        ];
         vals.sort();
         assert_eq!(
             vals,
-            vec![Value::int(2), Value::int(5), Value::text("a"), Value::text("b")]
+            vec![
+                Value::int(2),
+                Value::int(5),
+                Value::text("a"),
+                Value::text("b")
+            ]
         );
     }
 

@@ -113,11 +113,8 @@ impl JoinWorkload {
                 for _ in 0..copies {
                     let r = rng.gen_range(0..=self.max_value.max(1));
                     if used.insert(r) {
-                        db.insert(Fact::new(
-                            "S",
-                            [y_of(y), zkey.clone(), Value::int(r)],
-                        ))
-                        .expect("generated fact conforms to schema");
+                        db.insert(Fact::new("S", [y_of(y), zkey.clone(), Value::int(r)]))
+                            .expect("generated fact conforms to schema");
                     }
                 }
             }

@@ -177,7 +177,8 @@ impl Formula {
         }
     }
 
-    /// Negation.
+    /// Negation (a constructor taking the operand by value, not `ops::Not`).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }
@@ -245,9 +246,7 @@ impl Formula {
                 s
             }
             Formula::Not(f) => f.free_vars(),
-            Formula::And(fs) | Formula::Or(fs) => {
-                fs.iter().flat_map(Formula::free_vars).collect()
-            }
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().flat_map(Formula::free_vars).collect(),
             Formula::Implies(a, b) => {
                 let mut s = a.free_vars();
                 s.extend(b.free_vars());
@@ -405,13 +404,19 @@ mod tests {
     fn builders_simplify() {
         assert_eq!(Formula::and([]), Formula::True);
         assert_eq!(Formula::or([]), Formula::False);
-        assert_eq!(Formula::and([Formula::True, atom("R", &["x"])]), atom("R", &["x"]));
+        assert_eq!(
+            Formula::and([Formula::True, atom("R", &["x"])]),
+            atom("R", &["x"])
+        );
         let nested = Formula::and([
             Formula::And(vec![atom("R", &["x"]), atom("S", &["y"])]),
             atom("T", &["z"]),
         ]);
         assert!(matches!(nested, Formula::And(ref v) if v.len() == 3));
-        assert_eq!(Formula::exists(Vec::<Var>::new(), atom("R", &["x"])), atom("R", &["x"]));
+        assert_eq!(
+            Formula::exists(Vec::<Var>::new(), atom("R", &["x"])),
+            atom("R", &["x"])
+        );
     }
 
     #[test]

@@ -53,8 +53,7 @@ impl<'a> Evaluator<'a> {
             Formula::True => true,
             Formula::False => false,
             Formula::Atom(atom) => {
-                let args: Vec<Value> =
-                    atom.terms().iter().map(|t| self.resolve(t, val)).collect();
+                let args: Vec<Value> = atom.terms().iter().map(|t| self.resolve(t, val)).collect();
                 self.db
                     .facts_of(atom.relation())
                     .any(|f| f.args() == args.as_slice())
@@ -235,10 +234,7 @@ mod tests {
             &atom("R", &[Term::constant("a1"), Term::constant("b2")]),
             &val
         ));
-        assert!(ev.eval_formula(
-            &Formula::Eq(Term::constant("x"), Term::constant("x")),
-            &val
-        ));
+        assert!(ev.eval_formula(&Formula::Eq(Term::constant("x"), Term::constant("x")), &val));
         let mut v = Valuation::new();
         v.insert(Var::new("x"), Value::text("a1"));
         assert!(ev.eval_formula(&atom("R", &[var("x"), Term::constant("b1")]), &v));

@@ -266,7 +266,9 @@ impl ConjunctiveQuery {
     /// Returns `true` if no two distinct atoms share a relation name.
     pub fn is_self_join_free(&self) -> bool {
         let mut seen = BTreeSet::new();
-        self.atoms.iter().all(|a| seen.insert(a.relation().to_string()))
+        self.atoms
+            .iter()
+            .all(|a| seen.insert(a.relation().to_string()))
     }
 
     /// Returns the unique atom with the given relation name, if any.
@@ -420,7 +422,9 @@ impl AggQuery {
         self.body.validate(schema)?;
         if let AggTerm::Var(v) = &self.term {
             if !self.body.vars().contains(v) {
-                return Err(QueryError::AggregatedVariableNotInBody(v.name().to_string()));
+                return Err(QueryError::AggregatedVariableNotInBody(
+                    v.name().to_string(),
+                ));
             }
             let mut numeric = false;
             for atom in self.body.atoms() {
@@ -433,7 +437,9 @@ impl AggQuery {
                 }
             }
             if !numeric {
-                return Err(QueryError::AggregatedVariableNotNumeric(v.name().to_string()));
+                return Err(QueryError::AggregatedVariableNotNumeric(
+                    v.name().to_string(),
+                ));
             }
         }
         Ok(())
@@ -487,7 +493,11 @@ mod tests {
             "Stock",
             vec![Term::var("p"), Term::var("t"), Term::var("y")],
         );
-        AggQuery::closed(AggFunc::Sum, "y", ConjunctiveQuery::boolean([dealers, stock]))
+        AggQuery::closed(
+            AggFunc::Sum,
+            "y",
+            ConjunctiveQuery::boolean([dealers, stock]),
+        )
     }
 
     #[test]

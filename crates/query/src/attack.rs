@@ -378,7 +378,11 @@ impl AttackGraph {
             s.push_str(&format!("  n{i} [label=\"{a}\"];\n"));
         }
         for (i, j) in self.edge_list() {
-            let style = if self.is_weak_attack(i, j) { "solid" } else { "bold" };
+            let style = if self.is_weak_attack(i, j) {
+                "solid"
+            } else {
+                "bold"
+            };
             s.push_str(&format!("  n{i} -> n{j} [style={style}];\n"));
         }
         s.push_str("}\n");
@@ -421,7 +425,7 @@ mod tests {
     }
 
     fn vset(names: &[&str]) -> BTreeSet<Var> {
-        names.iter().map(|n| Var::new(n)).collect()
+        names.iter().map(Var::new).collect()
     }
 
     #[test]
@@ -519,7 +523,10 @@ mod tests {
         assert!(g.is_weak_attack(0, 1));
         assert!(g.is_weak_attack(1, 0));
         assert!(!g.contains_strong_cycle());
-        assert_eq!(g.certainty_complexity(), CertaintyComplexity::PolynomialTime);
+        assert_eq!(
+            g.certainty_complexity(),
+            CertaintyComplexity::PolynomialTime
+        );
         assert_eq!(g.topological_sort(), None);
     }
 

@@ -57,7 +57,9 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, QueryError> {
                     toks.push(Tok::Arrow);
                     i += 2;
                 } else {
-                    return Err(QueryError::Parse(format!("unexpected character '<' at {i}")));
+                    return Err(QueryError::Parse(format!(
+                        "unexpected character '<' at {i}"
+                    )));
                 }
             }
             ':' => {
@@ -66,7 +68,9 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, QueryError> {
                     toks.push(Tok::Arrow);
                     i += 2;
                 } else {
-                    return Err(QueryError::Parse(format!("unexpected character ':' at {i}")));
+                    return Err(QueryError::Parse(format!(
+                        "unexpected character ':' at {i}"
+                    )));
                 }
             }
             '\'' | '"' => {
@@ -106,9 +110,7 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, QueryError> {
                 {
                     // allow hyphens inside identifiers only for aggregate
                     // names like COUNT-DISTINCT
-                    if chars[i] == '-'
-                        && !(i + 1 < chars.len() && chars[i + 1].is_alphabetic())
-                    {
+                    if chars[i] == '-' && !(i + 1 < chars.len() && chars[i + 1].is_alphabetic()) {
                         break;
                     }
                     i += 1;
@@ -157,7 +159,9 @@ impl Parser {
             Some(Tok::Ident(name)) => Ok(Term::Var(Var::new(name))),
             Some(Tok::Str(s)) => Ok(Term::Const(Value::text(s))),
             Some(Tok::Num(r)) => Ok(Term::Const(Value::Num(r))),
-            other => Err(QueryError::Parse(format!("expected a term, found {other:?}"))),
+            other => Err(QueryError::Parse(format!(
+                "expected a term, found {other:?}"
+            ))),
         }
     }
 
@@ -315,8 +319,7 @@ mod tests {
         let q = parse_agg_query("(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
         assert_eq!(q.group_by(), &[Var::new("x")]);
         assert_eq!(q.agg, AggFunc::Sum);
-        let q2 =
-            parse_agg_query("(x, t, COUNT(*)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+        let q2 = parse_agg_query("(x, t, COUNT(*)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
         assert_eq!(q2.group_by().len(), 2);
         assert_eq!(q2.term, AggTerm::Const(Rational::ONE));
     }

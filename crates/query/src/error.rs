@@ -50,7 +50,10 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::SelfJoin(r) => {
-                write!(f, "relation {r:?} occurs twice: self-joins are not supported")
+                write!(
+                    f,
+                    "relation {r:?} occurs twice: self-joins are not supported"
+                )
             }
             QueryError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
             QueryError::ArityMismatch {
@@ -66,10 +69,16 @@ impl fmt::Display for QueryError {
                 "non-numeric constant at numerical position {position} of {relation}"
             ),
             QueryError::AggregatedVariableNotInBody(v) => {
-                write!(f, "aggregated variable {v} does not occur in the query body")
+                write!(
+                    f,
+                    "aggregated variable {v} does not occur in the query body"
+                )
             }
             QueryError::AggregatedVariableNotNumeric(v) => {
-                write!(f, "aggregated variable {v} never occurs at a numerical position")
+                write!(
+                    f,
+                    "aggregated variable {v} never occurs at a numerical position"
+                )
             }
             QueryError::FreeVariableNotInBody(v) => {
                 write!(f, "free variable {v} does not occur in the query body")

@@ -21,10 +21,7 @@ pub struct Fd {
 
 impl Fd {
     /// Creates a functional dependency.
-    pub fn new(
-        lhs: impl IntoIterator<Item = Var>,
-        rhs: impl IntoIterator<Item = Var>,
-    ) -> Fd {
+    pub fn new(lhs: impl IntoIterator<Item = Var>, rhs: impl IntoIterator<Item = Var>) -> Fd {
         Fd {
             lhs: lhs.into_iter().collect(),
             rhs: rhs.into_iter().collect(),
@@ -134,7 +131,7 @@ mod tests {
     use rcqa_data::Signature;
 
     fn vars(names: &[&str]) -> BTreeSet<Var> {
-        names.iter().map(|n| Var::new(n)).collect()
+        names.iter().map(Var::new).collect()
     }
 
     #[test]
@@ -179,8 +176,7 @@ mod tests {
 
     #[test]
     fn free_vars_are_frozen() {
-        let schema = Schema::new()
-            .with_relation("R", Signature::new(2, 1, []).unwrap());
+        let schema = Schema::new().with_relation("R", Signature::new(2, 1, []).unwrap());
         let r = Atom::new("R", vec![Term::var("x"), Term::var("y")]);
         let q = ConjunctiveQuery::with_free_vars([r], [Var::new("x")]);
         let k = FdSet::keys_of(&q, &schema);

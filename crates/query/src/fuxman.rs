@@ -139,11 +139,10 @@ pub fn is_caggforest(query: &AggQuery, schema: &Schema) -> bool {
     if !is_cforest(&query.body, schema) {
         return false;
     }
-    match (&query.agg, &query.term) {
-        (AggFunc::Min | AggFunc::Max | AggFunc::Sum, AggTerm::Var(_)) => true,
-        (AggFunc::Count, _) => true,
-        _ => false,
-    }
+    matches!(
+        (&query.agg, &query.term),
+        (AggFunc::Min | AggFunc::Max | AggFunc::Sum, AggTerm::Var(_)) | (AggFunc::Count, _)
+    )
 }
 
 #[cfg(test)]

@@ -228,8 +228,8 @@ impl Parser {
     fn parse_select_item(&mut self) -> Result<SelectItem, QueryError> {
         // Aggregate if identifier is a known aggregate name followed by '('.
         if let Some(Tok::Ident(name)) = self.peek() {
-            let is_agg = AggFunc::parse(name).is_some()
-                && self.toks.get(self.pos + 1) == Some(&Tok::LParen);
+            let is_agg =
+                AggFunc::parse(name).is_some() && self.toks.get(self.pos + 1) == Some(&Tok::LParen);
             if is_agg {
                 let name = self.parse_ident()?;
                 let mut agg = AggFunc::parse(&name).expect("checked above");
@@ -454,7 +454,11 @@ pub fn parse_sql(input: &str, catalog: &Catalog) -> Result<SqlQuery, QueryError>
         alias_to_table.insert(alias.to_ascii_lowercase(), def.name().to_string());
         for (p, col) in def.columns().iter().enumerate() {
             let id = var_names.len();
-            var_names.push(format!("{}_{}", alias.to_ascii_lowercase(), col.to_ascii_lowercase()));
+            var_names.push(format!(
+                "{}_{}",
+                alias.to_ascii_lowercase(),
+                col.to_ascii_lowercase()
+            ));
             var_ids.insert((alias.to_ascii_lowercase(), p), id);
         }
     }
@@ -544,12 +548,12 @@ pub fn parse_sql(input: &str, catalog: &Catalog) -> Result<SqlQuery, QueryError>
     })?;
 
     for c in &selected_columns {
+        // Same column name, and compatible qualifiers: equal, or one side
+        // unqualified (an unqualified reference resolves to the same column).
         let in_group_by = parsed.group_by.iter().any(|g| {
-            g.column.eq_ignore_ascii_case(&c.column) && g.qualifier == c.qualifier
-        }) || parsed
-            .group_by
-            .iter()
-            .any(|g| g.column.eq_ignore_ascii_case(&c.column));
+            g.column.eq_ignore_ascii_case(&c.column)
+                && (g.qualifier == c.qualifier || g.qualifier.is_none() || c.qualifier.is_none())
+        });
         if !in_group_by {
             return Err(QueryError::Unsupported(format!(
                 "selected column {} must appear in GROUP BY",
@@ -583,7 +587,9 @@ pub fn parse_sql(input: &str, catalog: &Catalog) -> Result<SqlQuery, QueryError>
     let term = match arg {
         AggArg::Star => {
             if agg != AggFunc::Count && agg != AggFunc::CountDistinct {
-                return Err(QueryError::Unsupported(format!("{agg}(*) is not supported")));
+                return Err(QueryError::Unsupported(format!(
+                    "{agg}(*) is not supported"
+                )));
             }
             AggTerm::Const(Rational::ONE)
         }
@@ -629,6 +635,25 @@ mod tests {
     }
 
     #[test]
+    fn selected_column_with_mismatched_qualifier_is_rejected() {
+        // D.Town and S.Town are distinct (un-equated) columns here, so
+        // selecting one while grouping by the other must be an error rather
+        // than silently grouping by the wrong column.
+        let sql = "SELECT D.Town, SUM(S.Qty) \
+                   FROM Dealers AS D, Stock AS S \
+                   WHERE D.Name = 'Smith' \
+                   GROUP BY S.Town";
+        let err = parse_sql(sql, &stock_catalog()).unwrap_err();
+        assert!(err.to_string().contains("must appear in GROUP BY"), "{err}");
+        // Unqualified references to the grouped column stay accepted.
+        let sql = "SELECT Name, SUM(S.Qty) \
+                   FROM Dealers AS D, Stock AS S \
+                   WHERE D.Town = S.Town \
+                   GROUP BY D.Name";
+        assert!(parse_sql(sql, &stock_catalog()).is_ok());
+    }
+
+    #[test]
     fn translate_introduction_query() {
         // The GROUP BY example from Section 1 of the paper.
         let sql = "SELECT D.Name, SUM(S.Qty) \
@@ -644,7 +669,10 @@ mod tests {
         let dealers = q.body.atom_for("Dealers").unwrap();
         let stock = q.body.atom_for("Stock").unwrap();
         assert_eq!(dealers.term(1), stock.term(1));
-        assert_eq!(out.output_columns, vec!["Name".to_string(), "SUM".to_string()]);
+        assert_eq!(
+            out.output_columns,
+            vec!["Name".to_string(), "SUM".to_string()]
+        );
         // Validation against the catalog's schema succeeds.
         assert!(q.validate(&stock_catalog().schema()).is_ok());
     }

@@ -18,7 +18,10 @@ pub struct Lit {
 impl Lit {
     /// Positive literal of a variable.
     pub fn pos(var: BoolVar) -> Lit {
-        Lit { var, positive: true }
+        Lit {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal of a variable.

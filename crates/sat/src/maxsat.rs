@@ -62,7 +62,10 @@ impl MaxSatInstance {
 
     /// Adds a soft clause with the given non-negative weight.
     pub fn add_soft(&mut self, literals: impl IntoIterator<Item = Lit>, weight: Rational) {
-        debug_assert!(weight.is_non_negative(), "soft weights must be non-negative");
+        debug_assert!(
+            weight.is_non_negative(),
+            "soft weights must be non-negative"
+        );
         self.soft.push((Clause::new(literals), weight));
     }
 
@@ -165,18 +168,18 @@ impl MaxSatInstance {
             }
             forced.pop();
             // Branch 2: allow the clause to be violated, paying its weight.
-            search(instance, num_vars, idx + 1, forced, violated + *weight, best);
+            search(
+                instance,
+                num_vars,
+                idx + 1,
+                forced,
+                violated + *weight,
+                best,
+            );
         }
 
         let mut forced: Vec<Clause> = Vec::new();
-        search(
-            self,
-            num_vars,
-            0,
-            &mut forced,
-            Rational::ZERO,
-            &mut best,
-        );
+        search(self, num_vars, 0, &mut forced, Rational::ZERO, &mut best);
         let (model, cost) = best.expect("hard clauses are satisfiable");
         MaxSatResult::Optimal { model, cost }
     }

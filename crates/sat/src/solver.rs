@@ -172,11 +172,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn check_model(clauses: &[Clause], model: &[bool]) -> bool {
-        clauses.iter().all(|c| {
-            c.literals
-                .iter()
-                .any(|l| l.eval(model[l.var.0 as usize]))
-        })
+        clauses
+            .iter()
+            .all(|c| c.literals.iter().any(|l| l.eval(model[l.var.0 as usize])))
     }
 
     #[test]

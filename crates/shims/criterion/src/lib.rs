@@ -1,0 +1,271 @@
+//! Offline stand-in for the parts of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched from crates.io. This shim keeps the bench sources
+//! API-compatible (`Criterion`, `benchmark_group`, `BenchmarkId`,
+//! `bench_with_input`, `Bencher::iter`, `criterion_group!`/`criterion_main!`)
+//! while performing a simple but honest measurement: a warm-up phase, then
+//! `sample_size` timed samples whose minimum, median, and mean are printed in
+//! a `group/function/param  time: [..]` line. There is no statistical
+//! regression analysis, plotting, or state persisted across runs.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a value (best-effort).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendered via `Display`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a function name.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> BenchmarkId {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> BenchmarkId {
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples after a warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_up_started = Instant::now();
+        let mut warm_up_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_up_iters += 1;
+            if warm_up_started.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Choose an iteration count per sample so one sample is not dominated
+        // by timer resolution for very fast routines.
+        let per_iter = warm_up_started.elapsed() / warm_up_iters.max(1) as u32;
+        let iters_per_sample = if per_iter < Duration::from_micros(50) {
+            (Duration::from_micros(200).as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64
+        } else {
+            1
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let started = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(started.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            warm_up_time: Duration::from_millis(300),
+        };
+        f(&mut bencher, input);
+        self.report(&id, &mut bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, ()| f(b))
+    }
+
+    fn report(&self, id: &BenchmarkId, samples: &mut [Duration]) {
+        let label = match (&id.function, &id.parameter) {
+            (f, Some(p)) if f.is_empty() => format!("{}/{p}", self.name),
+            (f, Some(p)) => format!("{}/{f}/{p}", self.name),
+            (f, None) => format!("{}/{f}", self.name),
+        };
+        if samples.is_empty() {
+            println!("{label:<48} time: [no samples collected]");
+            return;
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{label:<48} time: [min {} / median {} / mean {}]  ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            samples.len()
+        );
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored by the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_string();
+        let mut group = self.benchmark_group(name);
+        group.bench_function(BenchmarkId::from("bench"), &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a benchmark group function, as the real crate does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, as the real crate does.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(5);
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("count", 3), &3u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn id_formats() {
+        let id = BenchmarkId::new("f", 10);
+        assert_eq!(id.function, "f");
+        assert_eq!(id.parameter.as_deref(), Some("10"));
+        let id: BenchmarkId = "plain".into();
+        assert!(id.parameter.is_none());
+    }
+}

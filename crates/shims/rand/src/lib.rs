@@ -1,0 +1,178 @@
+//! Offline stand-in for the parts of the `rand` crate this workspace uses.
+//!
+//! The build environment has no network access, so the workspace cannot pull
+//! the real `rand` from crates.io. This shim implements the subset of the
+//! `rand` 0.8 API that `rcqa-gen` relies on — `StdRng`, `SeedableRng`,
+//! `Rng::gen_range` over integer ranges, and `Rng::gen_bool` — on top of a
+//! deterministic splitmix64/xoshiro-style generator. It is **not** a
+//! cryptographic RNG and makes no statistical-quality claims beyond what the
+//! deterministic benchmark generators need.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[low, high]` (inclusive bounds).
+    fn sample_inclusive(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty sampling range");
+                let span = (high as i128).wrapping_sub(low as i128) as u128 + 1;
+                // Modulo bias is negligible for the small spans the
+                // generators use and irrelevant for deterministic workloads.
+                let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                ((low as i128).wrapping_add(r as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range that `Rng::gen_range` accepts (mirrors `rand::distributions`).
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_single(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + OneLess> SampleRange<T> for Range<T> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> T {
+        T::sample_inclusive(rng, self.start, self.end.one_less())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Helper for converting an exclusive upper bound into an inclusive one.
+pub trait OneLess {
+    /// The predecessor of `self`.
+    fn one_less(self) -> Self;
+}
+
+macro_rules! impl_one_less {
+    ($($t:ty),*) => {$(
+        impl OneLess for $t {
+            fn one_less(self) -> Self {
+                self.checked_sub(1).expect("empty sampling range")
+            }
+        }
+    )*};
+}
+
+impl_one_less!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Core random-number source (object-safe subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling helpers (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples uniformly from the given range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 random mantissa bits, as the real implementation does.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// RNGs constructible from a seed (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds the RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Deterministic default RNG (stand-in for `rand::rngs::StdRng`).
+///
+/// Internally a splitmix64 stream, which passes through every 64-bit state
+/// exactly once and is more than adequate for synthetic data generation.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+/// The `rand::rngs` module of the real crate.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..10);
+            assert!(v < 10);
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+        let mut hits = [false; 4];
+        for _ in 0..200 {
+            hits[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(hits.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+}

@@ -53,7 +53,10 @@ fn main() {
         answer.method
     );
 
-    assert!(Some(fux.glb) > exact.glb, "the refutation should be visible");
+    assert!(
+        Some(fux.glb) > exact.glb,
+        "the refutation should be visible"
+    );
     assert_eq!(answer.value, exact.glb);
     println!("\nFuxman's reported bound exceeds the true greatest lower bound:");
     println!("the Caggforest claim of [Fuxman 2007] fails for negative numbers,");

@@ -119,8 +119,14 @@ fn engine_matches_exact_enumeration_on_generated_workloads() {
             let exact = exact_bounds(&prepared, &db, 1 << 24).unwrap();
             let glb = engine.glb(&db).unwrap()[0].1.value;
             let lub = engine.lub(&db).unwrap()[0].1.value;
-            assert_eq!(glb, exact.glb, "glb mismatch for {text} (seed {seed}, ratio {ratio})");
-            assert_eq!(lub, exact.lub, "lub mismatch for {text} (seed {seed}, ratio {ratio})");
+            assert_eq!(
+                glb, exact.glb,
+                "glb mismatch for {text} (seed {seed}, ratio {ratio})"
+            );
+            assert_eq!(
+                lub, exact.lub,
+                "lub mismatch for {text} (seed {seed}, ratio {ratio})"
+            );
         }
     }
 }

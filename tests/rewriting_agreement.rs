@@ -1,0 +1,172 @@
+//! Generator-driven agreement tests: on random small inconsistent instances
+//! from `rcqa-gen`, every (aggregate, bound) pair with a known AGGR\[FOL\]
+//! rewriting must (a) actually take the optimized rewriting/extremum path and
+//! (b) agree with exhaustive repair enumeration — closed and GROUP BY alike.
+
+use rcqa::core::engine::{Method, RangeCqa};
+use rcqa::core::exact::{exact_bounds, exact_bounds_by_group};
+use rcqa::core::prepared::PreparedAggQuery;
+use rcqa::core::rewrite::BoundKind;
+use rcqa::gen::JoinWorkload;
+use rcqa::query::parse_agg_query;
+
+/// Every (aggregate, bound) pair with a known rewriting over the join
+/// workload's schema (`R(x, y)`, `S(y, z, r)` with non-negative `r`), with
+/// the expected evaluation method.
+const REWRITABLE: &[(&str, BoundKind, Method)] = &[
+    (
+        "SUM(r) <- R(x, y), S(y, z, r)",
+        BoundKind::Glb,
+        Method::Rewriting,
+    ),
+    (
+        "COUNT(*) <- R(x, y), S(y, z, r)",
+        BoundKind::Glb,
+        Method::Rewriting,
+    ),
+    (
+        "MAX(r) <- R(x, y), S(y, z, r)",
+        BoundKind::Glb,
+        Method::Rewriting,
+    ),
+    (
+        "MAX(r) <- R(x, y), S(y, z, r)",
+        BoundKind::Lub,
+        Method::PlainExtremum,
+    ),
+    (
+        "MIN(r) <- R(x, y), S(y, z, r)",
+        BoundKind::Glb,
+        Method::PlainExtremum,
+    ),
+    (
+        "MIN(r) <- R(x, y), S(y, z, r)",
+        BoundKind::Lub,
+        Method::Rewriting,
+    ),
+];
+
+fn workloads() -> impl Iterator<Item = JoinWorkload> {
+    [
+        (1u64, 0.0),
+        (2, 0.2),
+        (3, 0.4),
+        (5, 0.6),
+        (8, 0.3),
+        (13, 0.5),
+    ]
+    .into_iter()
+    .map(|(seed, ratio)| JoinWorkload {
+        r_blocks: 7,
+        y_domain: 4,
+        s_blocks_per_y: 2,
+        inconsistency_ratio: ratio,
+        block_size: 2,
+        max_value: 25,
+        seed,
+    })
+}
+
+#[test]
+fn optimized_paths_agree_with_repair_enumeration() {
+    for cfg in workloads() {
+        let db = cfg.generate();
+        if db.repair_count().unwrap_or(u128::MAX) > 1 << 14 {
+            continue;
+        }
+        for &(text, bound, expected_method) in REWRITABLE {
+            let query = parse_agg_query(text).unwrap();
+            let engine = RangeCqa::new(&query, &cfg.schema()).unwrap();
+            let prepared = PreparedAggQuery::new(&query, &cfg.schema()).unwrap();
+            let exact = exact_bounds(&prepared, &db, 1 << 20).unwrap();
+            let (answer, exact_value) = match bound {
+                BoundKind::Glb => (engine.glb(&db).unwrap()[0].1, exact.glb),
+                BoundKind::Lub => (engine.lub(&db).unwrap()[0].1, exact.lub),
+            };
+            assert_eq!(
+                answer.method, expected_method,
+                "{text} {bound:?} must take the optimized path (seed {})",
+                cfg.seed
+            );
+            assert_eq!(
+                answer.value, exact_value,
+                "{text} {bound:?} disagrees with repair enumeration (seed {})",
+                cfg.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn optimized_grouped_paths_agree_with_repair_enumeration() {
+    let grouped: &[(&str, BoundKind)] = &[
+        ("(x, SUM(r)) <- R(x, y), S(y, z, r)", BoundKind::Glb),
+        ("(x, MAX(r)) <- R(x, y), S(y, z, r)", BoundKind::Glb),
+        ("(x, MAX(r)) <- R(x, y), S(y, z, r)", BoundKind::Lub),
+        ("(x, MIN(r)) <- R(x, y), S(y, z, r)", BoundKind::Glb),
+        ("(x, MIN(r)) <- R(x, y), S(y, z, r)", BoundKind::Lub),
+    ];
+    for cfg in workloads() {
+        let db = cfg.generate();
+        if db.repair_count().unwrap_or(u128::MAX) > 1 << 12 {
+            continue;
+        }
+        for &(text, bound) in grouped {
+            let query = parse_agg_query(text).unwrap();
+            let engine = RangeCqa::new(&query, &cfg.schema()).unwrap();
+            let prepared = PreparedAggQuery::new(&query, &cfg.schema()).unwrap();
+            let exact = exact_bounds_by_group(&prepared, &db, 1 << 20).unwrap();
+            let ours = match bound {
+                BoundKind::Glb => engine.glb(&db).unwrap(),
+                BoundKind::Lub => engine.lub(&db).unwrap(),
+            };
+            assert_eq!(
+                ours.len(),
+                exact.len(),
+                "{text} group count (seed {})",
+                cfg.seed
+            );
+            for ((key_a, answer), (key_b, bounds)) in ours.iter().zip(exact.iter()) {
+                assert_eq!(key_a, key_b, "{text} group order (seed {})", cfg.seed);
+                assert_ne!(
+                    answer.method,
+                    Method::ExactEnumeration,
+                    "{text} {bound:?} must take the optimized path (seed {})",
+                    cfg.seed
+                );
+                let exact_value = match bound {
+                    BoundKind::Glb => bounds.glb,
+                    BoundKind::Lub => bounds.lub,
+                };
+                assert_eq!(
+                    answer.value, exact_value,
+                    "{text} {bound:?} group {key_a:?} disagrees (seed {})",
+                    cfg.seed
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn range_is_consistent_with_individual_bounds_on_generated_data() {
+    for cfg in workloads().take(3) {
+        let db = cfg.generate();
+        let query = parse_agg_query("(x, MAX(r)) <- R(x, y), S(y, z, r)").unwrap();
+        let engine = RangeCqa::new(&query, &cfg.schema()).unwrap();
+        let ranges = engine.range(&db).unwrap();
+        let glb = engine.glb(&db).unwrap();
+        let lub = engine.lub(&db).unwrap();
+        assert_eq!(ranges.len(), glb.len());
+        for ((range, (gk, g)), (lk, l)) in ranges.iter().zip(glb.iter()).zip(lub.iter()) {
+            assert_eq!(&range.key, gk);
+            assert_eq!(&range.key, lk);
+            assert_eq!(range.glb.as_ref().unwrap(), g);
+            assert_eq!(range.lub.as_ref().unwrap(), l);
+            // A range answer is an interval: glb ≤ lub whenever both exist.
+            if let (Some(lo), Some(hi)) = (g.value, l.value) {
+                assert!(lo <= hi, "inverted interval for group {gk:?}");
+            }
+        }
+    }
+}
