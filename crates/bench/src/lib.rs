@@ -397,20 +397,35 @@ pub fn e7(ratios: &[f64]) -> String {
     out
 }
 
-/// E8 — GROUP BY range semantics (Section 6.2).
+/// E8 — GROUP BY range semantics (Section 6.2), answered through the SQL
+/// session facade so the harness exercises the same
+/// parse → classify → plan → execute path as every other consumer.
 pub fn e8() -> String {
-    let db = db_stock();
-    let q = parse_agg_query("(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
-    let engine = RangeCqa::new(&q, db.schema()).unwrap();
-    let ranges = engine.range(&db).unwrap();
+    let catalog = rcqa_query::Catalog::new()
+        .with_table(
+            rcqa_query::TableDef::new("Dealers")
+                .key_column("Name")
+                .column("Town"),
+        )
+        .with_table(
+            rcqa_query::TableDef::new("Stock")
+                .key_column("Product")
+                .key_column("Town")
+                .numeric_column("Qty"),
+        );
+    let session = rcqa_session::Session::with_instance(catalog, db_stock());
+    let sql = "SELECT D.Name, SUM(S.Qty) FROM Dealers AS D, Stock AS S \
+               WHERE D.Town = S.Town GROUP BY D.Name";
+    let outcome = session.execute(sql).expect("E8 query executes");
     let mut out = String::new();
     writeln!(
         out,
-        "E8  GROUP BY range semantics (Section 1 / 6.2 SQL example)"
+        "E8  GROUP BY range semantics (Section 1 / 6.2 SQL example, via rcqa-session)"
     )
     .unwrap();
+    writeln!(out, "  SQL: {sql}").unwrap();
     writeln!(out, "  {:<10} {:>8} {:>8}", "dealer", "glb", "lub").unwrap();
-    for row in &ranges {
+    for row in &outcome.rows {
         writeln!(
             out,
             "  {:<10} {:>8} {:>8}",
@@ -553,6 +568,18 @@ mod tests {
     }
 
     #[test]
+    fn parallel_bench_agrees_and_serialises() {
+        let bench = bench_parallel(24, 1);
+        assert!(bench.groups > 0);
+        assert!(bench.agree, "thread counts must return identical answers");
+        assert_eq!(bench.threads, vec![1, 2, 4]);
+        let json = bench.to_json();
+        assert!(json.contains("\"threads\": [1, 2, 4]"));
+        assert!(json.contains("\"speedup_at_4\": "));
+        assert!(format_parallel(&bench).contains("answers agree : true"));
+    }
+
+    #[test]
     fn groupby_bench_agrees_and_serialises() {
         let bench = bench_groupby(24, 2);
         assert!(bench.groups > 0);
@@ -649,9 +676,23 @@ impl GroupbyBench {
     }
 }
 
+/// Best-of-`samples` wall-clock milliseconds for repeated runs of `f` (the
+/// timing discipline shared by E11 and E12).
+fn best_of_ms(samples: usize, f: &mut dyn FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
 /// E11 — GROUP BY scaling: the one-pass shared-index pipeline vs the seed
 /// per-group re-preparation strategy, on a grouped SUM workload with
-/// `r_blocks` groups. Reports best-of-`samples` wall-clock per arm.
+/// `r_blocks` groups. Reports best-of-`samples` wall-clock per arm. Both
+/// arms are pinned to one executor thread so the measurement isolates the
+/// one-pass pipeline itself (E12 / `bench_parallel` measures threading).
 pub fn bench_groupby(r_blocks: usize, samples: usize) -> GroupbyBench {
     let cfg = JoinWorkload {
         r_blocks,
@@ -665,17 +706,14 @@ pub fn bench_groupby(r_blocks: usize, samples: usize) -> GroupbyBench {
     let db = cfg.generate();
     let query = cfg.grouped_sum_query();
     let schema = cfg.schema();
-    let engine = RangeCqa::new(&query, &schema).expect("benchmark query prepares");
+    let engine = RangeCqa::new(&query, &schema)
+        .expect("benchmark query prepares")
+        .with_options(rcqa_core::engine::EngineOptions {
+            threads: 1,
+            ..Default::default()
+        });
 
-    let best = |f: &mut dyn FnMut()| -> f64 {
-        let mut best = f64::INFINITY;
-        for _ in 0..samples.max(1) {
-            let t0 = Instant::now();
-            f();
-            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
-        }
-        best
-    };
+    let best = |f: &mut dyn FnMut()| -> f64 { best_of_ms(samples, f) };
 
     let mut optimized: Vec<(Vec<rcqa_data::Value>, Option<rcqa_data::Rational>)> = Vec::new();
     let optimized_ms = best(&mut || {
@@ -700,6 +738,149 @@ pub fn bench_groupby(r_blocks: usize, samples: usize) -> GroupbyBench {
         speedup: legacy_ms / optimized_ms.max(f64::MIN_POSITIVE),
         agree: optimized == legacy_answers,
     }
+}
+
+/// Result of the parallel-executor scaling benchmark (E12): the block-sharded
+/// worker pool at increasing thread counts on the grouped SUM workload.
+#[derive(Clone, Debug)]
+pub struct ParallelBench {
+    /// Number of GROUP BY groups answered.
+    pub groups: usize,
+    /// Number of facts in the instance.
+    pub facts: usize,
+    /// Number of timed samples per arm (best sample reported).
+    pub samples: usize,
+    /// The thread counts measured (first entry is the sequential baseline).
+    pub threads: Vec<usize>,
+    /// Best wall-clock time (milliseconds) per thread count.
+    pub ms: Vec<f64>,
+    /// Speedup of 4 threads over 1 thread (`ms[1T] / ms[4T]`).
+    pub speedup_at_4: f64,
+    /// Whether every thread count returned answers identical to 1 thread.
+    pub agree: bool,
+    /// The machine's available parallelism while measuring. Scaling floors
+    /// only make sense when this is at least the measured thread count: on a
+    /// single-core box, 4 workers can only add overhead.
+    pub available_parallelism: usize,
+}
+
+impl ParallelBench {
+    /// Machine-readable JSON encoding (no external serialisation crates in
+    /// this offline workspace, so the fields are written by hand).
+    pub fn to_json(&self) -> String {
+        let join = |xs: &[String]| xs.join(", ");
+        format!(
+            "{{\n  \"benchmark\": \"groupby_parallel_scaling\",\n  \"groups\": {},\n  \
+             \"facts\": {},\n  \"samples\": {},\n  \"threads\": [{}],\n  \"ms\": [{}],\n  \
+             \"speedup_at_4\": {:.2},\n  \"agree\": {},\n  \
+             \"available_parallelism\": {}\n}}\n",
+            self.groups,
+            self.facts,
+            self.samples,
+            join(
+                &self
+                    .threads
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+            ),
+            join(
+                &self
+                    .ms
+                    .iter()
+                    .map(|m| format!("{m:.3}"))
+                    .collect::<Vec<_>>()
+            ),
+            self.speedup_at_4,
+            self.agree,
+            self.available_parallelism
+        )
+    }
+}
+
+/// E12 — parallel-executor scaling: the block-sharded worker pool at 1, 2, 4
+/// (and, hardware permitting, 8) threads on a grouped SUM workload with
+/// `r_blocks` groups. The GLB of SUM is rewriting-backed, so the whole run
+/// stays on the one-pass pipeline; only the worker count varies. Reports
+/// best-of-`samples` wall-clock per arm.
+pub fn bench_parallel(r_blocks: usize, samples: usize) -> ParallelBench {
+    // A wide y-domain keeps the per-group certainty sub-problems mostly
+    // disjoint, so per-worker memoisation loses little against the shared
+    // sequential memo and the parallel region scales close to linearly.
+    let cfg = JoinWorkload {
+        r_blocks,
+        y_domain: r_blocks.max(1),
+        s_blocks_per_y: 8,
+        inconsistency_ratio: 0.3,
+        block_size: 3,
+        max_value: 100,
+        seed: 17,
+    };
+    let db = cfg.generate();
+    let query = cfg.grouped_sum_query();
+    let schema = cfg.schema();
+
+    let best = |f: &mut dyn FnMut()| -> f64 { best_of_ms(samples, f) };
+
+    let thread_counts = vec![1usize, 2, 4];
+    let mut ms = Vec::with_capacity(thread_counts.len());
+    let mut baseline: Vec<(Vec<rcqa_data::Value>, rcqa_core::engine::BoundAnswer)> = Vec::new();
+    let mut agree = true;
+    for (i, &threads) in thread_counts.iter().enumerate() {
+        let engine = RangeCqa::new(&query, &schema)
+            .expect("benchmark query prepares")
+            .with_options(rcqa_core::engine::EngineOptions {
+                threads,
+                ..Default::default()
+            });
+        let mut answers = Vec::new();
+        ms.push(best(&mut || {
+            answers = engine.glb(&db).expect("benchmark query evaluates");
+        }));
+        if i == 0 {
+            baseline = answers;
+        } else {
+            agree = agree && answers == baseline;
+        }
+    }
+    let speedup_at_4 =
+        ms[0] / ms[thread_counts.iter().position(|&t| t == 4).unwrap()].max(f64::MIN_POSITIVE);
+    ParallelBench {
+        groups: baseline.len(),
+        facts: db.len(),
+        samples: samples.max(1),
+        threads: thread_counts,
+        ms,
+        speedup_at_4,
+        agree,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Formats the E12 report for the harness.
+pub fn format_parallel(bench: &ParallelBench) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E12 Parallel executor: block-sharded worker pool scaling (GLB of grouped SUM)"
+    )
+    .unwrap();
+    writeln!(out, "  groups        : {}", bench.groups).unwrap();
+    writeln!(out, "  facts         : {}", bench.facts).unwrap();
+    for (t, ms) in bench.threads.iter().zip(bench.ms.iter()) {
+        writeln!(out, "  threads = {t:<3} : {ms:.3} ms").unwrap();
+    }
+    writeln!(out, "  speedup @4T   : {:.2}x", bench.speedup_at_4).unwrap();
+    writeln!(out, "  answers agree : {}", bench.agree).unwrap();
+    writeln!(
+        out,
+        "  machine cores : {} (speedup is only meaningful with ≥4)",
+        bench.available_parallelism
+    )
+    .unwrap();
+    out
 }
 
 /// Formats the E11 report for the harness.

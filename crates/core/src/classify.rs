@@ -82,6 +82,18 @@ pub fn classify_with_domain(
     domain: NumericDomain,
 ) -> Result<Classification, CoreError> {
     let prepared = PreparedAggQuery::new(query, schema)?;
+    Ok(classify_prepared(&prepared, schema, domain))
+}
+
+/// Like [`classify_with_domain`], but over an already-prepared query — no
+/// re-preparation, no attack-graph recomputation (the hot path for callers
+/// that hold a [`crate::engine::RangeCqa`]).
+pub fn classify_prepared(
+    prepared: &PreparedAggQuery,
+    schema: &Schema,
+    domain: NumericDomain,
+) -> Classification {
+    let query = &prepared.original;
     let acyclic = prepared.body.is_acyclic();
     let certainty = prepared.body.attack_graph().certainty_complexity();
     let in_caggforest = is_caggforest(query, schema);
@@ -150,7 +162,7 @@ pub fn classify_with_domain(
         }
     };
 
-    Ok(Classification {
+    Classification {
         attack_graph_acyclic: acyclic,
         certainty,
         glb,
@@ -158,7 +170,7 @@ pub fn classify_with_domain(
         in_caggforest,
         monotone,
         associative,
-    })
+    }
 }
 
 #[cfg(test)]

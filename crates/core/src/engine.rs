@@ -1,12 +1,12 @@
-//! The top-level range-CQA engine: classify a query, pick an evaluation
-//! strategy per bound (rewriting-based, plain extremum, or exact fallback),
-//! and compute per-group `[glb, lub]` answers on a database instance.
+//! The top-level range-CQA engine: plan a query, lower the plan to a physical
+//! operator pipeline, and execute it (in parallel) on a database instance.
 //!
 //! ## Evaluation strategies
 //!
-//! Per `(aggregate, bound)` pair, the engine picks the cheapest sound path
-//! (the query body must in addition have an acyclic attack graph for the
-//! first two rows; otherwise every cell falls back to exact enumeration):
+//! Per `(aggregate, bound)` pair, the logical planner
+//! ([`crate::plan::LogicalPlan`]) picks the cheapest sound path (the query
+//! body must in addition have an acyclic attack graph for the first two rows;
+//! otherwise every cell falls back to exact enumeration):
 //!
 //! | aggregate            | GLB path                          | LUB path                          |
 //! |----------------------|-----------------------------------|-----------------------------------|
@@ -23,6 +23,19 @@
 //! enumeration walks every repair ([`crate::exact::exact_bounds`]) and is
 //! exponential in the number of inconsistent blocks.
 //!
+//! ## Plan-IR lowering
+//!
+//! The strategies are not dispatched ad hoc: every engine call builds a
+//! [`crate::plan::LogicalPlan`] (one [`crate::plan::BoundStrategy`] per
+//! requested bound) and lowers it to the physical plan IR of
+//! [`crate::plan::physical`] — a linear
+//! `Scan → Join → PartitionByGroup → ForallCheck → AggregateBound →
+//! RangeMerge` pipeline. `glb`, `lub`, `range`, **and the exhaustive-repair
+//! fallback** all execute through that IR (the fallback is the
+//! `AggregateBound` operator [`crate::plan::BoundOp::ExactEnumeration`]);
+//! there is no per-call strategy branching left in [`RangeCqa`]. The chosen
+//! plan is inspectable via [`RangeCqa::plan`] / [`RangeCqa::explain`].
+//!
 //! ## One-pass grouped evaluation
 //!
 //! Each public entry point ([`RangeCqa::glb`], [`RangeCqa::lub`],
@@ -30,30 +43,41 @@
 //! pass, regardless of the number of GROUP BY groups:
 //!
 //! 1. the open body (GROUP BY variables un-frozen, level order precomputed at
-//!    preparation time) is enumerated once over the shared index;
-//! 2. embeddings are partitioned by group key — no per-group re-preparation,
-//!    no attack-graph recomputation, no per-group index rebuild;
-//! 3. one [`CertaintyChecker`] is shared by all groups: its memo keys include
-//!    the frozen group variables, so certainty sub-problems proved for one
-//!    group are reused by every other group;
+//!    preparation time) is enumerated once over the shared index (`Scan` +
+//!    `Join`);
+//! 2. embeddings are partitioned by group key (`PartitionByGroup`) — no
+//!    per-group re-preparation, no attack-graph recomputation, no per-group
+//!    index rebuild;
+//! 3. a memoised [`crate::forall::CertaintyChecker`] is shared across groups
+//!    (`ForallCheck`): its memo keys include the frozen group variables, so
+//!    certainty sub-problems proved for one group are reused by other groups
+//!    evaluated on the same worker;
 //! 4. `range` derives both bounds from the same per-group analysis instead
-//!    of running the pipeline twice.
+//!    of running the pipeline twice (`AggregateBound`).
 //!
 //! The exact-enumeration fallback is the only path that constructs further
 //! indexes (one per enumerated repair, by design).
+//!
+//! ## Threading model
+//!
+//! The executor ([`crate::plan::exec`]) fans the sorted group partitions out
+//! over a `std::thread::scope` worker pool at the `PartitionByGroup`
+//! boundary. Each worker owns a per-worker memoised certainty checker over
+//! the shared read-only index; `RangeMerge` concatenates the contiguous
+//! shards in order, so answers are byte-identical at every thread count.
+//! Worker count: [`EngineOptions::threads`] if non-zero, else the
+//! `RCQA_THREADS` environment variable, else
+//! [`std::thread::available_parallelism`].
 
-use crate::classify::{classify_with_domain, Classification};
+use crate::classify::{classify_prepared, Classification};
 use crate::error::CoreError;
-use crate::exact::{exact_bounds, ExactBounds};
-use crate::forall::{
-    analyse_group_with_embeddings, embeddings_compiled, Binding, CertaintyChecker, CompiledLevels,
-    ForallAnalysis,
-};
-use crate::glb::{global_extremum, optimal_aggregate, Choice};
+use crate::forall::CompiledLevels;
 use crate::index::DbIndex;
+use crate::plan::exec::{execute, partition_groups, ExecContext};
+use crate::plan::{LogicalPlan, PhysicalPlan};
 use crate::prepared::PreparedAggQuery;
 use crate::rewrite::{rewriting_for, BoundKind, Rewriting};
-use rcqa_data::{AggFunc, DatabaseInstance, NumericDomain, Rational, Schema, Value};
+use rcqa_data::{DatabaseInstance, NumericDomain, Rational, Schema, Value};
 use rcqa_query::{AggQuery, Term, Var};
 use std::collections::BTreeMap;
 
@@ -98,6 +122,13 @@ pub struct EngineOptions {
     pub allow_exact_fallback: bool,
     /// Maximum number of repairs the exact fallback may enumerate.
     pub max_repairs: u128,
+    /// Number of executor worker threads for grouped evaluation.
+    ///
+    /// `0` (the default) resolves at execution time: the `RCQA_THREADS`
+    /// environment variable if set to a positive integer, else
+    /// [`std::thread::available_parallelism`]. The worker count is always
+    /// clamped to the number of groups, so closed queries run inline.
+    pub threads: usize,
 }
 
 impl Default for EngineOptions {
@@ -105,14 +136,31 @@ impl Default for EngineOptions {
         EngineOptions {
             allow_exact_fallback: true,
             max_repairs: 1 << 22,
+            threads: 0,
         }
     }
 }
 
-/// How one bound of the query is evaluated: `combine` aggregates independent
-/// branches, `choice` resolves alternatives within a block, and the flag
-/// selects the Theorem 7.10 plain-extremum shortcut.
-type Strategy = (AggFunc, Choice, bool);
+impl EngineOptions {
+    /// Resolves the effective executor worker count: an explicit
+    /// [`EngineOptions::threads`] wins, then the `RCQA_THREADS` environment
+    /// variable, then the machine's available parallelism.
+    pub fn resolve_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Ok(raw) = std::env::var("RCQA_THREADS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
 
 /// The range-consistent query answering engine for one aggregation query.
 #[derive(Clone, Debug)]
@@ -143,9 +191,10 @@ impl RangeCqa {
         &self.prepared
     }
 
-    /// Classifies the query for the given numeric domain.
-    pub fn classification(&self, domain: NumericDomain) -> Result<Classification, CoreError> {
-        classify_with_domain(&self.prepared.original, &self.schema, domain)
+    /// Classifies the query for the given numeric domain, reusing the
+    /// engine's prepared query (no re-preparation).
+    pub fn classification(&self, domain: NumericDomain) -> Classification {
+        classify_prepared(&self.prepared, &self.schema, domain)
     }
 
     /// The symbolic AGGR\[FOL\] rewriting for the requested bound, if one is
@@ -187,29 +236,32 @@ impl RangeCqa {
         self.evaluate(db, &index, true, true)
     }
 
-    /// The per-bound strategy of the module-level table, or `None` when only
-    /// exact enumeration is sound.
-    fn strategy_for(&self, bound: BoundKind, domain: NumericDomain) -> Option<Strategy> {
-        if !self.prepared.body.is_acyclic() {
-            return None;
-        }
-        let agg = self.prepared.normalised.agg;
-        // The Theorem 6.1 rewriting for SUM requires monotonicity, which in
-        // turn requires numeric columns over Q≥0 (Section 7.3).
-        let sum_ok = agg != AggFunc::Sum || domain == NumericDomain::NonNegative;
-        match (bound, agg) {
-            (BoundKind::Glb, AggFunc::Sum) if sum_ok => {
-                Some((AggFunc::Sum, Choice::Minimise, false))
-            }
-            (BoundKind::Glb, AggFunc::Max) => Some((AggFunc::Max, Choice::Minimise, false)),
-            (BoundKind::Glb, AggFunc::Min) => Some((AggFunc::Min, Choice::Minimise, true)),
-            (BoundKind::Lub, AggFunc::Max) => Some((AggFunc::Max, Choice::Maximise, true)),
-            (BoundKind::Lub, AggFunc::Min) => Some((AggFunc::Min, Choice::Maximise, false)),
-            _ => None,
-        }
+    /// The logical plan (strategy per requested bound) for the given numeric
+    /// domain.
+    pub fn logical_plan(
+        &self,
+        domain: NumericDomain,
+        want_glb: bool,
+        want_lub: bool,
+    ) -> LogicalPlan {
+        LogicalPlan::new(&self.prepared, domain, want_glb, want_lub)
     }
 
-    /// The shared evaluation pipeline behind `glb`/`lub`/`range`.
+    /// The physical plan (lowered operator pipeline) for the given numeric
+    /// domain — the exact pipeline `glb`/`lub`/`range` execute.
+    pub fn plan(&self, domain: NumericDomain, want_glb: bool, want_lub: bool) -> PhysicalPlan {
+        self.logical_plan(domain, want_glb, want_lub)
+            .lower(&self.prepared)
+    }
+
+    /// An `EXPLAIN`-style rendering of the physical plan a [`RangeCqa::range`]
+    /// call on `db` would execute.
+    pub fn explain(&self, db: &DatabaseInstance) -> String {
+        self.plan(db.numeric_domain(), true, true).to_string()
+    }
+
+    /// The shared evaluation pipeline behind `glb`/`lub`/`range`: plan,
+    /// lower, execute.
     fn evaluate(
         &self,
         db: &DatabaseInstance,
@@ -217,212 +269,17 @@ impl RangeCqa {
         want_glb: bool,
         want_lub: bool,
     ) -> Result<Vec<GroupRange>, CoreError> {
-        let domain = db.numeric_domain();
-        let glb_strategy = want_glb.then(|| self.strategy_for(BoundKind::Glb, domain));
-        let lub_strategy = want_lub.then(|| self.strategy_for(BoundKind::Lub, domain));
-        let needs_analysis = glb_strategy.flatten().is_some() || lub_strategy.flatten().is_some();
-        let needs_forall = glb_strategy
-            .flatten()
-            .map(|(_, _, plain)| !plain)
-            .unwrap_or(false)
-            || lub_strategy
-                .flatten()
-                .map(|(_, _, plain)| !plain)
-                .unwrap_or(false);
-
-        // One compilation of the (closed) body; one certainty checker whose
-        // memo is shared by every group.
-        let compiled = CompiledLevels::new(self.prepared.body.levels());
-        let checker = CertaintyChecker::with_compiled(compiled.clone(), index);
-
-        let free = self.prepared.normalised.body.free_vars().to_vec();
-        let groups: Vec<(Vec<Value>, Vec<Binding>)> = if free.is_empty() {
-            let embs = if needs_analysis {
-                embeddings_compiled(&compiled, index, &compiled.binding())
-            } else {
-                Vec::new()
-            };
-            vec![(Vec::new(), embs)]
-        } else {
-            partition_groups(&self.prepared, index, &compiled, &free, needs_analysis)
-        };
-
-        // Slots of the free variables in the closed body's table, for seeding
-        // per-group base bindings. (With an acyclic body every free variable
-        // occurs in some atom and therefore has a slot.)
-        let free_slots: Vec<Option<usize>> =
-            free.iter().map(|v| compiled.table().slot(v)).collect();
-
-        let mut out = Vec::with_capacity(groups.len());
-        for (key, embs) in groups {
-            let analysis = if needs_analysis {
-                let mut base = compiled.binding();
-                for (slot, value) in free_slots.iter().zip(key.iter()) {
-                    if let Some(s) = slot {
-                        base.set_slot(*s, value.clone());
-                    }
-                }
-                Some(analyse_group_with_embeddings(
-                    &checker,
-                    &base,
-                    embs,
-                    needs_forall,
-                ))
-            } else {
-                None
-            };
-            let mut exact_cache: Option<ExactBounds> = None;
-            let glb = match glb_strategy {
-                Some(strategy) => Some(self.bound_answer(
-                    BoundKind::Glb,
-                    strategy,
-                    analysis.as_ref(),
-                    &key,
-                    db,
-                    &mut exact_cache,
-                )?),
-                None => None,
-            };
-            let lub = match lub_strategy {
-                Some(strategy) => Some(self.bound_answer(
-                    BoundKind::Lub,
-                    strategy,
-                    analysis.as_ref(),
-                    &key,
-                    db,
-                    &mut exact_cache,
-                )?),
-                None => None,
-            };
-            out.push(GroupRange { key, glb, lub });
-        }
-        Ok(out)
+        let plan = self.plan(db.numeric_domain(), want_glb, want_lub);
+        execute(
+            &plan,
+            &ExecContext {
+                prepared: &self.prepared,
+                db,
+                index,
+                options: &self.options,
+            },
+        )
     }
-
-    /// Computes one bound of one group from the shared analysis (or the
-    /// cached exact enumeration when no rewriting applies).
-    fn bound_answer(
-        &self,
-        bound: BoundKind,
-        strategy: Option<Strategy>,
-        analysis: Option<&ForallAnalysis>,
-        key: &[Value],
-        db: &DatabaseInstance,
-        exact_cache: &mut Option<ExactBounds>,
-    ) -> Result<BoundAnswer, CoreError> {
-        let term = &self.prepared.normalised.term;
-        match strategy {
-            Some((combine, choice, plain_extremum)) => {
-                let analysis = analysis.expect("rewriting strategies require the analysis");
-                let method = if plain_extremum {
-                    Method::PlainExtremum
-                } else {
-                    Method::Rewriting
-                };
-                if !analysis.certain {
-                    return Ok(BoundAnswer {
-                        value: None,
-                        method,
-                    });
-                }
-                let value = if plain_extremum {
-                    // Theorem 7.10 (GLB of MIN) and its mirror (LUB of MAX).
-                    global_extremum(&analysis.embeddings, term, choice == Choice::Maximise)
-                } else {
-                    optimal_aggregate(
-                        self.prepared.body.levels(),
-                        &analysis.forall_embeddings,
-                        term,
-                        combine,
-                        choice,
-                    )
-                };
-                Ok(BoundAnswer { value, method })
-            }
-            None => {
-                if !self.options.allow_exact_fallback {
-                    return Err(CoreError::UnsupportedAggregate {
-                        reason: format!(
-                            "no AGGR[FOL] rewriting is known for {bound:?} of {} and the \
-                             exact fallback is disabled",
-                            self.prepared.normalised.agg
-                        ),
-                    });
-                }
-                let bounds = match exact_cache {
-                    Some(bounds) => *bounds,
-                    None => {
-                        let computed = if key.is_empty() {
-                            exact_bounds(&self.prepared, db, self.options.max_repairs)?
-                        } else {
-                            let closed = substitute_group(&self.prepared, key)?;
-                            exact_bounds(&closed, db, self.options.max_repairs)?
-                        };
-                        *exact_cache = Some(computed);
-                        computed
-                    }
-                };
-                let value = match bound {
-                    BoundKind::Glb => bounds.glb,
-                    BoundKind::Lub => bounds.lub,
-                };
-                Ok(BoundAnswer {
-                    value,
-                    method: Method::ExactEnumeration,
-                })
-            }
-        }
-    }
-}
-
-/// Enumerates the open body once over the shared index and partitions the
-/// embeddings by group key, re-expressed over the closed body's slot table
-/// (so downstream certainty checks need no per-group re-preparation).
-fn partition_groups(
-    prepared: &PreparedAggQuery,
-    index: &DbIndex,
-    closed: &CompiledLevels,
-    free: &[Var],
-    keep_embeddings: bool,
-) -> Vec<(Vec<Value>, Vec<Binding>)> {
-    let open = CompiledLevels::new(prepared.open_levels());
-    let open_embeddings = embeddings_compiled(&open, index, &open.binding());
-    let free_slots: Vec<usize> = free
-        .iter()
-        .map(|v| {
-            open.table()
-                .slot(v)
-                .expect("free variable occurs in the open body")
-        })
-        .collect();
-    // Slot remapping open → closed (same variable set, possibly different
-    // topological order). Unknown slots only arise for cyclic closed bodies,
-    // whose evaluation never consumes the embeddings.
-    let remap: Vec<Option<usize>> = open
-        .table()
-        .vars()
-        .iter()
-        .map(|v| closed.table().slot(v))
-        .collect();
-    let mut groups: BTreeMap<Vec<Value>, Vec<Binding>> = BTreeMap::new();
-    for theta in open_embeddings {
-        let slots = theta.slots();
-        let key: Vec<Value> = free_slots
-            .iter()
-            .map(|&s| slots[s].clone().expect("free variable bound by embedding"))
-            .collect();
-        let bucket = groups.entry(key).or_default();
-        if keep_embeddings {
-            let mut closed_slots: Vec<Option<Value>> = vec![None; closed.table().len()];
-            for (o, c) in remap.iter().enumerate() {
-                if let Some(c) = c {
-                    closed_slots[*c] = slots[o].clone();
-                }
-            }
-            bucket.push(Binding::from_slots(closed.table().clone(), closed_slots));
-        }
-    }
-    groups.into_iter().collect()
 }
 
 /// Enumerates the candidate group keys of a query with free variables: the
@@ -488,6 +345,7 @@ pub fn substitute_group(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exact::exact_bounds;
     use rcqa_data::{fact, rat, Schema, Signature};
     use rcqa_query::parse_agg_query;
 
@@ -606,7 +464,7 @@ mod tests {
             .unwrap()
             .with_options(EngineOptions {
                 allow_exact_fallback: false,
-                max_repairs: 1 << 20,
+                ..EngineOptions::default()
             });
         assert!(matches!(
             engine.glb(&db),
@@ -649,51 +507,9 @@ mod tests {
         assert_eq!(glb[0].1.method, Method::ExactEnumeration);
     }
 
-    #[test]
-    fn one_index_build_per_call() {
-        // The acceptance criterion of the one-pass pipeline: each of glb,
-        // lub, and range constructs exactly one DbIndex, even with GROUP BY
-        // (rewriting-backed strategies only; the exact fallback enumerates
-        // repairs and indexes each repair by design). MAX is rewriting-backed
-        // for both bounds.
-        let db = db_stock();
-        let q = parse_agg_query("(x, MAX(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
-        let engine = RangeCqa::new(&q, db.schema()).unwrap();
-
-        let before = DbIndex::builds_on_this_thread();
-        let glb = engine.glb(&db).unwrap();
-        assert_eq!(
-            DbIndex::builds_on_this_thread() - before,
-            1,
-            "glb must build exactly one index"
-        );
-        assert_eq!(glb.len(), 2);
-
-        let before = DbIndex::builds_on_this_thread();
-        let lub = engine.lub(&db).unwrap();
-        assert_eq!(
-            DbIndex::builds_on_this_thread() - before,
-            1,
-            "lub must build exactly one index"
-        );
-        assert_eq!(lub.len(), 2);
-
-        let before = DbIndex::builds_on_this_thread();
-        let ranges = engine.range(&db).unwrap();
-        assert_eq!(
-            DbIndex::builds_on_this_thread() - before,
-            1,
-            "range must build exactly one index"
-        );
-        assert_eq!(ranges.len(), 2);
-
-        // The closed variant holds the invariant too.
-        let q = parse_agg_query("SUM(y) <- Dealers('Smith', t), Stock(p, t, y)").unwrap();
-        let engine = RangeCqa::new(&q, db.schema()).unwrap();
-        let before = DbIndex::builds_on_this_thread();
-        engine.glb(&db).unwrap();
-        assert_eq!(DbIndex::builds_on_this_thread() - before, 1);
-    }
+    // The one-index-build-per-call invariant is asserted in
+    // `tests/build_invariant.rs`, the dedicated test binary for the
+    // process-wide build counter.
 
     #[test]
     fn grouped_range_matches_per_bound_calls() {

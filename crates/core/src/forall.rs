@@ -545,6 +545,58 @@ pub fn embeddings_compiled(
     out
 }
 
+/// The blocks the first level of `compiled` can draw facts from under
+/// `initial`, **in enumeration order**: this is the block-key shard axis of
+/// the parallel executor. Slicing the returned list into contiguous ranges
+/// and concatenating the per-range [`embeddings_from_blocks`] results
+/// reproduces [`embeddings_compiled`] exactly.
+///
+/// Returns `None` when the body has no levels (the empty body has one trivial
+/// embedding and nothing to shard).
+pub fn level0_blocks<'a>(
+    compiled: &CompiledLevels,
+    index: &'a DbIndex,
+    initial: &Binding,
+) -> Option<Vec<&'a crate::index::IndexedBlock>> {
+    let lvl = compiled.levels.first()?;
+    let slots = initial.adapt_to(&compiled.table).slots;
+    let pattern = key_pattern(lvl, &slots);
+    Some(
+        index
+            .relation(&lvl.relation)
+            .blocks_matching(&pattern)
+            .collect(),
+    )
+}
+
+/// Enumerates the embeddings whose first-level fact comes from one of
+/// `blocks` (a contiguous shard of [`level0_blocks`]), in the same order as
+/// the unsharded enumeration restricted to those blocks.
+pub fn embeddings_from_blocks(
+    compiled: &CompiledLevels,
+    index: &DbIndex,
+    initial: &Binding,
+    blocks: &[&crate::index::IndexedBlock],
+) -> Vec<Binding> {
+    let mut slots = initial.adapt_to(&compiled.table).slots;
+    let mut trail = Vec::new();
+    let mut out = Vec::new();
+    let Some(lvl) = compiled.levels.first() else {
+        out.push(Binding::from_slots(compiled.table.clone(), slots));
+        return out;
+    };
+    for block in blocks {
+        for fact in &block.facts {
+            let mark = trail.len();
+            if match_level(lvl, fact, &mut slots, &mut trail) {
+                embed_rec(compiled, index, 1, &mut slots, &mut trail, &mut out);
+            }
+            unwind(&mut slots, &mut trail, mark);
+        }
+    }
+    out
+}
+
 fn embed_rec(
     compiled: &CompiledLevels,
     index: &DbIndex,

@@ -4,20 +4,22 @@
 //!
 //! Building a [`DbIndex`] is `O(|db|)` and is the only full scan the engine
 //! performs: every evaluation entry point ([`crate::engine::RangeCqa::glb`],
-//! `lub`, `range`) builds **exactly one** index per call and threads it by
-//! reference through candidate-group enumeration, certainty checking, and
-//! ∀embedding computation. The thread-local [`DbIndex::builds_on_this_thread`]
-//! counter exists so tests can assert that invariant.
+//! `lub`, `range`) builds **exactly one** index per call — shared by every
+//! executor worker thread — and threads it by reference through
+//! candidate-group enumeration, certainty checking, and ∀embedding
+//! computation. The process-wide [`DbIndex::build_count`] counter exists so
+//! tests can assert that invariant: it is an [`AtomicU64`] (not thread-local)
+//! precisely so that an index built on one thread and *no* builds on the
+//! executor's worker threads still sum to one observable construction.
 
 use rcqa_data::{DatabaseInstance, Fact, Value};
-use std::cell::Cell;
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-thread_local! {
-    /// Number of [`DbIndex`] constructions performed by this thread.
-    static BUILD_COUNT: Cell<u64> = const { Cell::new(0) };
-}
+/// Number of [`DbIndex`] constructions performed by this process, across all
+/// threads (including executor workers).
+static BUILD_COUNT: AtomicU64 = AtomicU64::new(0);
 
 /// One block: the facts of a relation sharing a primary-key value.
 #[derive(Clone, Debug)]
@@ -153,7 +155,7 @@ pub struct DbIndex {
 impl DbIndex {
     /// Builds the index for a database instance.
     pub fn new(db: &DatabaseInstance) -> DbIndex {
-        BUILD_COUNT.with(|c| c.set(c.get() + 1));
+        BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
         let mut relations: HashMap<String, RelationIndex> = HashMap::new();
         for (name, sig) in db.schema().relations() {
             let key_len = sig.key_len();
@@ -201,15 +203,20 @@ impl DbIndex {
         self.relations.contains_key(name)
     }
 
-    /// Number of [`DbIndex`] values constructed by the current thread since
-    /// it started.
+    /// Number of [`DbIndex`] values constructed by this process since it
+    /// started, across **all** threads.
     ///
     /// The engine guarantees exactly one construction per `glb`/`lub`/`range`
-    /// call (on rewriting-backed paths); tests assert this by differencing
-    /// the counter around a call. Thread-local so parallel test execution
-    /// cannot interfere.
-    pub fn builds_on_this_thread() -> u64 {
-        BUILD_COUNT.with(|c| c.get())
+    /// call (on rewriting-backed paths) — the parallel executor's workers
+    /// share the caller's index and build none of their own — and tests
+    /// assert this by differencing the counter around a call. The counter is
+    /// process-wide (an `AtomicU64`) rather than thread-local so a build on
+    /// the calling thread plus zero builds on worker threads remains an
+    /// observable "exactly one". Tests that difference it must serialise
+    /// against other index-building tests in the same process (see
+    /// `tests/build_invariant.rs`).
+    pub fn build_count() -> u64 {
+        BUILD_COUNT.load(Ordering::Relaxed)
     }
 }
 
@@ -292,12 +299,7 @@ mod tests {
         );
     }
 
-    #[test]
-    fn build_counter_increments_per_construction() {
-        let db = db();
-        let before = DbIndex::builds_on_this_thread();
-        let _a = DbIndex::new(&db);
-        let _b = DbIndex::new(&db);
-        assert_eq!(DbIndex::builds_on_this_thread() - before, 2);
-    }
+    // The build-counter tests live in `tests/build_invariant.rs`: the counter
+    // is process-wide, so differencing it is only deterministic in a test
+    // binary whose other tests build no indexes concurrently.
 }

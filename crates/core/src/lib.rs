@@ -19,6 +19,8 @@
 //!   Theorem 6.1, Theorems 7.10/7.11);
 //! * [`classify`] — the separation decision of Theorem 1.1 / Theorem 7.11;
 //! * [`exact`] — the ground-truth repair-enumeration baseline;
+//! * [`plan`] — the two-level plan architecture: logical strategy planning,
+//!   the physical plan IR, and the (parallel) plan executor;
 //! * [`engine`] — the user-facing [`RangeCqa`] engine with GROUP BY support.
 //!
 //! ## Quick example
@@ -54,15 +56,19 @@ pub mod exact;
 pub mod forall;
 pub mod glb;
 pub mod index;
+pub mod plan;
 pub mod prepared;
 pub mod rewrite;
 
-pub use classify::{classify, classify_with_domain, Classification, Expressibility};
+pub use classify::{
+    classify, classify_prepared, classify_with_domain, Classification, Expressibility,
+};
 pub use engine::{BoundAnswer, EngineOptions, GroupRange, Method, RangeCqa};
 pub use error::CoreError;
 pub use exact::{exact_bounds, exact_bounds_by_group, ExactBounds};
 pub use forall::{analyse, Binding, CertaintyChecker, CompiledLevels, ForallAnalysis, VarTable};
 pub use glb::{global_extremum, optimal_aggregate, Choice};
 pub use index::DbIndex;
+pub use plan::{BoundOp, BoundStrategy, LogicalPlan, PhysicalPlan, PlanNode};
 pub use prepared::{PreparedAggQuery, PreparedBody};
 pub use rewrite::{rewriting_for, BoundKind, Rewriting};

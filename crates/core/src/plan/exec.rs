@@ -1,0 +1,427 @@
+//! The plan executor: interprets a [`PhysicalPlan`] over a shared
+//! [`DbIndex`], sequentially or on a block-sharded worker pool.
+//!
+//! ## Threading model
+//!
+//! The executor parallelises at the [`PlanNode::PartitionByGroup`] boundary:
+//! the single shared block index is read-only, so after the one join pass
+//! partitions the embeddings by group key, the sorted group partitions are
+//! sharded into contiguous chunks and fanned out over a
+//! [`std::thread::scope`] worker pool (no external dependencies — the
+//! workspace builds offline). Each worker owns a **per-worker memoised
+//! [`CertaintyChecker`]** over the shared index: certainty sub-problems are
+//! reused across the groups of one shard, and no locks are taken on the hot
+//! path. The final [`PlanNode::RangeMerge`] concatenates the shard outputs in
+//! shard order; because the partition step emits groups in sorted key order
+//! and shards are contiguous, the merged answer is **byte-identical** to the
+//! sequential one at every thread count.
+//!
+//! Worker count comes from
+//! [`EngineOptions::threads`](crate::engine::EngineOptions::threads)
+//! (explicit value > `RCQA_THREADS` env > available parallelism) and is
+//! clamped to the number of groups; a single group — in particular every
+//! closed query — runs inline on the calling thread.
+//!
+//! [`PlanNode::PartitionByGroup`]: crate::plan::physical::PlanNode::PartitionByGroup
+//! [`PlanNode::RangeMerge`]: crate::plan::physical::PlanNode::RangeMerge
+
+use crate::engine::{substitute_group, BoundAnswer, EngineOptions, GroupRange, Method};
+use crate::error::CoreError;
+use crate::exact::{exact_bounds, ExactBounds};
+use crate::forall::{
+    analyse_group_with_embeddings, embeddings_compiled, embeddings_from_blocks, level0_blocks,
+    Binding, CertaintyChecker, CompiledLevels, ForallAnalysis,
+};
+use crate::glb::{global_extremum, optimal_aggregate, Choice};
+use crate::index::DbIndex;
+use crate::plan::physical::{BoundOp, ExecSpec, PhysicalPlan};
+use crate::prepared::PreparedAggQuery;
+use crate::rewrite::BoundKind;
+use rcqa_data::{DatabaseInstance, Value};
+use rcqa_query::Var;
+use std::collections::BTreeMap;
+
+/// Everything the executor needs besides the plan itself.
+#[derive(Clone, Copy)]
+pub struct ExecContext<'a> {
+    /// The prepared query being answered.
+    pub prepared: &'a PreparedAggQuery,
+    /// The database instance (consulted by the exact fallback only).
+    pub db: &'a DatabaseInstance,
+    /// The shared block index (built exactly once by the engine entry point).
+    pub index: &'a DbIndex,
+    /// Engine options (fallback policy, repair budget, worker count).
+    pub options: &'a EngineOptions,
+}
+
+/// Executes a physical plan, returning one [`GroupRange`] per group in
+/// sorted group-key order.
+pub fn execute(plan: &PhysicalPlan, cx: &ExecContext<'_>) -> Result<Vec<GroupRange>, CoreError> {
+    let spec = plan.spec();
+    let requested_workers = cx.options.resolve_threads().max(1);
+
+    // Scan + Join + PartitionByGroup: one compilation of the closed body, one
+    // join pass over the shared index (sharded by level-0 block key when
+    // parallel), embeddings partitioned by group key.
+    let compiled = CompiledLevels::new(cx.prepared.body.levels());
+    let free = cx.prepared.normalised.body.free_vars().to_vec();
+    let groups: Vec<(Vec<Value>, Vec<Binding>)> = if free.is_empty() {
+        let embs = if spec.needs_analysis {
+            embeddings_compiled(&compiled, cx.index, &compiled.binding())
+        } else {
+            Vec::new()
+        };
+        vec![(Vec::new(), embs)]
+    } else {
+        partition_groups_sharded(
+            cx.prepared,
+            cx.index,
+            &compiled,
+            &free,
+            spec.keep_embeddings,
+            requested_workers,
+        )
+    };
+
+    // Slots of the free variables in the closed body's table, for seeding
+    // per-group base bindings. (With an acyclic body every free variable
+    // occurs in some atom and therefore has a slot.)
+    let free_slots: Vec<Option<usize>> = free.iter().map(|v| compiled.table().slot(v)).collect();
+
+    let workers = requested_workers.clamp(1, groups.len().max(1));
+    if workers <= 1 {
+        // Sequential: one checker whose memo is shared by every group.
+        let checker = CertaintyChecker::with_compiled(compiled.clone(), cx.index);
+        return eval_shard(&spec, cx, &checker, &compiled, &free_slots, groups);
+    }
+
+    // ForallCheck + AggregateBound, fanned out over contiguous group shards;
+    // RangeMerge concatenates the shard outputs in shard order.
+    let shards = shard(groups, workers);
+    let free_slots = &free_slots;
+    let spec = &spec;
+    let shard_results: Vec<Result<Vec<GroupRange>, CoreError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                let compiled = compiled.clone();
+                s.spawn(move || {
+                    let checker = CertaintyChecker::with_compiled(compiled.clone(), cx.index);
+                    eval_shard(spec, cx, &checker, &compiled, free_slots, shard)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("plan executor worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::new();
+    for result in shard_results {
+        out.extend(result?);
+    }
+    Ok(out)
+}
+
+/// Splits `items` into at most `shards` contiguous, size-balanced chunks.
+fn shard<T>(items: Vec<T>, shards: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let shards = shards.clamp(1, n.max(1));
+    let base = n / shards;
+    let extra = n % shards;
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(shards);
+    let mut items = items.into_iter();
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        out.push(items.by_ref().take(len).collect());
+    }
+    out
+}
+
+/// Runs ForallCheck + AggregateBound for one contiguous shard of groups,
+/// sharing one memoised certainty checker across the shard.
+fn eval_shard(
+    spec: &ExecSpec,
+    cx: &ExecContext<'_>,
+    checker: &CertaintyChecker<'_>,
+    compiled: &CompiledLevels,
+    free_slots: &[Option<usize>],
+    groups: Vec<(Vec<Value>, Vec<Binding>)>,
+) -> Result<Vec<GroupRange>, CoreError> {
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, embs) in groups {
+        let analysis = if spec.needs_analysis {
+            let mut base = compiled.binding();
+            for (slot, value) in free_slots.iter().zip(key.iter()) {
+                if let Some(s) = slot {
+                    base.set_slot(*s, value.clone());
+                }
+            }
+            Some(analyse_group_with_embeddings(
+                checker,
+                &base,
+                embs,
+                spec.needs_forall,
+            ))
+        } else {
+            None
+        };
+        let mut exact_cache: Option<ExactBounds> = None;
+        let glb = match spec.glb {
+            Some(op) => Some(bound_answer(
+                op,
+                BoundKind::Glb,
+                cx,
+                analysis.as_ref(),
+                &key,
+                &mut exact_cache,
+            )?),
+            None => None,
+        };
+        let lub = match spec.lub {
+            Some(op) => Some(bound_answer(
+                op,
+                BoundKind::Lub,
+                cx,
+                analysis.as_ref(),
+                &key,
+                &mut exact_cache,
+            )?),
+            None => None,
+        };
+        out.push(GroupRange { key, glb, lub });
+    }
+    Ok(out)
+}
+
+/// Computes one bound of one group from the shared analysis (or the cached
+/// exact enumeration for [`BoundOp::ExactEnumeration`]).
+fn bound_answer(
+    op: BoundOp,
+    bound: BoundKind,
+    cx: &ExecContext<'_>,
+    analysis: Option<&ForallAnalysis>,
+    key: &[Value],
+    exact_cache: &mut Option<ExactBounds>,
+) -> Result<BoundAnswer, CoreError> {
+    let term = &cx.prepared.normalised.term;
+    match op {
+        BoundOp::Rewrite { combine, choice } => {
+            let analysis = analysis.expect("the Rewrite operator requires the analysis");
+            let value = analysis.certain.then(|| {
+                optimal_aggregate(
+                    cx.prepared.body.levels(),
+                    &analysis.forall_embeddings,
+                    term,
+                    combine,
+                    choice,
+                )
+            });
+            Ok(BoundAnswer {
+                value: value.flatten(),
+                method: Method::Rewriting,
+            })
+        }
+        BoundOp::Extremum { choice } => {
+            let analysis = analysis.expect("the Extremum operator requires the analysis");
+            // Theorem 7.10 (GLB of MIN) and its mirror (LUB of MAX).
+            let value = analysis
+                .certain
+                .then(|| global_extremum(&analysis.embeddings, term, choice == Choice::Maximise));
+            Ok(BoundAnswer {
+                value: value.flatten(),
+                method: Method::PlainExtremum,
+            })
+        }
+        BoundOp::ExactEnumeration => {
+            if !cx.options.allow_exact_fallback {
+                return Err(CoreError::UnsupportedAggregate {
+                    reason: format!(
+                        "no AGGR[FOL] rewriting is known for {bound:?} of {} and the \
+                         exact fallback is disabled",
+                        cx.prepared.normalised.agg
+                    ),
+                });
+            }
+            let bounds = match exact_cache {
+                Some(bounds) => *bounds,
+                None => {
+                    let computed = if key.is_empty() {
+                        exact_bounds(cx.prepared, cx.db, cx.options.max_repairs)?
+                    } else {
+                        let closed = substitute_group(cx.prepared, key)?;
+                        exact_bounds(&closed, cx.db, cx.options.max_repairs)?
+                    };
+                    *exact_cache = Some(computed);
+                    computed
+                }
+            };
+            let value = match bound {
+                BoundKind::Glb => bounds.glb,
+                BoundKind::Lub => bounds.lub,
+            };
+            Ok(BoundAnswer {
+                value,
+                method: Method::ExactEnumeration,
+            })
+        }
+    }
+}
+
+/// The open → closed projection of the `PartitionByGroup` operator: slots of
+/// the free variables in the open table (the group key), and the slot
+/// remapping open → closed (same variable set, possibly different topological
+/// order). Unknown closed slots only arise for cyclic closed bodies, whose
+/// evaluation never consumes the embeddings.
+fn group_projection(
+    open: &CompiledLevels,
+    closed: &CompiledLevels,
+    free: &[Var],
+) -> (Vec<usize>, Vec<Option<usize>>) {
+    let free_slots: Vec<usize> = free
+        .iter()
+        .map(|v| {
+            open.table()
+                .slot(v)
+                .expect("free variable occurs in the open body")
+        })
+        .collect();
+    let remap: Vec<Option<usize>> = open
+        .table()
+        .vars()
+        .iter()
+        .map(|v| closed.table().slot(v))
+        .collect();
+    (free_slots, remap)
+}
+
+/// Buckets a batch of open-body embeddings by group key, re-expressing each
+/// kept embedding over the closed body's slot table.
+fn bucket_embeddings(
+    closed: &CompiledLevels,
+    free_slots: &[usize],
+    remap: &[Option<usize>],
+    open_embeddings: Vec<Binding>,
+    keep_embeddings: bool,
+) -> BTreeMap<Vec<Value>, Vec<Binding>> {
+    let mut groups: BTreeMap<Vec<Value>, Vec<Binding>> = BTreeMap::new();
+    for theta in open_embeddings {
+        let slots = theta.slots();
+        let key: Vec<Value> = free_slots
+            .iter()
+            .map(|&s| slots[s].clone().expect("free variable bound by embedding"))
+            .collect();
+        let bucket = groups.entry(key).or_default();
+        if keep_embeddings {
+            let mut closed_slots: Vec<Option<Value>> = vec![None; closed.table().len()];
+            for (o, c) in remap.iter().enumerate() {
+                if let Some(c) = c {
+                    closed_slots[*c] = slots[o].clone();
+                }
+            }
+            bucket.push(Binding::from_slots(closed.table().clone(), closed_slots));
+        }
+    }
+    groups
+}
+
+/// Enumerates the open body once over the shared index and partitions the
+/// embeddings by group key, re-expressed over the closed body's slot table
+/// (so downstream certainty checks need no per-group re-preparation). This is
+/// the sequential `PartitionByGroup` operator.
+pub(crate) fn partition_groups(
+    prepared: &PreparedAggQuery,
+    index: &DbIndex,
+    closed: &CompiledLevels,
+    free: &[Var],
+    keep_embeddings: bool,
+) -> Vec<(Vec<Value>, Vec<Binding>)> {
+    let open = CompiledLevels::new(prepared.open_levels());
+    let (free_slots, remap) = group_projection(&open, closed, free);
+    let open_embeddings = embeddings_compiled(&open, index, &open.binding());
+    bucket_embeddings(
+        closed,
+        &free_slots,
+        &remap,
+        open_embeddings,
+        keep_embeddings,
+    )
+    .into_iter()
+    .collect()
+}
+
+/// The parallel `Scan + Join + PartitionByGroup` phase: the shared index is
+/// sharded **by level-0 block key** into contiguous ranges, each worker joins
+/// and buckets its range, and the per-shard maps are merged in shard order.
+/// Because the sequential enumeration also walks level-0 blocks in that
+/// order, the merged partitions — keys *and* the embedding order within each
+/// group — are byte-identical to [`partition_groups`].
+fn partition_groups_sharded(
+    prepared: &PreparedAggQuery,
+    index: &DbIndex,
+    closed: &CompiledLevels,
+    free: &[Var],
+    keep_embeddings: bool,
+    workers: usize,
+) -> Vec<(Vec<Value>, Vec<Binding>)> {
+    let open = CompiledLevels::new(prepared.open_levels());
+    let initial = open.binding();
+    let blocks = match level0_blocks(&open, index, &initial) {
+        Some(blocks) => blocks,
+        None => return partition_groups(prepared, index, closed, free, keep_embeddings),
+    };
+    let workers = workers.clamp(1, blocks.len().max(1));
+    if workers <= 1 {
+        return partition_groups(prepared, index, closed, free, keep_embeddings);
+    }
+    let (free_slots, remap) = group_projection(&open, closed, free);
+    let shards = shard(blocks, workers);
+    let (open, initial, free_slots, remap) = (&open, &initial, &free_slots, &remap);
+    let shard_maps: Vec<BTreeMap<Vec<Value>, Vec<Binding>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|blocks| {
+                s.spawn(move || {
+                    let embs = embeddings_from_blocks(open, index, initial, &blocks);
+                    bucket_embeddings(closed, free_slots, remap, embs, keep_embeddings)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    });
+    // RangeMerge discipline: merge shard maps in shard order, so each group's
+    // embeddings appear in level-0 block order exactly as sequentially.
+    let mut merged: BTreeMap<Vec<Value>, Vec<Binding>> = BTreeMap::new();
+    for map in shard_maps {
+        for (key, mut embs) in map {
+            merged.entry(key).or_default().append(&mut embs);
+        }
+    }
+    merged.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharding_is_contiguous_and_balanced() {
+        let items: Vec<usize> = (0..10).collect();
+        let shards = shard(items.clone(), 4);
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards[0], vec![0, 1, 2]);
+        assert_eq!(shards[1], vec![3, 4, 5]);
+        assert_eq!(shards[2], vec![6, 7]);
+        assert_eq!(shards[3], vec![8, 9]);
+        // More shards than items: one item per shard, no empties.
+        let shards = shard(vec![1, 2], 8);
+        assert_eq!(shards, vec![vec![1], vec![2]]);
+        // Empty input stays a single empty shard.
+        let shards = shard(Vec::<usize>::new(), 3);
+        assert_eq!(shards.len(), 1);
+        assert!(shards[0].is_empty());
+    }
+}

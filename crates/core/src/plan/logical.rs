@@ -1,0 +1,251 @@
+//! Logical planning: pick an evaluation strategy per requested bound.
+//!
+//! This is the decision layer of the strategy table in the module docs of
+//! [`crate::engine`]: per `(aggregate, bound, numeric domain)` the planner
+//! chooses the cheapest sound path, falling back to exhaustive repair
+//! enumeration when no AGGR\[FOL\] rewriting is known (or the attack graph is
+//! cyclic).
+
+use crate::glb::Choice;
+use crate::plan::physical::{BoundOp, PhysicalPlan, PlanNode};
+use crate::prepared::PreparedAggQuery;
+use crate::rewrite::BoundKind;
+use rcqa_data::{AggFunc, NumericDomain};
+use std::fmt;
+
+/// How one bound of the query is evaluated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundStrategy {
+    /// Theorem 6.1 / 7.11 rewriting semantics, evaluated operationally over
+    /// ∀embeddings: `combine` aggregates independent branches, `choice`
+    /// resolves alternatives within a block.
+    Rewriting {
+        /// The branch-combining aggregate operator `F⊕`.
+        combine: AggFunc,
+        /// MIN (GLB semantics) or MAX (LUB semantics) within a block.
+        choice: Choice,
+    },
+    /// Theorem 7.10 shortcut: plain extremum over all embeddings (GLB of MIN,
+    /// LUB of MAX).
+    PlainExtremum {
+        /// Whether the extremum maximises.
+        choice: Choice,
+    },
+    /// Exhaustive repair enumeration (the only sound path for this cell).
+    ExactFallback,
+}
+
+impl BoundStrategy {
+    /// The strategy of the engine's strategy table for `bound`, given the
+    /// prepared query and the numeric domain of the instance.
+    pub fn choose(
+        prepared: &PreparedAggQuery,
+        bound: BoundKind,
+        domain: NumericDomain,
+    ) -> BoundStrategy {
+        if !prepared.body.is_acyclic() {
+            return BoundStrategy::ExactFallback;
+        }
+        let agg = prepared.normalised.agg;
+        // The Theorem 6.1 rewriting for SUM requires monotonicity, which in
+        // turn requires numeric columns over Q≥0 (Section 7.3).
+        let sum_ok = agg != AggFunc::Sum || domain == NumericDomain::NonNegative;
+        match (bound, agg) {
+            (BoundKind::Glb, AggFunc::Sum) if sum_ok => BoundStrategy::Rewriting {
+                combine: AggFunc::Sum,
+                choice: Choice::Minimise,
+            },
+            (BoundKind::Glb, AggFunc::Max) => BoundStrategy::Rewriting {
+                combine: AggFunc::Max,
+                choice: Choice::Minimise,
+            },
+            (BoundKind::Glb, AggFunc::Min) => BoundStrategy::PlainExtremum {
+                choice: Choice::Minimise,
+            },
+            (BoundKind::Lub, AggFunc::Max) => BoundStrategy::PlainExtremum {
+                choice: Choice::Maximise,
+            },
+            (BoundKind::Lub, AggFunc::Min) => BoundStrategy::Rewriting {
+                combine: AggFunc::Min,
+                choice: Choice::Maximise,
+            },
+            _ => BoundStrategy::ExactFallback,
+        }
+    }
+
+    /// Whether the strategy consumes the per-group embedding analysis.
+    pub fn needs_analysis(&self) -> bool {
+        !matches!(self, BoundStrategy::ExactFallback)
+    }
+
+    /// Whether the strategy needs the ∀embedding filter (not just the
+    /// embeddings and the certainty bit).
+    pub fn needs_forall(&self) -> bool {
+        matches!(self, BoundStrategy::Rewriting { .. })
+    }
+}
+
+impl fmt::Display for BoundStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundStrategy::Rewriting { combine, choice } => {
+                write!(f, "Rewriting({combine}, {choice:?})")
+            }
+            BoundStrategy::PlainExtremum { choice } => write!(f, "PlainExtremum({choice:?})"),
+            BoundStrategy::ExactFallback => write!(f, "ExactEnumeration"),
+        }
+    }
+}
+
+/// The logical plan of one engine call: which bounds are requested and how
+/// each is evaluated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogicalPlan {
+    /// The numeric domain the plan was made for.
+    pub domain: NumericDomain,
+    /// Strategy for the greatest lower bound, if requested.
+    pub glb: Option<BoundStrategy>,
+    /// Strategy for the least upper bound, if requested.
+    pub lub: Option<BoundStrategy>,
+}
+
+impl LogicalPlan {
+    /// Plans the requested bounds for a prepared query over `domain`.
+    pub fn new(
+        prepared: &PreparedAggQuery,
+        domain: NumericDomain,
+        want_glb: bool,
+        want_lub: bool,
+    ) -> LogicalPlan {
+        LogicalPlan {
+            domain,
+            glb: want_glb.then(|| BoundStrategy::choose(prepared, BoundKind::Glb, domain)),
+            lub: want_lub.then(|| BoundStrategy::choose(prepared, BoundKind::Lub, domain)),
+        }
+    }
+
+    /// Whether any requested bound consumes the embedding analysis.
+    pub fn needs_analysis(&self) -> bool {
+        self.glb
+            .iter()
+            .chain(self.lub.iter())
+            .any(|s| s.needs_analysis())
+    }
+
+    /// Whether any requested bound needs the ∀embedding filter.
+    pub fn needs_forall(&self) -> bool {
+        self.glb
+            .iter()
+            .chain(self.lub.iter())
+            .any(|s| s.needs_forall())
+    }
+
+    /// Lowers the logical plan to the physical operator pipeline executed by
+    /// [`crate::plan::exec::execute`].
+    pub fn lower(&self, prepared: &PreparedAggQuery) -> PhysicalPlan {
+        let relations: Vec<String> = prepared
+            .body
+            .atoms_in_order()
+            .iter()
+            .map(|a| a.relation().to_string())
+            .collect();
+        let group_vars = prepared.normalised.body.free_vars().to_vec();
+        let grouped = !group_vars.is_empty();
+        let needs_analysis = self.needs_analysis();
+
+        let scan = PlanNode::Scan { relations };
+        let join = PlanNode::Join {
+            levels: prepared.body.len(),
+            open_body: grouped,
+            keep_embeddings: needs_analysis,
+            input: Box::new(scan),
+        };
+        let partition = PlanNode::PartitionByGroup {
+            group_vars,
+            input: Box::new(join),
+        };
+        let forall = PlanNode::ForallCheck {
+            run: needs_analysis,
+            compute_forall: self.needs_forall(),
+            input: Box::new(partition),
+        };
+        let aggregate = PlanNode::AggregateBound {
+            glb: self.glb.map(BoundOp::from_strategy),
+            lub: self.lub.map(BoundOp::from_strategy),
+            input: Box::new(forall),
+        };
+        PhysicalPlan {
+            root: PlanNode::RangeMerge {
+                input: Box::new(aggregate),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcqa_data::{Schema, Signature};
+    use rcqa_query::parse_agg_query;
+
+    fn schema() -> Schema {
+        Schema::new()
+            .with_relation("R", Signature::new(2, 1, []).unwrap())
+            .with_relation("S", Signature::new(3, 2, [2]).unwrap())
+    }
+
+    fn plan(text: &str, domain: NumericDomain) -> LogicalPlan {
+        let q = parse_agg_query(text).unwrap();
+        let prepared = PreparedAggQuery::new(&q, &schema()).unwrap();
+        LogicalPlan::new(&prepared, domain, true, true)
+    }
+
+    #[test]
+    fn strategy_table_is_reproduced() {
+        let p = plan("SUM(r) <- R(x, y), S(y, z, r)", NumericDomain::NonNegative);
+        assert!(matches!(p.glb, Some(BoundStrategy::Rewriting { .. })));
+        assert_eq!(p.lub, Some(BoundStrategy::ExactFallback));
+
+        // Section 7.3: negatives disable the SUM rewriting.
+        let p = plan(
+            "SUM(r) <- R(x, y), S(y, z, r)",
+            NumericDomain::Unconstrained,
+        );
+        assert_eq!(p.glb, Some(BoundStrategy::ExactFallback));
+
+        let p = plan("MIN(r) <- R(x, y), S(y, z, r)", NumericDomain::NonNegative);
+        assert!(matches!(p.glb, Some(BoundStrategy::PlainExtremum { .. })));
+        assert!(matches!(p.lub, Some(BoundStrategy::Rewriting { .. })));
+
+        let p = plan("MAX(r) <- R(x, y), S(y, z, r)", NumericDomain::NonNegative);
+        assert!(matches!(p.glb, Some(BoundStrategy::Rewriting { .. })));
+        assert!(matches!(p.lub, Some(BoundStrategy::PlainExtremum { .. })));
+
+        let p = plan("AVG(r) <- R(x, y), S(y, z, r)", NumericDomain::NonNegative);
+        assert_eq!(p.glb, Some(BoundStrategy::ExactFallback));
+        assert_eq!(p.lub, Some(BoundStrategy::ExactFallback));
+    }
+
+    #[test]
+    fn lowering_produces_the_full_pipeline() {
+        let q = parse_agg_query("(x, SUM(r)) <- R(x, y), S(y, z, r)").unwrap();
+        let prepared = PreparedAggQuery::new(&q, &schema()).unwrap();
+        let logical = LogicalPlan::new(&prepared, NumericDomain::NonNegative, true, false);
+        let physical = logical.lower(&prepared);
+        let shown = physical.to_string();
+        for op in [
+            "RangeMerge",
+            "AggregateBound",
+            "ForallCheck",
+            "PartitionByGroup",
+            "Join",
+            "Scan",
+        ] {
+            assert!(shown.contains(op), "missing {op} in:\n{shown}");
+        }
+        assert!(
+            shown.contains("open body"),
+            "grouped query joins the open body"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! The two-level plan architecture of the engine.
+//!
+//! [`RangeCqa`](crate::engine::RangeCqa) no longer dispatches evaluation
+//! strategies ad hoc; every call goes through an explicit two-stage plan:
+//!
+//! 1. **Logical planning** ([`logical`]): classify the query per
+//!    `(aggregate, bound, numeric domain)` and pick a [`BoundStrategy`] for
+//!    each requested bound — Theorem 6.1 / 7.11 rewriting over ∀embeddings,
+//!    the Theorem 7.10 plain extremum, or the exhaustive-repair fallback.
+//! 2. **Lowering** ([`physical`]): turn the logical plan into a linear
+//!    physical-operator pipeline
+//!    (`Scan → Join → PartitionByGroup → ForallCheck → AggregateBound →
+//!    RangeMerge`) that states, operator by operator, what the executor does.
+//! 3. **Execution** ([`exec`]): interpret the physical plan over a shared
+//!    [`DbIndex`](crate::index::DbIndex), either sequentially or on a
+//!    block-sharded `std::thread::scope` worker pool (see
+//!    [`EngineOptions::threads`](crate::engine::EngineOptions::threads)).
+//!
+//! The split exists so that every evaluation path — `glb`, `lub`, `range`,
+//! and the exact fallback — runs through one executor with one set of
+//! invariants (single index build, shared group partitioning, deterministic
+//! merge order), and so the chosen plan is inspectable:
+//!
+//! ```
+//! use rcqa_core::engine::RangeCqa;
+//! use rcqa_data::{NumericDomain, Schema, Signature};
+//! use rcqa_query::parse_agg_query;
+//!
+//! let schema = Schema::new()
+//!     .with_relation("Dealers", Signature::new(2, 1, []).unwrap())
+//!     .with_relation("Stock", Signature::new(3, 2, [2]).unwrap());
+//! let q = parse_agg_query("(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+//! let engine = RangeCqa::new(&q, &schema).unwrap();
+//! let plan = engine.plan(NumericDomain::NonNegative, true, true);
+//! println!("{plan}"); // RangeMerge └─ AggregateBound └─ ForallCheck └─ ...
+//! ```
+
+pub mod exec;
+pub mod logical;
+pub mod physical;
+
+pub use exec::{execute, ExecContext};
+pub use logical::{BoundStrategy, LogicalPlan};
+pub use physical::{BoundOp, PhysicalPlan, PlanNode};

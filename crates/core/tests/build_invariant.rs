@@ -1,0 +1,120 @@
+//! The one-index-build-per-call invariant, asserted via the process-wide
+//! [`DbIndex::build_count`] counter.
+//!
+//! These tests live in their own integration-test binary (one process) so
+//! that no *other* test builds indexes concurrently while a counting section
+//! runs; within the binary the tests serialise on a local mutex. The counter
+//! being process-wide — an `AtomicU64`, not thread-local — is exactly what
+//! lets the parallel-executor test below observe "the main thread built one
+//! index and the worker threads built none".
+
+use rcqa_core::engine::{EngineOptions, RangeCqa};
+use rcqa_core::index::DbIndex;
+use rcqa_data::{fact, DatabaseInstance, Schema, Signature};
+use rcqa_query::parse_agg_query;
+use std::sync::Mutex;
+
+/// Serialises the counting sections of this binary's tests.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+fn db_stock() -> DatabaseInstance {
+    let schema = Schema::new()
+        .with_relation("Dealers", Signature::new(2, 1, []).unwrap())
+        .with_relation("Stock", Signature::new(3, 2, [2]).unwrap());
+    let mut db = DatabaseInstance::new(schema);
+    db.insert_all([
+        fact!("Dealers", "Smith", "Boston"),
+        fact!("Dealers", "Smith", "New York"),
+        fact!("Dealers", "James", "Boston"),
+        fact!("Stock", "Tesla X", "Boston", 35),
+        fact!("Stock", "Tesla X", "Boston", 40),
+        fact!("Stock", "Tesla Y", "Boston", 35),
+        fact!("Stock", "Tesla Y", "New York", 95),
+        fact!("Stock", "Tesla Y", "New York", 96),
+    ])
+    .unwrap();
+    db
+}
+
+#[test]
+fn build_counter_increments_per_construction() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let db = db_stock();
+    let before = DbIndex::build_count();
+    let _a = DbIndex::new(&db);
+    let _b = DbIndex::new(&db);
+    assert_eq!(DbIndex::build_count() - before, 2);
+}
+
+#[test]
+fn one_index_build_per_call() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    // The acceptance criterion of the one-pass pipeline: each of glb, lub,
+    // and range constructs exactly one DbIndex, even with GROUP BY
+    // (rewriting-backed strategies only; the exact fallback enumerates
+    // repairs and indexes each repair by design). MAX is rewriting-backed
+    // for both bounds.
+    let db = db_stock();
+    let q = parse_agg_query("(x, MAX(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+    let engine = RangeCqa::new(&q, db.schema()).unwrap();
+
+    let before = DbIndex::build_count();
+    let glb = engine.glb(&db).unwrap();
+    assert_eq!(
+        DbIndex::build_count() - before,
+        1,
+        "glb must build exactly one index"
+    );
+    assert_eq!(glb.len(), 2);
+
+    let before = DbIndex::build_count();
+    let lub = engine.lub(&db).unwrap();
+    assert_eq!(
+        DbIndex::build_count() - before,
+        1,
+        "lub must build exactly one index"
+    );
+    assert_eq!(lub.len(), 2);
+
+    let before = DbIndex::build_count();
+    let ranges = engine.range(&db).unwrap();
+    assert_eq!(
+        DbIndex::build_count() - before,
+        1,
+        "range must build exactly one index"
+    );
+    assert_eq!(ranges.len(), 2);
+
+    // The closed variant holds the invariant too.
+    let q = parse_agg_query("SUM(y) <- Dealers('Smith', t), Stock(p, t, y)").unwrap();
+    let engine = RangeCqa::new(&q, db.schema()).unwrap();
+    let before = DbIndex::build_count();
+    engine.glb(&db).unwrap();
+    assert_eq!(DbIndex::build_count() - before, 1);
+}
+
+#[test]
+fn parallel_executor_workers_build_no_indexes() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    // With the parallel executor fanned out over worker threads, the single
+    // index is built on the calling thread and shared; the process-wide
+    // counter must still report exactly one construction per call.
+    let db = db_stock();
+    let q = parse_agg_query("(x, MAX(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+    for threads in [2, 4, 8] {
+        let engine = RangeCqa::new(&q, db.schema())
+            .unwrap()
+            .with_options(EngineOptions {
+                threads,
+                ..EngineOptions::default()
+            });
+        let before = DbIndex::build_count();
+        let ranges = engine.range(&db).unwrap();
+        assert_eq!(
+            DbIndex::build_count() - before,
+            1,
+            "range at {threads} threads must build exactly one index"
+        );
+        assert_eq!(ranges.len(), 2);
+    }
+}

@@ -1,0 +1,367 @@
+//! # rcqa-session
+//!
+//! The SQL session facade of the workspace: one object that owns a
+//! named-column [`Catalog`], a [`DatabaseInstance`], and [`EngineOptions`],
+//! and answers SQL strings with a [`Classification`] plus per-group
+//! [`GroupRange`] intervals.
+//!
+//! Every consumer — the experiment harness, the examples, and the
+//! integration tests — goes through this one path, so the SQL parser, the
+//! logical/physical planner, and the (parallel) plan executor are exercised
+//! together end to end:
+//!
+//! ```text
+//! SQL string
+//!   └─ parse_sql (catalog-driven)        rcqa-query
+//!      └─ classify_with_domain           rcqa-core::classify
+//!      └─ LogicalPlan → PhysicalPlan     rcqa-core::plan
+//!         └─ execute (worker pool)       rcqa-core::plan::exec
+//!            └─ Vec<GroupRange>          range-consistent answers
+//! ```
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rcqa_data::fact;
+//! use rcqa_query::{Catalog, TableDef};
+//! use rcqa_session::Session;
+//!
+//! let catalog = Catalog::new()
+//!     .with_table(TableDef::new("Dealers").key_column("Name").column("Town"))
+//!     .with_table(
+//!         TableDef::new("Stock")
+//!             .key_column("Product")
+//!             .key_column("Town")
+//!             .numeric_column("Qty"),
+//!     );
+//! let mut session = Session::new(catalog);
+//! session
+//!     .insert_all([
+//!         fact!("Dealers", "Smith", "Boston"),
+//!         fact!("Dealers", "Smith", "New York"),
+//!         fact!("Stock", "Tesla X", "Boston", 35),
+//!         fact!("Stock", "Tesla Y", "New York", 95),
+//!     ])
+//!     .unwrap();
+//! let outcome = session
+//!     .execute(
+//!         "SELECT SUM(S.Qty) FROM Dealers AS D, Stock AS S \
+//!          WHERE D.Town = S.Town AND D.Name = 'Smith'",
+//!     )
+//!     .unwrap();
+//! assert_eq!(outcome.rows.len(), 1);
+//! assert!(outcome.classification.attack_graph_acyclic);
+//! ```
+
+#![warn(missing_docs)]
+
+use rcqa_core::classify::Classification;
+use rcqa_core::engine::{EngineOptions, GroupRange, RangeCqa};
+use rcqa_core::CoreError;
+use rcqa_data::{DataError, DatabaseInstance, Fact, Rational};
+use rcqa_query::{parse_sql, AggQuery, Catalog, QueryError};
+use std::fmt;
+
+/// Errors raised by a [`Session`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// SQL parsing / translation failed.
+    Query(QueryError),
+    /// The engine rejected or failed to evaluate the query.
+    Core(CoreError),
+    /// A fact violated the catalog's schema.
+    Data(DataError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Query(e) => write!(f, "SQL error: {e}"),
+            SessionError::Core(e) => write!(f, "engine error: {e}"),
+            SessionError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<QueryError> for SessionError {
+    fn from(e: QueryError) -> SessionError {
+        SessionError::Query(e)
+    }
+}
+
+impl From<CoreError> for SessionError {
+    fn from(e: CoreError) -> SessionError {
+        SessionError::Core(e)
+    }
+}
+
+impl From<DataError> for SessionError {
+    fn from(e: DataError) -> SessionError {
+        SessionError::Data(e)
+    }
+}
+
+/// The result of executing one SQL query in a session.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The translated AGGR\[sjfBCQ\] query.
+    pub query: AggQuery,
+    /// The rewriting/complexity classification of the query over the
+    /// session instance's numeric domain.
+    pub classification: Classification,
+    /// Output column names: one per GROUP BY column, then the aggregate.
+    pub columns: Vec<String>,
+    /// One `[glb, lub]` interval per group, in sorted group-key order.
+    pub rows: Vec<GroupRange>,
+}
+
+fn fmt_bound(v: Option<Rational>) -> String {
+    match v {
+        Some(r) => r.to_string(),
+        None => "⊥".to_string(),
+    }
+}
+
+impl QueryOutcome {
+    /// Renders the answer as a plain-text table (group key columns, then
+    /// `glb` and `lub`), for reports and examples.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let key_cols = self.columns.len().saturating_sub(1);
+        for c in &self.columns[..key_cols] {
+            out.push_str(&format!("{c:<14} "));
+        }
+        out.push_str(&format!("{:>12} {:>12}\n", "glb", "lub"));
+        for row in &self.rows {
+            for value in &row.key {
+                out.push_str(&format!("{:<14} ", value.to_string()));
+            }
+            let bound = |b: &Option<rcqa_core::engine::BoundAnswer>| {
+                b.as_ref()
+                    .map(|b| fmt_bound(b.value))
+                    .unwrap_or_else(|| "-".to_string())
+            };
+            out.push_str(&format!(
+                "{:>12} {:>12}\n",
+                bound(&row.glb),
+                bound(&row.lub)
+            ));
+        }
+        out
+    }
+}
+
+/// A SQL session: a catalog, a database instance, and engine options.
+#[derive(Clone, Debug)]
+pub struct Session {
+    catalog: Catalog,
+    db: DatabaseInstance,
+    options: EngineOptions,
+}
+
+impl Session {
+    /// Opens a session over an empty instance of the catalog's schema.
+    pub fn new(catalog: Catalog) -> Session {
+        let db = DatabaseInstance::new(catalog.schema());
+        Session {
+            catalog,
+            db,
+            options: EngineOptions::default(),
+        }
+    }
+
+    /// Opens a session over an existing instance (whose schema should be the
+    /// catalog's lowering).
+    pub fn with_instance(catalog: Catalog, db: DatabaseInstance) -> Session {
+        Session {
+            catalog,
+            db,
+            options: EngineOptions::default(),
+        }
+    }
+
+    /// Overrides the engine options (exact-fallback policy, repair budget,
+    /// executor worker count).
+    pub fn with_options(mut self, options: EngineOptions) -> Session {
+        self.options = options;
+        self
+    }
+
+    /// The session's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The session's database instance.
+    pub fn database(&self) -> &DatabaseInstance {
+        &self.db
+    }
+
+    /// The session's engine options.
+    pub fn options(&self) -> EngineOptions {
+        self.options
+    }
+
+    /// Inserts one fact. Returns `true` if the fact was new.
+    pub fn insert(&mut self, fact: Fact) -> Result<bool, SessionError> {
+        Ok(self.db.insert(fact)?)
+    }
+
+    /// Inserts many facts.
+    pub fn insert_all(
+        &mut self,
+        facts: impl IntoIterator<Item = Fact>,
+    ) -> Result<(), SessionError> {
+        Ok(self.db.insert_all(facts)?)
+    }
+
+    /// Parses a SQL aggregation query and prepares its engine, without
+    /// executing it.
+    fn prepare(&self, sql: &str) -> Result<(AggQuery, Vec<String>, RangeCqa), SessionError> {
+        let translated = parse_sql(sql, &self.catalog)?;
+        let engine =
+            RangeCqa::new(&translated.query, &self.catalog.schema())?.with_options(self.options);
+        Ok((translated.query, translated.output_columns, engine))
+    }
+
+    /// Executes a SQL aggregation query: classification plus one
+    /// `[glb, lub]` interval per group.
+    pub fn execute(&self, sql: &str) -> Result<QueryOutcome, SessionError> {
+        let (query, columns, engine) = self.prepare(sql)?;
+        // Classification reuses the engine's prepared query (attack graph
+        // included) — the SQL hot path prepares exactly once.
+        let classification = engine.classification(self.db.numeric_domain());
+        let rows = engine.range(&self.db)?;
+        Ok(QueryOutcome {
+            query,
+            classification,
+            columns,
+            rows,
+        })
+    }
+
+    /// An `EXPLAIN`-style rendering of the physical plan [`Session::execute`]
+    /// would run for this SQL query.
+    pub fn explain(&self, sql: &str) -> Result<String, SessionError> {
+        let (_, _, engine) = self.prepare(sql)?;
+        Ok(engine.explain(&self.db))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcqa_core::engine::Method;
+    use rcqa_data::{fact, rat};
+    use rcqa_query::TableDef;
+
+    fn stock_session() -> Session {
+        let catalog = Catalog::new()
+            .with_table(TableDef::new("Dealers").key_column("Name").column("Town"))
+            .with_table(
+                TableDef::new("Stock")
+                    .key_column("Product")
+                    .key_column("Town")
+                    .numeric_column("Qty"),
+            );
+        let mut session = Session::new(catalog);
+        session
+            .insert_all([
+                fact!("Dealers", "Smith", "Boston"),
+                fact!("Dealers", "Smith", "New York"),
+                fact!("Dealers", "James", "Boston"),
+                fact!("Stock", "Tesla X", "Boston", 35),
+                fact!("Stock", "Tesla X", "Boston", 40),
+                fact!("Stock", "Tesla Y", "Boston", 35),
+                fact!("Stock", "Tesla Y", "New York", 95),
+                fact!("Stock", "Tesla Y", "New York", 96),
+            ])
+            .unwrap();
+        session
+    }
+
+    #[test]
+    fn grouped_sql_end_to_end() {
+        let session = stock_session();
+        let outcome = session
+            .execute(
+                "SELECT D.Name, SUM(S.Qty) FROM Dealers AS D, Stock AS S \
+                 WHERE D.Town = S.Town GROUP BY D.Name",
+            )
+            .unwrap();
+        assert_eq!(outcome.columns, vec!["Name".to_string(), "SUM".to_string()]);
+        assert!(outcome.classification.attack_graph_acyclic);
+        assert_eq!(outcome.rows.len(), 2);
+        // Sorted group order: James before Smith.
+        assert_eq!(outcome.rows[0].key[0].to_string(), "James");
+        assert_eq!(outcome.rows[0].glb.unwrap().value, Some(rat(70)));
+        assert_eq!(outcome.rows[0].lub.unwrap().value, Some(rat(75)));
+        assert_eq!(outcome.rows[1].key[0].to_string(), "Smith");
+        assert_eq!(outcome.rows[1].glb.unwrap().value, Some(rat(70)));
+        assert_eq!(outcome.rows[1].lub.unwrap().value, Some(rat(96)));
+        assert_eq!(outcome.rows[1].glb.unwrap().method, Method::Rewriting);
+        let table = outcome.to_table();
+        assert!(table.contains("James"), "{table}");
+        assert!(table.contains("96"), "{table}");
+    }
+
+    #[test]
+    fn session_respects_thread_option() {
+        for threads in [1, 2, 8] {
+            let session = stock_session().with_options(EngineOptions {
+                threads,
+                ..EngineOptions::default()
+            });
+            let outcome = session
+                .execute(
+                    "SELECT D.Name, MAX(S.Qty) FROM Dealers AS D, Stock AS S \
+                     WHERE D.Town = S.Town GROUP BY D.Name",
+                )
+                .unwrap();
+            assert_eq!(outcome.rows.len(), 2);
+            assert_eq!(outcome.rows[1].lub.unwrap().value, Some(rat(96)));
+        }
+    }
+
+    #[test]
+    fn explain_shows_the_physical_pipeline() {
+        let session = stock_session();
+        let plan = session
+            .explain(
+                "SELECT D.Name, SUM(S.Qty) FROM Dealers AS D, Stock AS S \
+                 WHERE D.Town = S.Town GROUP BY D.Name",
+            )
+            .unwrap();
+        for op in [
+            "RangeMerge",
+            "AggregateBound",
+            "ForallCheck",
+            "PartitionByGroup",
+            "Join",
+            "Scan",
+        ] {
+            assert!(plan.contains(op), "missing {op} in:\n{plan}");
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let session = stock_session();
+        assert!(matches!(
+            session.execute("SELECT SUM(S.Qty) FROM Nope AS S"),
+            Err(SessionError::Query(_))
+        ));
+        assert!(matches!(
+            session.execute("not even sql"),
+            Err(SessionError::Query(_))
+        ));
+        // Schema-violating fact.
+        let mut session = stock_session();
+        assert!(matches!(
+            session.insert(fact!("Dealers", "only-one-arg")),
+            Err(SessionError::Data(_))
+        ));
+    }
+}

@@ -1,12 +1,12 @@
-//! A GROUP BY report through the SQL front-end (Section 1 / 6.2 of the
+//! A GROUP BY report through the SQL session facade (Section 1 / 6.2 of the
 //! paper): for every dealer, the range of possible total stock in their town
 //! of operation, across all repairs.
 //!
 //! Run with: `cargo run --example dealers_report`
 
-use rcqa::core::engine::RangeCqa;
-use rcqa::data::{fact, DatabaseInstance};
-use rcqa::query::{parse_sql, Catalog, TableDef};
+use rcqa::data::fact;
+use rcqa::query::{Catalog, TableDef};
+use rcqa::session::Session;
 
 fn main() {
     // Named-column catalog for the SQL front-end.
@@ -18,45 +18,38 @@ fn main() {
                 .key_column("Town")
                 .numeric_column("Qty"),
         );
-    let schema = catalog.schema();
 
-    let mut db = DatabaseInstance::new(schema.clone());
-    db.insert_all([
-        fact!("Dealers", "Smith", "Boston"),
-        fact!("Dealers", "Smith", "New York"),
-        fact!("Dealers", "James", "Boston"),
-        fact!("Stock", "Tesla X", "Boston", 35),
-        fact!("Stock", "Tesla X", "Boston", 40),
-        fact!("Stock", "Tesla Y", "Boston", 35),
-        fact!("Stock", "Tesla Y", "New York", 95),
-        fact!("Stock", "Tesla Y", "New York", 96),
-    ])
-    .unwrap();
+    let mut session = Session::new(catalog);
+    session
+        .insert_all([
+            fact!("Dealers", "Smith", "Boston"),
+            fact!("Dealers", "Smith", "New York"),
+            fact!("Dealers", "James", "Boston"),
+            fact!("Stock", "Tesla X", "Boston", 35),
+            fact!("Stock", "Tesla X", "Boston", 40),
+            fact!("Stock", "Tesla Y", "Boston", 35),
+            fact!("Stock", "Tesla Y", "New York", 95),
+            fact!("Stock", "Tesla Y", "New York", 96),
+        ])
+        .unwrap();
 
     // The SQL query from the introduction of the paper.
     let sql = "SELECT D.Name, SUM(S.Qty) \
                FROM Dealers AS D, Stock AS S \
                WHERE D.Town = S.Town \
                GROUP BY D.Name";
-    println!("SQL      : {sql}");
-    let translated = parse_sql(sql, &catalog).unwrap();
-    println!("AGGR[sjfBCQ] : {}", translated.query);
+    println!("SQL          : {sql}");
 
-    let engine = RangeCqa::new(&translated.query, &schema).unwrap();
-    let ranges = engine.range(&db).unwrap();
+    // The physical plan the session executes (plan-IR lowering).
+    println!("\nEXPLAIN:\n{}", session.explain(sql).unwrap());
 
-    println!("\n{:<12} {:>10} {:>10}", "Name", "glb(SUM)", "lub(SUM)");
-    for row in &ranges {
-        let show = |v: Option<rcqa::data::Rational>| {
-            v.map(|r| r.to_string()).unwrap_or_else(|| "⊥".to_string())
-        };
-        println!(
-            "{:<12} {:>10} {:>10}",
-            row.key[0].to_string(),
-            show(row.glb.unwrap().value),
-            show(row.lub.unwrap().value)
-        );
-    }
-    println!("\nEvery value v in [glb, lub] is attained by SUM on some repair;");
+    let outcome = session.execute(sql).unwrap();
+    println!("AGGR[sjfBCQ] : {}", outcome.query);
+    println!(
+        "classified   : acyclic attack graph = {}",
+        outcome.classification.attack_graph_acyclic
+    );
+    println!("\n{}", outcome.to_table());
+    println!("Every value v in [glb, lub] is attained by SUM on some repair;");
     println!("values outside the interval are impossible under range semantics.");
 }

@@ -46,7 +46,7 @@ fn main() {
     let engine = RangeCqa::new(&query, &schema).unwrap();
 
     // The separation theorem: is GLB-CQA expressible in AGGR[FOL]?
-    let classification = engine.classification(NumericDomain::NonNegative).unwrap();
+    let classification = engine.classification(NumericDomain::NonNegative);
     println!("GLB     : {}", classification.glb);
     println!("LUB     : {}", classification.lub);
 

@@ -6,3 +6,4 @@ pub use rcqa_gen as gen;
 pub use rcqa_logic as logic;
 pub use rcqa_query as query;
 pub use rcqa_sat as sat;
+pub use rcqa_session as session;

@@ -76,7 +76,7 @@ fn classification_and_rewriting_agree_with_engine_on_fig1() {
     let db = db_stock();
     let query = parse_agg_query("SUM(y) <- Dealers('Smith', t), Stock(p, t, y)").unwrap();
     let engine = RangeCqa::new(&query, &catalog.schema()).unwrap();
-    let classification = engine.classification(NumericDomain::NonNegative).unwrap();
+    let classification = engine.classification(NumericDomain::NonNegative);
     assert!(classification.attack_graph_acyclic);
     assert!(classification.glb.is_rewritable());
 

@@ -1,0 +1,128 @@
+//! End-to-end SQL through the session facade: every layer — SQL parser,
+//! catalog lowering, classification, plan-IR lowering, (parallel) executor —
+//! on one path, against the paper's Fig. 1 instance and a generated workload.
+
+use rcqa::core::engine::{EngineOptions, Method};
+use rcqa::data::{fact, rat};
+use rcqa::gen::JoinWorkload;
+use rcqa::query::{Catalog, TableDef};
+use rcqa::session::{Session, SessionError};
+
+fn fig1_session() -> Session {
+    let catalog = Catalog::new()
+        .with_table(TableDef::new("Dealers").key_column("Name").column("Town"))
+        .with_table(
+            TableDef::new("Stock")
+                .key_column("Product")
+                .key_column("Town")
+                .numeric_column("Qty"),
+        );
+    let mut session = Session::new(catalog);
+    session
+        .insert_all([
+            fact!("Dealers", "Smith", "Boston"),
+            fact!("Dealers", "Smith", "New York"),
+            fact!("Dealers", "James", "Boston"),
+            fact!("Stock", "Tesla X", "Boston", 35),
+            fact!("Stock", "Tesla X", "Boston", 40),
+            fact!("Stock", "Tesla Y", "Boston", 35),
+            fact!("Stock", "Tesla Y", "New York", 95),
+            fact!("Stock", "Tesla Y", "New York", 96),
+        ])
+        .unwrap();
+    session
+}
+
+#[test]
+fn paper_sql_example_through_the_facade() {
+    let session = fig1_session();
+    let outcome = session
+        .execute(
+            "SELECT D.Name, SUM(S.Qty) FROM Dealers AS D, Stock AS S \
+             WHERE D.Town = S.Town GROUP BY D.Name",
+        )
+        .unwrap();
+    assert!(outcome.classification.attack_graph_acyclic);
+    assert_eq!(outcome.columns, vec!["Name".to_string(), "SUM".to_string()]);
+    assert_eq!(outcome.rows.len(), 2);
+    let james = &outcome.rows[0];
+    assert_eq!(james.key[0].to_string(), "James");
+    assert_eq!(james.glb.unwrap().value, Some(rat(70)));
+    assert_eq!(james.lub.unwrap().value, Some(rat(75)));
+    let smith = &outcome.rows[1];
+    assert_eq!(smith.glb.unwrap().value, Some(rat(70)));
+    assert_eq!(smith.glb.unwrap().method, Method::Rewriting);
+    assert_eq!(smith.lub.unwrap().value, Some(rat(96)));
+    assert_eq!(smith.lub.unwrap().method, Method::ExactEnumeration);
+}
+
+#[test]
+fn explain_matches_the_executed_strategy() {
+    let session = fig1_session();
+    let plan = session
+        .explain(
+            "SELECT D.Name, MAX(S.Qty) FROM Dealers AS D, Stock AS S \
+             WHERE D.Town = S.Town GROUP BY D.Name",
+        )
+        .unwrap();
+    assert!(plan.contains("Rewrite(MAX, Minimise)"), "{plan}");
+    assert!(plan.contains("Extremum(Maximise)"), "{plan}");
+    assert!(plan.contains("PartitionByGroup [d_name]"), "{plan}");
+}
+
+#[test]
+fn session_parallelism_is_transparent() {
+    // The same SQL over a generated inconsistent instance answers identically
+    // at every worker count.
+    let cfg = JoinWorkload {
+        r_blocks: 18,
+        y_domain: 9,
+        s_blocks_per_y: 3,
+        inconsistency_ratio: 0.3,
+        block_size: 2,
+        max_value: 50,
+        seed: 33,
+    };
+    let catalog = Catalog::new()
+        .with_table(TableDef::new("R").key_column("X").column("Y"))
+        .with_table(
+            TableDef::new("S")
+                .key_column("Y")
+                .key_column("Z")
+                .numeric_column("Qty"),
+        );
+    let session = Session::with_instance(catalog, cfg.generate());
+    // MAX is rewriting-backed on both bounds, so the whole answer (keys,
+    // bounds, methods) must be identical at every worker count — and no
+    // repair enumeration runs.
+    let sql = "SELECT R.X, MAX(S.Qty) FROM R, S WHERE R.Y = S.Y GROUP BY R.X";
+    let baseline = session
+        .clone()
+        .with_options(EngineOptions {
+            threads: 1,
+            ..EngineOptions::default()
+        })
+        .execute(sql)
+        .unwrap();
+    assert_eq!(baseline.rows.len(), 18);
+    for threads in [2usize, 4, 8] {
+        let outcome = session
+            .clone()
+            .with_options(EngineOptions {
+                threads,
+                ..EngineOptions::default()
+            })
+            .execute(sql)
+            .unwrap();
+        assert_eq!(outcome.rows, baseline.rows, "{threads} threads");
+    }
+}
+
+#[test]
+fn bad_sql_is_a_session_error() {
+    let session = fig1_session();
+    assert!(matches!(
+        session.execute("SELECT SUM(S.Qty) FROM Missing AS S"),
+        Err(SessionError::Query(_))
+    ));
+}
