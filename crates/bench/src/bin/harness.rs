@@ -5,6 +5,7 @@
 //!   cargo run -p rcqa-bench --bin harness --release -- e3 e9    # selected ones
 //!   cargo run -p rcqa-bench --bin harness --release -- groupby  # E11 + BENCH_groupby.json
 //!   cargo run -p rcqa-bench --bin harness --release -- parallel # E12 + BENCH_parallel.json
+//!   cargo run -p rcqa-bench --bin harness --release -- serving  # E13 + BENCH_serving.json
 //!   cargo run -p rcqa-bench --bin harness --release -- --help   # list modes
 //!
 //! Unknown experiment names are rejected with a non-zero exit code (they used
@@ -15,7 +16,9 @@
 //! environment variable), tracking the one-pass pipeline's speedup over the
 //! seed per-group strategy; `parallel` writes `BENCH_parallel.json`
 //! (`BENCH_PARALLEL_PATH`), tracking the block-sharded executor's scaling
-//! over the sequential plan.
+//! over the sequential plan; `serving` writes `BENCH_serving.json`
+//! (`BENCH_SERVING_PATH`), tracking the warm serving session's repeated-query
+//! and insert-then-query advantage over per-call cold sessions.
 
 use std::process::ExitCode;
 
@@ -57,13 +60,18 @@ const MODES: &[(&str, &[&str], &str)] = &[
         &["e12"],
         "parallel executor scaling at 1/2/4 threads (writes BENCH_parallel.json; opt-in)",
     ),
+    (
+        "serving",
+        &["e13"],
+        "warm serving session vs per-call cold sessions (writes BENCH_serving.json; opt-in)",
+    ),
 ];
 
 fn print_help() {
     println!("usage: harness [MODE ...]");
     println!();
     println!("With no MODE, runs E1-E10 (the paper experiments). The timing modes");
-    println!("`groupby` and `parallel` are opt-in. Modes:");
+    println!("`groupby`, `parallel`, and `serving` are opt-in. Modes:");
     println!();
     for (name, aliases, desc) in MODES {
         let alias = if aliases.is_empty() {
@@ -155,6 +163,16 @@ fn main() -> ExitCode {
         println!("{}", rcqa_bench::format_groupby(&bench));
         let path = std::env::var("BENCH_GROUPBY_PATH")
             .unwrap_or_else(|_| "BENCH_groupby.json".to_string());
+        match std::fs::write(&path, bench.to_json()) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(err) => eprintln!("  failed to write {path}: {err}"),
+        }
+    }
+    if want_opt_in("serving") {
+        let bench = rcqa_bench::bench_serving(150, 40, 5);
+        println!("{}", rcqa_bench::format_serving(&bench));
+        let path = std::env::var("BENCH_SERVING_PATH")
+            .unwrap_or_else(|_| "BENCH_serving.json".to_string());
         match std::fs::write(&path, bench.to_json()) {
             Ok(()) => println!("  wrote {path}"),
             Err(err) => eprintln!("  failed to write {path}: {err}"),

@@ -899,3 +899,232 @@ pub fn format_groupby(bench: &GroupbyBench) -> String {
     writeln!(out, "  answers agree : {}", bench.agree).unwrap();
     out
 }
+
+/// Result of the serving-session benchmark (E13): one warm [`rcqa_session::Session`]
+/// (statement cache + cached incrementally-maintained index + result cache)
+/// against per-call cold sessions, on a repeated grouped MAX query, plus
+/// insert-then-query latency through the delta path vs full cold rebuilds.
+#[derive(Clone, Debug)]
+pub struct ServingBench {
+    /// Number of GROUP BY groups answered.
+    pub groups: usize,
+    /// Number of facts in the instance.
+    pub facts: usize,
+    /// Number of timed samples per arm (best sample reported).
+    pub samples: usize,
+    /// Repeated executions of the same SQL per throughput arm.
+    pub queries: usize,
+    /// Best wall-clock total (ms) for `queries` per-call cold sessions.
+    pub cold_ms: f64,
+    /// Best wall-clock total (ms) for `queries` executes on one warm session.
+    pub warm_ms: f64,
+    /// `cold_ms / warm_ms` — the serving-layer speedup.
+    pub speedup: f64,
+    /// Insert-then-query rounds per latency arm.
+    pub updates: usize,
+    /// Best per-round latency (ms) rebuilding a cold session per update.
+    pub cold_update_ms: f64,
+    /// Best per-round latency (ms) on the warm session (delta replay +
+    /// dirty-group recomputation).
+    pub warm_update_ms: f64,
+    /// `cold_update_ms / warm_update_ms`.
+    pub update_speedup: f64,
+    /// Dirty-group (partial) recomputations the warm session performed during
+    /// the update arm — evidence the delta path, not a rebuild, served it.
+    pub warm_partial_recomputes: u64,
+    /// Whether every arm returned identical rows: warm vs cold, sequential vs
+    /// 4-thread, before and after the update sequence.
+    pub agree: bool,
+}
+
+impl ServingBench {
+    /// Machine-readable JSON encoding (no external serialisation crates in
+    /// this offline workspace, so the fields are written by hand).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"serving_warm_session_vs_cold\",\n  \"groups\": {},\n  \
+             \"facts\": {},\n  \"samples\": {},\n  \"queries\": {},\n  \"cold_ms\": {:.3},\n  \
+             \"warm_ms\": {:.3},\n  \"speedup\": {:.2},\n  \"updates\": {},\n  \
+             \"cold_update_ms\": {:.3},\n  \"warm_update_ms\": {:.3},\n  \
+             \"update_speedup\": {:.2},\n  \"warm_partial_recomputes\": {},\n  \
+             \"agree\": {}\n}}\n",
+            self.groups,
+            self.facts,
+            self.samples,
+            self.queries,
+            self.cold_ms,
+            self.warm_ms,
+            self.speedup,
+            self.updates,
+            self.cold_update_ms,
+            self.warm_update_ms,
+            self.update_speedup,
+            self.warm_partial_recomputes,
+            self.agree
+        )
+    }
+}
+
+/// E13 — the serving layer: repeated-query throughput of one warm session
+/// (statement + index + result caches) vs per-call cold sessions, and
+/// insert-then-query latency through block-level delta maintenance vs cold
+/// rebuilds. The grouped MAX query is rewriting-backed on both bounds, so
+/// every arm stays on the one-pass pipeline. Instance clones happen outside
+/// every timed region. The throughput arms pre-build their sessions and time
+/// parse/classify/plan/index/evaluate work only; the **cold update arm
+/// deliberately times per-round `Session` construction too** — standing up a
+/// session over the mutated instance is exactly the cost a per-call cold
+/// server pays, and is what `update_speedup` compares the warm delta path
+/// against.
+pub fn bench_serving(r_blocks: usize, queries: usize, samples: usize) -> ServingBench {
+    use rcqa_data::{Fact, Value};
+    use rcqa_query::{Catalog, TableDef};
+    use rcqa_session::Session;
+
+    let cfg = JoinWorkload {
+        r_blocks,
+        y_domain: (r_blocks / 2).max(1),
+        s_blocks_per_y: 2,
+        inconsistency_ratio: 0.1,
+        block_size: 2,
+        max_value: 100,
+        seed: 13,
+    };
+    let db = cfg.generate();
+    let catalog = || {
+        Catalog::new()
+            .with_table(TableDef::new("R").key_column("X").column("Y"))
+            .with_table(
+                TableDef::new("S")
+                    .key_column("Y")
+                    .key_column("Z")
+                    .numeric_column("Qty"),
+            )
+    };
+    let sql = "SELECT R.X, MAX(S.Qty) FROM R, S WHERE R.Y = S.Y GROUP BY R.X";
+    let samples = samples.max(1);
+    let queries = queries.max(2);
+
+    // Repeated-query throughput: per-call cold sessions ...
+    let mut cold_ms = f64::INFINITY;
+    let mut cold_rows = Vec::new();
+    for _ in 0..samples {
+        let sessions: Vec<Session> = (0..queries)
+            .map(|_| Session::with_instance(catalog(), db.clone()))
+            .collect();
+        let t0 = Instant::now();
+        for session in &sessions {
+            cold_rows = session.execute(sql).expect("cold execute").rows;
+        }
+        cold_ms = cold_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    // ... vs one warm session.
+    let mut warm_ms = f64::INFINITY;
+    let mut warm_rows = Vec::new();
+    for _ in 0..samples {
+        let session = Session::with_instance(catalog(), db.clone());
+        let t0 = Instant::now();
+        for _ in 0..queries {
+            warm_rows = session.execute(sql).expect("warm execute").rows;
+        }
+        warm_ms = warm_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut agree = cold_rows == warm_rows;
+    // Caching must be thread-transparent too.
+    for threads in [1usize, 4] {
+        let session = Session::with_instance(catalog(), db.clone()).with_options(
+            rcqa_core::engine::EngineOptions {
+                threads,
+                ..Default::default()
+            },
+        );
+        session.execute(sql).expect("threaded warm-up");
+        agree = agree && session.execute(sql).expect("threaded repeat").rows == warm_rows;
+    }
+
+    // Insert-then-query latency. Both arms apply the same update sequence:
+    // a new `R` block per round (joins on y0, so the new group is non-empty).
+    let updates = 16usize;
+    let update_fact =
+        |u: usize| Fact::new("R", [Value::text(format!("xu{u:03}")), Value::text("y0")]);
+    let mut warm_update_ms = f64::INFINITY;
+    let mut warm_partial_recomputes = 0;
+    let mut warm_final_rows = Vec::new();
+    for _ in 0..samples {
+        let mut session = Session::with_instance(catalog(), db.clone());
+        session.execute(sql).expect("warm-up");
+        let partials_before = session.stats().partial_recomputes;
+        let t0 = Instant::now();
+        for u in 0..updates {
+            session.insert(update_fact(u)).expect("warm insert");
+            warm_final_rows = session.execute(sql).expect("warm update query").rows;
+        }
+        warm_update_ms = warm_update_ms.min(t0.elapsed().as_secs_f64() * 1e3 / updates as f64);
+        warm_partial_recomputes = session.stats().partial_recomputes - partials_before;
+    }
+    let mut cold_update_ms = f64::INFINITY;
+    let mut cold_final_rows = Vec::new();
+    for _ in 0..samples {
+        // Pre-materialise the post-update instances; the timed region covers
+        // session construction, preparation, index build, and evaluation.
+        let mut dbu = db.clone();
+        let dbs: Vec<DatabaseInstance> = (0..updates)
+            .map(|u| {
+                dbu.insert(update_fact(u)).expect("cold insert");
+                dbu.clone()
+            })
+            .collect();
+        let t0 = Instant::now();
+        for dbu in dbs {
+            let session = Session::with_instance(catalog(), dbu);
+            cold_final_rows = session.execute(sql).expect("cold update query").rows;
+        }
+        cold_update_ms = cold_update_ms.min(t0.elapsed().as_secs_f64() * 1e3 / updates as f64);
+    }
+    agree = agree && warm_final_rows == cold_final_rows;
+
+    ServingBench {
+        groups: warm_rows.len(),
+        facts: db.len(),
+        samples,
+        queries,
+        cold_ms,
+        warm_ms,
+        speedup: cold_ms / warm_ms.max(f64::MIN_POSITIVE),
+        updates,
+        cold_update_ms,
+        warm_update_ms,
+        update_speedup: cold_update_ms / warm_update_ms.max(f64::MIN_POSITIVE),
+        warm_partial_recomputes,
+        agree,
+    }
+}
+
+/// Formats the E13 report for the harness.
+pub fn format_serving(bench: &ServingBench) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E13 Serving session: warm statement/index/result caches vs per-call cold sessions"
+    )
+    .unwrap();
+    writeln!(out, "  groups          : {}", bench.groups).unwrap();
+    writeln!(out, "  facts           : {}", bench.facts).unwrap();
+    writeln!(
+        out,
+        "  {} repeated queries   : cold {:.3} ms, warm {:.3} ms  ({:.2}x)",
+        bench.queries, bench.cold_ms, bench.warm_ms, bench.speedup
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  insert-then-query    : cold {:.3} ms, warm {:.3} ms  ({:.2}x, {} dirty-group patches)",
+        bench.cold_update_ms,
+        bench.warm_update_ms,
+        bench.update_speedup,
+        bench.warm_partial_recomputes
+    )
+    .unwrap();
+    writeln!(out, "  answers agree   : {}", bench.agree).unwrap();
+    out
+}

@@ -73,13 +73,13 @@ use crate::classify::{classify_prepared, Classification};
 use crate::error::CoreError;
 use crate::forall::CompiledLevels;
 use crate::index::DbIndex;
-use crate::plan::exec::{execute, partition_groups, ExecContext};
+use crate::plan::exec::{execute, execute_for_groups, partition_groups, ExecContext};
 use crate::plan::{LogicalPlan, PhysicalPlan};
 use crate::prepared::PreparedAggQuery;
 use crate::rewrite::{rewriting_for, BoundKind, Rewriting};
 use rcqa_data::{DatabaseInstance, NumericDomain, Rational, Schema, Value};
 use rcqa_query::{AggQuery, Term, Var};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How an answer was obtained.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -162,6 +162,38 @@ impl EngineOptions {
     }
 }
 
+/// Where a query's group keys live inside the physical data: every GROUP BY
+/// variable is embedded at a fixed key position of the level-0 atom of the
+/// open body.
+///
+/// When a query has this property, a change confined to blocks of
+/// [`GroupLocality::relation`] can only affect the groups whose key equals
+/// the projection of a changed block's key through
+/// [`GroupLocality::key_positions`]: embeddings of any group draw their
+/// level-0 fact exclusively from blocks carrying that group's key, and the
+/// closed per-group evaluation pins the group key at those same positions, so
+/// no other block of the relation is ever consulted for another group. This
+/// is the soundness certificate behind incremental (dirty-group) answer
+/// maintenance in the serving layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupLocality {
+    /// The relation of the level-0 atom of the open body.
+    pub relation: String,
+    /// For the i-th GROUP BY variable (in free-variable order), the key
+    /// position of the level-0 atom where its value is bound.
+    pub key_positions: Vec<usize>,
+}
+
+impl GroupLocality {
+    /// Projects a level-0 block key onto the group key it determines.
+    pub fn project(&self, block_key: &[Value]) -> Vec<Value> {
+        self.key_positions
+            .iter()
+            .map(|&p| block_key[p].clone())
+            .collect()
+    }
+}
+
 /// The range-consistent query answering engine for one aggregation query.
 #[derive(Clone, Debug)]
 pub struct RangeCqa {
@@ -234,6 +266,74 @@ impl RangeCqa {
     pub fn range(&self, db: &DatabaseInstance) -> Result<Vec<GroupRange>, CoreError> {
         let index = DbIndex::new(db);
         self.evaluate(db, &index, true, true)
+    }
+
+    /// Like [`RangeCqa::range`], but over a caller-supplied [`DbIndex`] for
+    /// `db` — the serving layer maintains one index per session incrementally
+    /// and evaluates every statement against it, so repeated calls build
+    /// **zero** further indexes (on rewriting-backed paths).
+    pub fn range_with_index(
+        &self,
+        db: &DatabaseInstance,
+        index: &DbIndex,
+    ) -> Result<Vec<GroupRange>, CoreError> {
+        self.evaluate(db, index, true, true)
+    }
+
+    /// The query's [`GroupLocality`], if every GROUP BY variable is bound at
+    /// a key position of the level-0 atom of the open body. `None` for closed
+    /// queries and for queries whose group keys are not block-key-determined
+    /// (for those, a delta anywhere may affect any group).
+    pub fn group_locality(&self) -> Option<GroupLocality> {
+        let level0 = self.prepared.open_levels().first()?;
+        let free = self.prepared.normalised.body.free_vars();
+        if free.is_empty() {
+            return None;
+        }
+        let key_positions = free
+            .iter()
+            .map(|v| {
+                level0.atom.terms()[..level0.key_len]
+                    .iter()
+                    .position(|t| t.as_var() == Some(v))
+            })
+            .collect::<Option<Vec<usize>>>()?;
+        Some(GroupLocality {
+            relation: level0.atom.relation().to_string(),
+            key_positions,
+        })
+    }
+
+    /// Computes both bounds for **only** the groups whose key is in `keys`,
+    /// over a caller-supplied index. The returned rows (sorted by group key;
+    /// keys with no embedding are absent, exactly as in a full run) are
+    /// byte-identical to the corresponding rows of
+    /// [`RangeCqa::range_with_index`].
+    ///
+    /// When the query has a [`GroupLocality`], only level-0 blocks whose key
+    /// projects into `keys` are joined, making the cost proportional to the
+    /// touched groups rather than the whole instance; otherwise the full
+    /// partition runs and the requested rows are filtered out of it.
+    pub fn range_for_groups(
+        &self,
+        db: &DatabaseInstance,
+        index: &DbIndex,
+        keys: &BTreeSet<Vec<Value>>,
+    ) -> Result<Vec<GroupRange>, CoreError> {
+        let plan = self.plan(db.numeric_domain(), true, true);
+        let cx = ExecContext {
+            prepared: &self.prepared,
+            db,
+            index,
+            options: &self.options,
+        };
+        match self.group_locality() {
+            Some(locality) => execute_for_groups(&plan, &cx, &locality.key_positions, keys),
+            None => Ok(execute(&plan, &cx)?
+                .into_iter()
+                .filter(|g| keys.contains(&g.key))
+                .collect()),
+        }
     }
 
     /// The logical plan (strategy per requested bound) for the given numeric
@@ -535,6 +635,70 @@ mod tests {
             for (range, (lk, l)) in ranges.iter().zip(lub.iter()) {
                 assert_eq!(&range.key, lk, "{text}");
                 assert_eq!(range.lub.as_ref().unwrap(), l, "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_locality_for_key_bound_groups() {
+        let db = db_stock();
+        // x is the key of Dealers, the level-0 atom of the open body.
+        let q = parse_agg_query("(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+        let locality = engine.group_locality().unwrap();
+        assert_eq!(locality.relation, "Dealers");
+        assert_eq!(locality.key_positions, vec![0]);
+        assert_eq!(
+            locality.project(&[Value::text("Smith")]),
+            vec![Value::text("Smith")]
+        );
+        // Closed queries have no groups to localise.
+        let q = parse_agg_query("SUM(y) <- Dealers('Smith', t), Stock(p, t, y)").unwrap();
+        assert!(RangeCqa::new(&q, db.schema())
+            .unwrap()
+            .group_locality()
+            .is_none());
+        // Grouping by a non-key variable is not block-key-determined.
+        let q = parse_agg_query("(t, SUM(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+        assert!(RangeCqa::new(&q, db.schema())
+            .unwrap()
+            .group_locality()
+            .is_none());
+    }
+
+    #[test]
+    fn range_for_groups_matches_full_range() {
+        let db = db_stock();
+        let index = DbIndex::new(&db);
+        for text in [
+            "(x, MAX(y)) <- Dealers(x, t), Stock(p, t, y)",
+            "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)",
+            // No locality: the filtered fallback must still agree.
+            "(t, MAX(y)) <- Dealers(x, t), Stock(p, t, y)",
+        ] {
+            let q = parse_agg_query(text).unwrap();
+            for threads in [1, 4] {
+                let engine = RangeCqa::new(&q, db.schema())
+                    .unwrap()
+                    .with_options(EngineOptions {
+                        threads,
+                        ..EngineOptions::default()
+                    });
+                let full = engine.range_with_index(&db, &index).unwrap();
+                assert!(!full.is_empty(), "{text}");
+                // Each single group, a subset, the full set, and a key with
+                // no embeddings.
+                for row in &full {
+                    let keys: BTreeSet<Vec<Value>> = [row.key.clone()].into();
+                    let got = engine.range_for_groups(&db, &index, &keys).unwrap();
+                    assert_eq!(got, vec![row.clone()], "{text} @{threads}T");
+                }
+                let all: BTreeSet<Vec<Value>> = full.iter().map(|r| r.key.clone()).collect();
+                let got = engine.range_for_groups(&db, &index, &all).unwrap();
+                assert_eq!(got, full, "{text} @{threads}T");
+                let missing: BTreeSet<Vec<Value>> = [vec![Value::text("Nobody")]].into();
+                let got = engine.range_for_groups(&db, &index, &missing).unwrap();
+                assert!(got.is_empty(), "{text} @{threads}T");
             }
         }
     }

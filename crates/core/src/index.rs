@@ -12,8 +12,8 @@
 //! precisely so that an index built on one thread and *no* builds on the
 //! executor's worker threads still sum to one observable construction.
 
-use rcqa_data::{DatabaseInstance, Fact, Value};
-use std::collections::HashMap;
+use rcqa_data::{DatabaseInstance, DeltaEvent, DeltaOp, Fact, Value};
+use std::collections::{BTreeSet, HashMap};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -35,6 +35,12 @@ pub struct IndexedBlock {
 pub struct RelationIndex {
     /// All blocks of the relation.
     pub blocks: Vec<IndexedBlock>,
+    /// Primary-key length of the relation (block keys are fact prefixes of
+    /// this length).
+    key_len: usize,
+    /// Arity of the relation; delta events carrying any other arity cannot
+    /// correspond to a stored fact and are rejected outright.
+    arity: usize,
     /// Lookup from full key value to block position.
     by_key: HashMap<Vec<Value>, usize>,
     /// For each key position, lookup from value to the blocks having that
@@ -51,6 +57,96 @@ impl RelationIndex {
     /// Looks up the block with exactly the given key.
     pub fn block_by_key(&self, key: &[Value]) -> Option<&IndexedBlock> {
         self.by_key.get(key).map(|&i| &self.blocks[i])
+    }
+
+    /// Inserts one fact, keeping the index byte-identical to a cold rebuild
+    /// of the post-insert instance: the fact lands at its sorted position in
+    /// its block, and a new block lands at its sorted position in the block
+    /// list (cold builds scan facts in sorted order, so block order is key
+    /// order). Returns `true` if the fact was not already present.
+    fn insert_fact(&mut self, fact: Fact) -> bool {
+        let key = fact.args()[..self.key_len].to_vec();
+        match self.by_key.get(&key) {
+            Some(&i) => {
+                let facts = &mut self.blocks[i].facts;
+                match facts.binary_search(&fact) {
+                    Ok(_) => false,
+                    Err(pos) => {
+                        facts.insert(pos, fact);
+                        true
+                    }
+                }
+            }
+            None => {
+                let pos = self.blocks.partition_point(|b| b.key < key);
+                self.blocks.insert(
+                    pos,
+                    IndexedBlock {
+                        key: key.clone(),
+                        facts: vec![fact],
+                    },
+                );
+                // Shift every block position at or after the insertion point.
+                for i in self.by_key.values_mut() {
+                    if *i >= pos {
+                        *i += 1;
+                    }
+                }
+                for map in &mut self.by_key_pos {
+                    for ids in map.values_mut() {
+                        for i in ids.iter_mut() {
+                            if *i >= pos {
+                                *i += 1;
+                            }
+                        }
+                    }
+                }
+                self.by_key.insert(key.clone(), pos);
+                for (p, v) in key.iter().enumerate() {
+                    let ids = self.by_key_pos[p].entry(v.clone()).or_default();
+                    let at = ids.partition_point(|&i| i < pos);
+                    ids.insert(at, pos);
+                }
+                true
+            }
+        }
+    }
+
+    /// Removes one fact (and its block, if it becomes empty), keeping the
+    /// index byte-identical to a cold rebuild of the post-delete instance.
+    /// Returns `true` if the fact was present.
+    fn remove_fact(&mut self, fact: &Fact) -> bool {
+        let key = &fact.args()[..self.key_len];
+        let Some(&i) = self.by_key.get(key) else {
+            return false;
+        };
+        let facts = &mut self.blocks[i].facts;
+        let Ok(pos) = facts.binary_search(fact) else {
+            return false;
+        };
+        facts.remove(pos);
+        if self.blocks[i].facts.is_empty() {
+            self.blocks.remove(i);
+            self.by_key.remove(key);
+            for j in self.by_key.values_mut() {
+                if *j > i {
+                    *j -= 1;
+                }
+            }
+            for map in &mut self.by_key_pos {
+                for ids in map.values_mut() {
+                    ids.retain(|&j| j != i);
+                    for j in ids.iter_mut() {
+                        if *j > i {
+                            *j -= 1;
+                        }
+                    }
+                }
+                // Cold builds never hold empty posting lists.
+                map.retain(|_, ids| !ids.is_empty());
+            }
+        }
+        true
     }
 
     /// Returns an iterator over the blocks compatible with a partially-bound
@@ -144,6 +240,17 @@ impl<'a> Iterator for BlocksMatching<'a, '_> {
     }
 }
 
+/// One level-0 block touched by [`DbIndex::apply_delta`]: the relation and
+/// the primary-key value of a block that gained or lost facts (including
+/// blocks that were created or emptied by the delta).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DirtyBlock {
+    /// The relation the block belongs to.
+    pub relation: String,
+    /// The block's shared primary-key value.
+    pub key: Vec<Value>,
+}
+
 /// A block index over all relations of a database instance.
 #[derive(Clone, Debug, Default)]
 pub struct DbIndex {
@@ -161,6 +268,8 @@ impl DbIndex {
             let key_len = sig.key_len();
             let mut rel = RelationIndex {
                 blocks: Vec::new(),
+                key_len,
+                arity: sig.arity(),
                 by_key: HashMap::new(),
                 by_key_pos: vec![HashMap::new(); key_len],
             };
@@ -189,6 +298,45 @@ impl DbIndex {
             relations,
             empty: RelationIndex::default(),
         }
+    }
+
+    /// Applies a sequence of change events in place, without rebuilding (and
+    /// without advancing [`DbIndex::build_count`] — incremental maintenance
+    /// is precisely *not* a build). After the call the index is byte-identical
+    /// to a cold [`DbIndex::new`] over the mutated instance: facts sit at
+    /// their sorted positions inside blocks, blocks at their sorted positions
+    /// inside relations, and the key/posting lookups match.
+    ///
+    /// Returns the deduplicated, sorted list of blocks whose contents changed
+    /// — the dirty set callers use to decide which cached per-group answers
+    /// must be recomputed. Events that change nothing (re-inserting a present
+    /// fact, deleting an absent one) and events for relations outside the
+    /// indexed schema mark nothing dirty.
+    pub fn apply_delta(&mut self, events: &[DeltaEvent]) -> Vec<DirtyBlock> {
+        let mut dirty: BTreeSet<DirtyBlock> = BTreeSet::new();
+        for event in events {
+            let Some(rel) = self.relations.get_mut(event.fact.relation()) else {
+                continue;
+            };
+            if event.fact.arity() != rel.arity {
+                // Cannot correspond to any stored fact; instances validate
+                // arities on insert, so only malformed events land here.
+                // (An exact check, not `< key_len`: a fact that covers the
+                // key but not the full arity must not be indexed either.)
+                continue;
+            }
+            let changed = match event.op {
+                DeltaOp::Insert => rel.insert_fact(event.fact.clone()),
+                DeltaOp::Delete => rel.remove_fact(&event.fact),
+            };
+            if changed {
+                dirty.insert(DirtyBlock {
+                    relation: event.fact.relation().to_string(),
+                    key: event.fact.args()[..rel.key_len].to_vec(),
+                });
+            }
+        }
+        dirty.into_iter().collect()
     }
 
     /// The index of a relation. Every relation of the schema is present (even
@@ -302,4 +450,103 @@ mod tests {
     // The build-counter tests live in `tests/build_invariant.rs`: the counter
     // is process-wide, so differencing it is only deterministic in a test
     // binary whose other tests build no indexes concurrently.
+
+    /// Full structural equality with a cold rebuild: block order, fact order
+    /// inside blocks, key lookup, and posting lists must all match, not just
+    /// the answers they produce.
+    fn assert_identical(incremental: &DbIndex, cold: &DbIndex) {
+        let mut names: Vec<&String> = incremental.relations.keys().collect();
+        names.sort();
+        let mut cold_names: Vec<&String> = cold.relations.keys().collect();
+        cold_names.sort();
+        assert_eq!(names, cold_names);
+        for name in names {
+            let a = &incremental.relations[name];
+            let b = &cold.relations[name];
+            assert_eq!(a.key_len, b.key_len, "{name}: key_len");
+            assert_eq!(a.blocks.len(), b.blocks.len(), "{name}: block count");
+            for (x, y) in a.blocks.iter().zip(b.blocks.iter()) {
+                assert_eq!(x.key, y.key, "{name}: block order");
+                assert_eq!(x.facts, y.facts, "{name}: facts of block {:?}", x.key);
+            }
+            assert_eq!(a.by_key, b.by_key, "{name}: by_key");
+            assert_eq!(a.by_key_pos, b.by_key_pos, "{name}: by_key_pos");
+        }
+    }
+
+    #[test]
+    fn apply_delta_matches_cold_rebuild() {
+        let mut db = db();
+        let mut idx = DbIndex::new(&db);
+        let steps = [
+            // Grow an existing block (sorts before the present facts).
+            DeltaEvent::insert(fact!("S", "b1", "c1", 0)),
+            // New block between existing ones.
+            DeltaEvent::insert(fact!("S", "b1", "c15", 7)),
+            // New block at the front and at the back.
+            DeltaEvent::insert(fact!("S", "a0", "c0", 9)),
+            DeltaEvent::insert(fact!("S", "z9", "c9", 9)),
+            // First fact of the empty relation.
+            DeltaEvent::insert(fact!("Empty", "e1")),
+            // Shrink a block without emptying it.
+            DeltaEvent::delete(fact!("S", "b1", "c1", 1)),
+            // Empty a block entirely.
+            DeltaEvent::delete(fact!("S", "b2", "c3", 5)),
+            // No-ops: deleting an absent fact, re-inserting a present one.
+            DeltaEvent::delete(fact!("S", "nope", "c1", 1)),
+            DeltaEvent::insert(fact!("S", "b1", "c2", 3)),
+        ];
+        for event in steps {
+            let dirty = idx.apply_delta(std::slice::from_ref(&event));
+            let effective = db.apply(event.clone()).unwrap().is_some();
+            assert_eq!(
+                !dirty.is_empty(),
+                effective,
+                "dirty iff the instance changed: {event}"
+            );
+            assert_identical(&idx, &DbIndex::new(&db));
+        }
+        // A batch reports each dirty block once, sorted.
+        let batch = [
+            DeltaEvent::insert(fact!("S", "m1", "c1", 1)),
+            DeltaEvent::insert(fact!("S", "m1", "c1", 2)),
+            DeltaEvent::insert(fact!("S", "b1", "c2", 30)),
+        ];
+        let dirty = idx.apply_delta(&batch);
+        for e in &batch {
+            db.apply(e.clone()).unwrap();
+        }
+        assert_eq!(
+            dirty,
+            vec![
+                DirtyBlock {
+                    relation: "S".to_string(),
+                    key: vec![Value::text("b1"), Value::text("c2")],
+                },
+                DirtyBlock {
+                    relation: "S".to_string(),
+                    key: vec![Value::text("m1"), Value::text("c1")],
+                },
+            ]
+        );
+        assert_identical(&idx, &DbIndex::new(&db));
+    }
+
+    #[test]
+    fn apply_delta_ignores_unknown_relations() {
+        let db = db();
+        let mut idx = DbIndex::new(&db);
+        let dirty = idx.apply_delta(&[
+            DeltaEvent::insert(fact!("Missing", "x", "y")),
+            // Arity shorter than the key cannot match any stored fact.
+            DeltaEvent::delete(fact!("S", "b1")),
+            // Neither can a fact that covers the key but not the full arity:
+            // indexing it would diverge from a cold rebuild (the instance
+            // rejects it) and corrupt downstream numeric-position reads.
+            DeltaEvent::insert(fact!("S", "b1", "c1")),
+            DeltaEvent::insert(fact!("S", "b1", "c1", 8, 9)),
+        ]);
+        assert!(dirty.is_empty());
+        assert_identical(&idx, &DbIndex::new(&db));
+    }
 }

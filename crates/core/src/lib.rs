@@ -63,12 +63,12 @@ pub mod rewrite;
 pub use classify::{
     classify, classify_prepared, classify_with_domain, Classification, Expressibility,
 };
-pub use engine::{BoundAnswer, EngineOptions, GroupRange, Method, RangeCqa};
+pub use engine::{BoundAnswer, EngineOptions, GroupLocality, GroupRange, Method, RangeCqa};
 pub use error::CoreError;
 pub use exact::{exact_bounds, exact_bounds_by_group, ExactBounds};
 pub use forall::{analyse, Binding, CertaintyChecker, CompiledLevels, ForallAnalysis, VarTable};
 pub use glb::{global_extremum, optimal_aggregate, Choice};
-pub use index::DbIndex;
+pub use index::{DbIndex, DirtyBlock};
 pub use plan::{BoundOp, BoundStrategy, LogicalPlan, PhysicalPlan, PlanNode};
 pub use prepared::{PreparedAggQuery, PreparedBody};
 pub use rewrite::{rewriting_for, BoundKind, Rewriting};

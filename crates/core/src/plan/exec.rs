@@ -39,7 +39,7 @@ use crate::prepared::PreparedAggQuery;
 use crate::rewrite::BoundKind;
 use rcqa_data::{DatabaseInstance, Value};
 use rcqa_query::Var;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Everything the executor needs besides the plan itself.
 #[derive(Clone, Copy)]
@@ -83,6 +83,82 @@ pub fn execute(plan: &PhysicalPlan, cx: &ExecContext<'_>) -> Result<Vec<GroupRan
         )
     };
 
+    eval_groups(&spec, cx, &compiled, &free, groups, requested_workers)
+}
+
+/// Executes a physical plan for **only** the groups whose key is in `keys`:
+/// the level-0 blocks of the open body are filtered by projecting their block
+/// key through `key_positions` (the positions, per free variable, where the
+/// group key is embedded in the level-0 block key — see
+/// [`crate::engine::GroupLocality`]), so the join pass touches only blocks
+/// that can contribute to the requested groups.
+///
+/// The returned rows are byte-identical to the corresponding rows of
+/// [`execute`]: every level-0 block whose projection is in `keys` is joined
+/// in the same order as the full enumeration, so each requested group sees
+/// exactly the embeddings it would see in a full run.
+pub fn execute_for_groups(
+    plan: &PhysicalPlan,
+    cx: &ExecContext<'_>,
+    key_positions: &[usize],
+    keys: &BTreeSet<Vec<Value>>,
+) -> Result<Vec<GroupRange>, CoreError> {
+    let spec = plan.spec();
+    let free = cx.prepared.normalised.body.free_vars().to_vec();
+    if free.is_empty() {
+        // A closed query has a single (empty-keyed) group; filtering does not
+        // apply.
+        return execute(plan, cx);
+    }
+    let compiled = CompiledLevels::new(cx.prepared.body.levels());
+    let open = CompiledLevels::new(cx.prepared.open_levels());
+    let initial = open.binding();
+    let groups: Vec<(Vec<Value>, Vec<Binding>)> = match level0_blocks(&open, cx.index, &initial) {
+        Some(blocks) => {
+            let selected: Vec<_> = blocks
+                .into_iter()
+                .filter(|b| {
+                    let projection: Vec<Value> =
+                        key_positions.iter().map(|&p| b.key[p].clone()).collect();
+                    keys.contains(&projection)
+                })
+                .collect();
+            let (free_slots, remap) = group_projection(&open, &compiled, &free);
+            let embs = embeddings_from_blocks(&open, cx.index, &initial, &selected);
+            bucket_embeddings(&compiled, &free_slots, &remap, embs, spec.keep_embeddings)
+                .into_iter()
+                .collect()
+        }
+        None => {
+            // No levels to filter on: partition everything and keep the
+            // requested groups.
+            partition_groups(
+                cx.prepared,
+                cx.index,
+                &compiled,
+                &free,
+                spec.keep_embeddings,
+            )
+            .into_iter()
+            .filter(|(key, _)| keys.contains(key))
+            .collect()
+        }
+    };
+    let requested_workers = cx.options.resolve_threads().max(1);
+    eval_groups(&spec, cx, &compiled, &free, groups, requested_workers)
+}
+
+/// The `ForallCheck + AggregateBound + RangeMerge` tail shared by [`execute`]
+/// and [`execute_for_groups`]: evaluates pre-partitioned groups sequentially
+/// or over contiguous shards on a worker pool.
+fn eval_groups(
+    spec: &ExecSpec,
+    cx: &ExecContext<'_>,
+    compiled: &CompiledLevels,
+    free: &[Var],
+    groups: Vec<(Vec<Value>, Vec<Binding>)>,
+    requested_workers: usize,
+) -> Result<Vec<GroupRange>, CoreError> {
     // Slots of the free variables in the closed body's table, for seeding
     // per-group base bindings. (With an acyclic body every free variable
     // occurs in some atom and therefore has a slot.)
@@ -92,14 +168,13 @@ pub fn execute(plan: &PhysicalPlan, cx: &ExecContext<'_>) -> Result<Vec<GroupRan
     if workers <= 1 {
         // Sequential: one checker whose memo is shared by every group.
         let checker = CertaintyChecker::with_compiled(compiled.clone(), cx.index);
-        return eval_shard(&spec, cx, &checker, &compiled, &free_slots, groups);
+        return eval_shard(spec, cx, &checker, compiled, &free_slots, groups);
     }
 
     // ForallCheck + AggregateBound, fanned out over contiguous group shards;
     // RangeMerge concatenates the shard outputs in shard order.
     let shards = shard(groups, workers);
     let free_slots = &free_slots;
-    let spec = &spec;
     let shard_results: Vec<Result<Vec<GroupRange>, CoreError>> = std::thread::scope(|s| {
         let handles: Vec<_> = shards
             .into_iter()

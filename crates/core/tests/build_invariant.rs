@@ -10,7 +10,7 @@
 
 use rcqa_core::engine::{EngineOptions, RangeCqa};
 use rcqa_core::index::DbIndex;
-use rcqa_data::{fact, DatabaseInstance, Schema, Signature};
+use rcqa_data::{fact, DatabaseInstance, DeltaEvent, Schema, Signature};
 use rcqa_query::parse_agg_query;
 use std::sync::Mutex;
 
@@ -91,6 +91,67 @@ fn one_index_build_per_call() {
     let before = DbIndex::build_count();
     engine.glb(&db).unwrap();
     assert_eq!(DbIndex::build_count() - before, 1);
+}
+
+#[test]
+fn apply_delta_is_maintenance_not_a_build() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    // Incremental maintenance must not advance the build counter: that is
+    // what lets a serving session answer N queries and absorb mutations with
+    // exactly one observable construction.
+    let mut db = db_stock();
+    let mut index = DbIndex::new(&db);
+    let before = DbIndex::build_count();
+    let events = [
+        DeltaEvent::insert(fact!("Dealers", "Lopez", "New York")),
+        DeltaEvent::insert(fact!("Stock", "Tesla Z", "Boston", 50)),
+        DeltaEvent::delete(fact!("Stock", "Tesla Y", "Boston", 35)),
+    ];
+    let dirty = index.apply_delta(&events);
+    assert_eq!(dirty.len(), 3);
+    assert_eq!(
+        DbIndex::build_count() - before,
+        0,
+        "apply_delta must not count as an index build"
+    );
+    // The maintained index answers exactly like a cold rebuild would.
+    for e in events {
+        db.apply(e).unwrap();
+    }
+    let q = parse_agg_query("(x, MAX(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+    let engine = RangeCqa::new(&q, db.schema()).unwrap();
+    let maintained = engine.range_with_index(&db, &index).unwrap();
+    let cold = engine.range_with_index(&db, &DbIndex::new(&db)).unwrap();
+    assert_eq!(maintained, cold);
+    assert_eq!(maintained.len(), 3);
+}
+
+#[test]
+fn range_with_index_builds_nothing() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    // The serving layer's entry point: evaluation over a caller-owned index
+    // performs zero constructions, at every worker count.
+    let db = db_stock();
+    let index = DbIndex::new(&db);
+    let q = parse_agg_query("(x, MAX(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+    for threads in [1, 4] {
+        let engine = RangeCqa::new(&q, db.schema())
+            .unwrap()
+            .with_options(EngineOptions {
+                threads,
+                ..EngineOptions::default()
+            });
+        let before = DbIndex::build_count();
+        for _ in 0..5 {
+            let ranges = engine.range_with_index(&db, &index).unwrap();
+            assert_eq!(ranges.len(), 2);
+        }
+        assert_eq!(
+            DbIndex::build_count() - before,
+            0,
+            "range_with_index at {threads} threads must build nothing"
+        );
+    }
 }
 
 #[test]

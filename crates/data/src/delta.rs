@@ -1,0 +1,76 @@
+//! Change events on a database instance.
+//!
+//! A [`DeltaEvent`] records one successful mutation — a fact inserted into or
+//! deleted from a [`DatabaseInstance`](crate::instance::DatabaseInstance) —
+//! in a form that derived read structures (block indexes, cached answers) can
+//! replay incrementally instead of rebuilding from a full scan. The serving
+//! layer (`rcqa-session`) records one event per effective mutation and feeds
+//! them to `DbIndex::apply_delta` in `rcqa-core`.
+
+use crate::fact::Fact;
+use std::fmt;
+
+/// The kind of mutation a [`DeltaEvent`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// The fact was inserted (and was not previously present).
+    Insert,
+    /// The fact was deleted (and was previously present).
+    Delete,
+}
+
+/// One effective mutation of a database instance: the fact together with the
+/// direction of the change.
+///
+/// Events describe mutations that actually happened — inserting an
+/// already-present fact or deleting an absent one produces no event — so
+/// replaying a sequence of events against a derived structure built from the
+/// pre-mutation instance yields the structure of the post-mutation instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaEvent {
+    /// The direction of the change.
+    pub op: DeltaOp,
+    /// The inserted or deleted fact.
+    pub fact: Fact,
+}
+
+impl DeltaEvent {
+    /// An insertion event.
+    pub fn insert(fact: Fact) -> DeltaEvent {
+        DeltaEvent {
+            op: DeltaOp::Insert,
+            fact,
+        }
+    }
+
+    /// A deletion event.
+    pub fn delete(fact: Fact) -> DeltaEvent {
+        DeltaEvent {
+            op: DeltaOp::Delete,
+            fact,
+        }
+    }
+}
+
+impl fmt::Display for DeltaEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            DeltaOp::Insert => write!(f, "+{}", self.fact),
+            DeltaOp::Delete => write!(f, "-{}", self.fact),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact;
+
+    #[test]
+    fn display_shows_direction() {
+        let e = DeltaEvent::insert(fact!("R", "a", 1));
+        assert!(e.to_string().starts_with('+'), "{e}");
+        let e = DeltaEvent::delete(fact!("R", "a", 1));
+        assert!(e.to_string().starts_with('-'), "{e}");
+    }
+}

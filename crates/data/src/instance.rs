@@ -5,6 +5,7 @@
 //! picks exactly one fact from each block (equivalently: a ⊆-maximal
 //! consistent subset). See Sections 1 and 3 of the paper.
 
+use crate::delta::{DeltaEvent, DeltaOp};
 use crate::error::DataError;
 use crate::fact::Fact;
 use crate::schema::{RelName, Schema};
@@ -147,6 +148,18 @@ impl DatabaseInstance {
     pub fn with_fact(mut self, fact: Fact) -> DatabaseInstance {
         self.insert(fact).expect("fact conforms to schema");
         self
+    }
+
+    /// Applies one change event: inserts or deletes its fact. Returns the
+    /// event back when the mutation was effective (the insert was new / the
+    /// deleted fact was present), so callers maintaining derived structures
+    /// can replay exactly the mutations that happened.
+    pub fn apply(&mut self, event: DeltaEvent) -> Result<Option<DeltaEvent>, DataError> {
+        let effective = match event.op {
+            DeltaOp::Insert => self.insert(event.fact.clone())?,
+            DeltaOp::Delete => self.remove(&event.fact),
+        };
+        Ok(effective.then_some(event))
     }
 
     /// Removes a fact. Returns `true` if it was present.
@@ -483,6 +496,22 @@ mod tests {
         let r = db.any_repair();
         assert!(r.is_consistent());
         assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn apply_reports_effective_mutations() {
+        let mut db = db_stock();
+        let f = fact!("Dealers", "Jones", "Chicago");
+        // A fresh insert is effective; repeating it is not.
+        assert!(db.apply(DeltaEvent::insert(f.clone())).unwrap().is_some());
+        assert!(db.apply(DeltaEvent::insert(f.clone())).unwrap().is_none());
+        assert!(db.contains(&f));
+        // Deleting it is effective once.
+        assert!(db.apply(DeltaEvent::delete(f.clone())).unwrap().is_some());
+        assert!(db.apply(DeltaEvent::delete(f.clone())).unwrap().is_none());
+        assert!(!db.contains(&f));
+        // Inserts are still validated.
+        assert!(db.apply(DeltaEvent::insert(fact!("Dealers", "x"))).is_err());
     }
 
     #[test]

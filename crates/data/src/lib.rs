@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod delta;
 pub mod error;
 pub mod fact;
 pub mod instance;
@@ -40,6 +41,7 @@ pub mod value;
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::agg::{AggFunc, AggOp};
+    pub use crate::delta::{DeltaEvent, DeltaOp};
     pub use crate::error::DataError;
     pub use crate::fact::Fact;
     pub use crate::instance::{Block, DatabaseInstance, NumericDomain, RepairIter};

@@ -30,4 +30,4 @@ pub use datalog::{parse_agg_query, parse_body};
 pub use error::QueryError;
 pub use fd::{Fd, FdSet};
 pub use fuxman::{is_caggforest, is_cforest, FuxmanGraph};
-pub use sql::{parse_sql, SqlQuery};
+pub use sql::{normalize_sql, parse_sql, SqlQuery};

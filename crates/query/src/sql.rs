@@ -33,6 +33,7 @@ enum Tok {
     Eq,
     LParen,
     RParen,
+    Semi,
 }
 
 fn tokenize(input: &str) -> Result<Vec<Tok>, QueryError> {
@@ -67,19 +68,36 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, QueryError> {
                 toks.push(Tok::RParen);
                 i += 1;
             }
-            ';' => i += 1,
+            ';' => {
+                toks.push(Tok::Semi);
+                i += 1;
+            }
             '\'' | '"' => {
                 let quote = c;
                 let mut s = String::new();
                 i += 1;
-                while i < chars.len() && chars[i] != quote {
-                    s.push(chars[i]);
-                    i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => {
+                            return Err(QueryError::Parse("unterminated string literal".into()))
+                        }
+                        Some(&ch) if ch == quote => {
+                            // SQL-standard escape: a doubled quote inside the
+                            // literal denotes one quote character.
+                            if chars.get(i + 1) == Some(&quote) {
+                                s.push(quote);
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
                 }
-                if i >= chars.len() {
-                    return Err(QueryError::Parse("unterminated string literal".into()));
-                }
-                i += 1;
                 toks.push(Tok::Str(s));
             }
             c if c.is_ascii_digit()
@@ -111,6 +129,57 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, QueryError> {
         }
     }
     Ok(toks)
+}
+
+/// Normalizes SQL text into a canonical form suitable as a statement-cache
+/// key: whitespace runs *outside* string literals collapse to a single space,
+/// surrounding whitespace is trimmed, and one trailing statement terminator
+/// (`;`) is dropped. Literal contents — including doubled-quote escapes — are
+/// preserved verbatim.
+///
+/// This lives next to [`tokenize`] because the two must agree on where
+/// string literals begin and end: two statements may share a normalized form
+/// only if they tokenize identically. Unterminated literals are copied as-is;
+/// the parser rejects them later.
+pub fn normalize_sql(input: &str) -> String {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = String::with_capacity(input.len());
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\'' || c == '"' {
+            out.push(c);
+            i += 1;
+            while i < chars.len() {
+                out.push(chars[i]);
+                if chars[i] == c {
+                    // Doubled closing quote: an escape, not a terminator.
+                    if chars.get(i + 1) == Some(&c) {
+                        out.push(c);
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+        } else if c.is_whitespace() {
+            while i < chars.len() && chars[i].is_whitespace() {
+                i += 1;
+            }
+            out.push(' ');
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    let trimmed = out.trim();
+    let trimmed = trimmed
+        .strip_suffix(';')
+        .map(str::trim_end)
+        .unwrap_or(trimmed);
+    trimmed.to_string()
 }
 
 /// A column reference `alias.column` or bare `column`.
@@ -343,6 +412,11 @@ impl Parser {
                 self.next();
                 group_by.push(self.parse_col_ref()?);
             }
+        }
+        // A single statement terminator may close the query; anything after
+        // it (or a second `;`) is trailing garbage, not more SQL.
+        if self.peek() == Some(&Tok::Semi) {
+            self.next();
         }
         if self.pos != self.toks.len() {
             return Err(QueryError::Parse(format!(
@@ -719,6 +793,49 @@ mod tests {
         assert_eq!(out.query.agg, AggFunc::Max);
         let stock = out.query.body.atom_for("Stock").unwrap();
         assert_eq!(stock.term(0), &Term::Const(Value::text("Tesla X")));
+    }
+
+    #[test]
+    fn doubled_quote_escapes_in_string_literals() {
+        // SQL standard: '' inside a single-quoted literal is one quote.
+        let sql = "SELECT SUM(S.Qty) FROM Dealers AS D, Stock AS S \
+                   WHERE D.Town = S.Town AND D.Name = 'O''Brien'";
+        let out = parse_sql(sql, &stock_catalog()).unwrap();
+        let dealers = out.query.body.atom_for("Dealers").unwrap();
+        assert_eq!(dealers.term(0), &Term::Const(Value::text("O'Brien")));
+        // Same for double-quoted literals ("" is one double quote).
+        let sql = "SELECT SUM(S.Qty) FROM Dealers AS D, Stock AS S \
+                   WHERE D.Town = S.Town AND D.Name = \"the \"\"Dealer\"\"\"";
+        let out = parse_sql(sql, &stock_catalog()).unwrap();
+        let dealers = out.query.body.atom_for("Dealers").unwrap();
+        assert_eq!(dealers.term(0), &Term::Const(Value::text("the \"Dealer\"")));
+        // An escape at the very end must not swallow the terminator.
+        let toks = tokenize("'a''' x").unwrap();
+        assert_eq!(toks[0], Tok::Str("a'".to_string()));
+        // Unterminated literals (including one ending in an escape) error.
+        assert!(tokenize("'abc").is_err());
+        assert!(tokenize("'abc''").is_err());
+    }
+
+    #[test]
+    fn statement_terminator_only_trailing() {
+        let cat = stock_catalog();
+        // One trailing terminator is fine, with or without whitespace.
+        assert!(parse_sql("SELECT SUM(S.Qty) FROM Stock AS S;", &cat).is_ok());
+        assert!(parse_sql("SELECT SUM(S.Qty) FROM Stock AS S ; ", &cat).is_ok());
+        // A semicolon in the middle of a statement is an error, not ignored:
+        // this used to parse as `SELECT SUM(Qty) FROM Stock`.
+        assert!(parse_sql("SELECT SUM(Qty) FROM ; Stock", &cat).is_err());
+        assert!(parse_sql("SELECT SUM(S.Qty) FROM Stock AS S WHERE ; S.Qty = 1", &cat).is_err());
+        // Doubled terminators and leading terminators are errors too.
+        assert!(parse_sql("SELECT SUM(S.Qty) FROM Stock AS S;;", &cat).is_err());
+        assert!(parse_sql("; SELECT SUM(S.Qty) FROM Stock AS S", &cat).is_err());
+        // A second statement after the terminator is trailing garbage.
+        assert!(parse_sql(
+            "SELECT SUM(S.Qty) FROM Stock AS S; SELECT SUM(S.Qty) FROM Stock AS S",
+            &cat
+        )
+        .is_err());
     }
 
     #[test]

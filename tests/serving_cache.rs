@@ -1,0 +1,138 @@
+//! Serving-session cache invariants asserted via the process-wide
+//! [`DbIndex::build_count`] counter.
+//!
+//! These tests live in their own integration-test binary (one process) so
+//! that no other test builds indexes concurrently while a counting section
+//! runs; within the binary the counting tests serialise on a local mutex
+//! (the same discipline as `crates/core/tests/build_invariant.rs`).
+
+use rcqa::core::engine::EngineOptions;
+use rcqa::core::index::DbIndex;
+use rcqa::data::fact;
+use rcqa::gen::JoinWorkload;
+use rcqa::query::{Catalog, TableDef};
+use rcqa::session::Session;
+use std::sync::Mutex;
+
+/// Serialises the counting sections of this binary's tests.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+/// The catalog lowering of [`JoinWorkload`]'s schema: `R(X, Y)` with key
+/// `X`, `S(Y, Z, Qty)` with key `(Y, Z)` and numeric `Qty`.
+fn rs_catalog() -> Catalog {
+    Catalog::new()
+        .with_table(TableDef::new("R").key_column("X").column("Y"))
+        .with_table(
+            TableDef::new("S")
+                .key_column("Y")
+                .key_column("Z")
+                .numeric_column("Qty"),
+        )
+}
+
+fn workload() -> JoinWorkload {
+    JoinWorkload {
+        r_blocks: 20,
+        y_domain: 10,
+        s_blocks_per_y: 2,
+        inconsistency_ratio: 0.25,
+        block_size: 2,
+        max_value: 60,
+        seed: 7,
+    }
+}
+
+/// MAX is rewriting-backed on both bounds, so the whole exchange stays on
+/// the one-pass pipeline (the exact fallback would enumerate repairs and
+/// index each of them by design).
+const GROUPED_MAX: &str = "SELECT R.X, MAX(S.Qty) FROM R, S WHERE R.Y = S.Y GROUP BY R.X";
+
+#[test]
+fn n_repeated_executes_build_exactly_one_index() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    for threads in [1usize, 4] {
+        let session = Session::with_instance(rs_catalog(), workload().generate()).with_options(
+            EngineOptions {
+                threads,
+                ..EngineOptions::default()
+            },
+        );
+        let before = DbIndex::build_count();
+        let first = session.execute(GROUPED_MAX).unwrap();
+        assert_eq!(first.rows.len(), 20);
+        for _ in 0..9 {
+            let again = session.execute(GROUPED_MAX).unwrap();
+            assert_eq!(again.rows, first.rows);
+        }
+        assert_eq!(
+            DbIndex::build_count() - before,
+            1,
+            "{threads} threads: 10 executes must build exactly one index"
+        );
+        let stats = session.stats();
+        assert_eq!(stats.index_builds, 1);
+        assert_eq!(stats.result_hits, 9);
+        assert_eq!(stats.statements_prepared, 1);
+        assert_eq!(stats.statement_hits, 9);
+    }
+}
+
+#[test]
+fn mutations_maintain_the_index_without_rebuilding() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let mut session = Session::with_instance(rs_catalog(), workload().generate());
+    let before = DbIndex::build_count();
+    session.execute(GROUPED_MAX).unwrap();
+    assert_eq!(DbIndex::build_count() - before, 1);
+
+    // Insert into a fresh group, insert into an existing group's relation,
+    // and delete again: every step is served by delta replay, never a
+    // rebuild.
+    let after_build = DbIndex::build_count();
+    session.insert(fact!("R", "xnew", "y3")).unwrap();
+    let grown = session.execute(GROUPED_MAX).unwrap();
+    assert_eq!(grown.rows.len(), 21);
+    assert!(session.delete(&fact!("R", "xnew", "y3")));
+    let shrunk = session.execute(GROUPED_MAX).unwrap();
+    assert_eq!(shrunk.rows.len(), 20);
+    assert_eq!(
+        DbIndex::build_count() - after_build,
+        0,
+        "mutations must be applied as deltas, not rebuilds"
+    );
+    let stats = session.stats();
+    assert_eq!(stats.index_builds, 1);
+    assert_eq!(stats.partial_recomputes, 2, "R deltas localise to groups");
+    assert_eq!(stats.deltas_applied, 2);
+}
+
+#[test]
+fn warm_answers_equal_cold_sessions_at_every_thread_count() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let db = workload().generate();
+    let mut warm = Session::with_instance(rs_catalog(), db);
+    // Warm the caches, mutate through the delta path, and query again.
+    warm.execute(GROUPED_MAX).unwrap();
+    warm.insert(fact!("R", "xnew", "y1")).unwrap();
+    warm.insert(fact!("S", "y1", "znew", 999)).unwrap();
+    assert!(
+        warm.delete(&fact!("R", "x3", "y8")) || !warm.database().contains(&fact!("R", "x3", "y8"))
+    );
+    let warm_rows = warm.execute(GROUPED_MAX).unwrap().rows;
+
+    // Cold sessions over the final instance must agree exactly, sequentially
+    // and in parallel.
+    for threads in [1usize, 2, 4, 8] {
+        let cold = Session::with_instance(rs_catalog(), warm.database().clone()).with_options(
+            EngineOptions {
+                threads,
+                ..EngineOptions::default()
+            },
+        );
+        assert_eq!(
+            cold.execute(GROUPED_MAX).unwrap().rows,
+            warm_rows,
+            "cold@{threads}T differs from the warm session"
+        );
+    }
+}

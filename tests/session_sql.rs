@@ -119,6 +119,104 @@ fn session_parallelism_is_transparent() {
 }
 
 #[test]
+fn insert_invalidates_cached_answers() {
+    // Regression for the stale-answer bug: with the session caching its index
+    // and results, a query after an insert must see the new fact — at every
+    // worker count.
+    for threads in [1usize, 4] {
+        let mut session = fig1_session().with_options(EngineOptions {
+            threads,
+            ..EngineOptions::default()
+        });
+        let sql = "SELECT D.Name, MAX(S.Qty) FROM Dealers AS D, Stock AS S \
+                   WHERE D.Town = S.Town GROUP BY D.Name";
+        let before = session.execute(sql).unwrap();
+        assert_eq!(before.rows.len(), 2, "{threads} threads");
+
+        session
+            .insert(fact!("Dealers", "Lopez", "New York"))
+            .unwrap();
+        let after = session.execute(sql).unwrap();
+        assert_eq!(after.rows.len(), 3, "{threads} threads");
+        assert_eq!(after.rows[1].key[0].to_string(), "Lopez");
+        assert_eq!(after.rows[1].lub.unwrap().value, Some(rat(96)));
+
+        // A consistent-making delete is seen too.
+        assert!(session.delete(&fact!("Stock", "Tesla Y", "New York", 95)));
+        let slimmer = session.execute(sql).unwrap();
+        assert_eq!(slimmer.rows[1].glb.unwrap().value, Some(rat(96)));
+    }
+}
+
+#[test]
+fn cached_answers_equal_cold_answers_on_generated_instances() {
+    // Statement-cache coverage on generator-driven instances: the same SQL
+    // answered twice by a warm session must equal a cold session's answer,
+    // sequentially and in parallel, across seeds.
+    let catalog = || {
+        Catalog::new()
+            .with_table(TableDef::new("R").key_column("X").column("Y"))
+            .with_table(
+                TableDef::new("S")
+                    .key_column("Y")
+                    .key_column("Z")
+                    .numeric_column("Qty"),
+            )
+    };
+    let sql = "SELECT R.X, MAX(S.Qty) FROM R, S WHERE R.Y = S.Y GROUP BY R.X";
+    for seed in [1u64, 22, 333] {
+        let cfg = JoinWorkload {
+            r_blocks: 12,
+            y_domain: 6,
+            s_blocks_per_y: 2,
+            inconsistency_ratio: 0.4,
+            block_size: 2,
+            max_value: 40,
+            seed,
+        };
+        let warm = Session::with_instance(catalog(), cfg.generate());
+        let first = warm.execute(sql).unwrap();
+        let second = warm.execute(sql).unwrap();
+        assert_eq!(first.rows, second.rows, "seed {seed}: warm repeat differs");
+        assert_eq!(warm.stats().result_hits, 1, "seed {seed}");
+        for threads in [1usize, 4] {
+            let cold =
+                Session::with_instance(catalog(), cfg.generate()).with_options(EngineOptions {
+                    threads,
+                    ..EngineOptions::default()
+                });
+            assert_eq!(
+                cold.execute(sql).unwrap().rows,
+                first.rows,
+                "seed {seed}: cold@{threads}T differs from warm"
+            );
+        }
+    }
+}
+
+#[test]
+fn sql_escapes_and_terminators_through_the_facade() {
+    let mut session = fig1_session();
+    session
+        .insert(fact!("Dealers", "O'Brien", "Boston"))
+        .unwrap();
+    let outcome = session
+        .execute(
+            "SELECT SUM(S.Qty) FROM Dealers AS D, Stock AS S \
+             WHERE D.Town = S.Town AND D.Name = 'O''Brien';",
+        )
+        .unwrap();
+    assert_eq!(outcome.rows.len(), 1);
+    // Boston stock: Tesla X {35,40} + Tesla Y {35} → glb 70.
+    assert_eq!(outcome.rows[0].glb.unwrap().value, Some(rat(70)));
+    // Mid-statement terminators stay errors end to end.
+    assert!(matches!(
+        session.execute("SELECT SUM(S.Qty) FROM ; Stock AS S"),
+        Err(SessionError::Query(_))
+    ));
+}
+
+#[test]
 fn bad_sql_is_a_session_error() {
     let session = fig1_session();
     assert!(matches!(
