@@ -6,6 +6,7 @@
 //!   cargo run -p rcqa-bench --bin harness --release -- groupby  # E11 + BENCH_groupby.json
 //!   cargo run -p rcqa-bench --bin harness --release -- parallel # E12 + BENCH_parallel.json
 //!   cargo run -p rcqa-bench --bin harness --release -- serving  # E13 + BENCH_serving.json
+//!   cargo run -p rcqa-bench --bin harness --release -- concurrent # E14 + BENCH_concurrent.json
 //!   cargo run -p rcqa-bench --bin harness --release -- --help   # list modes
 //!
 //! Unknown experiment names are rejected with a non-zero exit code (they used
@@ -18,7 +19,10 @@
 //! (`BENCH_PARALLEL_PATH`), tracking the block-sharded executor's scaling
 //! over the sequential plan; `serving` writes `BENCH_serving.json`
 //! (`BENCH_SERVING_PATH`), tracking the warm serving session's repeated-query
-//! and insert-then-query advantage over per-call cold sessions.
+//! and insert-then-query advantage over per-call cold sessions; `concurrent`
+//! writes `BENCH_concurrent.json` (`BENCH_CONCURRENT_PATH`), tracking the
+//! snapshot-isolated session's warm read throughput at 1/2/4 client threads
+//! plus readers-during-writer agreement.
 
 use std::process::ExitCode;
 
@@ -64,6 +68,11 @@ const MODES: &[(&str, &[&str], &str)] = &[
         "serving",
         &["e13"],
         "warm serving session vs per-call cold sessions (writes BENCH_serving.json; opt-in)",
+    ),
+    (
+        "concurrent",
+        &["e14"],
+        "snapshot-isolated session at 1/2/4 client threads (writes BENCH_concurrent.json; opt-in)",
     ),
 ];
 
@@ -173,6 +182,16 @@ fn main() -> ExitCode {
         println!("{}", rcqa_bench::format_serving(&bench));
         let path = std::env::var("BENCH_SERVING_PATH")
             .unwrap_or_else(|_| "BENCH_serving.json".to_string());
+        match std::fs::write(&path, bench.to_json()) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(err) => eprintln!("  failed to write {path}: {err}"),
+        }
+    }
+    if want_opt_in("concurrent") {
+        let bench = rcqa_bench::bench_concurrent(150, 400, 5);
+        println!("{}", rcqa_bench::format_concurrent(&bench));
+        let path = std::env::var("BENCH_CONCURRENT_PATH")
+            .unwrap_or_else(|_| "BENCH_concurrent.json".to_string());
         match std::fs::write(&path, bench.to_json()) {
             Ok(()) => println!("  wrote {path}"),
             Err(err) => eprintln!("  failed to write {path}: {err}"),

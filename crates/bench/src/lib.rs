@@ -1051,7 +1051,7 @@ pub fn bench_serving(r_blocks: usize, queries: usize, samples: usize) -> Serving
     let mut warm_partial_recomputes = 0;
     let mut warm_final_rows = Vec::new();
     for _ in 0..samples {
-        let mut session = Session::with_instance(catalog(), db.clone());
+        let session = Session::with_instance(catalog(), db.clone());
         session.execute(sql).expect("warm-up");
         let partials_before = session.stats().partial_recomputes;
         let t0 = Instant::now();
@@ -1126,5 +1126,292 @@ pub fn format_serving(bench: &ServingBench) -> String {
     )
     .unwrap();
     writeln!(out, "  answers agree   : {}", bench.agree).unwrap();
+    out
+}
+
+/// Result of the concurrent-serving benchmark (E14): one snapshot-isolated
+/// [`rcqa_session::Session`] shared by 1/2/4 client threads on the warm
+/// serving path, plus a readers-during-writer agreement check validated
+/// against cold sessions at every pinned epoch.
+#[derive(Clone, Debug)]
+pub struct ConcurrentBench {
+    /// Number of GROUP BY groups answered.
+    pub groups: usize,
+    /// Number of facts in the base instance.
+    pub facts: usize,
+    /// Number of timed samples per arm (best sample reported).
+    pub samples: usize,
+    /// Warm executes issued by **each** client thread per arm.
+    pub queries_per_client: usize,
+    /// The client thread counts measured (first entry is the baseline).
+    pub clients: Vec<usize>,
+    /// Best wall-clock time (milliseconds) per client count.
+    pub ms: Vec<f64>,
+    /// Aggregate throughput (warm executes per second) per client count.
+    pub throughput_qps: Vec<f64>,
+    /// Read-throughput scaling of 4 clients over 1 client.
+    pub speedup_at_4: f64,
+    /// Effective inserts the racing writer committed (per attempt).
+    pub writer_rounds: usize,
+    /// Reads that observed a **mid-commit** epoch (strictly between the base
+    /// and the final write) — evidence the readers genuinely overlapped the
+    /// writer, not just the arm's total read count.
+    pub racing_reads: usize,
+    /// Whether every read — warm, concurrent, and racing the writer — was
+    /// byte-identical to a cold session over the instance at its pinned
+    /// epoch.
+    pub agree: bool,
+    /// The machine's available parallelism while measuring. Scaling floors
+    /// only make sense when this is at least the measured client count.
+    pub available_parallelism: usize,
+}
+
+impl ConcurrentBench {
+    /// Machine-readable JSON encoding (no external serialisation crates in
+    /// this offline workspace, so the fields are written by hand).
+    pub fn to_json(&self) -> String {
+        let join = |xs: &[String]| xs.join(", ");
+        format!(
+            "{{\n  \"benchmark\": \"serving_concurrent_scaling\",\n  \"groups\": {},\n  \
+             \"facts\": {},\n  \"samples\": {},\n  \"queries_per_client\": {},\n  \
+             \"clients\": [{}],\n  \"ms\": [{}],\n  \"throughput_qps\": [{}],\n  \
+             \"speedup_at_4\": {:.2},\n  \"writer_rounds\": {},\n  \"racing_reads\": {},\n  \
+             \"agree\": {},\n  \"available_parallelism\": {}\n}}\n",
+            self.groups,
+            self.facts,
+            self.samples,
+            self.queries_per_client,
+            join(
+                &self
+                    .clients
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+            ),
+            join(
+                &self
+                    .ms
+                    .iter()
+                    .map(|m| format!("{m:.3}"))
+                    .collect::<Vec<_>>()
+            ),
+            join(
+                &self
+                    .throughput_qps
+                    .iter()
+                    .map(|q| format!("{q:.0}"))
+                    .collect::<Vec<_>>()
+            ),
+            self.speedup_at_4,
+            self.writer_rounds,
+            self.racing_reads,
+            self.agree,
+            self.available_parallelism
+        )
+    }
+}
+
+/// E14 — concurrent serving: `execute` holds no session-wide lock during
+/// plan execution, so one warm session shared by N client threads should
+/// scale its read throughput with the hardware. The throughput arms measure
+/// the warm path (statement + result caches hot — the serving steady state);
+/// the agreement arm races 4 readers against a writer committing inserts and
+/// checks every read against a cold session over the instance at the read's
+/// pinned epoch (snapshot isolation, not just eventual agreement).
+pub fn bench_concurrent(
+    r_blocks: usize,
+    queries_per_client: usize,
+    samples: usize,
+) -> ConcurrentBench {
+    use rcqa_core::engine::GroupRange;
+    use rcqa_data::{Fact, Value};
+    use rcqa_query::{Catalog, TableDef};
+    use rcqa_session::Session;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    let cfg = JoinWorkload {
+        r_blocks,
+        y_domain: (r_blocks / 2).max(1),
+        s_blocks_per_y: 2,
+        inconsistency_ratio: 0.1,
+        block_size: 2,
+        max_value: 100,
+        seed: 13,
+    };
+    let db = cfg.generate();
+    let catalog = || {
+        Catalog::new()
+            .with_table(TableDef::new("R").key_column("X").column("Y"))
+            .with_table(
+                TableDef::new("S")
+                    .key_column("Y")
+                    .key_column("Z")
+                    .numeric_column("Qty"),
+            )
+    };
+    let sql = "SELECT R.X, MAX(S.Qty) FROM R, S WHERE R.Y = S.Y GROUP BY R.X";
+    let samples = samples.max(1);
+    let queries = queries_per_client.max(1);
+    let cold_rows = |db: &DatabaseInstance| -> Vec<GroupRange> {
+        Session::with_instance(catalog(), db.clone())
+            .execute(sql)
+            .expect("cold execute")
+            .rows
+    };
+
+    // Warm-path throughput at 1/2/4 client threads: one shared session,
+    // caches hot, every client hammering the same statement.
+    let session = Session::with_instance(catalog(), db.clone());
+    let baseline_rows = session.execute(sql).expect("warm-up").rows;
+    let agree_flag = AtomicBool::new(true);
+    let clients = vec![1usize, 2, 4];
+    let mut ms = Vec::with_capacity(clients.len());
+    let mut throughput_qps = Vec::with_capacity(clients.len());
+    for &client_count in &clients {
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..client_count {
+                    let session = &session;
+                    let baseline_rows = &baseline_rows;
+                    let agree_flag = &agree_flag;
+                    scope.spawn(move || {
+                        for _ in 0..queries {
+                            let rows = session.execute(sql).expect("warm execute").rows;
+                            if &rows != baseline_rows {
+                                agree_flag.store(false, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            });
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        ms.push(best);
+        throughput_qps.push((client_count * queries) as f64 / (best / 1e3).max(f64::MIN_POSITIVE));
+    }
+    let speedup_at_4 = throughput_qps[clients.iter().position(|&t| t == 4).unwrap()]
+        / throughput_qps[0].max(f64::MIN_POSITIVE);
+
+    // Readers-during-writer agreement: every read must be byte-identical to
+    // a cold session over the instance at the read's pinned epoch.
+    // `racing_reads` counts only the reads that *observed a mid-commit
+    // epoch* (strictly between the base and the final write) — evidence the
+    // readers genuinely overlapped the writer; since the overlap window
+    // depends on scheduling, the arm retries on a fresh session until at
+    // least one such read occurs.
+    let writer_rounds = 16usize;
+    let writes: Vec<Fact> = (0..writer_rounds)
+        .map(|u| Fact::new("R", [Value::text(format!("zc{u:03}")), Value::text("y0")]))
+        .collect();
+    let expected_by_epoch: Vec<Vec<GroupRange>> = {
+        let mut staged = db.clone();
+        let mut all = vec![cold_rows(&staged)];
+        for f in &writes {
+            staged.insert(f.clone()).expect("staged insert");
+            all.push(cold_rows(&staged));
+        }
+        all
+    };
+    let mut agree = agree_flag.load(Ordering::Relaxed);
+    let mut racing_reads = 0usize;
+    for _attempt in 0..8 {
+        let racing = Session::with_instance(catalog(), db.clone());
+        racing.execute(sql).expect("racing warm-up");
+        let observed: Mutex<Vec<(u64, Vec<GroupRange>)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let racing = &racing;
+                let observed = &observed;
+                scope.spawn(move || {
+                    for _ in 0..queries {
+                        let outcome = racing.execute(sql).expect("racing execute");
+                        observed
+                            .lock()
+                            .expect("observed lock")
+                            .push((outcome.epoch, outcome.rows));
+                    }
+                });
+            }
+            let racing = &racing;
+            let writes = &writes;
+            scope.spawn(move || {
+                for f in writes {
+                    racing.insert(f.clone()).expect("racing insert");
+                }
+            });
+        });
+        let observed = observed.into_inner().expect("observed lock");
+        for (epoch, rows) in &observed {
+            agree = agree && rows == &expected_by_epoch[*epoch as usize];
+        }
+        agree = agree
+            && racing.execute(sql).expect("settled execute").rows
+                == *expected_by_epoch.last().expect("at least the base epoch");
+        racing_reads += observed
+            .iter()
+            .filter(|(e, _)| *e > 0 && (*e as usize) < writer_rounds)
+            .count();
+        if racing_reads > 0 {
+            break;
+        }
+    }
+
+    ConcurrentBench {
+        groups: baseline_rows.len(),
+        facts: db.len(),
+        samples,
+        queries_per_client: queries,
+        clients,
+        ms,
+        throughput_qps,
+        speedup_at_4,
+        writer_rounds,
+        racing_reads,
+        agree,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Formats the E14 report for the harness.
+pub fn format_concurrent(bench: &ConcurrentBench) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E14 Concurrent serving: snapshot-isolated session shared by N client threads"
+    )
+    .unwrap();
+    writeln!(out, "  groups          : {}", bench.groups).unwrap();
+    writeln!(out, "  facts           : {}", bench.facts).unwrap();
+    for (t, (ms, qps)) in bench
+        .clients
+        .iter()
+        .zip(bench.ms.iter().zip(bench.throughput_qps.iter()))
+    {
+        writeln!(
+            out,
+            "  clients = {t:<3}   : {ms:.3} ms for {} reads  ({qps:.0} q/s)",
+            t * bench.queries_per_client
+        )
+        .unwrap();
+    }
+    writeln!(out, "  scaling @4      : {:.2}x", bench.speedup_at_4).unwrap();
+    writeln!(
+        out,
+        "  mid-commit reads: {} (epochs strictly inside the {}-write window)",
+        bench.racing_reads, bench.writer_rounds
+    )
+    .unwrap();
+    writeln!(out, "  answers agree   : {}", bench.agree).unwrap();
+    writeln!(
+        out,
+        "  machine cores   : {} (scaling is only meaningful with ≥4)",
+        bench.available_parallelism
+    )
+    .unwrap();
     out
 }

@@ -269,9 +269,12 @@ impl RangeCqa {
     }
 
     /// Like [`RangeCqa::range`], but over a caller-supplied [`DbIndex`] for
-    /// `db` — the serving layer maintains one index per session incrementally
-    /// and evaluates every statement against it, so repeated calls build
-    /// **zero** further indexes (on rewriting-backed paths).
+    /// `db` — the serving layer keeps one immutable index per snapshot
+    /// behind an `Arc<DbIndex>` shared by every concurrent reader, and each
+    /// call borrows it (`&*arc`), so repeated calls build **zero** further
+    /// indexes (on rewriting-backed paths). `DbIndex` is `Send + Sync`
+    /// (asserted in [`crate::index`]): the borrow is handed unchanged to the
+    /// executor's worker threads.
     pub fn range_with_index(
         &self,
         db: &DatabaseInstance,
@@ -314,6 +317,11 @@ impl RangeCqa {
     /// projects into `keys` are joined, making the cost proportional to the
     /// touched groups rather than the whole instance; otherwise the full
     /// partition runs and the requested rows are filtered out of it.
+    ///
+    /// Like [`RangeCqa::range_with_index`], the index is typically a borrow
+    /// of a snapshot's shared `Arc<DbIndex>`; the call never mutates it, so
+    /// any number of dirty-group patches may run against one snapshot
+    /// concurrently.
     pub fn range_for_groups(
         &self,
         db: &DatabaseInstance,

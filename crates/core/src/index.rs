@@ -252,12 +252,25 @@ pub struct DirtyBlock {
 }
 
 /// A block index over all relations of a database instance.
+///
+/// An index is plain owned data (`Send + Sync`, asserted below): the serving
+/// layer freezes one per snapshot inside an `Arc<DbIndex>` and every
+/// concurrent reader — and every executor worker thread under it — borrows
+/// that one copy. Incremental maintenance ([`DbIndex::apply_delta`]) is only
+/// ever performed on a private clone *before* the clone is published inside
+/// a new snapshot, so published indexes are immutable.
 #[derive(Clone, Debug, Default)]
 pub struct DbIndex {
     relations: HashMap<String, RelationIndex>,
     /// Returned for names outside the schema, so lookups are total.
     empty: RelationIndex,
 }
+
+// The sharing contract the serving layer relies on.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DbIndex>();
+};
 
 impl DbIndex {
     /// Builds the index for a database instance.

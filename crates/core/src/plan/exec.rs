@@ -22,6 +22,12 @@
 //! clamped to the number of groups; a single group — in particular every
 //! closed query — runs inline on the calling thread.
 //!
+//! The executor only ever *borrows* the index ([`ExecContext::index`]), so a
+//! caller may share one immutable index across any number of concurrent
+//! executions: the serving layer (`rcqa-session`) freezes an `Arc<DbIndex>`
+//! per snapshot and runs every client's plan — each with its own worker pool
+//! — against the same copy.
+//!
 //! [`PlanNode::PartitionByGroup`]: crate::plan::physical::PlanNode::PartitionByGroup
 //! [`PlanNode::RangeMerge`]: crate::plan::physical::PlanNode::RangeMerge
 

@@ -29,6 +29,9 @@ pub struct Rational {
 pub enum RationalError {
     /// The denominator was zero.
     ZeroDenominator,
+    /// The reduced value has no normal form in `i128` (e.g. `1 / i128::MIN`,
+    /// whose positive denominator magnitude exceeds `i128::MAX`).
+    Unrepresentable,
     /// The textual form could not be parsed.
     Parse(String),
 }
@@ -37,6 +40,9 @@ impl fmt::Display for RationalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RationalError::ZeroDenominator => write!(f, "denominator must be non-zero"),
+            RationalError::Unrepresentable => {
+                write!(f, "reduced rational does not fit in i128")
+            }
             RationalError::Parse(s) => write!(f, "cannot parse rational from {s:?}"),
         }
     }
@@ -44,15 +50,21 @@ impl fmt::Display for RationalError {
 
 impl std::error::Error for RationalError {}
 
-fn gcd(mut a: i128, mut b: i128) -> i128 {
-    a = a.abs();
-    b = b.abs();
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
     while b != 0 {
         let t = a % b;
         a = b;
         b = t;
     }
     a
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    // Unsigned magnitudes: `i128::MIN.abs()` would overflow, but its
+    // magnitude fits in u128. The result divides whichever operand is
+    // non-zero and positive-representable, so the cast back is safe for
+    // every call site (denominators are < 2^127).
+    gcd_u128(a.unsigned_abs(), b.unsigned_abs()) as i128
 }
 
 impl Rational {
@@ -63,27 +75,59 @@ impl Rational {
 
     /// Creates a rational from a numerator and denominator.
     ///
-    /// Returns an error if the denominator is zero.
+    /// Returns an error if the denominator is zero, or if the reduced value
+    /// has no `i128` normal form (e.g. `1 / i128::MIN`: its positive
+    /// denominator magnitude exceeds `i128::MAX`).
     pub fn new(num: i128, den: i128) -> Result<Rational, RationalError> {
         if den == 0 {
             return Err(RationalError::ZeroDenominator);
         }
-        Ok(Self::normalised(num, den))
+        Self::checked_normalised(num, den).ok_or(RationalError::Unrepresentable)
     }
 
-    fn normalised(mut num: i128, mut den: i128) -> Rational {
-        if den < 0 {
-            num = -num;
-            den = -den;
-        }
+    /// Reduces `num / den` (`den != 0`) to normal form, working on unsigned
+    /// magnitudes so every `i128` operand — `i128::MIN` included — is
+    /// handled. `None` if the *reduced* magnitude does not fit back into
+    /// `i128` (a positive denominator of 2^127, or a positive numerator of
+    /// 2^127 after sign cancellation).
+    fn checked_normalised(num: i128, den: i128) -> Option<Rational> {
+        debug_assert!(den != 0);
         if num == 0 {
-            return Rational { num: 0, den: 1 };
+            return Some(Rational { num: 0, den: 1 });
         }
-        let g = gcd(num, den);
-        Rational {
-            num: num / g,
-            den: den / g,
+        let negative = (num < 0) != (den < 0);
+        let mut n = num.unsigned_abs();
+        let mut d = den.unsigned_abs();
+        let g = gcd_u128(n, d);
+        n /= g;
+        d /= g;
+        if d > i128::MAX as u128 {
+            return None;
         }
+        let num = if negative {
+            if n > i128::MAX as u128 + 1 {
+                return None;
+            }
+            // `n == 2^127` wraps to `i128::MIN` under `as`, whose wrapping
+            // negation is itself — exactly the intended value.
+            (n as i128).wrapping_neg()
+        } else {
+            if n > i128::MAX as u128 {
+                return None;
+            }
+            n as i128
+        };
+        Some(Rational {
+            num,
+            den: d as i128,
+        })
+    }
+
+    /// Infallible normalisation for internal arithmetic, whose operands are
+    /// already in normal form: reduction can only shrink magnitudes, so the
+    /// result always fits (the `expect` is a debug guard, not a code path).
+    fn normalised(num: i128, den: i128) -> Rational {
+        Self::checked_normalised(num, den).expect("reduced rational fits in i128")
     }
 
     /// Creates a rational from an integer.
@@ -120,19 +164,41 @@ impl Rational {
     }
 
     /// Absolute value.
+    ///
+    /// # Panics
+    /// Panics if the numerator is `i128::MIN` (whose magnitude is not
+    /// representable); use [`Rational::checked_abs`] to handle that case.
     pub fn abs(&self) -> Rational {
-        Rational {
-            num: self.num.abs(),
-            den: self.den,
-        }
+        self.checked_abs()
+            .expect("absolute value of i128::MIN numerator overflows")
     }
 
-    /// Multiplicative inverse; `None` for zero.
+    /// Checked absolute value: `None` if the numerator is `i128::MIN`, whose
+    /// magnitude does not fit in `i128`.
+    pub fn checked_abs(&self) -> Option<Rational> {
+        Some(Rational {
+            num: self.num.checked_abs()?,
+            den: self.den,
+        })
+    }
+
+    /// Checked negation: `None` if the numerator is `i128::MIN`, whose
+    /// negation does not fit in `i128`.
+    pub fn checked_neg(&self) -> Option<Rational> {
+        Some(Rational {
+            num: self.num.checked_neg()?,
+            den: self.den,
+        })
+    }
+
+    /// Multiplicative inverse; `None` for zero and for the one
+    /// unrepresentable case (a numerator of `i128::MIN`, whose reciprocal
+    /// would need a positive denominator of 2^127).
     pub fn recip(&self) -> Option<Rational> {
         if self.num == 0 {
             None
         } else {
-            Some(Self::normalised(self.den, self.num))
+            Self::checked_normalised(self.den, self.num)
         }
     }
 
@@ -194,17 +260,60 @@ impl PartialOrd for Rational {
 
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
-        // a/b ? c/d  <=>  a*d ? c*b (b, d > 0). Use i128 widening carefully.
-        let left = self.num.checked_mul(other.den);
-        let right = other.num.checked_mul(self.den);
-        match (left, right) {
-            (Some(l), Some(r)) => l.cmp(&r),
-            // Fall back to float comparison in the (practically unreachable)
-            // overflow case.
-            _ => self
-                .to_f64()
-                .partial_cmp(&other.to_f64())
-                .unwrap_or(Ordering::Equal),
+        // Sign comparison first: it is exact, and it reduces the remaining
+        // work to positive magnitudes (which `u128` holds even for an
+        // `i128::MIN` numerator).
+        let ls = self.num.signum();
+        let rs = other.num.signum();
+        if ls != rs {
+            return ls.cmp(&rs);
+        }
+        if ls == 0 {
+            return Ordering::Equal;
+        }
+        // a/b ? c/d  <=>  a*d ? c*b (b, d > 0) when the products fit.
+        if let (Some(l), Some(r)) = (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            return l.cmp(&r);
+        }
+        // Cross-multiplication overflowed: compare the magnitudes exactly by
+        // continued-fraction (Euclidean) steps — never by floating point,
+        // which can report Equal for distinct values and misorder bounds.
+        let ord = cmp_pos_fractions(
+            self.num.unsigned_abs(),
+            self.den.unsigned_abs(),
+            other.num.unsigned_abs(),
+            other.den.unsigned_abs(),
+        );
+        if ls < 0 {
+            ord.reverse()
+        } else {
+            ord
+        }
+    }
+}
+
+/// Exact comparison of `a/b` and `c/d` for strictly positive operands.
+///
+/// Compares integer parts, then recurses on the reciprocals of the remainders
+/// (`a/b = q + r/b`, and `r1/b ? r2/d  <=>  d/r2 ? b/r1`). Each step is a
+/// Euclidean division, so the operands shrink like a gcd computation and no
+/// intermediate value can overflow.
+fn cmp_pos_fractions(mut a: u128, mut b: u128, mut c: u128, mut d: u128) -> Ordering {
+    loop {
+        let (q1, r1) = (a / b, a % b);
+        let (q2, r2) = (c / d, c % d);
+        match q1.cmp(&q2) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+        match (r1 == 0, r2 == 0) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            (false, false) => (a, b, c, d) = (d, r2, b, r1),
         }
     }
 }
@@ -249,11 +358,12 @@ impl Div for Rational {
 
 impl Neg for Rational {
     type Output = Rational;
+    /// # Panics
+    /// Panics if the numerator is `i128::MIN` (see [`Rational::checked_neg`]);
+    /// the unchecked `-` used to wrap silently in release builds.
     fn neg(self) -> Rational {
-        Rational {
-            num: -self.num,
-            den: self.den,
-        }
+        self.checked_neg()
+            .expect("negation of i128::MIN numerator overflows")
     }
 }
 
@@ -408,6 +518,83 @@ mod tests {
     }
 
     #[test]
+    fn ordering_is_exact_under_i128_overflow() {
+        // Cross-multiplying these overflows i128 (|num·den'| ≈ 1e39), and both
+        // values round to 10.0 as f64 — the old float fallback reported
+        // Equal/misordered; the exact path must not.
+        let big = 10i128.pow(20);
+        let den = 10i128.pow(19);
+        let hi = Rational::new(big + 1, den).unwrap(); // 10 + 1e-19
+        let lo = Rational::new(big - 1, den).unwrap(); // 10 - 1e-19
+        assert_eq!(hi.cmp(&lo), Ordering::Greater);
+        assert_eq!(lo.cmp(&hi), Ordering::Less);
+        assert_eq!(hi.cmp(&hi), Ordering::Equal);
+        // min/max (used to order [glb, lub]) route through the same cmp.
+        assert_eq!(hi.min(lo), lo);
+        assert_eq!(hi.max(lo), hi);
+        // Values differing only past f64 precision, with huge denominators.
+        let a = Rational::new(2i128.pow(100) + 1, 2i128.pow(99)).unwrap();
+        let b = Rational::new(2i128.pow(100) - 1, 2i128.pow(99)).unwrap();
+        assert_eq!(a.cmp(&b), Ordering::Greater);
+        // Mixed signs decide on sign alone even when magnitudes overflow.
+        let neg = Rational::new(-(big + 1), den).unwrap();
+        assert_eq!(neg.cmp(&hi), Ordering::Less);
+        assert_eq!(neg.cmp(&neg), Ordering::Equal);
+        // Negative pair: magnitude comparison is reversed.
+        let neg_lo = Rational::new(-(big - 1), den).unwrap();
+        assert_eq!(neg.cmp(&neg_lo), Ordering::Less);
+    }
+
+    #[test]
+    fn min_numerator_is_ordered_and_checked() {
+        let min = Rational::new(i128::MIN, 1).unwrap();
+        let almost = Rational::new(i128::MIN + 1, 1).unwrap();
+        assert_eq!(min.cmp(&almost), Ordering::Less);
+        assert_eq!(min.cmp(&min), Ordering::Equal);
+        assert!(min < Rational::ZERO);
+        // The magnitude of i128::MIN is not representable: the checked paths
+        // report None instead of wrapping.
+        assert_eq!(min.checked_neg(), None);
+        assert_eq!(min.checked_abs(), None);
+        assert_eq!(
+            almost.checked_neg(),
+            Some(Rational::new(i128::MAX, 1).unwrap())
+        );
+        assert_eq!(
+            almost.checked_abs(),
+            Some(Rational::new(i128::MAX, 1).unwrap())
+        );
+        // A huge-denominator value against the integer MIN, both negative.
+        let frac = Rational::new(i128::MIN + 1, i128::MAX).unwrap();
+        assert_eq!(min.cmp(&frac), Ordering::Less);
+        assert_eq!(frac.cmp(&min), Ordering::Greater);
+        // Constructors report unrepresentable reductions as recoverable
+        // errors instead of panicking: 1/MIN needs a denominator of 2^127.
+        assert_eq!(
+            Rational::new(1, i128::MIN),
+            Err(RationalError::Unrepresentable)
+        );
+        assert_eq!(min.recip(), None, "reciprocal of MIN is unrepresentable");
+        // Reduction can rescue a MIN operand when a factor cancels.
+        assert_eq!(
+            Rational::new(2, i128::MIN).unwrap(),
+            Rational::new(-1, 2i128.pow(126)).unwrap()
+        );
+        assert_eq!(
+            Rational::new(i128::MIN, 2).unwrap(),
+            Rational::new(-(2i128.pow(126)), 1).unwrap()
+        );
+        assert_eq!(Rational::new(i128::MIN, i128::MIN).unwrap(), Rational::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "i128::MIN")]
+    fn neg_of_min_numerator_panics_instead_of_wrapping() {
+        let min = Rational::new(i128::MIN, 1).unwrap();
+        let _ = -min;
+    }
+
+    #[test]
     fn predicates() {
         assert!(rat(0).is_zero());
         assert!(rat(3).is_integer());
@@ -420,6 +607,45 @@ mod tests {
 
     fn small_rational() -> impl Strategy<Value = Rational> {
         (-1000i128..1000, 1i128..100).prop_map(|(n, d)| Rational::new(n, d).unwrap())
+    }
+
+    fn huge_rational() -> impl Strategy<Value = Rational> {
+        // Numerators/denominators big enough that cross-multiplication
+        // overflows i128 for most pairs, forcing the Euclidean path.
+        (i128::MIN..i128::MAX, 1i128..i128::MAX).prop_map(|(n, d)| Rational::new(n, d).unwrap())
+    }
+
+    /// Reference comparison via 256-bit widening cross-multiplication,
+    /// independent of the Euclidean implementation under test.
+    fn wide_cmp(a: &Rational, b: &Rational) -> Ordering {
+        fn widening_mul(x: u128, y: u128) -> (u128, u128) {
+            const MASK: u128 = (1 << 64) - 1;
+            let (x0, x1) = (x & MASK, x >> 64);
+            let (y0, y1) = (y & MASK, y >> 64);
+            let lo_lo = x0 * y0;
+            let mid1 = x1 * y0;
+            let mid2 = x0 * y1;
+            let hi_hi = x1 * y1;
+            let (mid, carry1) = mid1.overflowing_add(mid2);
+            let carry1 = (carry1 as u128) << 64;
+            let (lo, carry2) = lo_lo.overflowing_add(mid << 64);
+            let hi = hi_hi + (mid >> 64) + carry1 + carry2 as u128;
+            (hi, lo)
+        }
+        let sign = |r: &Rational| r.numerator().signum();
+        match (sign(a), sign(b)) {
+            (sa, sb) if sa != sb => return sa.cmp(&sb),
+            (0, _) => return Ordering::Equal,
+            _ => {}
+        }
+        let l = widening_mul(a.numerator().unsigned_abs(), b.denominator().unsigned_abs());
+        let r = widening_mul(b.numerator().unsigned_abs(), a.denominator().unsigned_abs());
+        let mag = l.cmp(&r);
+        if sign(a) < 0 {
+            mag.reverse()
+        } else {
+            mag
+        }
     }
 
     proptest! {
@@ -457,6 +683,16 @@ mod tests {
         #[test]
         fn prop_neg_involution(a in small_rational()) {
             prop_assert_eq!(-(-a), a);
+        }
+
+        #[test]
+        fn prop_cmp_is_exact_on_huge_operands(a in huge_rational(), b in huge_rational()) {
+            let got = a.cmp(&b);
+            prop_assert_eq!(got, wide_cmp(&a, &b), "{} vs {}", a, b);
+            // Antisymmetry and Eq-consistency of the total order.
+            prop_assert_eq!(b.cmp(&a), got.reverse());
+            prop_assert_eq!(got == Ordering::Equal, a == b);
+            prop_assert_eq!(a.cmp(&a), Ordering::Equal);
         }
     }
 }

@@ -133,13 +133,16 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, QueryError> {
 
 /// Normalizes SQL text into a canonical form suitable as a statement-cache
 /// key: whitespace runs *outside* string literals collapse to a single space,
-/// surrounding whitespace is trimmed, and one trailing statement terminator
-/// (`;`) is dropped. Literal contents — including doubled-quote escapes — are
-/// preserved verbatim.
+/// text outside string literals is case-folded to ASCII uppercase (keywords,
+/// table/column identifiers, and aggregate names are all case-insensitive to
+/// the parser, so `select sum(s.qty)` and `SELECT SUM(S.Qty)` must share one
+/// prepared statement), surrounding whitespace is trimmed, and one trailing
+/// statement terminator (`;`) is dropped. Literal contents — including
+/// doubled-quote escapes — are preserved verbatim and stay case-sensitive.
 ///
 /// This lives next to [`tokenize`] because the two must agree on where
 /// string literals begin and end: two statements may share a normalized form
-/// only if they tokenize identically. Unterminated literals are copied as-is;
+/// only if they parse identically. Unterminated literals are copied as-is;
 /// the parser rejects them later.
 pub fn normalize_sql(input: &str) -> String {
     let chars: Vec<char> = input.chars().collect();
@@ -170,7 +173,10 @@ pub fn normalize_sql(input: &str) -> String {
             }
             out.push(' ');
         } else {
-            out.push(c);
+            // Outside literals the language is case-insensitive; fold to the
+            // conventional uppercase (ASCII-only, matching the parser's
+            // `eq_ignore_ascii_case` comparisons).
+            out.push(c.to_ascii_uppercase());
             i += 1;
         }
     }
@@ -519,6 +525,21 @@ pub fn parse_sql(input: &str, catalog: &Catalog) -> Result<SqlQuery, QueryError>
         }
     }
 
+    // Reject duplicate aliases: every FROM item must bind a distinct name.
+    // Variable ids are keyed `(alias, position)`, so a repeated alias would
+    // silently overwrite the earlier relation's entries and conflate
+    // variables across relations instead of erroring.
+    for i in 0..parsed.from.len() {
+        for j in (i + 1)..parsed.from.len() {
+            if parsed.from[i].1.eq_ignore_ascii_case(&parsed.from[j].1) {
+                return Err(QueryError::Parse(format!(
+                    "duplicate table alias {:?} in FROM",
+                    parsed.from[j].1
+                )));
+            }
+        }
+    }
+
     // Assign one variable id per (alias, column position).
     let mut var_ids: BTreeMap<(String, usize), usize> = BTreeMap::new();
     let mut var_names: Vec<String> = Vec::new();
@@ -538,9 +559,13 @@ pub fn parse_sql(input: &str, catalog: &Catalog) -> Result<SqlQuery, QueryError>
     }
     let mut unifier = Unifier::new(var_names.len());
 
-    // Resolve a column reference to a variable id.
-    let resolve = |col: &ColRef| -> Result<usize, QueryError> {
-        let candidates: Vec<usize> = parsed
+    // The one shared enumeration of the FROM items that can supply a column
+    // reference: alias filtering is case-insensitive, and each candidate
+    // carries its variable id and the catalog's declared column spelling.
+    // `resolve`, `resolve_root`, and `canonical_column` all feed off this,
+    // so the qualifier-matching rules cannot drift apart.
+    let candidates = |col: &ColRef| -> Vec<(usize, String)> {
+        parsed
             .from
             .iter()
             .filter(|(_, alias)| match &col.qualifier {
@@ -550,19 +575,26 @@ pub fn parse_sql(input: &str, catalog: &Catalog) -> Result<SqlQuery, QueryError>
             .filter_map(|(table, alias)| {
                 let def = catalog.table(table)?;
                 let p = def.position_of(&col.column)?;
-                var_ids.get(&(alias.to_ascii_lowercase(), p)).copied()
+                let id = var_ids.get(&(alias.to_ascii_lowercase(), p)).copied()?;
+                Some((id, def.columns()[p].clone()))
             })
-            .collect();
-        match candidates.len() {
-            1 => Ok(candidates[0]),
-            0 => Err(QueryError::UnknownColumn {
-                table: col.qualifier.clone().unwrap_or_else(|| "?".to_string()),
-                column: col.column.clone(),
-            }),
-            _ => Err(QueryError::Parse(format!(
-                "ambiguous column reference {}",
-                col.column
-            ))),
+            .collect()
+    };
+    let unknown_column = |col: &ColRef| QueryError::UnknownColumn {
+        table: col.qualifier.clone().unwrap_or_else(|| "?".to_string()),
+        column: col.column.clone(),
+    };
+    let ambiguous_column =
+        |col: &ColRef| QueryError::Parse(format!("ambiguous column reference {}", col.column));
+
+    // Resolve a column reference to a variable id (strict: used while the
+    // unifier is still being built, so every candidate must be one id).
+    let resolve = |col: &ColRef| -> Result<usize, QueryError> {
+        let found = candidates(col);
+        match found.len() {
+            1 => Ok(found[0].0),
+            0 => Err(unknown_column(col)),
+            _ => Err(ambiguous_column(col)),
         }
     };
 
@@ -578,6 +610,43 @@ pub fn parse_sql(input: &str, catalog: &Catalog) -> Result<SqlQuery, QueryError>
             RhsValue::Number(r) => unifier.assign(l, Value::Num(*r))?,
         }
     }
+
+    // Resolve a column reference *through the unifier*, for clauses examined
+    // after the WHERE conditions were applied: the candidate variables (one
+    // per FROM item that has the column) collapse to their union-find roots,
+    // so a reference is unambiguous as soon as its candidates were equated —
+    // `SELECT S.Town … WHERE D.Town = S.Town GROUP BY D.Town` names one
+    // variable, while an un-equated unqualified `Town` over two tables stays
+    // ambiguous.
+    let resolve_root = |col: &ColRef, unifier: &mut Unifier| -> Result<usize, QueryError> {
+        let found = candidates(col);
+        if found.is_empty() {
+            return Err(unknown_column(col));
+        }
+        let mut roots: Vec<usize> = Vec::new();
+        for (id, _) in &found {
+            let root = unifier.find(*id);
+            if !roots.contains(&root) {
+                roots.push(root);
+            }
+        }
+        if roots.len() == 1 {
+            Ok(roots[0])
+        } else {
+            Err(ambiguous_column(col))
+        }
+    };
+
+    // Output columns report the catalog's declared spelling: statement text
+    // may arrive case-folded by [`normalize_sql`] and the parser is
+    // case-insensitive, so the query text's casing is not authoritative.
+    let canonical_column = |col: &ColRef| -> String {
+        candidates(col)
+            .into_iter()
+            .next()
+            .map(|(_, name)| name)
+            .unwrap_or_else(|| col.column.clone())
+    };
 
     // Build the term for a variable id after unification.
     let term_of = |id: usize, unifier: &mut Unifier| -> Term {
@@ -621,14 +690,19 @@ pub fn parse_sql(input: &str, catalog: &Catalog) -> Result<SqlQuery, QueryError>
         QueryError::Unsupported("the SELECT clause must contain an aggregate".into())
     })?;
 
+    // GROUP BY columns resolve to union-find roots; a selected non-aggregate
+    // column must name the same *variable* (root) as some GROUP BY column.
+    // The old textual qualifier comparison got this wrong in both directions:
+    // it rejected `SELECT S.Town … WHERE D.Town = S.Town GROUP BY D.Town`
+    // (the columns are unified — one variable) and accepted an ambiguous
+    // unqualified `SELECT Town` over two un-equated tables.
+    let mut group_roots: Vec<usize> = Vec::new();
+    for g in &parsed.group_by {
+        group_roots.push(resolve_root(g, &mut unifier)?);
+    }
     for c in &selected_columns {
-        // Same column name, and compatible qualifiers: equal, or one side
-        // unqualified (an unqualified reference resolves to the same column).
-        let in_group_by = parsed.group_by.iter().any(|g| {
-            g.column.eq_ignore_ascii_case(&c.column)
-                && (g.qualifier == c.qualifier || g.qualifier.is_none() || c.qualifier.is_none())
-        });
-        if !in_group_by {
+        let root = resolve_root(c, &mut unifier)?;
+        if !group_roots.contains(&root) {
             return Err(QueryError::Unsupported(format!(
                 "selected column {} must appear in GROUP BY",
                 c.column
@@ -639,9 +713,7 @@ pub fn parse_sql(input: &str, catalog: &Catalog) -> Result<SqlQuery, QueryError>
     // GROUP BY columns become free variables.
     let mut free_vars: Vec<Var> = Vec::new();
     let mut output_columns: Vec<String> = Vec::new();
-    for g in &parsed.group_by {
-        let id = resolve(g)?;
-        let root = unifier.find(id);
+    for (g, &root) in parsed.group_by.iter().zip(&group_roots) {
         match &unifier.constant[root] {
             Some(_) => {
                 // Grouping by a column forced to a constant is harmless: the
@@ -654,7 +726,7 @@ pub fn parse_sql(input: &str, catalog: &Catalog) -> Result<SqlQuery, QueryError>
                 }
             }
         }
-        output_columns.push(g.column.clone());
+        output_columns.push(canonical_column(g));
     }
 
     // Aggregate argument.
@@ -669,8 +741,7 @@ pub fn parse_sql(input: &str, catalog: &Catalog) -> Result<SqlQuery, QueryError>
         }
         AggArg::Number(r) => AggTerm::Const(r),
         AggArg::Column(c) => {
-            let id = resolve(&c)?;
-            let root = unifier.find(id);
+            let root = resolve_root(&c, &mut unifier)?;
             match &unifier.constant[root] {
                 Some(Value::Num(r)) => AggTerm::Const(*r),
                 Some(Value::Text(_)) => {
@@ -696,6 +767,7 @@ pub fn parse_sql(input: &str, catalog: &Catalog) -> Result<SqlQuery, QueryError>
 mod tests {
     use super::*;
     use crate::catalog::TableDef;
+    use proptest::prelude::*;
 
     fn stock_catalog() -> Catalog {
         Catalog::new()
@@ -706,6 +778,74 @@ mod tests {
                     .key_column("Town")
                     .numeric_column("Qty"),
             )
+    }
+
+    #[test]
+    fn duplicate_from_aliases_are_rejected() {
+        let cat = stock_catalog();
+        // Explicit duplicate: `var_ids` entries keyed (alias, position) used
+        // to be overwritten silently, conflating X across both relations.
+        let err = parse_sql("SELECT SUM(X.Qty) FROM Dealers AS X, Stock AS X", &cat).unwrap_err();
+        assert!(err.to_string().contains("duplicate table alias"), "{err}");
+        // Case-insensitive, like every other identifier comparison.
+        let err = parse_sql("SELECT SUM(x.Qty) FROM Dealers AS x, Stock AS X", &cat).unwrap_err();
+        assert!(err.to_string().contains("duplicate table alias"), "{err}");
+        // An implicit alias (the table name) colliding with an explicit one
+        // is the same bug.
+        let err =
+            parse_sql("SELECT SUM(Stock.Qty) FROM Dealers AS Stock, Stock", &cat).unwrap_err();
+        assert!(err.to_string().contains("duplicate table alias"), "{err}");
+        // Distinct aliases keep working.
+        assert!(parse_sql("SELECT SUM(S.Qty) FROM Dealers AS D, Stock AS S", &cat).is_ok());
+    }
+
+    #[test]
+    fn select_resolves_through_the_unifier() {
+        let cat = stock_catalog();
+        // S.Town and D.Town are unified by the WHERE condition: selecting one
+        // while grouping by the other names the same variable and must be
+        // accepted (the textual qualifier comparison used to reject it).
+        let sql = "SELECT S.Town, SUM(S.Qty) FROM Dealers AS D, Stock AS S \
+                   WHERE D.Town = S.Town GROUP BY D.Town";
+        let out = parse_sql(sql, &cat).unwrap();
+        assert_eq!(
+            out.output_columns,
+            vec!["Town".to_string(), "SUM".to_string()]
+        );
+        assert_eq!(out.query.group_by().len(), 1);
+        // An unqualified reference is unambiguous once its candidates are
+        // unified …
+        let sql = "SELECT Town, SUM(S.Qty) FROM Dealers AS D, Stock AS S \
+                   WHERE D.Town = S.Town GROUP BY Town";
+        assert!(parse_sql(sql, &cat).is_ok());
+        // … but stays ambiguous without the equating condition — this used
+        // to be silently accepted, grouping by an arbitrary Town.
+        let sql = "SELECT Town, SUM(S.Qty) FROM Dealers AS D, Stock AS S \
+                   WHERE D.Name = 'Smith' GROUP BY D.Town";
+        let err = parse_sql(sql, &cat).unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+    }
+
+    #[test]
+    fn normalize_case_folds_outside_literals() {
+        // Keywords, aliases, and column identifiers fold to uppercase;
+        // literal contents are untouched.
+        assert_eq!(
+            normalize_sql("select  sum(s.qty) from Stock as s where s.Town = 'New  York'"),
+            "SELECT SUM(S.QTY) FROM STOCK AS S WHERE S.TOWN = 'New  York'"
+        );
+        // The folded and original spellings parse to the same query.
+        let cat = stock_catalog();
+        let sql = "select d.Name, max(s.Qty) from Dealers as d, Stock as s \
+                   where d.Town = s.Town group by d.Name";
+        let a = parse_sql(sql, &cat).unwrap();
+        let b = parse_sql(&normalize_sql(sql), &cat).unwrap();
+        assert_eq!(a, b);
+        // Output columns report the catalog's declared spelling either way.
+        assert_eq!(
+            a.output_columns,
+            vec!["Name".to_string(), "MAX".to_string()]
+        );
     }
 
     #[test]
@@ -865,5 +1005,128 @@ mod tests {
         .is_err());
         // trailing garbage
         assert!(parse_sql("SELECT SUM(S.Qty) FROM Stock AS S LIMIT 5", &cat).is_err());
+    }
+
+    /// Deterministically re-spells `word` with a per-bit random case and
+    /// appends it to `out`, prefixed by a random whitespace run.
+    fn push_respelled(out: &mut String, word: &str, mut bits: u64) {
+        const WS: &[&str] = &[" ", "  ", "\t", "\n ", " \t "];
+        out.push_str(WS[(bits % WS.len() as u64) as usize]);
+        bits /= WS.len() as u64;
+        for c in word.chars() {
+            if bits & 1 == 1 {
+                out.extend(c.to_uppercase());
+            } else {
+                out.extend(c.to_lowercase());
+            }
+            bits >>= 1;
+        }
+    }
+
+    /// Builds a syntactically valid statement over [`stock_catalog`] from a
+    /// vector of draws: aggregate, shape (closed / grouped / unqualified),
+    /// literal, optional terminator — each keyword and identifier re-spelled
+    /// with random case and whitespace.
+    fn build_sql(choices: &[u64]) -> String {
+        let pick = |i: usize, n: usize| (choices[i] % n as u64) as usize;
+        let mut sql = String::new();
+        let agg = ["SUM", "MIN", "MAX", "COUNT", "AVG"][pick(0, 5)];
+        push_respelled(&mut sql, "SELECT", choices[1]);
+        let grouped = pick(2, 2) == 1;
+        if grouped {
+            push_respelled(&mut sql, "D.Name,", choices[3]);
+        }
+        push_respelled(&mut sql, agg, choices[4]);
+        sql.push('(');
+        push_respelled(&mut sql, "S.Qty", choices[5]);
+        sql.push(')');
+        push_respelled(&mut sql, "FROM", choices[6]);
+        push_respelled(&mut sql, "Dealers", choices[7]);
+        push_respelled(&mut sql, "AS", choices[8]);
+        push_respelled(&mut sql, "D,", choices[9]);
+        push_respelled(&mut sql, "Stock", choices[10]);
+        push_respelled(&mut sql, "AS", choices[11]);
+        push_respelled(&mut sql, "S", choices[12]);
+        push_respelled(&mut sql, "WHERE", choices[13]);
+        push_respelled(&mut sql, "D.Town", choices[14]);
+        sql.push('=');
+        push_respelled(&mut sql, "S.Town", choices[15]);
+        match pick(16, 3) {
+            0 => {}
+            1 => {
+                push_respelled(&mut sql, "AND", choices[17]);
+                push_respelled(&mut sql, "D.Name", choices[18]);
+                sql.push('=');
+                // Literals keep their exact spelling, including escapes and
+                // interior whitespace.
+                sql.push_str(
+                    ["'Smith'", "'O''Brien'", "'New  York'", "\"a \"\"b\"\"\""][pick(19, 4)],
+                );
+            }
+            _ => {
+                push_respelled(&mut sql, "AND", choices[17]);
+                push_respelled(&mut sql, "S.Qty", choices[18]);
+                sql.push('=');
+                sql.push_str(["35", "3.5", "-7"][pick(19, 3)]);
+            }
+        }
+        if grouped {
+            push_respelled(&mut sql, "GROUP", choices[20]);
+            push_respelled(&mut sql, "BY", choices[21]);
+            push_respelled(&mut sql, "D.Name", choices[22]);
+        }
+        if pick(23, 2) == 1 {
+            push_respelled(&mut sql, ";", choices[24]);
+        }
+        sql
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The tokenizer and normalizer are total: no input panics them, and
+        /// normalization never breaks tokenization that succeeded.
+        #[test]
+        fn prop_tokenize_never_panics(bytes in proptest::collection::vec(0u64..u64::MAX, 0..48)) {
+            // A palette heavy on SQL punctuation, quote characters, and edge
+            // cases (unterminated literals, doubled quotes, lone escapes),
+            // plus arbitrary unicode drawn from the raw value.
+            const PALETTE: &[char] = &[
+                'a', 'Z', '0', '9', ' ', '\t', '\n', '\'', '"', ';', '.', ',', '*', '=', '(',
+                ')', '_', '-', '/', 'é', 'Ω',
+            ];
+            let s: String = bytes
+                .iter()
+                .map(|&b| {
+                    if b % 4 == 0 {
+                        char::from_u32((b >> 2) as u32 % 0x11_0000).unwrap_or('\u{FFFD}')
+                    } else {
+                        PALETTE[(b as usize / 4) % PALETTE.len()]
+                    }
+                })
+                .collect();
+            let direct = tokenize(&s);
+            let normalized = normalize_sql(&s);
+            let folded = tokenize(&normalized);
+            // Tokenization of the normalized text can only fail if the
+            // original failed too (normalization preserves literal structure).
+            prop_assert!(direct.is_err() || folded.is_ok(), "{:?} vs {:?}", s, normalized);
+        }
+
+        /// Normalization is parse-transparent: for generated statements,
+        /// parsing the normalized spelling yields exactly the same query as
+        /// parsing the original.
+        #[test]
+        fn prop_parse_of_normalized_equals_parse(choices in proptest::collection::vec(0u64..u64::MAX, 25)) {
+            let cat = stock_catalog();
+            let sql = build_sql(&choices);
+            let direct = parse_sql(&sql, &cat);
+            let normalized = parse_sql(&normalize_sql(&sql), &cat);
+            match (direct, normalized) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "{}", sql),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("normalization changed the outcome of {sql:?}: {a:?} vs {b:?}"),
+            }
+        }
     }
 }

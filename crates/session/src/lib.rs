@@ -1,44 +1,62 @@
 //! # rcqa-session
 //!
-//! The SQL serving layer of the workspace: a **stateful** session that owns a
-//! named-column [`Catalog`], a [`DatabaseInstance`], [`EngineOptions`], and —
-//! unlike a one-shot evaluation — the derived state a server needs to answer
-//! the same queries over a slowly-changing instance without rebuilding the
-//! world per call:
+//! The SQL serving layer of the workspace: a **stateful, thread-safe** session
+//! that owns a named-column [`Catalog`], [`EngineOptions`], and — unlike a
+//! one-shot evaluation — the derived state a server needs to answer the same
+//! queries over a slowly-changing instance without rebuilding the world per
+//! call:
 //!
-//! * a **prepared-statement cache**: [`Session::prepare`] parses, classifies,
-//!   and plans a SQL string once; `execute`/`explain` look statements up by
-//!   *normalized* SQL (whitespace collapsed outside string literals, one
-//!   trailing `;` stripped), so textual re-submissions of the same query
-//!   never re-parse, never re-run attack-graph classification, and never
-//!   re-plan;
-//! * a **cached block index**: the session owns one `DbIndex` over its
-//!   instance; [`Session::insert`], [`Session::insert_all`], and
-//!   [`Session::delete`] record [`DeltaEvent`]s and the index is maintained
-//!   by block-level replay (`DbIndex::apply_delta`) instead of wholesale
-//!   invalidation — repeated `execute` calls build **one** index total
-//!   (only a bulk mutation batch large relative to the instance falls back
-//!   to a rebuild, which is cheaper than replaying it);
+//! * an **immutable snapshot chain**: the session's data lives in a
+//!   [`Snapshot`] — `Arc<DatabaseInstance>` + lazily built `Arc<DbIndex>` +
+//!   a monotonically increasing epoch. [`Session::execute`] clones the
+//!   current snapshot `Arc` out of a short critical section and evaluates
+//!   against it with **no session-wide lock held**, so concurrent readers
+//!   feed the parallel plan executor simultaneously; writers
+//!   ([`Session::insert`], [`Session::insert_all`], [`Session::delete`])
+//!   build the *successor* snapshot — copy-on-write instance plus
+//!   block-level index replay via `DbIndex::apply_delta` — and atomically
+//!   swap it in. In-flight readers keep their pinned snapshot: reads are
+//!   **snapshot-isolated**, never torn;
+//! * a **prepared-statement cache**: [`Session::prepare`] parses,
+//!   classifies, and plans a SQL string once; `execute`/`explain` look
+//!   statements up by *normalized* SQL (whitespace collapsed and text
+//!   case-folded outside string literals, one trailing `;` stripped), so
+//!   textual re-submissions of the same query never re-parse, never re-run
+//!   attack-graph classification, and never re-plan;
 //! * a **per-statement result cache with dirty-group maintenance**: answers
-//!   are cached against the session's data version; after mutations, a
-//!   statement whose GROUP BY keys are block-key-determined
-//!   ([`rcqa_core::engine::GroupLocality`]) recomputes only the groups whose
-//!   level-0 blocks changed and keeps every other cached row;
-//! * a **batch API**: [`Session::execute_many`] answers a batch under one
-//!   index acquisition.
+//!   are cached against the epoch they were computed at; a reader whose
+//!   pinned epoch is ahead of the cached result recomputes only the groups
+//!   whose level-0 blocks changed in between — when the statement's GROUP BY
+//!   keys are block-key-determined ([`rcqa_core::engine::GroupLocality`]) —
+//!   and keeps every other cached row;
+//! * a **batch API**: [`Session::execute_many`] answers a whole batch
+//!   against one pinned snapshot, so the batch is mutually consistent even
+//!   with concurrent writers.
+//!
+//! ## Concurrency contract
+//!
+//! `Session` is `Send + Sync`: share one session behind an `Arc` (or plain
+//! references inside [`std::thread::scope`]) across any number of client
+//! threads. Readers never block each other on the serving path — the only
+//! shared critical sections are the snapshot-pointer clone, the
+//! statement-cache lookup (an `RwLock` read), and counter updates. Writers
+//! serialise among themselves and build the successor snapshot *outside* the
+//! readers' critical section; publishing it is one pointer swap.
 //!
 //! ## Identical-answers guarantee
 //!
 //! Caching is transparent: every successful `execute` returns rows
-//! byte-identical to what a cold session over the same catalog, instance, and
-//! options would return, at every executor thread count. The incrementally
+//! byte-identical to what a cold session over the reader's **pinned**
+//! snapshot (catalog, instance, options) would return, at every executor
+//! thread count and under any interleaving with writers. The incrementally
 //! maintained index is structurally identical to a cold rebuild
 //! (`DbIndex::apply_delta` keeps facts and blocks at their cold-scan sorted
 //! positions), and dirty-group recomputation is only used when the engine
 //! certifies locality — every GROUP BY variable is bound at a key position of
 //! the level-0 atom, so blocks of untouched keys can never influence another
-//! group's answer. `tests/serving_cache.rs` and `tests/session_sql.rs` assert
-//! both halves of the guarantee.
+//! group's answer. `tests/serving_cache.rs`, `tests/session_sql.rs`, and
+//! `tests/session_concurrent.rs` assert the guarantee, including concurrent
+//! readers racing a writer.
 //!
 //! Every consumer — the experiment harness, the examples, and the
 //! integration tests — goes through this one path, so the SQL parser, the
@@ -70,7 +88,7 @@
 //!             .key_column("Town")
 //!             .numeric_column("Qty"),
 //!     );
-//! let mut session = Session::new(catalog);
+//! let session = Session::new(catalog);
 //! session
 //!     .insert_all([
 //!         fact!("Dealers", "Smith", "Boston"),
@@ -98,9 +116,11 @@ use rcqa_core::index::{DbIndex, DirtyBlock};
 use rcqa_core::CoreError;
 use rcqa_data::{DataError, DatabaseInstance, DeltaEvent, Fact, Rational};
 use rcqa_query::{parse_sql, AggQuery, Catalog, QueryError};
+use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
 
 /// Errors raised by a [`Session`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -143,6 +163,40 @@ impl From<DataError> for SessionError {
     }
 }
 
+/// One immutable version of the session's data: the instance, the (lazily
+/// built) block index over it, and the epoch — the number of effective
+/// mutations between the session's opening and this version.
+///
+/// Snapshots are shared behind `Arc`s: readers pin one and evaluate against
+/// it lock-free; writers derive the successor and swap the session's current
+/// pointer. A snapshot is never mutated after publication — the index cell is
+/// a [`OnceLock`] so the first reader to need it builds it exactly once and
+/// every later reader of the same snapshot shares the result.
+#[derive(Debug)]
+pub struct Snapshot {
+    db: Arc<DatabaseInstance>,
+    index: OnceLock<Arc<DbIndex>>,
+    epoch: u64,
+}
+
+impl Snapshot {
+    /// The snapshot's database instance.
+    pub fn db(&self) -> &Arc<DatabaseInstance> {
+        &self.db
+    }
+
+    /// The snapshot's epoch: effective mutations since the session opened.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The snapshot's block index, if some reader (or the writer that
+    /// published it) has materialised it already.
+    pub fn index(&self) -> Option<&Arc<DbIndex>> {
+        self.index.get()
+    }
+}
+
 /// The result of executing one SQL query in a session.
 #[derive(Clone, Debug)]
 pub struct QueryOutcome {
@@ -155,6 +209,10 @@ pub struct QueryOutcome {
     pub columns: Vec<String>,
     /// One `[glb, lub]` interval per group, in sorted group-key order.
     pub rows: Vec<GroupRange>,
+    /// The epoch of the snapshot this answer was computed against — the
+    /// version of the data the rows are byte-identical to a cold evaluation
+    /// of.
+    pub epoch: u64,
 }
 
 fn fmt_bound(v: Option<Rational>) -> String {
@@ -201,11 +259,12 @@ impl QueryOutcome {
 /// the [`GroupLocality`] that licenses dirty-group result maintenance.
 ///
 /// Statements are keyed by *normalized* SQL ([`Session::normalize_sql`]):
-/// whitespace runs outside string literals collapse to one space and a single
-/// trailing statement terminator is dropped, so `SELECT  X ;` and `SELECT X`
-/// share one cache entry while literals like `'New  York'` stay distinct.
+/// whitespace runs outside string literals collapse to one space, text
+/// outside literals is case-folded, and a single trailing statement
+/// terminator is dropped, so `select  x ;` and `SELECT X` share one cache
+/// entry while literals like `'New  York'` stay distinct and case-sensitive.
 /// Preparation is immutable after construction; per-statement *results* are
-/// cached separately inside the session, versioned by its data epoch.
+/// cached separately inside the session, versioned by the snapshot epoch.
 #[derive(Debug)]
 pub struct PreparedStatement {
     sql: String,
@@ -260,75 +319,132 @@ pub struct SessionStats {
     pub full_recomputes: u64,
     /// Cold index constructions (should stay at 1 for a serving session).
     pub index_builds: u64,
-    /// Delta events replayed into the cached index.
+    /// Delta events replayed into a successor snapshot's index.
     pub deltas_applied: u64,
 }
 
 /// One cached statement plus its last computed result (if any), versioned by
-/// the session epoch the result was computed at.
+/// the epoch the result was computed at.
 #[derive(Clone, Debug)]
 struct CachedStatement {
     stmt: Arc<PreparedStatement>,
     result: Option<(u64, Vec<GroupRange>)>,
 }
 
-/// The serving state behind the session's interior mutability: everything
-/// derived from the instance that `execute(&self)` maintains lazily.
+/// The lock-free interior of [`SessionStats`]: relaxed atomic counters, so
+/// the warm serving path never takes an exclusive section to account for
+/// itself.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    statements_prepared: AtomicU64,
+    statement_hits: AtomicU64,
+    result_hits: AtomicU64,
+    partial_recomputes: AtomicU64,
+    full_recomputes: AtomicU64,
+    index_builds: AtomicU64,
+    deltas_applied: AtomicU64,
+}
+
+impl AtomicStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> SessionStats {
+        SessionStats {
+            statements_prepared: self.statements_prepared.load(Ordering::Relaxed),
+            statement_hits: self.statement_hits.load(Ordering::Relaxed),
+            result_hits: self.result_hits.load(Ordering::Relaxed),
+            partial_recomputes: self.partial_recomputes.load(Ordering::Relaxed),
+            full_recomputes: self.full_recomputes.load(Ordering::Relaxed),
+            index_builds: self.index_builds.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl From<SessionStats> for AtomicStats {
+    fn from(s: SessionStats) -> AtomicStats {
+        AtomicStats {
+            statements_prepared: AtomicU64::new(s.statements_prepared),
+            statement_hits: AtomicU64::new(s.statement_hits),
+            result_hits: AtomicU64::new(s.result_hits),
+            partial_recomputes: AtomicU64::new(s.partial_recomputes),
+            full_recomputes: AtomicU64::new(s.full_recomputes),
+            index_builds: AtomicU64::new(s.index_builds),
+            deltas_applied: AtomicU64::new(s.deltas_applied),
+        }
+    }
+}
+
+/// The dirty-block history writers maintain for result patching: one entry
+/// per committed write batch, `(epoch after the batch, blocks it changed)`,
+/// oldest first. Results cached at an epoch `< log_floor` predate the
+/// retained (gap-free) history and must recompute in full.
 #[derive(Clone, Debug, Default)]
-struct ServingState {
-    /// The cached block index, built on first use.
-    index: Option<DbIndex>,
-    /// Effective mutations not yet replayed into `index`.
-    pending: Vec<DeltaEvent>,
-    /// Data version: number of effective mutations since the session opened.
-    epoch: u64,
-    /// Dirty history: `(epoch_after_batch, dirty blocks of the batch)`, one
-    /// entry per replayed pending batch, oldest first.
+struct Maintenance {
     dirty_log: Vec<(u64, Vec<DirtyBlock>)>,
-    /// Results cached at an epoch `< log_floor` predate the retained history
-    /// and must recompute in full.
     log_floor: u64,
-    /// Prepared statements keyed by normalized SQL.
-    statements: HashMap<String, CachedStatement>,
-    stats: SessionStats,
 }
 
 /// Upper bound on retained dirty batches; older results fall back to a full
-/// recompute, which re-caches them at the current epoch.
+/// recompute, which re-caches them at the reader's epoch.
 const DIRTY_LOG_CAP: usize = 128;
 
-/// A stateful SQL serving session: catalog + instance + engine options, plus
-/// cached derived state (statements, block index, versioned results).
+/// A stateful, thread-safe SQL serving session: catalog + engine options +
+/// an immutable snapshot chain (instance, block index, epoch), plus cached
+/// derived state (prepared statements, versioned results).
 ///
-/// See the [crate docs](self) for the cache architecture and the
-/// identical-answers guarantee.
+/// `Session` is `Send + Sync`; see the [crate docs](self) for the
+/// concurrency contract and the identical-answers guarantee.
 pub struct Session {
     catalog: Catalog,
-    db: DatabaseInstance,
     options: EngineOptions,
-    state: Mutex<ServingState>,
+    /// The swap point: readers share the read lock to clone the `Arc` out
+    /// of a short critical section; the writer takes the write lock only
+    /// for the final pointer swap.
+    current: RwLock<Arc<Snapshot>>,
+    /// Serialises writers; never taken by the read path.
+    writer: Mutex<()>,
+    /// Prepared statements and their versioned results, keyed by normalized
+    /// SQL. Readers share the read lock on the serving path.
+    statements: RwLock<HashMap<String, CachedStatement>>,
+    /// Dirty-block history for result patching.
+    maintenance: Mutex<Maintenance>,
+    stats: AtomicStats,
 }
 
 impl Clone for Session {
     fn clone(&self) -> Session {
+        // Hold the writer lock across the capture: no successor snapshot can
+        // be published mid-clone, so the captured snapshot and statement
+        // results stay mutually consistent — a result cached at an epoch the
+        // *original* session reaches later must never ride into the clone,
+        // whose same-numbered epoch can hold different data.
+        let _writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         Session {
             catalog: self.catalog.clone(),
-            db: self.db.clone(),
             options: self.options,
-            state: Mutex::new(self.lock().clone()),
+            // The snapshot itself is immutable and safely shared; the clone
+            // diverges from here through its own writers.
+            current: RwLock::new(self.snapshot()),
+            writer: Mutex::new(()),
+            statements: RwLock::new(self.read_statements().clone()),
+            maintenance: Mutex::new(self.lock_maintenance().clone()),
+            stats: AtomicStats::from(self.stats()),
         }
     }
 }
 
 impl fmt::Debug for Session {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let state = self.lock();
+        let snapshot = self.snapshot();
         f.debug_struct("Session")
-            .field("facts", &self.db.len())
+            .field("facts", &snapshot.db.len())
             .field("options", &self.options)
-            .field("epoch", &state.epoch)
-            .field("statements", &state.statements.len())
-            .field("index_cached", &state.index.is_some())
+            .field("epoch", &snapshot.epoch)
+            .field("statements", &self.read_statements().len())
+            .field("index_cached", &snapshot.index.get().is_some())
             .finish()
     }
 }
@@ -341,13 +457,22 @@ impl Session {
     }
 
     /// Opens a session over an existing instance (whose schema should be the
-    /// catalog's lowering).
-    pub fn with_instance(catalog: Catalog, db: DatabaseInstance) -> Session {
+    /// catalog's lowering). Accepts an owned instance or an `Arc` — sharing
+    /// an `Arc` with another session is cheap and safe, since snapshots are
+    /// copy-on-write.
+    pub fn with_instance(catalog: Catalog, db: impl Into<Arc<DatabaseInstance>>) -> Session {
         Session {
             catalog,
-            db,
             options: EngineOptions::default(),
-            state: Mutex::new(ServingState::default()),
+            current: RwLock::new(Arc::new(Snapshot {
+                db: db.into(),
+                index: OnceLock::new(),
+                epoch: 0,
+            })),
+            writer: Mutex::new(()),
+            statements: RwLock::new(HashMap::new()),
+            maintenance: Mutex::new(Maintenance::default()),
+            stats: AtomicStats::default(),
         }
     }
 
@@ -355,12 +480,14 @@ impl Session {
     /// executor worker count).
     ///
     /// Cached statements embed the options they were prepared with, so the
-    /// statement (and result) caches are cleared; the cached index is
-    /// options-independent and survives.
+    /// statement (and result) caches are cleared; the snapshot chain — and
+    /// with it the cached index — is options-independent and survives.
     pub fn with_options(mut self, options: EngineOptions) -> Session {
         self.options = options;
-        let state = self.state.get_mut().unwrap_or_else(|e| e.into_inner());
-        state.statements.clear();
+        self.statements
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
         self
     }
 
@@ -369,9 +496,11 @@ impl Session {
         &self.catalog
     }
 
-    /// The session's database instance.
-    pub fn database(&self) -> &DatabaseInstance {
-        &self.db
+    /// The current database instance (the latest snapshot's). The returned
+    /// `Arc` stays valid — and immutable — while writers move the session
+    /// forward.
+    pub fn database(&self) -> Arc<DatabaseInstance> {
+        self.snapshot().db.clone()
     }
 
     /// The session's engine options.
@@ -381,60 +510,152 @@ impl Session {
 
     /// The serving-layer counters.
     pub fn stats(&self) -> SessionStats {
-        self.lock().stats
+        self.stats.snapshot()
     }
 
-    fn lock(&self) -> MutexGuard<'_, ServingState> {
-        // A worker panic while holding the lock poisons it; the state is
-        // rebuildable from `db`, so poisoning is not propagated.
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    /// The current epoch: effective mutations since the session opened.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
     }
 
-    /// Records one effective mutation: bumps the data version and queues the
-    /// event for incremental index replay (nothing to maintain before the
-    /// first index build).
-    fn record(&mut self, event: DeltaEvent) {
-        let state = self.state.get_mut().unwrap_or_else(|e| e.into_inner());
-        state.epoch += 1;
-        if state.index.is_some() {
-            state.pending.push(event);
+    /// Pins the current snapshot: one `Arc` clone inside a short critical
+    /// section. Everything evaluated against the returned snapshot is
+    /// isolated from concurrent writers.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.current
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    // Lock poisoning is not propagated anywhere in the session: every piece
+    // of guarded state is either rebuildable from a snapshot (index, caches)
+    // or monotonic bookkeeping (stats, dirty log), so a reader that panicked
+    // mid-update cannot leave them semantically torn.
+    fn read_statements(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, CachedStatement>> {
+        self.statements.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_statements(
+        &self,
+    ) -> std::sync::RwLockWriteGuard<'_, HashMap<String, CachedStatement>> {
+        self.statements.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_maintenance(&self) -> MutexGuard<'_, Maintenance> {
+        self.maintenance.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Commits one write batch: clones the current instance, applies the
+    /// mutations, derives the successor snapshot's index by block-level
+    /// delta replay (when the base snapshot has one), records the dirty
+    /// blocks for result patching, and atomically publishes the successor.
+    ///
+    /// Writers serialise on [`Session::writer`]; readers are never blocked
+    /// for longer than the final pointer swap. If `mutate` fails, nothing is
+    /// published — batches are all-or-nothing.
+    fn commit<T>(
+        &self,
+        mutate: impl FnOnce(&mut DatabaseInstance) -> Result<(Vec<DeltaEvent>, T), SessionError>,
+    ) -> Result<T, SessionError> {
+        let _writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let base = self.snapshot();
+        let mut db = (*base.db).clone();
+        let (events, out) = mutate(&mut db)?;
+        if events.is_empty() {
+            return Ok(out);
         }
+        let epoch = base.epoch + events.len() as u64;
+        let snapshot = Snapshot {
+            db: Arc::new(db),
+            index: OnceLock::new(),
+            epoch,
+        };
+        match base.index.get() {
+            // Event-by-event replay renumbers block positions per structural
+            // change, so a bulk batch approaching the instance size degrades
+            // to O(events × blocks) — worse than the O(|db|) cold rebuild it
+            // exists to avoid. Past a conservative threshold, publish the
+            // successor without an index: the next reader cold-builds, and
+            // flooring the dirty log makes cached results recompute in full.
+            Some(base_index) if !(events.len() > 16 && events.len() > snapshot.db.len() / 4) => {
+                let mut index = (**base_index).clone();
+                let dirty = index.apply_delta(&events);
+                snapshot
+                    .index
+                    .set(Arc::new(index))
+                    .expect("freshly created cell is empty");
+                self.stats
+                    .deltas_applied
+                    .fetch_add(events.len() as u64, Ordering::Relaxed);
+                let mut maintenance = self.lock_maintenance();
+                maintenance.dirty_log.push((epoch, dirty));
+                if maintenance.dirty_log.len() > DIRTY_LOG_CAP {
+                    let dropped = maintenance.dirty_log.remove(0);
+                    maintenance.log_floor = dropped.0;
+                }
+            }
+            _ => {
+                // No base index to derive from (never built, mid-build, or
+                // bulk fallback): floor the log *before* publishing so no
+                // reader of the successor can patch across the gap.
+                let mut maintenance = self.lock_maintenance();
+                maintenance.dirty_log.clear();
+                maintenance.log_floor = epoch;
+            }
+        }
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(snapshot);
+        Ok(out)
     }
 
     /// Inserts one fact. Returns `true` if the fact was new.
-    pub fn insert(&mut self, fact: Fact) -> Result<bool, SessionError> {
-        let new = self.db.insert(fact.clone())?;
-        if new {
-            self.record(DeltaEvent::insert(fact));
-        }
-        Ok(new)
+    pub fn insert(&self, fact: Fact) -> Result<bool, SessionError> {
+        self.commit(|db| {
+            let new = db.insert(fact.clone())?;
+            let events = if new {
+                vec![DeltaEvent::insert(fact.clone())]
+            } else {
+                Vec::new()
+            };
+            Ok((events, new))
+        })
     }
 
-    /// Inserts many facts.
-    pub fn insert_all(
-        &mut self,
-        facts: impl IntoIterator<Item = Fact>,
-    ) -> Result<(), SessionError> {
-        for fact in facts {
-            self.insert(fact)?;
-        }
-        Ok(())
+    /// Inserts many facts as **one atomic batch**: either every fact is
+    /// applied and a single successor snapshot is published, or — if any
+    /// fact violates the schema — nothing changes.
+    pub fn insert_all(&self, facts: impl IntoIterator<Item = Fact>) -> Result<(), SessionError> {
+        self.commit(|db| {
+            let mut events = Vec::new();
+            for fact in facts {
+                if db.insert(fact.clone())? {
+                    events.push(DeltaEvent::insert(fact));
+                }
+            }
+            Ok((events, ()))
+        })
     }
 
     /// Deletes one fact. Returns `true` if it was present.
-    pub fn delete(&mut self, fact: &Fact) -> bool {
-        let removed = self.db.remove(fact);
-        if removed {
-            self.record(DeltaEvent::delete(fact.clone()));
-        }
-        removed
+    pub fn delete(&self, fact: &Fact) -> bool {
+        self.commit(|db| {
+            let removed = db.remove(fact);
+            let events = if removed {
+                vec![DeltaEvent::delete(fact.clone())]
+            } else {
+                Vec::new()
+            };
+            Ok((events, removed))
+        })
+        .expect("deletion cannot violate the schema")
     }
 
     /// Normalizes SQL text into its statement-cache key: whitespace runs
-    /// *outside* string literals collapse to a single space, surrounding
-    /// whitespace is trimmed, and one trailing statement terminator (`;`) is
-    /// dropped. Literal contents — including doubled-quote escapes — are
-    /// preserved verbatim.
+    /// *outside* string literals collapse to a single space, text outside
+    /// literals is case-folded to uppercase (the parser is case-insensitive
+    /// there), surrounding whitespace is trimmed, and one trailing statement
+    /// terminator (`;`) is dropped. Literal contents — including
+    /// doubled-quote escapes — are preserved verbatim.
     ///
     /// Delegates to [`rcqa_query::normalize_sql`], which lives next to the
     /// tokenizer so the cache key and the parser share one definition of
@@ -447,25 +668,28 @@ impl Session {
     /// normalized SQL; subsequent [`Session::execute`] / [`Session::explain`]
     /// calls with the same (normalized) text reuse the preparation.
     pub fn prepare(&self, sql: &str) -> Result<Arc<PreparedStatement>, SessionError> {
-        let mut state = self.lock();
-        Self::prepare_locked(&self.catalog, &self.db, self.options, &mut state, sql)
+        let snapshot = self.snapshot();
+        self.prepare_at(&snapshot, sql)
     }
 
-    fn prepare_locked(
-        catalog: &Catalog,
-        db: &DatabaseInstance,
-        options: EngineOptions,
-        state: &mut ServingState,
+    fn prepare_at(
+        &self,
+        snapshot: &Snapshot,
         sql: &str,
     ) -> Result<Arc<PreparedStatement>, SessionError> {
         let key = Self::normalize_sql(sql);
-        if let Some(entry) = state.statements.get(&key) {
-            state.stats.statement_hits += 1;
-            return Ok(entry.stmt.clone());
+        if let Some(entry) = self.read_statements().get(&key) {
+            let stmt = entry.stmt.clone();
+            AtomicStats::bump(&self.stats.statement_hits);
+            return Ok(stmt);
         }
-        let translated = parse_sql(&key, catalog)?;
-        let engine = RangeCqa::new(&translated.query, &catalog.schema())?.with_options(options);
-        let classification = engine.classification(db.numeric_domain());
+        // Parse, classify, and plan outside every lock: concurrent
+        // preparations of the same statement are idempotent and the first
+        // one to publish wins.
+        let translated = parse_sql(&key, &self.catalog)?;
+        let engine =
+            RangeCqa::new(&translated.query, &self.catalog.schema())?.with_options(self.options);
+        let classification = engine.classification(snapshot.db.numeric_domain());
         let locality = engine.group_locality();
         let stmt = Arc::new(PreparedStatement {
             sql: key.clone(),
@@ -475,72 +699,50 @@ impl Session {
             classification,
             locality,
         });
-        state.statements.insert(
-            key,
-            CachedStatement {
-                stmt: stmt.clone(),
-                result: None,
-            },
-        );
-        state.stats.statements_prepared += 1;
-        Ok(stmt)
+        match self.write_statements().entry(key) {
+            Entry::Occupied(entry) => {
+                let stmt = entry.get().stmt.clone();
+                AtomicStats::bump(&self.stats.statement_hits);
+                Ok(stmt)
+            }
+            Entry::Vacant(slot) => {
+                slot.insert(CachedStatement {
+                    stmt: stmt.clone(),
+                    result: None,
+                });
+                AtomicStats::bump(&self.stats.statements_prepared);
+                Ok(stmt)
+            }
+        }
     }
 
-    /// Brings the cached index up to the current epoch: a cold build on first
-    /// use, block-level delta replay afterwards. Each replayed batch lands in
-    /// the dirty log for result maintenance.
-    fn acquire_index(db: &DatabaseInstance, state: &mut ServingState) {
-        if state.index.is_none() {
-            state.index = Some(DbIndex::new(db));
-            state.pending.clear();
-            state.dirty_log.clear();
-            state.log_floor = state.epoch;
-            state.stats.index_builds += 1;
-            return;
-        }
-        if state.pending.is_empty() {
-            return;
-        }
-        // Event-by-event replay renumbers block positions per structural
-        // change, so a bulk batch approaching the instance size degrades to
-        // O(events × blocks) — worse than the O(|db|) cold rebuild it exists
-        // to avoid. Past a conservative threshold, rebuild instead; cached
-        // results fall behind the log floor and recompute in full, answers
-        // unaffected.
-        if state.pending.len() > 16 && state.pending.len() > db.len() / 4 {
-            state.index = Some(DbIndex::new(db));
-            state.pending.clear();
-            state.dirty_log.clear();
-            state.log_floor = state.epoch;
-            state.stats.index_builds += 1;
-            return;
-        }
-        let events = std::mem::take(&mut state.pending);
-        state.stats.deltas_applied += events.len() as u64;
-        let dirty = state
+    /// The snapshot's index, building it (exactly once per snapshot, across
+    /// all racing readers) on first use. Writers pre-populate successor
+    /// snapshots by delta replay, so a serving session cold-builds once.
+    fn pinned_index(&self, snapshot: &Snapshot) -> Arc<DbIndex> {
+        snapshot
             .index
-            .as_mut()
-            .expect("index cached")
-            .apply_delta(&events);
-        state.dirty_log.push((state.epoch, dirty));
-        if state.dirty_log.len() > DIRTY_LOG_CAP {
-            let dropped = state.dirty_log.remove(0);
-            state.log_floor = dropped.0;
-        }
+            .get_or_init(|| {
+                AtomicStats::bump(&self.stats.index_builds);
+                Arc::new(DbIndex::new(&snapshot.db))
+            })
+            .clone()
     }
 
-    /// The dirty blocks accumulated after `epoch`, or `None` if the retained
-    /// history does not reach back that far.
-    fn dirty_since(state: &ServingState, epoch: u64) -> Option<Vec<&DirtyBlock>> {
-        if epoch < state.log_floor {
+    /// The dirty blocks accumulated over `(from, to]`, or `None` if the
+    /// retained history does not reach back to `from` (the log was floored
+    /// by a cold rebuild or a bulk write in between).
+    fn dirty_since(&self, from: u64, to: u64) -> Option<Vec<DirtyBlock>> {
+        let maintenance = self.lock_maintenance();
+        if from < maintenance.log_floor {
             return None;
         }
         Some(
-            state
+            maintenance
                 .dirty_log
                 .iter()
-                .filter(|(e, _)| *e > epoch)
-                .flat_map(|(_, blocks)| blocks.iter())
+                .filter(|(e, _)| *e > from && *e <= to)
+                .flat_map(|(_, blocks)| blocks.iter().cloned())
                 .collect(),
         )
     }
@@ -568,57 +770,58 @@ impl Session {
         out
     }
 
-    /// The cache-aware execution path shared by [`Session::execute`] and
-    /// [`Session::execute_many`]: statement lookup, index acquisition, then
-    /// result hit / dirty-group patch / full pipeline, in that order.
-    fn execute_locked(
-        catalog: &Catalog,
-        db: &DatabaseInstance,
-        options: EngineOptions,
-        state: &mut ServingState,
-        sql: &str,
-    ) -> Result<QueryOutcome, SessionError> {
-        let stmt = Self::prepare_locked(catalog, db, options, state, sql)?;
-        Self::acquire_index(db, state);
-        let epoch = state.epoch;
-        let entry = state
-            .statements
-            .get(stmt.sql())
-            .expect("statement cached above");
-
-        // Hot path: a current result answers without touching the engine (one
-        // row clone, no re-store).
-        let is_hit = matches!(&entry.result, Some((e, _)) if *e == epoch);
-        if is_hit {
-            let rows = entry.result.as_ref().expect("hit checked").1.clone();
-            state.stats.result_hits += 1;
-            return Ok(QueryOutcome {
-                query: stmt.query.clone(),
-                classification: stmt.classification.clone(),
-                columns: stmt.columns.to_vec(),
-                rows,
-            });
+    fn outcome(stmt: &PreparedStatement, rows: Vec<GroupRange>, epoch: u64) -> QueryOutcome {
+        QueryOutcome {
+            query: stmt.query.clone(),
+            classification: stmt.classification.clone(),
+            columns: stmt.columns.to_vec(),
+            rows,
+            epoch,
         }
-        // Stale or absent: move the old result out rather than cloning it —
-        // it is either consumed by the patch path or discarded, and the slot
-        // is unconditionally re-filled below. (On an evaluation error the
-        // stale result is dropped; the next call simply recomputes in full.)
-        let cached = state
-            .statements
-            .get_mut(stmt.sql())
-            .expect("statement cached above")
-            .result
-            .take();
+    }
+
+    /// The cache-aware execution path shared by [`Session::execute`] and
+    /// [`Session::execute_many`], against one pinned snapshot: statement
+    /// lookup, then result hit / dirty-group patch / full pipeline, in that
+    /// order. No session-wide lock is held while the plan executes.
+    fn execute_at(&self, snapshot: &Snapshot, sql: &str) -> Result<QueryOutcome, SessionError> {
+        let stmt = self.prepare_at(snapshot, sql)?;
+        let epoch = snapshot.epoch;
+
+        // Hot path: a result computed at exactly this snapshot's epoch
+        // answers without touching the engine or the index.
+        {
+            let statements = self.read_statements();
+            if let Some(entry) = statements.get(stmt.sql()) {
+                if let Some((e, rows)) = &entry.result {
+                    if *e == epoch {
+                        let rows = rows.clone();
+                        drop(statements);
+                        AtomicStats::bump(&self.stats.result_hits);
+                        return Ok(Self::outcome(&stmt, rows, epoch));
+                    }
+                }
+            }
+        }
+
+        let index = self.pinned_index(snapshot);
+        // A stale result (an epoch *behind* this snapshot) is the patch
+        // basis; results from epochs ahead of the pinned snapshot are
+        // useless to this reader and are left in place for current ones.
+        let cached: Option<(u64, Vec<GroupRange>)> = self
+            .read_statements()
+            .get(stmt.sql())
+            .and_then(|entry| entry.result.clone());
 
         enum Path {
             Patch,
             Full,
         }
         let (path, rows) = match cached {
-            Some((e, rows)) => {
-                // The result is stale; patch it if every delta since is
-                // confined to blocks this statement can localise to groups.
-                let patch_keys = Self::dirty_since(state, e).and_then(|dirty| {
+            Some((cached_epoch, rows)) if cached_epoch < epoch => {
+                // Patch if every delta in (cached, pinned] is confined to
+                // blocks this statement can localise to groups.
+                let patch_keys = self.dirty_since(cached_epoch, epoch).and_then(|dirty| {
                     let locality = stmt.locality()?;
                     dirty
                         .iter()
@@ -627,78 +830,86 @@ impl Session {
                         })
                         .collect::<Option<BTreeSet<_>>>()
                 });
-                let index = state.index.as_ref().expect("index acquired");
                 match patch_keys {
                     Some(keys) => {
-                        let fresh = stmt.engine.range_for_groups(db, index, &keys)?;
+                        let fresh = stmt.engine.range_for_groups(&snapshot.db, &index, &keys)?;
                         let kept: Vec<GroupRange> = rows
                             .into_iter()
                             .filter(|r| !keys.contains(&r.key))
                             .collect();
                         (Path::Patch, Self::merge_rows(kept, fresh))
                     }
-                    None => (Path::Full, stmt.engine.range_with_index(db, index)?),
+                    None => (
+                        Path::Full,
+                        stmt.engine.range_with_index(&snapshot.db, &index)?,
+                    ),
                 }
             }
-            None => {
-                let index = state.index.as_ref().expect("index acquired");
-                (Path::Full, stmt.engine.range_with_index(db, index)?)
-            }
+            _ => (
+                Path::Full,
+                stmt.engine.range_with_index(&snapshot.db, &index)?,
+            ),
         };
         match path {
-            Path::Patch => state.stats.partial_recomputes += 1,
-            Path::Full => state.stats.full_recomputes += 1,
+            Path::Patch => AtomicStats::bump(&self.stats.partial_recomputes),
+            Path::Full => AtomicStats::bump(&self.stats.full_recomputes),
         }
-        state
-            .statements
-            .get_mut(stmt.sql())
-            .expect("statement cached above")
-            .result = Some((epoch, rows.clone()));
-        Ok(QueryOutcome {
-            query: stmt.query.clone(),
-            classification: stmt.classification.clone(),
-            columns: stmt.columns.to_vec(),
-            rows,
-        })
+        // Publish the result for this epoch — unless a reader pinned to a
+        // newer snapshot stored theirs first (never regress the cache).
+        {
+            let mut statements = self.write_statements();
+            if let Some(entry) = statements.get_mut(stmt.sql()) {
+                let newer = matches!(&entry.result, Some((e, _)) if *e > epoch);
+                if !newer {
+                    entry.result = Some((epoch, rows.clone()));
+                }
+            }
+        }
+        Ok(Self::outcome(&stmt, rows, epoch))
     }
 
     /// Executes a SQL aggregation query: classification plus one
-    /// `[glb, lub]` interval per group. Statement, index, and (when current)
-    /// result come from the session caches; answers are always identical to a
-    /// cold session's.
+    /// `[glb, lub]` interval per group. The query is evaluated against the
+    /// snapshot current at call time, with no session-wide lock held during
+    /// plan execution; statement, index, and (when current) result come from
+    /// the session caches, and answers are always identical to a cold
+    /// session's over the pinned snapshot.
     pub fn execute(&self, sql: &str) -> Result<QueryOutcome, SessionError> {
-        let mut state = self.lock();
-        Self::execute_locked(&self.catalog, &self.db, self.options, &mut state, sql)
+        let snapshot = self.snapshot();
+        self.execute_at(&snapshot, sql)
     }
 
-    /// Executes a batch of SQL queries under a single cache/lock/index
-    /// acquisition, returning one outcome per statement in order. Fails on
-    /// the first erroring statement.
+    /// Executes a batch of SQL queries against **one pinned snapshot**,
+    /// returning one outcome per statement in order: the batch is mutually
+    /// consistent even while writers commit concurrently. Fails on the first
+    /// erroring statement.
     pub fn execute_many<S: AsRef<str>>(
         &self,
         sqls: impl IntoIterator<Item = S>,
     ) -> Result<Vec<QueryOutcome>, SessionError> {
-        let mut state = self.lock();
+        let snapshot = self.snapshot();
         sqls.into_iter()
-            .map(|sql| {
-                Self::execute_locked(
-                    &self.catalog,
-                    &self.db,
-                    self.options,
-                    &mut state,
-                    sql.as_ref(),
-                )
-            })
+            .map(|sql| self.execute_at(&snapshot, sql.as_ref()))
             .collect()
     }
 
     /// An `EXPLAIN`-style rendering of the physical plan [`Session::execute`]
     /// would run for this SQL query (served from the statement cache).
     pub fn explain(&self, sql: &str) -> Result<String, SessionError> {
-        let stmt = self.prepare(sql)?;
-        Ok(stmt.engine.explain(&self.db))
+        let snapshot = self.snapshot();
+        let stmt = self.prepare_at(&snapshot, sql)?;
+        Ok(stmt.engine.explain(&snapshot.db))
     }
 }
+
+// The serving contract: one session shared across client threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+    assert_send_sync::<Snapshot>();
+    assert_send_sync::<PreparedStatement>();
+    assert_send_sync::<QueryOutcome>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -716,7 +927,7 @@ mod tests {
                     .key_column("Town")
                     .numeric_column("Qty"),
             );
-        let mut session = Session::new(catalog);
+        let session = Session::new(catalog);
         session
             .insert_all([
                 fact!("Dealers", "Smith", "Boston"),
@@ -808,7 +1019,7 @@ mod tests {
             Err(SessionError::Query(_))
         ));
         // Schema-violating fact.
-        let mut session = stock_session();
+        let session = stock_session();
         assert!(matches!(
             session.insert(fact!("Dealers", "only-one-arg")),
             Err(SessionError::Data(_))
@@ -816,14 +1027,34 @@ mod tests {
     }
 
     #[test]
-    fn normalization_collapses_whitespace_outside_literals() {
+    fn insert_all_batches_are_atomic() {
+        let session = stock_session();
+        let epoch = session.epoch();
+        let before = session.database().len();
+        // The second fact violates the schema: the whole batch must roll
+        // back — no new snapshot, no partial insert.
+        let result = session.insert_all([
+            fact!("Dealers", "Lopez", "Chicago"),
+            fact!("Dealers", "bad-arity"),
+        ]);
+        assert!(matches!(result, Err(SessionError::Data(_))));
+        assert_eq!(session.epoch(), epoch);
+        assert_eq!(session.database().len(), before);
+        assert!(!session
+            .database()
+            .contains(&fact!("Dealers", "Lopez", "Chicago")));
+    }
+
+    #[test]
+    fn normalization_collapses_whitespace_and_case_outside_literals() {
         assert_eq!(
-            Session::normalize_sql("  SELECT   SUM(S.Qty)\n\tFROM Stock AS S ; "),
-            "SELECT SUM(S.Qty) FROM Stock AS S"
+            Session::normalize_sql("  select   sum(S.Qty)\n\tFROM Stock AS S ; "),
+            "SELECT SUM(S.QTY) FROM STOCK AS S"
         );
-        // Literal interiors (and doubled-quote escapes) survive untouched.
+        // Literal interiors (and doubled-quote escapes) survive untouched,
+        // whitespace and case included.
         assert_eq!(
-            Session::normalize_sql("SELECT  X FROM T WHERE A = 'New  York;' AND B = 'O''x  y'"),
+            Session::normalize_sql("SELECT  X FROM T WHERE A = 'New  York;' AND b = 'O''x  y'"),
             "SELECT X FROM T WHERE A = 'New  York;' AND B = 'O''x  y'"
         );
         // Only ONE trailing terminator is dropped; the parser rejects the
@@ -837,8 +1068,9 @@ mod tests {
         let sql = "SELECT D.Name, MAX(S.Qty) FROM Dealers AS D, Stock AS S \
                    WHERE D.Town = S.Town GROUP BY D.Name";
         let first = session.execute(sql).unwrap();
-        // Re-spelled with different whitespace and a trailing terminator.
-        let respelled = "  SELECT D.Name,   MAX(S.Qty) FROM Dealers AS D, Stock AS S \
+        // Re-spelled with different whitespace, different keyword and
+        // identifier case, and a trailing terminator.
+        let respelled = "  select D.name,   max(S.Qty) from Dealers AS D, Stock AS S \
                          WHERE D.Town = S.Town GROUP BY D.Name ; ";
         let second = session.execute(respelled).unwrap();
         assert_eq!(first.rows, second.rows);
@@ -847,7 +1079,8 @@ mod tests {
         assert_eq!(stats.statement_hits, 1);
         assert_eq!(stats.result_hits, 1);
         assert_eq!(stats.index_builds, 1);
-        // prepare() exposes the cached statement.
+        // prepare() exposes the cached statement; output columns report the
+        // catalog's spelling even though the cache key is case-folded.
         let stmt = session.prepare(sql).unwrap();
         assert_eq!(stmt.columns(), ["Name", "MAX"]);
         assert!(stmt.locality().is_some());
@@ -856,7 +1089,7 @@ mod tests {
 
     #[test]
     fn mutations_invalidate_results_and_patch_dirty_groups() {
-        let mut session = stock_session();
+        let session = stock_session();
         let sql = "SELECT D.Name, MAX(S.Qty) FROM Dealers AS D, Stock AS S \
                    WHERE D.Town = S.Town GROUP BY D.Name";
         let before = session.execute(sql).unwrap();
@@ -883,19 +1116,18 @@ mod tests {
         let restored = session.execute(sql).unwrap();
         assert_eq!(restored.rows, before.rows);
         for threads in [1, 4] {
-            let cold =
-                Session::with_instance(session.catalog().clone(), session.database().clone())
-                    .with_options(EngineOptions {
-                        threads,
-                        ..EngineOptions::default()
-                    });
+            let cold = Session::with_instance(session.catalog().clone(), session.database())
+                .with_options(EngineOptions {
+                    threads,
+                    ..EngineOptions::default()
+                });
             assert_eq!(cold.execute(sql).unwrap().rows, restored.rows);
         }
     }
 
     #[test]
     fn non_local_mutations_fall_back_to_full_recompute() {
-        let mut session = stock_session();
+        let session = stock_session();
         let sql = "SELECT D.Name, MAX(S.Qty) FROM Dealers AS D, Stock AS S \
                    WHERE D.Town = S.Town GROUP BY D.Name";
         session.execute(sql).unwrap();
@@ -913,7 +1145,7 @@ mod tests {
     }
 
     #[test]
-    fn execute_many_amortises_one_acquisition() {
+    fn execute_many_amortises_one_snapshot() {
         let session = stock_session();
         let sqls = [
             "SELECT D.Name, MAX(S.Qty) FROM Dealers AS D, Stock AS S \
@@ -927,6 +1159,8 @@ mod tests {
         let outcomes = session.execute_many(sqls).unwrap();
         assert_eq!(outcomes.len(), 3);
         assert_eq!(outcomes[0].rows, outcomes[2].rows);
+        // One pinned snapshot: every outcome carries the same epoch.
+        assert!(outcomes.iter().all(|o| o.epoch == outcomes[0].epoch));
         let stats = session.stats();
         assert_eq!(stats.statements_prepared, 2);
         assert_eq!(stats.result_hits, 1);
@@ -947,8 +1181,15 @@ mod tests {
         let cloned = session.clone();
         assert_eq!(cloned.execute(sql).unwrap().rows, warm.rows);
         assert_eq!(cloned.stats().result_hits, 1);
+        // A clone diverges through its own writers without touching the
+        // original's snapshot chain.
+        cloned.insert(fact!("Dealers", "Lopez", "Boston")).unwrap();
+        assert_eq!(cloned.epoch(), session.epoch() + 1);
+        assert!(!session
+            .database()
+            .contains(&fact!("Dealers", "Lopez", "Boston")));
         // with_options invalidates statements (they embed options) but keeps
-        // the index.
+        // the snapshot chain and its index.
         let reopt = session.with_options(EngineOptions {
             threads: 2,
             ..EngineOptions::default()
@@ -957,5 +1198,64 @@ mod tests {
         let stats = reopt.stats();
         assert_eq!(stats.statements_prepared, 2, "statement cache was cleared");
         assert_eq!(stats.index_builds, 1, "index survives re-option");
+    }
+
+    #[test]
+    fn snapshots_pin_a_version_while_writers_advance() {
+        let session = stock_session();
+        let sql = "SELECT D.Name, MAX(S.Qty) FROM Dealers AS D, Stock AS S \
+                   WHERE D.Town = S.Town GROUP BY D.Name";
+        let before = session.execute(sql).unwrap();
+        let pinned = session.snapshot();
+        assert_eq!(pinned.epoch(), before.epoch);
+
+        session
+            .insert(fact!("Dealers", "Lopez", "New York"))
+            .unwrap();
+        // The live session sees the write; the pinned snapshot does not.
+        assert_eq!(session.execute(sql).unwrap().rows.len(), 3);
+        assert_eq!(pinned.db().len(), 8);
+        assert_eq!(session.database().len(), 9);
+        assert_eq!(session.epoch(), pinned.epoch() + 1);
+        // A cold session over the pinned instance reproduces the pinned-era
+        // answer exactly.
+        let cold = Session::with_instance(session.catalog().clone(), pinned.db().clone());
+        assert_eq!(cold.execute(sql).unwrap().rows, before.rows);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_agree_with_cold_sessions() {
+        let session = stock_session();
+        let sql = "SELECT D.Name, MAX(S.Qty) FROM Dealers AS D, Stock AS S \
+                   WHERE D.Town = S.Town GROUP BY D.Name";
+        let baseline = session.execute(sql).unwrap();
+        let writes = 6u64;
+        std::thread::scope(|scope| {
+            let session = &session;
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    for _ in 0..12 {
+                        let outcome = session.execute(sql).unwrap();
+                        // Reads are snapshot-isolated: 2 base rows plus one
+                        // per committed write at the pinned epoch.
+                        assert_eq!(
+                            outcome.rows.len() as u64,
+                            2 + outcome.epoch - baseline.epoch
+                        );
+                    }
+                });
+            }
+            scope.spawn(move || {
+                for i in 0..writes {
+                    session
+                        .insert(fact!("Dealers", format!("w{i}"), "Boston"))
+                        .unwrap();
+                }
+            });
+        });
+        assert_eq!(session.epoch(), baseline.epoch + writes);
+        let final_rows = session.execute(sql).unwrap().rows;
+        let cold = Session::with_instance(session.catalog().clone(), session.database());
+        assert_eq!(cold.execute(sql).unwrap().rows, final_rows);
     }
 }

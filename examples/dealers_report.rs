@@ -19,7 +19,7 @@ fn main() {
                 .numeric_column("Qty"),
         );
 
-    let mut session = Session::new(catalog);
+    let session = Session::new(catalog);
     session
         .insert_all([
             fact!("Dealers", "Smith", "Boston"),

@@ -80,7 +80,7 @@ fn n_repeated_executes_build_exactly_one_index() {
 #[test]
 fn mutations_maintain_the_index_without_rebuilding() {
     let _guard = COUNTER_LOCK.lock().unwrap();
-    let mut session = Session::with_instance(rs_catalog(), workload().generate());
+    let session = Session::with_instance(rs_catalog(), workload().generate());
     let before = DbIndex::build_count();
     session.execute(GROUPED_MAX).unwrap();
     assert_eq!(DbIndex::build_count() - before, 1);
@@ -107,10 +107,41 @@ fn mutations_maintain_the_index_without_rebuilding() {
 }
 
 #[test]
+fn concurrent_clients_share_exactly_one_index_build() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let session = Session::with_instance(rs_catalog(), workload().generate());
+    let expected = session.execute(GROUPED_MAX).unwrap().rows;
+    // Evict the result cache's current epoch? No — share a *fresh* session so
+    // the very first builds race: 4 clients starting cold must still build
+    // exactly one index (the snapshot's OnceLock serialises initialisers).
+    let fresh = Session::with_instance(rs_catalog(), workload().generate());
+    let before = DbIndex::build_count();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let fresh = &fresh;
+            let expected = &expected;
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    assert_eq!(&fresh.execute(GROUPED_MAX).unwrap().rows, expected);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        DbIndex::build_count() - before,
+        1,
+        "4 racing cold clients must share one index build"
+    );
+    let stats = fresh.stats();
+    assert_eq!(stats.index_builds, 1);
+    assert_eq!(stats.statements_prepared, 1, "racing preparations dedupe");
+}
+
+#[test]
 fn warm_answers_equal_cold_sessions_at_every_thread_count() {
     let _guard = COUNTER_LOCK.lock().unwrap();
     let db = workload().generate();
-    let mut warm = Session::with_instance(rs_catalog(), db);
+    let warm = Session::with_instance(rs_catalog(), db);
     // Warm the caches, mutate through the delta path, and query again.
     warm.execute(GROUPED_MAX).unwrap();
     warm.insert(fact!("R", "xnew", "y1")).unwrap();

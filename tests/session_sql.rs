@@ -17,7 +17,7 @@ fn fig1_session() -> Session {
                 .key_column("Town")
                 .numeric_column("Qty"),
         );
-    let mut session = Session::new(catalog);
+    let session = Session::new(catalog);
     session
         .insert_all([
             fact!("Dealers", "Smith", "Boston"),
@@ -124,7 +124,7 @@ fn insert_invalidates_cached_answers() {
     // and results, a query after an insert must see the new fact — at every
     // worker count.
     for threads in [1usize, 4] {
-        let mut session = fig1_session().with_options(EngineOptions {
+        let session = fig1_session().with_options(EngineOptions {
             threads,
             ..EngineOptions::default()
         });
@@ -196,7 +196,7 @@ fn cached_answers_equal_cold_answers_on_generated_instances() {
 
 #[test]
 fn sql_escapes_and_terminators_through_the_facade() {
-    let mut session = fig1_session();
+    let session = fig1_session();
     session
         .insert(fact!("Dealers", "O'Brien", "Boston"))
         .unwrap();
