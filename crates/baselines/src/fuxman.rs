@@ -97,7 +97,7 @@ pub fn fuxman_sum_glb(
         // the minimum contribution.
         let mut min_value: Option<Rational> = None;
         let mut key_binding: Option<Binding> = None;
-        for fact in &block.facts {
+        for fact in block.facts.iter() {
             match match_fact(fact_atom, fact, &Binding::new()) {
                 Some(binding) => {
                     let value = match &query.normalised.term {

@@ -507,7 +507,7 @@ impl<'a> CertaintyChecker<'a> {
         let mut trail: Vec<usize> = Vec::new();
         for block in rel.blocks_matching(&pattern) {
             let mut all_ok = true;
-            for fact in &block.facts {
+            for fact in block.facts.iter() {
                 let mark = trail.len();
                 let matched = match_level(lvl, fact, slots, &mut trail);
                 let ok = matched && self.certain_from_slots(level + 1, slots);
@@ -586,7 +586,7 @@ pub fn embeddings_from_blocks(
         return out;
     };
     for block in blocks {
-        for fact in &block.facts {
+        for fact in block.facts.iter() {
             let mark = trail.len();
             if match_level(lvl, fact, &mut slots, &mut trail) {
                 embed_rec(compiled, index, 1, &mut slots, &mut trail, &mut out);
@@ -613,7 +613,7 @@ fn embed_rec(
     let rel = index.relation(&lvl.relation);
     let pattern = key_pattern(lvl, slots);
     for block in rel.blocks_matching(&pattern) {
-        for fact in &block.facts {
+        for fact in block.facts.iter() {
             let mark = trail.len();
             if match_level(lvl, fact, slots, trail) {
                 embed_rec(compiled, index, level + 1, slots, trail, out);

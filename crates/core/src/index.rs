@@ -11,29 +11,57 @@
 //! tests can assert that invariant: it is an [`AtomicU64`] (not thread-local)
 //! precisely so that an index built on one thread and *no* builds on the
 //! executor's worker threads still sum to one observable construction.
+//!
+//! ## Structural sharing
+//!
+//! A [`DbIndex`] is a **persistent data structure**: each relation's
+//! [`RelationIndex`] lives behind an [`Arc`], and each [`IndexedBlock`]'s
+//! fact list behind another. Cloning an index is one pointer bump per
+//! relation, and [`DbIndex::apply_delta`] **path-copies**: it materialises a
+//! private copy of exactly the relations the delta touches (via
+//! [`Arc::make_mut`]) and, inside them, of exactly the dirty blocks' fact
+//! lists — every untouched relation and every untouched block keeps sharing
+//! storage with the index the clone came from. The serving layer relies on
+//! this to derive a successor snapshot's index in
+//! `O(|dirty relation| + |delta|)` instead of `O(|db|)` per write batch.
 
 use rcqa_data::{DatabaseInstance, DeltaEvent, DeltaOp, Fact, Value};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Number of [`DbIndex`] constructions performed by this process, across all
 /// threads (including executor workers).
 static BUILD_COUNT: AtomicU64 = AtomicU64::new(0);
 
 /// One block: the facts of a relation sharing a primary-key value.
+///
+/// The fact list is `Arc`-shared: cloning a block (as part of cloning its
+/// [`RelationIndex`] for incremental maintenance) bumps a pointer instead of
+/// copying facts, and only blocks a delta actually changes are deep-copied
+/// (see [`DbIndex::apply_delta`]).
 #[derive(Clone, Debug)]
 pub struct IndexedBlock {
     /// The shared key value.
     pub key: Vec<Value>,
-    /// The facts of the block.
-    pub facts: Vec<Fact>,
+    /// The facts of the block, in sorted order.
+    pub facts: Arc<Vec<Fact>>,
 }
 
 /// Index over one relation.
+///
+/// The block list is the primary structure: blocks are **sorted by key**
+/// (cold builds scan facts in sorted order; incremental maintenance keeps
+/// them there), so a full-key lookup is a binary search and a bound *first*
+/// key component selects a contiguous span of blocks — neither needs an
+/// auxiliary map. Only the **deeper** key positions (`1..key_len`), where
+/// matching blocks are scattered, keep posting lists. Relations with a
+/// single-column key therefore carry no lookup maps at all, which makes the
+/// write path's per-relation path copy (and its maintenance) almost free.
 #[derive(Clone, Debug, Default)]
 pub struct RelationIndex {
-    /// All blocks of the relation.
+    /// All blocks of the relation, sorted by key.
     pub blocks: Vec<IndexedBlock>,
     /// Primary-key length of the relation (block keys are fact prefixes of
     /// this length).
@@ -41,11 +69,22 @@ pub struct RelationIndex {
     /// Arity of the relation; delta events carrying any other arity cannot
     /// correspond to a stored fact and are rejected outright.
     arity: usize,
-    /// Lookup from full key value to block position.
-    by_key: HashMap<Vec<Value>, usize>,
-    /// For each key position, lookup from value to the blocks having that
-    /// value at that position.
-    by_key_pos: Vec<HashMap<Value, Vec<usize>>>,
+    /// Posting lists for key positions `1..key_len` (entry `p - 1` serves
+    /// position `p`): value → sorted positions of the blocks holding that
+    /// value there. Position 0 has none — its matches are a contiguous
+    /// binary-searchable span of the sorted block list.
+    deep_pos: Vec<HashMap<Value, Vec<usize>>>,
+}
+
+/// How one applied event changed a relation's **block list** (as opposed to
+/// the interior of an existing block): not at all, a block inserted at a
+/// position, or a block removed from one. Structural changes shift block
+/// positions, so they drive the posting-list maintenance in
+/// [`DbIndex::apply_delta`].
+enum Structural {
+    No,
+    Inserted(usize),
+    Removed(usize),
 }
 
 impl RelationIndex {
@@ -54,99 +93,136 @@ impl RelationIndex {
         self.blocks.iter().map(|b| b.facts.len()).sum()
     }
 
-    /// Looks up the block with exactly the given key.
+    /// Looks up the block with exactly the given key: a binary search of the
+    /// sorted block list.
     pub fn block_by_key(&self, key: &[Value]) -> Option<&IndexedBlock> {
-        self.by_key.get(key).map(|&i| &self.blocks[i])
+        self.blocks
+            .binary_search_by(|b| b.key.as_slice().cmp(key))
+            .ok()
+            .map(|i| &self.blocks[i])
     }
 
-    /// Inserts one fact, keeping the index byte-identical to a cold rebuild
-    /// of the post-insert instance: the fact lands at its sorted position in
-    /// its block, and a new block lands at its sorted position in the block
-    /// list (cold builds scan facts in sorted order, so block order is key
-    /// order). Returns `true` if the fact was not already present.
-    fn insert_fact(&mut self, fact: Fact) -> bool {
-        let key = fact.args()[..self.key_len].to_vec();
-        match self.by_key.get(&key) {
-            Some(&i) => {
-                let facts = &mut self.blocks[i].facts;
-                match facts.binary_search(&fact) {
-                    Ok(_) => false,
+    /// The contiguous span of block positions whose key starts with `v`
+    /// (blocks are sorted by key, so first-component matches are adjacent).
+    fn first_component_span(&self, v: &Value) -> Range<usize> {
+        let start = self.blocks.partition_point(|b| b.key[0] < *v);
+        let end = start + self.blocks[start..].partition_point(|b| b.key[0] <= *v);
+        start..end
+    }
+
+    /// Inserts one fact: the fact lands at its sorted position in its block,
+    /// and a new block lands at its sorted position in the block list (cold
+    /// builds scan facts in sorted order, so block order is key order).
+    ///
+    /// Only the block list is maintained — lookups here binary-search it, so
+    /// they never depend on the posting lists; [`DbIndex::apply_delta`] owns
+    /// the posting-list maintenance for structural changes. Returns
+    /// `(changed, structural)`.
+    fn insert_fact(&mut self, fact: Fact) -> (bool, Structural) {
+        let key = &fact.args()[..self.key_len];
+        match self.blocks.binary_search_by(|b| b.key.as_slice().cmp(key)) {
+            Ok(i) => {
+                // Probe on the shared list first: a no-op re-insert must not
+                // split storage. Only an actual change materialises the block.
+                match self.blocks[i].facts.binary_search(&fact) {
+                    Ok(_) => (false, Structural::No),
                     Err(pos) => {
-                        facts.insert(pos, fact);
-                        true
+                        Arc::make_mut(&mut self.blocks[i].facts).insert(pos, fact);
+                        (true, Structural::No)
                     }
                 }
             }
-            None => {
-                let pos = self.blocks.partition_point(|b| b.key < key);
+            Err(pos) => {
                 self.blocks.insert(
                     pos,
                     IndexedBlock {
-                        key: key.clone(),
-                        facts: vec![fact],
+                        key: key.to_vec(),
+                        facts: Arc::new(vec![fact]),
                     },
                 );
-                // Shift every block position at or after the insertion point.
-                for i in self.by_key.values_mut() {
+                (true, Structural::Inserted(pos))
+            }
+        }
+    }
+
+    /// Removes one fact (and its block, if it becomes empty). Same contract
+    /// as [`RelationIndex::insert_fact`]. Returns `(changed, structural)`.
+    fn remove_fact(&mut self, fact: &Fact) -> (bool, Structural) {
+        let key = &fact.args()[..self.key_len];
+        let Ok(i) = self.blocks.binary_search_by(|b| b.key.as_slice().cmp(key)) else {
+            return (false, Structural::No);
+        };
+        let Ok(pos) = self.blocks[i].facts.binary_search(fact) else {
+            return (false, Structural::No);
+        };
+        let facts = Arc::make_mut(&mut self.blocks[i].facts);
+        facts.remove(pos);
+        if facts.is_empty() {
+            self.blocks.remove(i);
+            (true, Structural::Removed(i))
+        } else {
+            (true, Structural::No)
+        }
+    }
+
+    /// Surgically threads a just-inserted block (at `pos`) through the deep
+    /// posting lists: positions at or after `pos` shift up, then the new
+    /// block's values are posted. `O(posting entries)` integer work — no
+    /// allocation beyond the new postings.
+    fn deep_insert_block(&mut self, pos: usize) {
+        for map in &mut self.deep_pos {
+            for ids in map.values_mut() {
+                for i in ids.iter_mut() {
                     if *i >= pos {
                         *i += 1;
                     }
                 }
-                for map in &mut self.by_key_pos {
-                    for ids in map.values_mut() {
-                        for i in ids.iter_mut() {
-                            if *i >= pos {
-                                *i += 1;
-                            }
-                        }
+            }
+        }
+        let key = self.blocks[pos].key.clone();
+        for (p, v) in key.iter().enumerate().skip(1) {
+            let ids = self.deep_pos[p - 1].entry(v.clone()).or_default();
+            let at = ids.partition_point(|&i| i < pos);
+            ids.insert(at, pos);
+        }
+    }
+
+    /// Surgically unthreads a just-removed block (formerly at `pos`, with
+    /// key `key`) from the deep posting lists: its postings disappear (empty
+    /// lists are dropped — cold builds never hold them), then positions after
+    /// `pos` shift down.
+    fn deep_remove_block(&mut self, pos: usize, key: &[Value]) {
+        for (p, v) in key.iter().enumerate().skip(1) {
+            let map = &mut self.deep_pos[p - 1];
+            if let Some(ids) = map.get_mut(v) {
+                ids.retain(|&j| j != pos);
+                if ids.is_empty() {
+                    map.remove(v);
+                }
+            }
+        }
+        for map in &mut self.deep_pos {
+            for ids in map.values_mut() {
+                for i in ids.iter_mut() {
+                    if *i > pos {
+                        *i -= 1;
                     }
                 }
-                self.by_key.insert(key.clone(), pos);
-                for (p, v) in key.iter().enumerate() {
-                    let ids = self.by_key_pos[p].entry(v.clone()).or_default();
-                    let at = ids.partition_point(|&i| i < pos);
-                    ids.insert(at, pos);
-                }
-                true
             }
         }
     }
 
-    /// Removes one fact (and its block, if it becomes empty), keeping the
-    /// index byte-identical to a cold rebuild of the post-delete instance.
-    /// Returns `true` if the fact was present.
-    fn remove_fact(&mut self, fact: &Fact) -> bool {
-        let key = &fact.args()[..self.key_len];
-        let Some(&i) = self.by_key.get(key) else {
-            return false;
-        };
-        let facts = &mut self.blocks[i].facts;
-        let Ok(pos) = facts.binary_search(fact) else {
-            return false;
-        };
-        facts.remove(pos);
-        if self.blocks[i].facts.is_empty() {
-            self.blocks.remove(i);
-            self.by_key.remove(key);
-            for j in self.by_key.values_mut() {
-                if *j > i {
-                    *j -= 1;
-                }
-            }
-            for map in &mut self.by_key_pos {
-                for ids in map.values_mut() {
-                    ids.retain(|&j| j != i);
-                    for j in ids.iter_mut() {
-                        if *j > i {
-                            *j -= 1;
-                        }
-                    }
-                }
-                // Cold builds never hold empty posting lists.
-                map.retain(|_, ids| !ids.is_empty());
+    /// Rebuilds the deep posting lists from the (sorted) block list, in
+    /// exactly the layout a cold [`DbIndex::new`] produces: posting lists
+    /// ascending, no empty entries. `O(blocks)` for this relation — the bulk
+    /// alternative to per-event surgery.
+    fn rebuild_deep_pos(&mut self) {
+        self.deep_pos = vec![HashMap::new(); self.key_len.saturating_sub(1)];
+        for (i, b) in self.blocks.iter().enumerate() {
+            for (p, v) in b.key.iter().enumerate().skip(1) {
+                self.deep_pos[p - 1].entry(v.clone()).or_default().push(i);
             }
         }
-        true
     }
 
     /// Returns an iterator over the blocks compatible with a partially-bound
@@ -169,11 +245,18 @@ impl RelationIndex {
                 source: BlockSource::One(self.block_by_key(&key)),
             };
         }
-        // Use the most selective bound position, if any.
+        // A bound first component restricts candidates to a contiguous span
+        // of the key-sorted block list (empty span: no match anywhere).
+        let span = match pattern.first().and_then(|v| v.as_ref()) {
+            Some(v) if !self.blocks.is_empty() => self.first_component_span(v),
+            Some(_) => 0..0,
+            None => 0..self.blocks.len(),
+        };
+        // A deeper bound position may be more selective than the span.
         let mut best: Option<&Vec<usize>> = None;
-        for (p, v) in pattern.iter().enumerate() {
+        for (p, v) in pattern.iter().enumerate().skip(1) {
             if let Some(v) = v {
-                match self.by_key_pos.get(p).and_then(|m| m.get(v)) {
+                match self.deep_pos.get(p - 1).and_then(|m| m.get(v)) {
                     Some(ids) => {
                         if best.map(|b| ids.len() < b.len()).unwrap_or(true) {
                             best = Some(ids);
@@ -190,8 +273,8 @@ impl RelationIndex {
             }
         }
         let source = match best {
-            Some(ids) => BlockSource::Candidates(ids.iter()),
-            None => BlockSource::All(0..self.blocks.len()),
+            Some(ids) if ids.len() < span.len() => BlockSource::Candidates(ids.iter()),
+            _ => BlockSource::All(span),
         };
         BlocksMatching {
             blocks: &self.blocks,
@@ -205,9 +288,11 @@ impl RelationIndex {
 enum BlockSource<'a> {
     /// A single pre-resolved block (fully-bound pattern), already verified.
     One(Option<&'a IndexedBlock>),
-    /// The posting list of the most selective bound key position.
+    /// The posting list of the most selective bound deep key position.
     Candidates(std::slice::Iter<'a, usize>),
-    /// Every block of the relation (no key position bound).
+    /// A contiguous span of the sorted block list: the whole relation when
+    /// no key position is bound, or the first-component span when (only)
+    /// position 0 is.
     All(Range<usize>),
 }
 
@@ -258,10 +343,17 @@ pub struct DirtyBlock {
 /// concurrent reader — and every executor worker thread under it — borrows
 /// that one copy. Incremental maintenance ([`DbIndex::apply_delta`]) is only
 /// ever performed on a private clone *before* the clone is published inside
-/// a new snapshot, so published indexes are immutable.
+/// a new snapshot, so published indexes are immutable. The interior `Arc`s
+/// (per relation, per block fact list) never change after publication
+/// either — path copies happen on the writer's private clone — so borrowing
+/// through a published index is data-race-free by construction.
+///
+/// Per-relation indexes are `Arc`-shared: cloning a `DbIndex` is one pointer
+/// bump per relation, and `apply_delta` path-copies only the relations (and,
+/// inside them, the blocks) the delta touches — see the module docs.
 #[derive(Clone, Debug, Default)]
 pub struct DbIndex {
-    relations: HashMap<String, RelationIndex>,
+    relations: HashMap<String, Arc<RelationIndex>>,
     /// Returned for names outside the schema, so lookups are total.
     empty: RelationIndex,
 }
@@ -276,36 +368,42 @@ impl DbIndex {
     /// Builds the index for a database instance.
     pub fn new(db: &DatabaseInstance) -> DbIndex {
         BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
-        let mut relations: HashMap<String, RelationIndex> = HashMap::new();
+        let mut relations: HashMap<String, Arc<RelationIndex>> = HashMap::new();
         for (name, sig) in db.schema().relations() {
             let key_len = sig.key_len();
             let mut rel = RelationIndex {
                 blocks: Vec::new(),
                 key_len,
                 arity: sig.arity(),
-                by_key: HashMap::new(),
-                by_key_pos: vec![HashMap::new(); key_len],
+                deep_pos: vec![HashMap::new(); key_len.saturating_sub(1)],
+            };
+            let mut pending: Option<(Vec<Value>, Vec<Fact>)> = None;
+            // Facts arrive in sorted order, so each block's facts form one
+            // contiguous run: accumulate the run, then freeze it into an
+            // `Arc` when the key changes.
+            let flush = |rel: &mut RelationIndex, pending: Option<(Vec<Value>, Vec<Fact>)>| {
+                let Some((key, facts)) = pending else { return };
+                let i = rel.blocks.len();
+                for (p, v) in key.iter().enumerate().skip(1) {
+                    rel.deep_pos[p - 1].entry(v.clone()).or_default().push(i);
+                }
+                rel.blocks.push(IndexedBlock {
+                    key,
+                    facts: Arc::new(facts),
+                });
             };
             for fact in db.facts_of(name) {
-                let key = fact.args()[..key_len].to_vec();
-                let idx = match rel.by_key.get(&key) {
-                    Some(&i) => i,
-                    None => {
-                        let i = rel.blocks.len();
-                        rel.blocks.push(IndexedBlock {
-                            key: key.clone(),
-                            facts: Vec::new(),
-                        });
-                        rel.by_key.insert(key.clone(), i);
-                        for (p, v) in key.iter().enumerate() {
-                            rel.by_key_pos[p].entry(v.clone()).or_default().push(i);
-                        }
-                        i
+                let key = &fact.args()[..key_len];
+                match &mut pending {
+                    Some((k, facts)) if k.as_slice() == key => facts.push(fact.clone()),
+                    _ => {
+                        flush(&mut rel, pending.take());
+                        pending = Some((key.to_vec(), vec![fact.clone()]));
                     }
-                };
-                rel.blocks[idx].facts.push(fact.clone());
+                }
             }
-            relations.insert(name.to_string(), rel);
+            flush(&mut rel, pending.take());
+            relations.insert(name.to_string(), Arc::new(rel));
         }
         DbIndex {
             relations,
@@ -320,33 +418,85 @@ impl DbIndex {
     /// their sorted positions inside blocks, blocks at their sorted positions
     /// inside relations, and the key/posting lookups match.
     ///
+    /// Maintenance **path-copies**: events are grouped per relation, each
+    /// touched relation is materialised once (`Arc::make_mut` — untouched
+    /// relations keep sharing storage with every other clone of this index),
+    /// and inside it only the dirty blocks' fact lists are deep-copied. Deep
+    /// posting lists (key positions past the first; single-column-key
+    /// relations have none) are maintained surgically while a batch's
+    /// structural changes are few, and rebuilt in one `O(blocks)` pass once
+    /// they are not — never per event — so a bulk batch costs
+    /// `O(|dirty relation| + |delta| log |blocks|)` rather than
+    /// `O(|events| × |blocks|)`.
+    ///
     /// Returns the deduplicated, sorted list of blocks whose contents changed
     /// — the dirty set callers use to decide which cached per-group answers
     /// must be recomputed. Events that change nothing (re-inserting a present
     /// fact, deleting an absent one) and events for relations outside the
     /// indexed schema mark nothing dirty.
     pub fn apply_delta(&mut self, events: &[DeltaEvent]) -> Vec<DirtyBlock> {
-        let mut dirty: BTreeSet<DirtyBlock> = BTreeSet::new();
+        /// Structural changes per batch and relation past which per-event
+        /// posting-list surgery (each `O(postings)`) loses to one deferred
+        /// `O(blocks)` rebuild.
+        const SURGERY_CAP: usize = 16;
+        // Group events per relation, preserving their order within each
+        // relation (order across relations is immaterial — relations are
+        // independent).
+        let mut by_relation: BTreeMap<&str, Vec<&DeltaEvent>> = BTreeMap::new();
         for event in events {
-            let Some(rel) = self.relations.get_mut(event.fact.relation()) else {
+            by_relation
+                .entry(event.fact.relation())
+                .or_default()
+                .push(event);
+        }
+        let mut dirty: BTreeSet<DirtyBlock> = BTreeSet::new();
+        for (name, rel_events) in by_relation {
+            let Some(shared) = self.relations.get_mut(name) else {
                 continue;
             };
-            if event.fact.arity() != rel.arity {
-                // Cannot correspond to any stored fact; instances validate
-                // arities on insert, so only malformed events land here.
-                // (An exact check, not `< key_len`: a fact that covers the
-                // key but not the full arity must not be indexed either.)
-                continue;
+            // The one per-relation path copy: blocks clone shallowly (their
+            // fact lists are `Arc`-shared) plus the deep posting lists.
+            let rel = Arc::make_mut(shared);
+            let has_deep = rel.key_len > 1;
+            let mut structural_changes = 0usize;
+            let mut deferred = false;
+            for event in rel_events {
+                if event.fact.arity() != rel.arity {
+                    // Cannot correspond to any stored fact; instances validate
+                    // arities on insert, so only malformed events land here.
+                    // (An exact check, not `< key_len`: a fact that covers the
+                    // key but not the full arity must not be indexed either.)
+                    continue;
+                }
+                let (changed, structural) = match event.op {
+                    DeltaOp::Insert => rel.insert_fact(event.fact.clone()),
+                    DeltaOp::Delete => rel.remove_fact(&event.fact),
+                };
+                if has_deep && !matches!(structural, Structural::No) {
+                    structural_changes += 1;
+                    deferred = deferred || structural_changes > SURGERY_CAP;
+                    if !deferred {
+                        match structural {
+                            Structural::Inserted(pos) => rel.deep_insert_block(pos),
+                            Structural::Removed(pos) => {
+                                // The emptied block's key is the event fact's
+                                // key prefix.
+                                let key = &event.fact.args()[..rel.key_len];
+                                rel.deep_remove_block(pos, key);
+                            }
+                            Structural::No => unreachable!("guarded above"),
+                        }
+                    }
+                }
+                if changed {
+                    dirty.insert(DirtyBlock {
+                        relation: name.to_string(),
+                        key: event.fact.args()[..rel.key_len].to_vec(),
+                    });
+                }
             }
-            let changed = match event.op {
-                DeltaOp::Insert => rel.insert_fact(event.fact.clone()),
-                DeltaOp::Delete => rel.remove_fact(&event.fact),
-            };
-            if changed {
-                dirty.insert(DirtyBlock {
-                    relation: event.fact.relation().to_string(),
-                    key: event.fact.args()[..rel.key_len].to_vec(),
-                });
+            if deferred {
+                rel.rebuild_deep_pos();
             }
         }
         dirty.into_iter().collect()
@@ -356,7 +506,49 @@ impl DbIndex {
     /// if it holds no facts); names outside the schema resolve to a shared
     /// empty index, so the lookup is infallible.
     pub fn relation(&self, name: &str) -> &RelationIndex {
-        self.relations.get(name).unwrap_or(&self.empty)
+        self.relations
+            .get(name)
+            .map(Arc::as_ref)
+            .unwrap_or(&self.empty)
+    }
+
+    /// Returns `true` if the named relation's index is physically shared
+    /// (same allocation) between `self` and `other` — i.e. no delta has
+    /// path-copied it since the two diverged. Both lacking the relation
+    /// counts as shared. For tests and observability of the
+    /// structural-sharing contract.
+    pub fn shares_relation_storage(&self, other: &DbIndex, name: &str) -> bool {
+        match (self.relations.get(name), other.relations.get(name)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+
+    /// Panics unless `self` is **structurally identical** to `other`: same
+    /// relations, same block order, same fact order inside every block, and
+    /// byte-identical deep posting lists — not merely answer-equivalent.
+    /// This is the invariant [`DbIndex::apply_delta`] maintains against a
+    /// cold rebuild of the mutated instance; tests (unit, integration, and
+    /// property-based) call this helper to verify it.
+    pub fn assert_structurally_identical(&self, other: &DbIndex) {
+        let mut names: Vec<&String> = self.relations.keys().collect();
+        names.sort();
+        let mut other_names: Vec<&String> = other.relations.keys().collect();
+        other_names.sort();
+        assert_eq!(names, other_names, "relation sets differ");
+        for name in names {
+            let a = &self.relations[name];
+            let b = &other.relations[name];
+            assert_eq!(a.key_len, b.key_len, "{name}: key_len");
+            assert_eq!(a.arity, b.arity, "{name}: arity");
+            assert_eq!(a.blocks.len(), b.blocks.len(), "{name}: block count");
+            for (x, y) in a.blocks.iter().zip(b.blocks.iter()) {
+                assert_eq!(x.key, y.key, "{name}: block order");
+                assert_eq!(x.facts, y.facts, "{name}: facts of block {:?}", x.key);
+            }
+            assert_eq!(a.deep_pos, b.deep_pos, "{name}: deep posting lists");
+        }
     }
 
     /// Returns `true` if `name` is a relation of the indexed schema.
@@ -466,25 +658,10 @@ mod tests {
 
     /// Full structural equality with a cold rebuild: block order, fact order
     /// inside blocks, key lookup, and posting lists must all match, not just
-    /// the answers they produce.
+    /// the answers they produce. (Thin wrapper over the public helper so the
+    /// call sites below keep their argument order.)
     fn assert_identical(incremental: &DbIndex, cold: &DbIndex) {
-        let mut names: Vec<&String> = incremental.relations.keys().collect();
-        names.sort();
-        let mut cold_names: Vec<&String> = cold.relations.keys().collect();
-        cold_names.sort();
-        assert_eq!(names, cold_names);
-        for name in names {
-            let a = &incremental.relations[name];
-            let b = &cold.relations[name];
-            assert_eq!(a.key_len, b.key_len, "{name}: key_len");
-            assert_eq!(a.blocks.len(), b.blocks.len(), "{name}: block count");
-            for (x, y) in a.blocks.iter().zip(b.blocks.iter()) {
-                assert_eq!(x.key, y.key, "{name}: block order");
-                assert_eq!(x.facts, y.facts, "{name}: facts of block {:?}", x.key);
-            }
-            assert_eq!(a.by_key, b.by_key, "{name}: by_key");
-            assert_eq!(a.by_key_pos, b.by_key_pos, "{name}: by_key_pos");
-        }
+        incremental.assert_structurally_identical(cold);
     }
 
     #[test]
@@ -543,6 +720,85 @@ mod tests {
             ]
         );
         assert_identical(&idx, &DbIndex::new(&db));
+    }
+
+    #[test]
+    fn apply_delta_path_copies_only_touched_relations() {
+        let db = db();
+        let base = DbIndex::new(&db);
+        // A clone shares every relation's storage with its source.
+        let mut derived = base.clone();
+        assert!(base.shares_relation_storage(&derived, "S"));
+        assert!(base.shares_relation_storage(&derived, "Empty"));
+        // A delta to S materialises S and leaves Empty shared.
+        let dirty = derived.apply_delta(&[DeltaEvent::insert(fact!("S", "b1", "c1", 99))]);
+        assert_eq!(dirty.len(), 1);
+        assert!(!base.shares_relation_storage(&derived, "S"));
+        assert!(base.shares_relation_storage(&derived, "Empty"));
+        // Inside the touched relation, untouched blocks still share their
+        // fact lists; only the dirty block was deep-copied.
+        let (s_base, s_derived) = (base.relation("S"), derived.relation("S"));
+        for (x, y) in s_base.blocks.iter().zip(s_derived.blocks.iter()) {
+            let shared = Arc::ptr_eq(&x.facts, &y.facts);
+            let is_dirty = x.key == vec![Value::text("b1"), Value::text("c1")];
+            assert_eq!(shared, !is_dirty, "block {:?}", x.key);
+        }
+        // Ineffective deltas (re-inserting a present fact, deleting an
+        // absent one) still count as a touch of the relation (the copy
+        // happens before the lookup), but mark nothing dirty and deep-copy
+        // no block's fact list.
+        let mut noop = base.clone();
+        let dirty = noop.apply_delta(&[
+            DeltaEvent::insert(fact!("S", "b1", "c1", 1)),
+            DeltaEvent::delete(fact!("S", "zz", "zz", 1)),
+        ]);
+        assert!(dirty.is_empty());
+        for (x, y) in base
+            .relation("S")
+            .blocks
+            .iter()
+            .zip(noop.relation("S").blocks.iter())
+        {
+            assert!(Arc::ptr_eq(&x.facts, &y.facts), "block {:?}", x.key);
+        }
+        // The base index is unchanged throughout.
+        base.assert_structurally_identical(&DbIndex::new(&db));
+    }
+
+    #[test]
+    fn bulk_batches_match_cold_rebuilds() {
+        // A batch comparable in size to the instance — the shape that used to
+        // trigger the serving layer's drop-the-index fallback — must still
+        // leave the index byte-identical to a cold rebuild.
+        let mut db = db();
+        let mut idx = DbIndex::new(&db);
+        let mut batch = Vec::new();
+        for i in 0..200 {
+            batch.push(DeltaEvent::insert(fact!(
+                "S",
+                format!("bulk{i:03}"),
+                "c",
+                i
+            )));
+            if i % 3 == 0 {
+                batch.push(DeltaEvent::insert(fact!(
+                    "S",
+                    format!("bulk{i:03}"),
+                    "c",
+                    i + 1000
+                )));
+            }
+        }
+        // Interleave deletions of pre-existing facts, including one that
+        // empties a block.
+        batch.push(DeltaEvent::delete(fact!("S", "b2", "c3", 5)));
+        batch.push(DeltaEvent::delete(fact!("S", "b1", "c1", 1)));
+        let dirty = idx.apply_delta(&batch);
+        for e in &batch {
+            db.apply(e.clone()).unwrap();
+        }
+        assert_eq!(dirty.len(), 202);
+        idx.assert_structurally_identical(&DbIndex::new(&db));
     }
 
     #[test]

@@ -26,7 +26,11 @@
 //! caller may share one immutable index across any number of concurrent
 //! executions: the serving layer (`rcqa-session`) freezes an `Arc<DbIndex>`
 //! per snapshot and runs every client's plan — each with its own worker pool
-//! — against the same copy.
+//! — against the same copy. Snapshot indexes are themselves structurally
+//! shared (per-relation and per-block-fact-list `Arc`s, see
+//! [`crate::index`]), so "the same copy" may physically overlap the indexes
+//! of neighbouring snapshots; that sharing is invisible here because
+//! published indexes — interior `Arc`s included — are never mutated.
 //!
 //! [`PlanNode::PartitionByGroup`]: crate::plan::physical::PlanNode::PartitionByGroup
 //! [`PlanNode::RangeMerge`]: crate::plan::physical::PlanNode::RangeMerge

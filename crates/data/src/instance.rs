@@ -12,6 +12,7 @@ use crate::schema::{RelName, Schema};
 use crate::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Whether numeric columns are restricted to `Q≥0` (the paper's default) or
 /// unconstrained (Section 7.3).
@@ -54,11 +55,20 @@ impl Block {
 }
 
 /// An in-memory database instance: a schema plus a set of facts per relation.
+///
+/// Per-relation fact sets are **structurally shared**: each relation's facts
+/// live behind an [`Arc`], so cloning an instance is one pointer bump per
+/// relation, and a mutation copies only the fact set of the relation it
+/// touches (clone-on-write via [`Arc::make_mut`]). The serving layer relies
+/// on this to derive successor snapshots in `O(|dirty relation| + |delta|)`
+/// instead of `O(|db|)`: every untouched relation of the successor shares
+/// storage with the base snapshot. Equality still compares contents, not
+/// pointers.
 #[derive(Clone, Default, PartialEq, Eq)]
 pub struct DatabaseInstance {
     schema: Schema,
     domain: NumericDomain,
-    relations: BTreeMap<RelName, BTreeSet<Fact>>,
+    relations: BTreeMap<RelName, Arc<BTreeSet<Fact>>>,
 }
 
 impl DatabaseInstance {
@@ -125,14 +135,19 @@ impl DatabaseInstance {
 
     /// Inserts a fact, validating it against the schema.
     ///
-    /// Returns `true` if the fact was not already present.
+    /// Returns `true` if the fact was not already present. A no-op insert (the
+    /// fact is already there) leaves the relation's shared storage untouched.
     pub fn insert(&mut self, fact: Fact) -> Result<bool, DataError> {
         self.validate(&fact)?;
         let name = self
             .schema
             .intern(fact.relation())
             .expect("validated relation exists");
-        Ok(self.relations.entry(name).or_default().insert(fact))
+        let set = self.relations.entry(name).or_default();
+        if set.contains(&fact) {
+            return Ok(false);
+        }
+        Ok(Arc::make_mut(set).insert(fact))
     }
 
     /// Inserts many facts.
@@ -162,12 +177,36 @@ impl DatabaseInstance {
         Ok(effective.then_some(event))
     }
 
-    /// Removes a fact. Returns `true` if it was present.
+    /// Removes a fact. Returns `true` if it was present. Deleting the last
+    /// fact of a relation removes the relation's (now empty) entry entirely,
+    /// so an emptied-then-repopulated instance is indistinguishable — by
+    /// `==`, iteration, and derived structures — from one built fresh. A
+    /// no-op removal leaves the relation's shared storage untouched.
     pub fn remove(&mut self, fact: &Fact) -> bool {
-        self.relations
-            .get_mut(fact.relation())
-            .map(|set| set.remove(fact))
-            .unwrap_or(false)
+        let Some(set) = self.relations.get_mut(fact.relation()) else {
+            return false;
+        };
+        if !set.contains(fact) {
+            return false;
+        }
+        let removed = Arc::make_mut(set).remove(fact);
+        if set.is_empty() {
+            self.relations.remove(fact.relation());
+        }
+        removed
+    }
+
+    /// Returns `true` if the named relation's fact set is physically shared
+    /// (same allocation) between `self` and `other` — i.e. neither instance
+    /// has copied it since they diverged. Both instances lacking the entry
+    /// counts as shared (there is nothing to copy). For tests and
+    /// observability of the clone-on-write contract.
+    pub fn shares_relation_storage(&self, other: &DatabaseInstance, name: &str) -> bool {
+        match (self.relations.get(name), other.relations.get(name)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        }
     }
 
     /// Returns `true` if the fact is present.
@@ -180,12 +219,12 @@ impl DatabaseInstance {
 
     /// The facts of relation `name` (empty iterator if none).
     pub fn facts_of(&self, name: &str) -> impl Iterator<Item = &Fact> {
-        self.relations.get(name).into_iter().flatten()
+        self.relations.get(name).into_iter().flat_map(|s| s.iter())
     }
 
     /// All facts of the instance.
     pub fn facts(&self) -> impl Iterator<Item = &Fact> {
-        self.relations.values().flatten()
+        self.relations.values().flat_map(|s| s.iter())
     }
 
     /// Total number of facts.
@@ -207,7 +246,7 @@ impl DatabaseInstance {
             return Vec::new();
         };
         let mut by_key: BTreeMap<Vec<Value>, Vec<Fact>> = BTreeMap::new();
-        for f in facts {
+        for f in facts.iter() {
             by_key
                 .entry(f.key(sig).to_vec())
                 .or_default()
@@ -279,7 +318,7 @@ impl DatabaseInstance {
         };
         for b in self.blocks() {
             let f = b.facts[0].clone();
-            r.relations.entry(b.relation.clone()).or_default().insert(f);
+            Arc::make_mut(r.relations.entry(b.relation.clone()).or_default()).insert(f);
         }
         r
     }
@@ -295,7 +334,7 @@ impl DatabaseInstance {
                 .schema
                 .intern(f.relation())
                 .expect("fact relation in schema");
-            r.relations.entry(name).or_default().insert(f);
+            Arc::make_mut(r.relations.entry(name).or_default()).insert(f);
         }
         r
     }
@@ -306,7 +345,7 @@ impl fmt::Debug for DatabaseInstance {
         writeln!(f, "DatabaseInstance {{")?;
         for (name, facts) in &self.relations {
             writeln!(f, "  {name}: {} facts", facts.len())?;
-            for fact in facts {
+            for fact in facts.iter() {
                 writeln!(f, "    {fact}")?;
             }
         }
@@ -512,6 +551,43 @@ mod tests {
         assert!(!db.contains(&f));
         // Inserts are still validated.
         assert!(db.apply(DeltaEvent::insert(fact!("Dealers", "x"))).is_err());
+    }
+
+    #[test]
+    fn clones_share_untouched_relations() {
+        let db = db_stock();
+        let mut clone = db.clone();
+        assert!(db.shares_relation_storage(&clone, "Dealers"));
+        assert!(db.shares_relation_storage(&clone, "Stock"));
+        // A write path-copies only the relation it touches.
+        clone.insert(fact!("Dealers", "Lopez", "Chicago")).unwrap();
+        assert!(!db.shares_relation_storage(&clone, "Dealers"));
+        assert!(db.shares_relation_storage(&clone, "Stock"));
+        assert!(!db.contains(&fact!("Dealers", "Lopez", "Chicago")));
+        // No-op mutations (duplicate insert, absent delete) copy nothing.
+        let mut noop = db.clone();
+        assert!(!noop.insert(fact!("Dealers", "Smith", "Boston")).unwrap());
+        assert!(!noop.remove(&fact!("Dealers", "Nobody", "Nowhere")));
+        assert!(db.shares_relation_storage(&noop, "Dealers"));
+        assert!(db.shares_relation_storage(&noop, "Stock"));
+    }
+
+    #[test]
+    fn emptied_relation_leaves_no_residue() {
+        let mut db = DatabaseInstance::new(stock_schema());
+        db.insert(fact!("Dealers", "Smith", "Boston")).unwrap();
+        let fresh = DatabaseInstance::new(stock_schema());
+        assert_ne!(db, fresh);
+        // Deleting the last fact must make the instance equal to (and
+        // structurally indistinguishable from) a never-populated one: the
+        // old code left an empty `relations` entry behind.
+        assert!(db.remove(&fact!("Dealers", "Smith", "Boston")));
+        assert_eq!(db, fresh);
+        assert!(db.shares_relation_storage(&fresh, "Dealers"));
+        assert_eq!(db.blocks().len(), 0);
+        // Repopulating keeps working.
+        db.insert(fact!("Dealers", "James", "Boston")).unwrap();
+        assert_eq!(db.len(), 1);
     }
 
     #[test]

@@ -31,6 +31,11 @@ enum Tok {
     Dot,
     Star,
     Eq,
+    /// A recognised-but-unsupported comparison operator (`<`, `<=`, `>`,
+    /// `>=`, `<>`, `!=`). Tokenised so the parser can reject it with a
+    /// precise message naming the operator, instead of a generic
+    /// "unexpected character" error.
+    Cmp(&'static str),
     LParen,
     RParen,
     Semi,
@@ -59,6 +64,27 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, QueryError> {
             '=' => {
                 toks.push(Tok::Eq);
                 i += 1;
+            }
+            '<' => {
+                let (op, len) = match chars.get(i + 1) {
+                    Some('=') => ("<=", 2),
+                    Some('>') => ("<>", 2),
+                    _ => ("<", 1),
+                };
+                toks.push(Tok::Cmp(op));
+                i += len;
+            }
+            '>' => {
+                let (op, len) = match chars.get(i + 1) {
+                    Some('=') => (">=", 2),
+                    _ => (">", 1),
+                };
+                toks.push(Tok::Cmp(op));
+                i += len;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                toks.push(Tok::Cmp("!="));
+                i += 2;
             }
             '(' => {
                 toks.push(Tok::LParen);
@@ -379,6 +405,17 @@ impl Parser {
         if self.eat_keyword("WHERE") {
             loop {
                 let lhs = self.parse_col_ref()?;
+                // Non-equality comparisons are recognised so they can be
+                // rejected by name: the paper's query class (and the range
+                // semantics built on it) is defined over equality-only
+                // conjunctions of conditions.
+                if let Some(Tok::Cmp(op)) = self.peek() {
+                    return Err(QueryError::Unsupported(format!(
+                        "comparison operator {op} in WHERE: conditions are \
+                         restricted to equality (column = column or \
+                         column = literal)"
+                    )));
+                }
                 self.expect(&Tok::Eq)?;
                 let rhs = match self.next() {
                     Some(Tok::Str(s)) => RhsValue::Text(s),
@@ -979,6 +1016,43 @@ mod tests {
     }
 
     #[test]
+    fn unsupported_comparison_operators_are_named() {
+        let cat = stock_catalog();
+        // Every recognised non-equality operator is rejected with a message
+        // naming the operator and the equality-only restriction — not the
+        // generic "unexpected character" parse error it used to fall into.
+        for op in ["<", "<=", ">", ">=", "<>", "!="] {
+            let sql = format!("SELECT SUM(S.Qty) FROM Stock AS S WHERE S.Qty {op} 35");
+            let err = parse_sql(&sql, &cat).unwrap_err();
+            match &err {
+                QueryError::Unsupported(msg) => {
+                    assert!(
+                        msg.contains(&format!("comparison operator {op}")),
+                        "{op}: {msg}"
+                    );
+                    assert!(msg.contains("equality"), "{op}: {msg}");
+                }
+                other => panic!("{op}: expected Unsupported, got {other:?}"),
+            }
+        }
+        // The operators are also rejected between columns, and mid-conjunction.
+        let err = parse_sql(
+            "SELECT SUM(S.Qty) FROM Dealers AS D, Stock AS S \
+             WHERE D.Town = S.Town AND S.Qty >= 10",
+            &cat,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains(">="), "{err}");
+        // A bare `!` (not part of `!=`) stays a character-level parse error.
+        assert!(matches!(
+            parse_sql("SELECT SUM(S.Qty) FROM Stock AS S WHERE S.Qty ! 35", &cat),
+            Err(QueryError::Parse(_))
+        ));
+        // Equality keeps working.
+        assert!(parse_sql("SELECT SUM(S.Qty) FROM Stock AS S WHERE S.Qty = 35", &cat).is_ok());
+    }
+
+    #[test]
     fn errors() {
         let cat = stock_catalog();
         // self-join
@@ -1093,7 +1167,7 @@ mod tests {
             // plus arbitrary unicode drawn from the raw value.
             const PALETTE: &[char] = &[
                 'a', 'Z', '0', '9', ' ', '\t', '\n', '\'', '"', ';', '.', ',', '*', '=', '(',
-                ')', '_', '-', '/', 'é', 'Ω',
+                ')', '_', '-', '/', '<', '>', '!', 'é', 'Ω',
             ];
             let s: String = bytes
                 .iter()

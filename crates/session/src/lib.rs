@@ -13,9 +13,13 @@
 //!   against it with **no session-wide lock held**, so concurrent readers
 //!   feed the parallel plan executor simultaneously; writers
 //!   ([`Session::insert`], [`Session::insert_all`], [`Session::delete`])
-//!   build the *successor* snapshot — copy-on-write instance plus
-//!   block-level index replay via `DbIndex::apply_delta` — and atomically
-//!   swap it in. In-flight readers keep their pinned snapshot: reads are
+//!   build the *successor* snapshot out of the base's **shared structure**:
+//!   instance relations and per-relation indexes are `Arc`-shared, so the
+//!   successor pointer-bumps everything the batch does not touch and
+//!   path-copies only the dirty relations (and, inside the index, only the
+//!   dirty blocks) via `DbIndex::apply_delta` — a write batch costs
+//!   `O(|dirty relations| + |delta|)`, not `O(|db|)` — then atomically
+//!   swaps it in. In-flight readers keep their pinned snapshot: reads are
 //!   **snapshot-isolated**, never torn;
 //! * a **prepared-statement cache**: [`Session::prepare`] parses,
 //!   classifies, and plans a SQL string once; `execute`/`explain` look
@@ -117,7 +121,7 @@ use rcqa_core::CoreError;
 use rcqa_data::{DataError, DatabaseInstance, DeltaEvent, Fact, Rational};
 use rcqa_query::{parse_sql, AggQuery, Catalog, QueryError};
 use std::collections::hash_map::Entry;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
@@ -200,15 +204,21 @@ impl Snapshot {
 /// The result of executing one SQL query in a session.
 #[derive(Clone, Debug)]
 pub struct QueryOutcome {
-    /// The translated AGGR\[sjfBCQ\] query.
-    pub query: AggQuery,
+    /// The translated AGGR\[sjfBCQ\] query (shared with the prepared
+    /// statement — handing out an outcome on the warm path must not re-clone
+    /// the translated AST).
+    pub query: Arc<AggQuery>,
     /// The rewriting/complexity classification of the query over the
-    /// session instance's numeric domain.
-    pub classification: Classification,
+    /// session instance's numeric domain (shared with the prepared
+    /// statement).
+    pub classification: Arc<Classification>,
     /// Output column names: one per GROUP BY column, then the aggregate.
     pub columns: Vec<String>,
     /// One `[glb, lub]` interval per group, in sorted group-key order.
-    pub rows: Vec<GroupRange>,
+    /// Shared with the session's result cache (an `Arc` slice), so serving a
+    /// cached answer — and re-serving it to every later hit — never re-clones
+    /// the rows.
+    pub rows: Arc<[GroupRange]>,
     /// The epoch of the snapshot this answer was computed against — the
     /// version of the data the rows are byte-identical to a cold evaluation
     /// of.
@@ -232,7 +242,7 @@ impl QueryOutcome {
             out.push_str(&format!("{c:<14} "));
         }
         out.push_str(&format!("{:>12} {:>12}\n", "glb", "lub"));
-        for row in &self.rows {
+        for row in self.rows.iter() {
             for value in &row.key {
                 out.push_str(&format!("{:<14} ", value.to_string()));
             }
@@ -268,10 +278,10 @@ impl QueryOutcome {
 #[derive(Debug)]
 pub struct PreparedStatement {
     sql: String,
-    query: AggQuery,
+    query: Arc<AggQuery>,
     columns: Vec<String>,
     engine: RangeCqa,
-    classification: Classification,
+    classification: Arc<Classification>,
     locality: Option<GroupLocality>,
 }
 
@@ -328,7 +338,7 @@ pub struct SessionStats {
 #[derive(Clone, Debug)]
 struct CachedStatement {
     stmt: Arc<PreparedStatement>,
-    result: Option<(u64, Vec<GroupRange>)>,
+    result: Option<(u64, Arc<[GroupRange]>)>,
 }
 
 /// The lock-free interior of [`SessionStats`]: relaxed atomic counters, so
@@ -381,9 +391,13 @@ impl From<SessionStats> for AtomicStats {
 /// per committed write batch, `(epoch after the batch, blocks it changed)`,
 /// oldest first. Results cached at an epoch `< log_floor` predate the
 /// retained (gap-free) history and must recompute in full.
+///
+/// The log is a [`VecDeque`]: eviction past [`DIRTY_LOG_CAP`] pops the oldest
+/// entry from the front in `O(1)` (a `Vec::remove(0)` here used to shift the
+/// whole capacity on every write of a long-lived session).
 #[derive(Clone, Debug, Default)]
 struct Maintenance {
-    dirty_log: Vec<(u64, Vec<DirtyBlock>)>,
+    dirty_log: VecDeque<(u64, Vec<DirtyBlock>)>,
     log_floor: u64,
 }
 
@@ -546,10 +560,15 @@ impl Session {
         self.maintenance.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Commits one write batch: clones the current instance, applies the
-    /// mutations, derives the successor snapshot's index by block-level
-    /// delta replay (when the base snapshot has one), records the dirty
-    /// blocks for result patching, and atomically publishes the successor.
+    /// Commits one write batch: derives the successor instance from the base
+    /// snapshot's **shared structure** (untouched relations are pointer
+    /// bumps; mutated relations are path-copied), replays the delta into a
+    /// structurally-shared copy of the base index (when the base snapshot
+    /// has one), records the dirty blocks for result patching, and atomically
+    /// publishes the successor. The whole batch costs
+    /// `O(|dirty relations| + |delta|)`, never `O(|db|)` — there is no batch
+    /// size past which replay degrades, so every committed batch (bulk loads
+    /// included) publishes with a warm index and a gap-free dirty log.
     ///
     /// Writers serialise on [`Session::writer`]; readers are never blocked
     /// for longer than the final pointer swap. If `mutate` fails, nothing is
@@ -560,6 +579,7 @@ impl Session {
     ) -> Result<T, SessionError> {
         let _writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         let base = self.snapshot();
+        // Cheap: per-relation Arc bumps. `mutate` copies only what it writes.
         let mut db = (*base.db).clone();
         let (events, out) = mutate(&mut db)?;
         if events.is_empty() {
@@ -572,13 +592,9 @@ impl Session {
             epoch,
         };
         match base.index.get() {
-            // Event-by-event replay renumbers block positions per structural
-            // change, so a bulk batch approaching the instance size degrades
-            // to O(events × blocks) — worse than the O(|db|) cold rebuild it
-            // exists to avoid. Past a conservative threshold, publish the
-            // successor without an index: the next reader cold-builds, and
-            // flooring the dirty log makes cached results recompute in full.
-            Some(base_index) if !(events.len() > 16 && events.len() > snapshot.db.len() / 4) => {
+            Some(base_index) => {
+                // Cheap again: the clone shares every relation's index with
+                // the base; `apply_delta` path-copies the dirty ones.
                 let mut index = (**base_index).clone();
                 let dirty = index.apply_delta(&events);
                 snapshot
@@ -589,16 +605,19 @@ impl Session {
                     .deltas_applied
                     .fetch_add(events.len() as u64, Ordering::Relaxed);
                 let mut maintenance = self.lock_maintenance();
-                maintenance.dirty_log.push((epoch, dirty));
+                maintenance.dirty_log.push_back((epoch, dirty));
                 if maintenance.dirty_log.len() > DIRTY_LOG_CAP {
-                    let dropped = maintenance.dirty_log.remove(0);
+                    let dropped = maintenance
+                        .dirty_log
+                        .pop_front()
+                        .expect("len > cap implies non-empty");
                     maintenance.log_floor = dropped.0;
                 }
             }
-            _ => {
-                // No base index to derive from (never built, mid-build, or
-                // bulk fallback): floor the log *before* publishing so no
-                // reader of the successor can patch across the gap.
+            None => {
+                // No base index to derive from (never built, or mid-build):
+                // floor the log *before* publishing so no reader of the
+                // successor can patch across the gap.
                 let mut maintenance = self.lock_maintenance();
                 maintenance.dirty_log.clear();
                 maintenance.log_floor = epoch;
@@ -693,10 +712,10 @@ impl Session {
         let locality = engine.group_locality();
         let stmt = Arc::new(PreparedStatement {
             sql: key.clone(),
-            query: translated.query,
+            query: Arc::new(translated.query),
             columns: translated.output_columns,
             engine,
-            classification,
+            classification: Arc::new(classification),
             locality,
         });
         match self.write_statements().entry(key) {
@@ -770,7 +789,7 @@ impl Session {
         out
     }
 
-    fn outcome(stmt: &PreparedStatement, rows: Vec<GroupRange>, epoch: u64) -> QueryOutcome {
+    fn outcome(stmt: &PreparedStatement, rows: Arc<[GroupRange]>, epoch: u64) -> QueryOutcome {
         QueryOutcome {
             query: stmt.query.clone(),
             classification: stmt.classification.clone(),
@@ -808,7 +827,7 @@ impl Session {
         // A stale result (an epoch *behind* this snapshot) is the patch
         // basis; results from epochs ahead of the pinned snapshot are
         // useless to this reader and are left in place for current ones.
-        let cached: Option<(u64, Vec<GroupRange>)> = self
+        let cached: Option<(u64, Arc<[GroupRange]>)> = self
             .read_statements()
             .get(stmt.sql())
             .and_then(|entry| entry.result.clone());
@@ -834,8 +853,9 @@ impl Session {
                     Some(keys) => {
                         let fresh = stmt.engine.range_for_groups(&snapshot.db, &index, &keys)?;
                         let kept: Vec<GroupRange> = rows
-                            .into_iter()
+                            .iter()
                             .filter(|r| !keys.contains(&r.key))
+                            .cloned()
                             .collect();
                         (Path::Patch, Self::merge_rows(kept, fresh))
                     }
@@ -850,6 +870,7 @@ impl Session {
                 stmt.engine.range_with_index(&snapshot.db, &index)?,
             ),
         };
+        let rows: Arc<[GroupRange]> = rows.into();
         match path {
             Path::Patch => AtomicStats::bump(&self.stats.partial_recomputes),
             Path::Full => AtomicStats::bump(&self.stats.full_recomputes),

@@ -8,7 +8,7 @@ use rcqa::data::{fact, DatabaseInstance, Fact};
 use rcqa::gen::JoinWorkload;
 use rcqa::query::{Catalog, TableDef};
 use rcqa::session::Session;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 fn rs_catalog() -> Catalog {
     Catalog::new()
@@ -37,7 +37,7 @@ fn workload() -> JoinWorkload {
 /// one-pass pipeline.
 const SQL: &str = "SELECT R.X, MAX(S.Qty) FROM R, S WHERE R.Y = S.Y GROUP BY R.X";
 
-fn cold_rows(db: &DatabaseInstance) -> Vec<rcqa::core::engine::GroupRange> {
+fn cold_rows(db: &DatabaseInstance) -> Arc<[rcqa::core::engine::GroupRange]> {
     Session::with_instance(rs_catalog(), db.clone())
         .execute(SQL)
         .expect("cold execute")
@@ -89,7 +89,7 @@ fn readers_racing_a_writer_match_cold_sessions_at_their_pinned_epoch() {
     // Cold reference rows for every prefix of the write sequence: epoch e in
     // the warm session corresponds to the base instance plus the first e
     // writes (each insert is effective and bumps the epoch by exactly one).
-    let expected_by_epoch: Vec<Vec<rcqa::core::engine::GroupRange>> = {
+    let expected_by_epoch: Vec<Arc<[rcqa::core::engine::GroupRange]>> = {
         let mut staged = base.clone();
         let mut all = vec![cold_rows(&staged)];
         for f in &writes {
@@ -102,7 +102,7 @@ fn readers_racing_a_writer_match_cold_sessions_at_their_pinned_epoch() {
     for client_threads in [1usize, 2, 4] {
         let session = Session::with_instance(rs_catalog(), base.clone());
         session.execute(SQL).expect("warm-up");
-        let observed: Mutex<Vec<(u64, Vec<rcqa::core::engine::GroupRange>)>> =
+        let observed: Mutex<Vec<(u64, Arc<[rcqa::core::engine::GroupRange]>)>> =
             Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for _ in 0..client_threads {

@@ -1,0 +1,245 @@
+//! Structural-sharing persistence invariants of the serving session.
+//!
+//! PR 4's snapshot chain deep-cloned the whole instance and index per commit;
+//! the structurally-shared rewrite derives successors by path-copying. These
+//! tests pin down the correctness half of that bargain:
+//!
+//! * after **every** commit of a random interleaving of `insert`,
+//!   `insert_all`, and `delete` batches, the warm snapshot's incrementally
+//!   maintained index is *structurally identical* (block order, fact order,
+//!   key and posting lookups) to a cold `DbIndex::new` over the same
+//!   instance, and query answers are byte-identical to cold sessions at 1
+//!   and 4 executor threads;
+//! * a relation can be emptied completely and repopulated without the warm
+//!   index diverging from a cold rebuild (the old
+//!   `DatabaseInstance::remove` left an empty relation entry behind);
+//! * successor snapshots physically share storage with their base for
+//!   everything a batch does not touch.
+
+use proptest::prelude::*;
+use rcqa::core::engine::EngineOptions;
+use rcqa::core::index::DbIndex;
+use rcqa::data::{fact, DatabaseInstance, Fact, Value};
+use rcqa::query::{Catalog, TableDef};
+use rcqa::session::Session;
+
+/// `R(X, Y)` with key `X`; `S(Y, Z, Qty)` with key `(Y, Z)`, numeric `Qty`.
+fn rs_catalog() -> Catalog {
+    Catalog::new()
+        .with_table(TableDef::new("R").key_column("X").column("Y"))
+        .with_table(
+            TableDef::new("S")
+                .key_column("Y")
+                .key_column("Z")
+                .numeric_column("Qty"),
+        )
+}
+
+const GROUPED_MAX: &str = "SELECT R.X, MAX(S.Qty) FROM R, S WHERE R.Y = S.Y GROUP BY R.X";
+
+/// Small value domains so random draws collide: the same block gains several
+/// facts, blocks empty out and reappear, and whole relations drain.
+fn r_fact(draw: u64) -> Fact {
+    let x = draw % 5;
+    let y = (draw / 5) % 3;
+    fact!("R", format!("x{x}"), format!("y{y}"))
+}
+
+fn s_fact(draw: u64) -> Fact {
+    let y = draw % 3;
+    let z = (draw / 3) % 3;
+    let qty = 1 + 4 * ((draw / 9) % 3);
+    Fact::new(
+        "S",
+        [
+            Value::text(format!("y{y}")),
+            Value::text(format!("z{z}")),
+            Value::int(qty as i64),
+        ],
+    )
+}
+
+fn pool_fact(draw: u64) -> Fact {
+    if draw.is_multiple_of(2) {
+        r_fact(draw / 2)
+    } else {
+        s_fact(draw / 2)
+    }
+}
+
+/// The full warm-vs-cold check after one commit: instance contents, index
+/// structure, and answers at two thread counts.
+fn assert_matches_cold(session: &Session, mirror: &DatabaseInstance) {
+    let snapshot = session.snapshot();
+    assert_eq!(
+        **snapshot.db(),
+        *mirror,
+        "session instance diverged from the op-by-op mirror"
+    );
+    // Forces the snapshot's index into existence (cold build or the warm
+    // maintained one, whichever this snapshot carries).
+    let warm = session.execute(GROUPED_MAX).expect("warm execute").rows;
+    snapshot
+        .index()
+        .expect("executed snapshots hold an index")
+        .assert_structurally_identical(&DbIndex::new(snapshot.db()));
+    for threads in [1usize, 4] {
+        let cold = Session::with_instance(rs_catalog(), snapshot.db().clone()).with_options(
+            EngineOptions {
+                threads,
+                ..EngineOptions::default()
+            },
+        );
+        assert_eq!(
+            cold.execute(GROUPED_MAX).expect("cold execute").rows,
+            warm,
+            "cold@{threads}T differs from the warm session"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random interleavings of single inserts, bulk batches, and deletes:
+    /// after every commit the warm snapshot must be indistinguishable —
+    /// structurally and answer-wise — from a cold start over the same data.
+    #[test]
+    fn random_interleavings_stay_identical_to_cold_rebuilds(
+        ops in proptest::collection::vec((0u64..6, 0u64..1_000_000), 1..10),
+    ) {
+        let session = Session::new(rs_catalog());
+        let mut mirror = DatabaseInstance::new(rs_catalog().schema());
+        // Warm the index early so every subsequent commit exercises the
+        // delta-replay path rather than deferring to a cold build.
+        session.execute(GROUPED_MAX).expect("initial execute");
+        for (op, draw) in ops {
+            match op {
+                // Single insert (R or S).
+                0 | 1 => {
+                    let f = pool_fact(draw);
+                    session.insert(f.clone()).expect("insert conforms");
+                    mirror.insert(f).expect("mirror insert conforms");
+                }
+                // Bulk batch: one atomic commit of 2..=17 facts — the shape
+                // that used to trigger the drop-the-index fallback.
+                2 | 3 => {
+                    let batch: Vec<Fact> =
+                        (0..(2 + draw % 16)).map(|i| pool_fact(draw.wrapping_add(i * 37))).collect();
+                    session.insert_all(batch.clone()).expect("batch conforms");
+                    mirror.insert_all(batch).expect("mirror batch conforms");
+                }
+                // Single delete (present or not).
+                4 => {
+                    let f = pool_fact(draw);
+                    let removed = session.delete(&f);
+                    prop_assert_eq!(removed, mirror.remove(&f));
+                }
+                // Drain one relation completely, one commit per fact: blocks
+                // empty out one by one until the relation itself is gone.
+                _ => {
+                    let name = if draw % 2 == 0 { "R" } else { "S" };
+                    let facts: Vec<Fact> = mirror.facts_of(name).cloned().collect();
+                    for f in facts {
+                        prop_assert!(session.delete(&f));
+                        prop_assert!(mirror.remove(&f));
+                        assert_matches_cold(&session, &mirror);
+                    }
+                }
+            }
+            assert_matches_cold(&session, &mirror);
+        }
+    }
+}
+
+/// The emptied-then-repopulated regression: incrementally maintaining an
+/// index across "relation drains to zero facts, then refills" must land on
+/// exactly the cold-rebuild structure. The old `DatabaseInstance::remove`
+/// left an empty `relations` entry behind after the last fact died, so an
+/// emptied instance compared unequal to a fresh one.
+#[test]
+fn emptied_and_repopulated_relation_matches_cold_rebuild() {
+    let session = Session::new(rs_catalog());
+    session
+        .insert_all([
+            fact!("R", "x0", "y0"),
+            fact!("R", "x0", "y1"),
+            fact!("R", "x1", "y2"),
+            fact!("S", "y0", "z0", 5),
+            fact!("S", "y1", "z0", 7),
+            fact!("S", "y2", "z1", 9),
+        ])
+        .unwrap();
+    session.execute(GROUPED_MAX).unwrap();
+
+    // Drain R fact by fact (through the delta path), then check structure.
+    for f in [
+        fact!("R", "x0", "y0"),
+        fact!("R", "x0", "y1"),
+        fact!("R", "x1", "y2"),
+    ] {
+        assert!(session.delete(&f));
+    }
+    let emptied = session.snapshot();
+    assert_eq!(session.execute(GROUPED_MAX).unwrap().rows.len(), 0);
+    emptied
+        .index()
+        .expect("warm session keeps its maintained index")
+        .assert_structurally_identical(&DbIndex::new(emptied.db()));
+    // The emptied instance is indistinguishable from a never-populated one
+    // holding only the surviving S facts.
+    let mut expected = DatabaseInstance::new(rs_catalog().schema());
+    expected
+        .insert_all([
+            fact!("S", "y0", "z0", 5),
+            fact!("S", "y1", "z0", 7),
+            fact!("S", "y2", "z1", 9),
+        ])
+        .unwrap();
+    assert_eq!(**emptied.db(), expected);
+
+    // Repopulate and verify the maintained index again, plus answers.
+    session
+        .insert_all([fact!("R", "x7", "y0"), fact!("R", "x8", "y2")])
+        .unwrap();
+    let refilled = session.snapshot();
+    let rows = session.execute(GROUPED_MAX).unwrap().rows;
+    assert_eq!(rows.len(), 2);
+    refilled
+        .index()
+        .expect("warm session keeps its maintained index")
+        .assert_structurally_identical(&DbIndex::new(refilled.db()));
+    let cold = Session::with_instance(rs_catalog(), refilled.db().clone());
+    assert_eq!(cold.execute(GROUPED_MAX).unwrap().rows, rows);
+}
+
+/// Successor snapshots share storage with their base for everything the
+/// write batch does not touch — the cost model the serving layer's write
+/// path is built on.
+#[test]
+fn snapshots_share_untouched_relations_with_their_base() {
+    let session = Session::new(rs_catalog());
+    session
+        .insert_all([
+            fact!("R", "x0", "y0"),
+            fact!("S", "y0", "z0", 5),
+            fact!("S", "y0", "z1", 7),
+        ])
+        .unwrap();
+    session.execute(GROUPED_MAX).unwrap();
+    let base = session.snapshot();
+
+    // A write to R shares S (instance and index) with the base snapshot.
+    session.insert(fact!("R", "x1", "y0")).unwrap();
+    let next = session.snapshot();
+    assert!(next.db().shares_relation_storage(base.db(), "S"));
+    assert!(!next.db().shares_relation_storage(base.db(), "R"));
+    let (base_idx, next_idx) = (base.index().unwrap(), next.index().unwrap());
+    assert!(next_idx.shares_relation_storage(base_idx, "S"));
+    assert!(!next_idx.shares_relation_storage(base_idx, "R"));
+
+    // And both snapshots keep answering their own version of the data.
+    assert_eq!(session.execute(GROUPED_MAX).unwrap().rows.len(), 2);
+    let cold_base = Session::with_instance(rs_catalog(), base.db().clone());
+    assert_eq!(cold_base.execute(GROUPED_MAX).unwrap().rows.len(), 1);
+}
