@@ -1,4 +1,4 @@
-//! The experiment harness: regenerates every experiment report (E1–E12).
+//! The experiment harness: regenerates every experiment report (E1–E15).
 //!
 //! Usage:
 //!   cargo run -p rcqa-bench --bin harness --release             # E1–E10
@@ -7,6 +7,7 @@
 //!   cargo run -p rcqa-bench --bin harness --release -- parallel # E12 + BENCH_parallel.json
 //!   cargo run -p rcqa-bench --bin harness --release -- serving  # E13 + BENCH_serving.json
 //!   cargo run -p rcqa-bench --bin harness --release -- concurrent # E14 + BENCH_concurrent.json
+//!   cargo run -p rcqa-bench --bin harness --release -- durability # E15 + BENCH_wal.json
 //!   cargo run -p rcqa-bench --bin harness --release -- --help   # list modes
 //!
 //! Unknown experiment names are rejected with a non-zero exit code (they used
@@ -22,7 +23,10 @@
 //! and insert-then-query advantage over per-call cold sessions; `concurrent`
 //! writes `BENCH_concurrent.json` (`BENCH_CONCURRENT_PATH`), tracking the
 //! snapshot-isolated session's warm read throughput at 1/2/4 client threads
-//! plus readers-during-writer agreement.
+//! plus readers-during-writer agreement; `durability` writes `BENCH_wal.json`
+//! (`BENCH_WAL_PATH`), tracking the write-ahead log's per-commit overhead
+//! under amortized and per-commit fsync policies plus the time to recover a
+//! 10⁴-event log tail.
 
 use std::process::ExitCode;
 
@@ -74,13 +78,19 @@ const MODES: &[(&str, &[&str], &str)] = &[
         &["e14"],
         "snapshot-isolated session at 1/2/4 client threads (writes BENCH_concurrent.json; opt-in)",
     ),
+    (
+        "durability",
+        &["e15"],
+        "WAL append/fsync overhead and crash-recovery time (writes BENCH_wal.json; opt-in)",
+    ),
 ];
 
 fn print_help() {
     println!("usage: harness [MODE ...]");
     println!();
     println!("With no MODE, runs E1-E10 (the paper experiments). The timing modes");
-    println!("`groupby`, `parallel`, and `serving` are opt-in. Modes:");
+    println!("`groupby`, `parallel`, `serving`, `concurrent`, and `durability`");
+    println!("are opt-in. Modes:");
     println!();
     for (name, aliases, desc) in MODES {
         let alias = if aliases.is_empty() {
@@ -192,6 +202,15 @@ fn main() -> ExitCode {
         println!("{}", rcqa_bench::format_concurrent(&bench));
         let path = std::env::var("BENCH_CONCURRENT_PATH")
             .unwrap_or_else(|_| "BENCH_concurrent.json".to_string());
+        match std::fs::write(&path, bench.to_json()) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(err) => eprintln!("  failed to write {path}: {err}"),
+        }
+    }
+    if want_opt_in("durability") {
+        let bench = rcqa_bench::bench_durability(128, 16, 10_000, 5);
+        println!("{}", rcqa_bench::format_durability(&bench));
+        let path = std::env::var("BENCH_WAL_PATH").unwrap_or_else(|_| "BENCH_wal.json".to_string());
         match std::fs::write(&path, bench.to_json()) {
             Ok(()) => println!("  wrote {path}"),
             Err(err) => eprintln!("  failed to write {path}: {err}"),

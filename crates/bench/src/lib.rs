@@ -1485,3 +1485,249 @@ pub fn format_concurrent(bench: &ConcurrentBench) -> String {
     .unwrap();
     out
 }
+
+/// Result of the durability benchmark (E15): per-commit overhead of the
+/// write-ahead log under two fsync policies against the in-memory write
+/// path, plus a timed crash recovery over a long log tail with a
+/// byte-identical-answers check.
+#[derive(Clone, Debug)]
+pub struct DurabilityBench {
+    /// Timed write commits per arm.
+    pub commits: usize,
+    /// Facts per commit (each commit is one `insert_all` batch).
+    pub batch: usize,
+    /// Number of timed samples per arm (best sample reported).
+    pub samples: usize,
+    /// Best per-commit latency (ms) of the in-memory session.
+    pub mem_ms: f64,
+    /// Best per-commit latency (ms) of a durable session under
+    /// `SyncPolicy::EveryN(64)`.
+    pub everyn_ms: f64,
+    /// Best per-commit latency (ms) of a durable session under
+    /// `SyncPolicy::Always` (one fsync per commit).
+    pub always_ms: f64,
+    /// `everyn_ms / mem_ms` — the amortized-fsync durability overhead.
+    pub overhead_everyn: f64,
+    /// `always_ms / mem_ms` — the fsync-per-commit durability overhead.
+    pub overhead_always: f64,
+    /// Events in the recovery arm's WAL tail (no checkpoint: recovery
+    /// replays the whole log).
+    pub recovery_events: usize,
+    /// Wall-clock time (ms) for `Session::open` to recover that tail —
+    /// parse + CRC-verify + replay through the live apply machinery.
+    pub recovery_ms: f64,
+    /// Whether the recovered session's answers are byte-identical to the
+    /// pre-"crash" writer's and to cold in-memory sessions over the same
+    /// instance at 1 and 4 executor threads.
+    pub agree: bool,
+}
+
+impl DurabilityBench {
+    /// Machine-readable JSON encoding (no external serialisation crates in
+    /// this offline workspace, so the fields are written by hand).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"durability_wal\",\n  \"commits\": {},\n  \
+             \"batch\": {},\n  \"samples\": {},\n  \"mem_ms\": {:.4},\n  \
+             \"everyn_ms\": {:.4},\n  \"always_ms\": {:.4},\n  \
+             \"overhead_everyn\": {:.3},\n  \"overhead_always\": {:.3},\n  \
+             \"recovery_events\": {},\n  \"recovery_ms\": {:.3},\n  \
+             \"agree\": {}\n}}\n",
+            self.commits,
+            self.batch,
+            self.samples,
+            self.mem_ms,
+            self.everyn_ms,
+            self.always_ms,
+            self.overhead_everyn,
+            self.overhead_always,
+            self.recovery_events,
+            self.recovery_ms,
+            self.agree
+        )
+    }
+}
+
+/// E15 — durability: what the write-ahead log costs on the commit path, and
+/// what recovery costs after a crash.
+///
+/// Three write arms commit the same sequence of `batch`-fact `insert_all`
+/// batches: an in-memory session, a durable session fsyncing every 64
+/// appends, and a durable session fsyncing every append. Durable arms write
+/// to a fresh temp directory per sample (checkpointing disabled, so the arm
+/// times pure append + fsync overhead). The recovery arm writes a
+/// `recovery_events`-event WAL tail, drops the session, and times
+/// `Session::open` replaying it; its answers must be byte-identical to the
+/// writer's and to cold sessions at 1 and 4 executor threads.
+pub fn bench_durability(
+    commits: usize,
+    batch: usize,
+    recovery_events: usize,
+    samples: usize,
+) -> DurabilityBench {
+    use rcqa_data::{Fact, Value};
+    use rcqa_query::{Catalog, TableDef};
+    use rcqa_session::{Session, SyncPolicy, WalOptions};
+
+    let catalog = || {
+        Catalog::new()
+            .with_table(TableDef::new("R").key_column("X").column("Y"))
+            .with_table(
+                TableDef::new("S")
+                    .key_column("Y")
+                    .key_column("Z")
+                    .numeric_column("Qty"),
+            )
+    };
+    let sql = "SELECT R.X, MAX(S.Qty) FROM R, S WHERE R.Y = S.Y GROUP BY R.X";
+    let commits = commits.max(1);
+    let batch = batch.max(1);
+    let samples = samples.max(1);
+    // Seed facts every arm starts from: the `S` side of the join.
+    let seed: Vec<Fact> = (0..30u64)
+        .map(|i| {
+            Fact::new(
+                "S",
+                [
+                    Value::text(format!("y{}", i % 3)),
+                    Value::text(format!("z{i}")),
+                    Value::int(1 + (i as i64 % 7)),
+                ],
+            )
+        })
+        .collect();
+    // Unique `R` facts per commit: every event is effective, so the logged
+    // epochs advance by exactly `batch` per commit.
+    let commit_batch = |c: usize| -> Vec<Fact> {
+        (0..batch)
+            .map(|i| {
+                Fact::new(
+                    "R",
+                    [
+                        Value::text(format!("x{c:05}_{i:03}")),
+                        Value::text(format!("y{}", (c + i) % 3)),
+                    ],
+                )
+            })
+            .collect()
+    };
+
+    // Times `commits` batch commits on `session`, returning per-commit ms.
+    let run_commits = |session: &Session| -> f64 {
+        session.insert_all(seed.iter().cloned()).expect("seed");
+        session.execute(sql).expect("warm-up");
+        let t0 = Instant::now();
+        for c in 0..commits {
+            session.insert_all(commit_batch(c)).expect("commit");
+        }
+        t0.elapsed().as_secs_f64() * 1e3 / commits as f64
+    };
+
+    let mut mem_ms = f64::INFINITY;
+    for _ in 0..samples {
+        let session = Session::new(catalog());
+        mem_ms = mem_ms.min(run_commits(&session));
+    }
+
+    let durable_arm = |sync: SyncPolicy| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let dir = tempfile::TempDir::new().expect("tempdir");
+            let options = WalOptions {
+                sync,
+                checkpoint_every: 0,
+                ..WalOptions::default()
+            };
+            let session = Session::open_with(catalog(), dir.path(), options).expect("open");
+            best = best.min(run_commits(&session));
+        }
+        best
+    };
+    let everyn_ms = durable_arm(SyncPolicy::EveryN(64));
+    let always_ms = durable_arm(SyncPolicy::Always);
+
+    // Recovery: a long WAL tail with no checkpoint, replayed by open().
+    let recovery_commits = recovery_events.div_ceil(batch).max(1);
+    let dir = tempfile::TempDir::new().expect("tempdir");
+    let options = WalOptions {
+        sync: SyncPolicy::EveryN(64),
+        checkpoint_every: 0,
+        ..WalOptions::default()
+    };
+    let (writer_rows, writer_epoch) = {
+        let session = Session::open_with(catalog(), dir.path(), options).expect("open");
+        session.insert_all(seed.iter().cloned()).expect("seed");
+        for c in 0..recovery_commits {
+            session.insert_all(commit_batch(c)).expect("commit");
+        }
+        session.sync().expect("final sync");
+        (
+            session.execute(sql).expect("writer execute").rows,
+            session.epoch(),
+        )
+    };
+    let t0 = Instant::now();
+    let recovered = Session::open_with(catalog(), dir.path(), options).expect("recover");
+    let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut agree = recovered.epoch() == writer_epoch
+        && recovered.execute(sql).expect("recovered execute").rows == writer_rows;
+    for threads in [1usize, 4] {
+        let cold = Session::with_instance(catalog(), recovered.database()).with_options(
+            rcqa_core::engine::EngineOptions {
+                threads,
+                ..Default::default()
+            },
+        );
+        agree = agree && cold.execute(sql).expect("cold execute").rows == writer_rows;
+    }
+
+    DurabilityBench {
+        commits,
+        batch,
+        samples,
+        mem_ms,
+        everyn_ms,
+        always_ms,
+        overhead_everyn: everyn_ms / mem_ms.max(f64::MIN_POSITIVE),
+        overhead_always: always_ms / mem_ms.max(f64::MIN_POSITIVE),
+        recovery_events: recovery_commits * batch,
+        recovery_ms,
+        agree,
+    }
+}
+
+/// Formats the E15 report for the harness.
+pub fn format_durability(bench: &DurabilityBench) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E15 Durability: WAL append/fsync overhead and crash-recovery time"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {} commits x {} facts : in-memory {:.4} ms/commit",
+        bench.commits, bench.batch, bench.mem_ms
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  fsync every 64       : {:.4} ms/commit  ({:.2}x in-memory)",
+        bench.everyn_ms, bench.overhead_everyn
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  fsync every commit   : {:.4} ms/commit  ({:.2}x in-memory)",
+        bench.always_ms, bench.overhead_always
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  recovery             : {} events replayed in {:.3} ms",
+        bench.recovery_events, bench.recovery_ms
+    )
+    .unwrap();
+    writeln!(out, "  answers agree   : {}", bench.agree).unwrap();
+    out
+}

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod codec;
 pub mod delta;
 pub mod error;
 pub mod fact;

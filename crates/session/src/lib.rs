@@ -120,14 +120,18 @@ use rcqa_core::index::{DbIndex, DirtyBlock};
 use rcqa_core::CoreError;
 use rcqa_data::{DataError, DatabaseInstance, DeltaEvent, Fact, Rational};
 use rcqa_query::{parse_sql, AggQuery, Catalog, QueryError};
+use rcqa_wal::{FsStorage, Wal, WalError, WalStorage};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
 
+pub use rcqa_wal::{SyncPolicy, WalOptions};
+
 /// Errors raised by a [`Session`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub enum SessionError {
     /// SQL parsing / translation failed.
     Query(QueryError),
@@ -135,6 +139,14 @@ pub enum SessionError {
     Core(CoreError),
     /// A fact violated the catalog's schema.
     Data(DataError),
+    /// An I/O operation on the durability layer failed. The commit that hit
+    /// it was **not** published — the session keeps serving the last
+    /// successfully committed snapshot. The underlying [`std::io::Error`] is
+    /// chained through [`std::error::Error::source`].
+    Io(Arc<std::io::Error>),
+    /// The write-ahead log or a checkpoint is corrupt (recovery refused to
+    /// guess at history it cannot verify).
+    Wal(WalError),
 }
 
 impl fmt::Display for SessionError {
@@ -143,11 +155,21 @@ impl fmt::Display for SessionError {
             SessionError::Query(e) => write!(f, "SQL error: {e}"),
             SessionError::Core(e) => write!(f, "engine error: {e}"),
             SessionError::Data(e) => write!(f, "data error: {e}"),
+            SessionError::Io(e) => write!(f, "durability I/O error: {e}"),
+            SessionError::Wal(e) => write!(f, "durability error: {e}"),
         }
     }
 }
 
-impl std::error::Error for SessionError {}
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Query(_) | SessionError::Core(_) | SessionError::Data(_) => None,
+            SessionError::Io(e) => Some(&**e),
+            SessionError::Wal(e) => Some(e),
+        }
+    }
+}
 
 impl From<QueryError> for SessionError {
     fn from(e: QueryError) -> SessionError {
@@ -164,6 +186,24 @@ impl From<CoreError> for SessionError {
 impl From<DataError> for SessionError {
     fn from(e: DataError) -> SessionError {
         SessionError::Data(e)
+    }
+}
+
+impl From<WalError> for SessionError {
+    fn from(e: WalError) -> SessionError {
+        match e {
+            // Plain I/O failures (disk full, permissions, injected faults)
+            // surface as `Io` so callers can treat them like any other I/O
+            // error; only genuine log damage becomes `Wal`.
+            WalError::Io(e) => SessionError::Io(e),
+            corrupt => SessionError::Wal(corrupt),
+        }
+    }
+}
+
+impl From<std::io::Error> for SessionError {
+    fn from(e: std::io::Error) -> SessionError {
+        SessionError::Io(Arc::new(e))
     }
 }
 
@@ -331,6 +371,13 @@ pub struct SessionStats {
     pub index_builds: u64,
     /// Delta events replayed into a successor snapshot's index.
     pub deltas_applied: u64,
+    /// Write batches appended to the write-ahead log (0 when in-memory).
+    pub wal_appends: u64,
+    /// Checkpoints written successfully.
+    pub checkpoints: u64,
+    /// Checkpoint attempts that failed (the commit itself still succeeded —
+    /// the batch was already on the log — so these only delay truncation).
+    pub checkpoint_failures: u64,
 }
 
 /// One cached statement plus its last computed result (if any), versioned by
@@ -353,6 +400,9 @@ struct AtomicStats {
     full_recomputes: AtomicU64,
     index_builds: AtomicU64,
     deltas_applied: AtomicU64,
+    wal_appends: AtomicU64,
+    checkpoints: AtomicU64,
+    checkpoint_failures: AtomicU64,
 }
 
 impl AtomicStats {
@@ -369,6 +419,9 @@ impl AtomicStats {
             full_recomputes: self.full_recomputes.load(Ordering::Relaxed),
             index_builds: self.index_builds.load(Ordering::Relaxed),
             deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -383,6 +436,9 @@ impl From<SessionStats> for AtomicStats {
             full_recomputes: AtomicU64::new(s.full_recomputes),
             index_builds: AtomicU64::new(s.index_builds),
             deltas_applied: AtomicU64::new(s.deltas_applied),
+            wal_appends: AtomicU64::new(s.wal_appends),
+            checkpoints: AtomicU64::new(s.checkpoints),
+            checkpoint_failures: AtomicU64::new(s.checkpoint_failures),
         }
     }
 }
@@ -425,6 +481,11 @@ pub struct Session {
     statements: RwLock<HashMap<String, CachedStatement>>,
     /// Dirty-block history for result patching.
     maintenance: Mutex<Maintenance>,
+    /// The durability layer, when the session was opened over storage
+    /// ([`Session::open`] and friends); `None` for in-memory sessions. Only
+    /// ever locked while holding [`Session::writer`] (commits) or briefly
+    /// from observability accessors — never on the read/serving path.
+    wal: Mutex<Option<Wal>>,
     stats: AtomicStats,
 }
 
@@ -445,6 +506,10 @@ impl Clone for Session {
             writer: Mutex::new(()),
             statements: RwLock::new(self.read_statements().clone()),
             maintenance: Mutex::new(self.lock_maintenance().clone()),
+            // The clone is in-memory: two sessions diverging through one
+            // write-ahead log would interleave incompatible histories, so
+            // durability stays with the original.
+            wal: Mutex::new(None),
             stats: AtomicStats::from(self.stats()),
         }
     }
@@ -475,19 +540,100 @@ impl Session {
     /// an `Arc` with another session is cheap and safe, since snapshots are
     /// copy-on-write.
     pub fn with_instance(catalog: Catalog, db: impl Into<Arc<DatabaseInstance>>) -> Session {
+        Session::assemble(catalog, db.into(), 0, None)
+    }
+
+    fn assemble(
+        catalog: Catalog,
+        db: Arc<DatabaseInstance>,
+        epoch: u64,
+        wal: Option<Wal>,
+    ) -> Session {
         Session {
             catalog,
             options: EngineOptions::default(),
             current: RwLock::new(Arc::new(Snapshot {
-                db: db.into(),
+                db,
                 index: OnceLock::new(),
-                epoch: 0,
+                epoch,
             })),
             writer: Mutex::new(()),
             statements: RwLock::new(HashMap::new()),
             maintenance: Mutex::new(Maintenance::default()),
+            wal: Mutex::new(wal),
             stats: AtomicStats::default(),
         }
+    }
+
+    /// Opens a **durable** session over the WAL directory `dir` with default
+    /// [`WalOptions`] (fsync on every commit, checkpoint every 1024 epochs),
+    /// recovering whatever state a previous process left there: the newest
+    /// valid checkpoint plus a replay of the log tail through the same
+    /// delta-application machinery live commits use.
+    ///
+    /// A crash mid-append leaves a torn tail, which recovery truncates; any
+    /// *interior* damage (a bad record before the tail, a broken epoch
+    /// chain) is refused as [`SessionError::Wal`] rather than guessed
+    /// around. An empty or missing directory opens an empty session at
+    /// epoch 0.
+    pub fn open(catalog: Catalog, dir: impl AsRef<Path>) -> Result<Session, SessionError> {
+        Session::open_with(catalog, dir, WalOptions::default())
+    }
+
+    /// [`Session::open`] with explicit [`WalOptions`] (fsync policy,
+    /// checkpoint cadence, checkpoint retention).
+    pub fn open_with(
+        catalog: Catalog,
+        dir: impl AsRef<Path>,
+        options: WalOptions,
+    ) -> Result<Session, SessionError> {
+        let storage = FsStorage::open(dir.as_ref())?;
+        Session::open_storage(catalog, Box::new(storage), options)
+    }
+
+    /// [`Session::open`] over any [`WalStorage`] implementation — the seam
+    /// the crash-recovery tests use to run real recoveries against
+    /// in-memory and deterministically failing storage.
+    pub fn open_storage(
+        catalog: Catalog,
+        storage: Box<dyn WalStorage>,
+        options: WalOptions,
+    ) -> Result<Session, SessionError> {
+        let (wal, recovery) = Wal::open(storage, options)?;
+        let mut db = DatabaseInstance::new(catalog.schema());
+        for fact in recovery.checkpoint_facts {
+            if !db.insert(fact)? {
+                return Err(SessionError::Wal(WalError::Corrupt {
+                    file: rcqa_wal::checkpoint_name(recovery.checkpoint_epoch),
+                    offset: 0,
+                    detail: "checkpoint contains a duplicate fact".to_string(),
+                }));
+            }
+        }
+        // Every logged event was *effective* when committed (the session
+        // only logs effective deltas), so each must be effective on replay
+        // too; a no-op means the checkpoint and the log disagree.
+        for batch in &recovery.batches {
+            for event in &batch.events {
+                if db.apply(event.clone())?.is_none() {
+                    return Err(SessionError::Wal(WalError::Corrupt {
+                        file: rcqa_wal::checkpoint_name(recovery.checkpoint_epoch),
+                        offset: 0,
+                        detail: format!(
+                            "replaying the log over the checkpoint: the event at \
+                             epoch {} is a no-op, so checkpoint and log disagree",
+                            batch.epoch
+                        ),
+                    }));
+                }
+            }
+        }
+        Ok(Session::assemble(
+            catalog,
+            Arc::new(db),
+            recovery.epoch,
+            Some(wal),
+        ))
     }
 
     /// Overrides the engine options (exact-fallback policy, repair budget,
@@ -560,6 +706,32 @@ impl Session {
         self.maintenance.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    fn lock_wal(&self) -> MutexGuard<'_, Option<Wal>> {
+        self.wal.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether the session persists commits to a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.lock_wal().is_some()
+    }
+
+    /// The last epoch known durable on storage (covered by an fsync or a
+    /// checkpoint), or `None` for an in-memory session. Equals
+    /// [`Session::epoch`] whenever the sync policy is
+    /// [`SyncPolicy::Always`]; under `EveryN`/`Never` it may trail it.
+    pub fn durable_epoch(&self) -> Option<u64> {
+        self.lock_wal().as_ref().map(|w| w.durable_epoch())
+    }
+
+    /// Forces an fsync of the write-ahead log, making every committed batch
+    /// durable regardless of the sync policy. A no-op on in-memory sessions.
+    pub fn sync(&self) -> Result<(), SessionError> {
+        match self.lock_wal().as_mut() {
+            Some(wal) => Ok(wal.sync()?),
+            None => Ok(()),
+        }
+    }
+
     /// Commits one write batch: derives the successor instance from the base
     /// snapshot's **shared structure** (untouched relations are pointer
     /// bumps; mutated relations are path-copied), replays the delta into a
@@ -573,6 +745,14 @@ impl Session {
     /// Writers serialise on [`Session::writer`]; readers are never blocked
     /// for longer than the final pointer swap. If `mutate` fails, nothing is
     /// published — batches are all-or-nothing.
+    ///
+    /// For a durable session the batch is appended to the write-ahead log —
+    /// and fsynced per the [`SyncPolicy`] — **before** the successor is
+    /// published: no reader can ever observe state the log might not
+    /// remember. If the append fails, the commit fails, nothing is
+    /// published, and the session keeps serving (and accepting reads of)
+    /// the last committed snapshot — durability failures degrade writes,
+    /// never reads.
     fn commit<T>(
         &self,
         mutate: impl FnOnce(&mut DatabaseInstance) -> Result<(Vec<DeltaEvent>, T), SessionError>,
@@ -586,6 +766,13 @@ impl Session {
             return Ok(out);
         }
         let epoch = base.epoch + events.len() as u64;
+        {
+            let mut wal = self.lock_wal();
+            if let Some(wal) = wal.as_mut() {
+                wal.append(epoch, &events)?;
+                AtomicStats::bump(&self.stats.wal_appends);
+            }
+        }
         let snapshot = Snapshot {
             db: Arc::new(db),
             index: OnceLock::new(),
@@ -623,7 +810,20 @@ impl Session {
                 maintenance.log_floor = epoch;
             }
         }
-        *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(snapshot);
+        let snapshot = Arc::new(snapshot);
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = snapshot.clone();
+        // Checkpoint *after* publishing: the batch is already durable on the
+        // log, so a checkpoint failure cannot fail the commit — it only
+        // postpones log truncation (and is retried at the next commit).
+        let mut wal = self.lock_wal();
+        if let Some(wal) = wal.as_mut() {
+            if wal.checkpoint_due() {
+                match wal.checkpoint(epoch, snapshot.db.facts()) {
+                    Ok(()) => AtomicStats::bump(&self.stats.checkpoints),
+                    Err(_) => AtomicStats::bump(&self.stats.checkpoint_failures),
+                }
+            }
+        }
         Ok(out)
     }
 
@@ -656,7 +856,12 @@ impl Session {
     }
 
     /// Deletes one fact. Returns `true` if it was present.
-    pub fn delete(&self, fact: &Fact) -> bool {
+    ///
+    /// A deletion cannot violate the schema, but on a durable session the
+    /// commit can still fail at the durability layer — hence the `Result`
+    /// (this used to `expect`, which would have turned a full disk into a
+    /// panic).
+    pub fn delete(&self, fact: &Fact) -> Result<bool, SessionError> {
         self.commit(|db| {
             let removed = db.remove(fact);
             let events = if removed {
@@ -666,7 +871,6 @@ impl Session {
             };
             Ok((events, removed))
         })
-        .expect("deletion cannot violate the schema")
     }
 
     /// Normalizes SQL text into its statement-cache key: whitespace runs
@@ -1133,7 +1337,9 @@ mod tests {
 
         // Deleting the dealer again restores the original answer — and the
         // whole exchange must agree with a cold session at 1 and 4 threads.
-        assert!(session.delete(&fact!("Dealers", "Lopez", "New York")));
+        assert!(session
+            .delete(&fact!("Dealers", "Lopez", "New York"))
+            .unwrap());
         let restored = session.execute(sql).unwrap();
         assert_eq!(restored.rows, before.rows);
         for threads in [1, 4] {

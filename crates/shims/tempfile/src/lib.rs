@@ -1,0 +1,74 @@
+//! Offline stand-in for the parts of the `tempfile` crate this workspace
+//! uses: [`TempDir`] — a unique directory under [`std::env::temp_dir`],
+//! removed (recursively, best-effort) when the guard drops.
+//!
+//! The registry is offline (see `crates/shims/`), so instead of the real
+//! crate this shim derives uniqueness from the process id, a monotonic
+//! clock reading, and a process-wide counter, and retries on the (already
+//! improbable) collision.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+use std::{env, fs, io, process};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely-named directory that is deleted on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh directory under the system temp dir.
+    pub fn new() -> io::Result<TempDir> {
+        let base = env::temp_dir();
+        let pid = process::id();
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        for _ in 0..64 {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = base.join(format!(".rcqa-tmp-{pid}-{nanos}-{n}"));
+            match fs::create_dir(&path) {
+                Ok(()) => return Ok(TempDir { path }),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::other("could not create a unique temp dir"))
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_removes_them_on_drop() {
+        let a = TempDir::new().unwrap();
+        let b = TempDir::new().unwrap();
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        assert!(b.path().is_dir());
+        fs::write(a.path().join("f.txt"), b"x").unwrap();
+        let (pa, pb) = (a.path().to_path_buf(), b.path().to_path_buf());
+        drop(a);
+        drop(b);
+        assert!(!pa.exists(), "dropped dir (with contents) is removed");
+        assert!(!pb.exists());
+    }
+}

@@ -1,0 +1,785 @@
+//! # rcqa-wal
+//!
+//! Durability for the rcqa serving layer: an **append-only, epoch-keyed
+//! write-ahead log** of [`DeltaEvent`] batches plus **checkpointed
+//! snapshots**, built for the session's snapshot-chain architecture — a
+//! commit already produces an explicit effective-event batch and a monotone
+//! epoch, which is exactly a log record.
+//!
+//! The workspace builds offline (no `serde`, no `crc`, no `tempfile` from
+//! crates.io — see `crates/shims`), so the record format is hand-rolled:
+//! length-prefixed binary records carrying epoch, op, and facts
+//! ([`rcqa_data::codec`]: `Value`/`Rational` encoded exactly, `i128`
+//! numerator/denominator as raw little-endian bytes), each guarded by an
+//! in-tree CRC32 ([`crc32::crc32`]).
+//!
+//! ## Log structure
+//!
+//! A WAL directory holds **segments** (`wal-<start-epoch>.log`) and
+//! **checkpoints** (`ck-<epoch>.snap`):
+//!
+//! * a segment named `wal-S` contains records for epochs `> S`, in order;
+//!   consecutive records satisfy `epoch == previous + |events|`, an
+//!   integrity chain the recovery parser enforces ([`record`]).
+//! * a checkpoint named `ck-E` is the complete fact set at epoch `E`,
+//!   published atomically (temp file + fsync + rename + directory fsync).
+//!   Writing one starts a fresh segment; **older segments are removed only
+//!   once the oldest *retained* checkpoint durably covers them**, so every
+//!   retained checkpoint always has a full replay chain behind it.
+//!
+//! ## Recovery semantics
+//!
+//! [`Wal::open`] loads the **newest valid checkpoint** (corrupt checkpoint
+//! files are skipped — and deleted — in favour of older retained ones),
+//! then parses the segment chain and returns the batches with epochs past
+//! the checkpoint for the caller to replay. Failure handling is two-sided
+//! by design:
+//!
+//! * a **torn tail** — the newest segment ends mid-record, exactly what a
+//!   crash mid-append leaves — is truncated away, recovering the longest
+//!   valid prefix;
+//! * **interior corruption** — a bad length/checksum *before* the tail, a
+//!   broken epoch chain, a gap between segments — is reported as
+//!   [`WalError::Corrupt`] with the file and byte offset. Committed history
+//!   is never silently dropped, reordered, or duplicated.
+//!
+//! ## Sync policies
+//!
+//! [`SyncPolicy`] trades write latency for the crash-durability window:
+//!
+//! * [`Always`](SyncPolicy::Always) — fsync before every commit
+//!   acknowledgement; an acknowledged commit survives any crash.
+//! * [`EveryN(n)`](SyncPolicy::EveryN) — fsync once per `n` appends; a
+//!   crash may lose up to the last `n − 1` acknowledged commits (they roll
+//!   back **as a suffix** — never a gap).
+//! * [`Never`](SyncPolicy::Never) — leave flushing to the OS; a process
+//!   crash loses nothing (the bytes are in the page cache), an OS crash may
+//!   lose any unflushed suffix.
+//!
+//! If an append fails (disk full, permission lost, injected fault), the
+//! partial record is rolled back by truncation and the error is returned —
+//! the log never acknowledges a record it could not write whole. If even
+//! the rollback fails, the WAL **poisons** itself: every later append fails
+//! fast, while reads (and the owning session's in-memory serving) continue.
+//!
+//! ## Fault injection
+//!
+//! Every byte of I/O goes through the [`storage::WalStorage`] trait.
+//! [`storage::FsStorage`] is the real directory; [`storage::MemStorage`] is
+//! a shared in-memory map; [`storage::FailingStorage`] deterministically
+//! tears writes after a byte budget or fails operations after an op budget,
+//! which is how the crash-recovery test matrix drives every fault point
+//! without a single real crash.
+
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod record;
+pub mod storage;
+
+pub use record::Batch;
+pub use storage::{FailingStorage, FsStorage, MemStorage, WalStorage};
+
+use rcqa_data::{DeltaEvent, Fact};
+use record::{decode_checkpoint, encode_checkpoint, encode_record, parse_segment};
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+
+/// Errors raised by the WAL.
+///
+/// `Io` chains the underlying [`std::io::Error`] through
+/// [`std::error::Error::source`]; `Corrupt` pinpoints the file and byte
+/// offset where recovery found interior damage.
+#[derive(Debug, Clone)]
+pub enum WalError {
+    /// An I/O operation failed; the source error is attached.
+    Io(Arc<io::Error>),
+    /// The log or a checkpoint is damaged in a way a crash cannot explain
+    /// (interior bad length/checksum, broken epoch chain, missing segment).
+    Corrupt {
+        /// The file the damage was found in.
+        file: String,
+        /// Byte offset of the damaged record within that file.
+        offset: u64,
+        /// What was wrong there.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "WAL I/O error: {e}"),
+            WalError::Corrupt {
+                file,
+                offset,
+                detail,
+            } => {
+                write!(f, "WAL corrupt: {file} at byte {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(&**e),
+            WalError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> WalError {
+        WalError::Io(Arc::new(e))
+    }
+}
+
+/// When the log fsyncs relative to commit acknowledgement. See the
+/// [crate docs](self) for the guarantee each policy buys.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Fsync before every commit acknowledgement.
+    #[default]
+    Always,
+    /// Fsync once every `n` appends (`EveryN(1)` ≡ `Always`; `n` is clamped
+    /// to at least 1).
+    EveryN(u64),
+    /// Never fsync from the WAL; flushing is the OS's business.
+    Never,
+}
+
+/// Configuration of a [`Wal`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalOptions {
+    /// Fsync cadence (default [`SyncPolicy::Always`]).
+    pub sync: SyncPolicy,
+    /// Write a checkpoint once at least this many epochs accumulated since
+    /// the last one; `0` disables checkpointing (default `1024`).
+    pub checkpoint_every: u64,
+    /// How many checkpoints to keep (at least 1; default 2 — the newest
+    /// plus one fallback in case the newest file rots).
+    pub retain_checkpoints: usize,
+}
+
+impl Default for WalOptions {
+    fn default() -> WalOptions {
+        WalOptions {
+            sync: SyncPolicy::default(),
+            checkpoint_every: 1024,
+            retain_checkpoints: 2,
+        }
+    }
+}
+
+/// What [`Wal::open`] recovered from storage: the newest valid checkpoint
+/// (if any) and the log tail past it, ready for the caller to replay.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Epoch of the checkpoint the recovery starts from (0 when none).
+    pub checkpoint_epoch: u64,
+    /// The checkpoint's facts (empty when none).
+    pub checkpoint_facts: Vec<Fact>,
+    /// Log batches with epochs past the checkpoint, oldest first. Replaying
+    /// them in order over the checkpoint reaches [`Recovery::epoch`].
+    pub batches: Vec<Batch>,
+    /// The recovered epoch: the last batch's, or the checkpoint's.
+    pub epoch: u64,
+    /// `Some((file, valid_len))` when a torn tail was found and truncated
+    /// away at `valid_len`.
+    pub torn_tail: Option<(String, u64)>,
+    /// Corrupt checkpoint files that were skipped (and removed) in favour of
+    /// an older retained checkpoint.
+    pub skipped_checkpoints: Vec<String>,
+}
+
+/// The file name of the segment whose records have epochs `> start`.
+pub fn segment_name(start: u64) -> String {
+    format!("wal-{start:020}.log")
+}
+
+/// The file name of the checkpoint holding the fact set at `epoch`.
+pub fn checkpoint_name(epoch: u64) -> String {
+    format!("ck-{epoch:020}.snap")
+}
+
+fn parse_name(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let digits = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// The write-ahead log: an owned [`WalStorage`] plus the in-memory cursor
+/// state (active segment, epoch positions, sync debt).
+///
+/// A `Wal` is single-writer by construction — the owning session serialises
+/// appends behind its writer lock. All mutating methods take `&mut self`.
+#[derive(Debug)]
+pub struct Wal {
+    storage: Box<dyn WalStorage>,
+    options: WalOptions,
+    /// Start epochs of live segments, ascending; the last is the active one.
+    segments: Vec<u64>,
+    /// Epochs of retained checkpoints, ascending.
+    checkpoints: Vec<u64>,
+    /// Byte length of the active segment's valid content.
+    active_len: u64,
+    /// Epoch of the last appended record.
+    last_epoch: u64,
+    /// Last epoch known durable (covered by an fsync or a checkpoint).
+    durable_epoch: u64,
+    /// Appends since the last fsync.
+    unsynced: u64,
+    /// Set when a failed append could not be rolled back: the log's tail is
+    /// in an unknown state, so further appends must not land after it.
+    poisoned: bool,
+}
+
+impl Wal {
+    /// Opens a WAL over `storage`, recovering whatever a previous process
+    /// left: the newest valid checkpoint plus the replayable log tail.
+    ///
+    /// A fresh (empty) storage opens at epoch 0 with an empty [`Recovery`].
+    /// A torn tail on the newest segment is truncated; interior corruption
+    /// is a [`WalError::Corrupt`].
+    pub fn open(
+        mut storage: Box<dyn WalStorage>,
+        options: WalOptions,
+    ) -> Result<(Wal, Recovery), WalError> {
+        let names = storage.list()?;
+        let mut segment_starts: Vec<u64> = Vec::new();
+        let mut checkpoint_epochs: Vec<u64> = Vec::new();
+        for name in &names {
+            if let Some(start) = parse_name(name, "wal-", ".log") {
+                segment_starts.push(start);
+            } else if let Some(epoch) = parse_name(name, "ck-", ".snap") {
+                checkpoint_epochs.push(epoch);
+            } else if name.ends_with(".tmp") {
+                // A checkpoint publication died before its rename; the
+                // half-written temp file is garbage by construction.
+                let _ = storage.remove(name);
+            }
+        }
+        segment_starts.sort_unstable();
+        checkpoint_epochs.sort_unstable();
+
+        // Newest valid checkpoint wins; corrupt ones are skipped (and
+        // deleted, so they can never later license segment eviction they
+        // do not actually cover).
+        let mut skipped_checkpoints = Vec::new();
+        let mut checkpoint: Option<(u64, Vec<Fact>)> = None;
+        while let Some(epoch) = checkpoint_epochs.pop() {
+            let file = checkpoint_name(epoch);
+            let valid = match storage.read(&file) {
+                Ok(bytes) => match decode_checkpoint(&file, &bytes) {
+                    Ok((payload_epoch, facts)) if payload_epoch == epoch => Some(facts),
+                    _ => None,
+                },
+                Err(_) => None,
+            };
+            match valid {
+                Some(facts) => {
+                    checkpoint = Some((epoch, facts));
+                    checkpoint_epochs.push(epoch);
+                    break;
+                }
+                None => {
+                    skipped_checkpoints.push(file.clone());
+                    let _ = storage.remove(&file);
+                }
+            }
+        }
+        let base_epoch = checkpoint.as_ref().map(|(e, _)| *e).unwrap_or(0);
+
+        // Parse every segment; only the newest may end in a torn tail.
+        let mut batches: Vec<Batch> = Vec::new();
+        let mut torn_tail = None;
+        for (i, &start) in segment_starts.iter().enumerate() {
+            let file = segment_name(start);
+            let bytes = storage.read(&file)?;
+            let newest = i + 1 == segment_starts.len();
+            let parsed = parse_segment(&file, &bytes, start, newest)?;
+            if parsed.torn {
+                storage.truncate(&file, parsed.valid_len)?;
+                torn_tail = Some((file.clone(), parsed.valid_len));
+            }
+            batches.extend(parsed.batches);
+        }
+
+        // Keep the tail past the checkpoint and verify it chains from it:
+        // recovery must reach the pre-crash epoch through a gap-free,
+        // duplicate-free sequence or refuse outright.
+        batches.retain(|b| b.epoch > base_epoch);
+        let mut prev = base_epoch;
+        for batch in &batches {
+            let expected = prev + batch.events.len() as u64;
+            if batch.epoch != expected {
+                return Err(WalError::Corrupt {
+                    file: segment_name(*segment_starts.last().unwrap_or(&0)),
+                    offset: 0,
+                    detail: format!(
+                        "log does not chain from checkpoint epoch {base_epoch}: \
+                         found epoch {}, expected {expected}",
+                        batch.epoch
+                    ),
+                });
+            }
+            prev = batch.epoch;
+        }
+        let epoch = prev;
+
+        // Start (or reuse) the segment named after the recovered epoch. If
+        // a segment of that name exists it cannot hold valid records —
+        // records in `wal-E` have epochs > E, which would contradict E
+        // being the recovered epoch — so its valid length is 0.
+        let active_len = if segment_starts.last() == Some(&epoch) {
+            0
+        } else {
+            segment_starts.push(epoch);
+            0
+        };
+
+        let (checkpoint_epoch, checkpoint_facts) = checkpoint.unwrap_or((0, Vec::new()));
+        let recovery = Recovery {
+            checkpoint_epoch,
+            checkpoint_facts,
+            batches,
+            epoch,
+            torn_tail,
+            skipped_checkpoints,
+        };
+        let wal = Wal {
+            storage,
+            options,
+            segments: segment_starts,
+            checkpoints: checkpoint_epochs,
+            active_len,
+            last_epoch: epoch,
+            // Everything recovered is on storage already; it is as durable
+            // as the previous process left it.
+            durable_epoch: epoch,
+            unsynced: 0,
+            poisoned: false,
+        };
+        Ok((wal, recovery))
+    }
+
+    /// The WAL's configuration.
+    pub fn options(&self) -> &WalOptions {
+        &self.options
+    }
+
+    /// Epoch of the last appended record.
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Last epoch known durable: covered by an fsync or a checkpoint. Under
+    /// [`SyncPolicy::Never`] this only advances at checkpoints.
+    pub fn durable_epoch(&self) -> u64 {
+        self.durable_epoch
+    }
+
+    /// Whether a failed append left the log tail unrecoverable in-process
+    /// (all further appends fail fast).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Start epochs of the live segments, oldest first (tests/observability).
+    pub fn segment_starts(&self) -> &[u64] {
+        &self.segments
+    }
+
+    /// Epochs of the retained checkpoints, oldest first.
+    pub fn checkpoint_epochs(&self) -> &[u64] {
+        &self.checkpoints
+    }
+
+    /// Whether the configured checkpoint interval has elapsed since the last
+    /// checkpoint (callers snapshot the instance and call
+    /// [`Wal::checkpoint`]).
+    pub fn checkpoint_due(&self) -> bool {
+        self.options.checkpoint_every > 0
+            && self.last_epoch - self.last_checkpoint_epoch() >= self.options.checkpoint_every
+    }
+
+    fn last_checkpoint_epoch(&self) -> u64 {
+        self.checkpoints.last().copied().unwrap_or(0)
+    }
+
+    fn active_name(&self) -> String {
+        segment_name(*self.segments.last().expect("always one segment"))
+    }
+
+    /// Appends one committed batch, then fsyncs per the [`SyncPolicy`].
+    ///
+    /// `epoch` must be the session epoch **after** the batch:
+    /// `last_epoch() + events.len()`. On any failure the partial record is
+    /// rolled back by truncation and nothing is acknowledged; if the
+    /// rollback itself fails the WAL poisons itself (the owning session
+    /// keeps serving reads, but no further writes can be made durable).
+    pub fn append(&mut self, epoch: u64, events: &[DeltaEvent]) -> Result<(), WalError> {
+        if self.poisoned {
+            return Err(WalError::Io(Arc::new(io::Error::other(
+                "WAL is poisoned: a failed append could not be rolled back",
+            ))));
+        }
+        let expected = self.last_epoch + events.len() as u64;
+        if events.is_empty() || epoch != expected {
+            return Err(WalError::Io(Arc::new(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("append out of sequence: epoch {epoch}, expected {expected}"),
+            ))));
+        }
+        let name = self.active_name();
+        let record = encode_record(epoch, events);
+        if let Err(e) = self.storage.append(&name, &record) {
+            // A prefix may be on storage: truncate it back to the last good
+            // record boundary so later appends cannot land after garbage.
+            if self.storage.truncate(&name, self.active_len).is_err() {
+                self.poisoned = true;
+            }
+            return Err(e.into());
+        }
+        self.active_len += record.len() as u64;
+        self.last_epoch = epoch;
+        self.unsynced += 1;
+        let sync_now = match self.options.sync {
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
+            SyncPolicy::Never => false,
+        };
+        if sync_now {
+            if let Err(e) = self.storage.sync(&name) {
+                // The record is written but not durable, and the caller
+                // will fail this commit: roll the record back so recovery
+                // cannot replay a batch that was never acknowledged.
+                self.active_len -= record.len() as u64;
+                self.last_epoch = epoch - events.len() as u64;
+                self.unsynced -= 1;
+                if self.storage.truncate(&name, self.active_len).is_err() {
+                    self.poisoned = true;
+                }
+                return Err(e.into());
+            }
+            self.unsynced = 0;
+            self.durable_epoch = self.last_epoch;
+        }
+        Ok(())
+    }
+
+    /// Forces an fsync of the active segment, making every appended record
+    /// durable regardless of policy.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        let name = self.active_name();
+        self.storage.sync(&name)?;
+        self.unsynced = 0;
+        self.durable_epoch = self.last_epoch;
+        Ok(())
+    }
+
+    /// Writes a checkpoint of the complete fact set at `epoch` (which must
+    /// be [`Wal::last_epoch`] — checkpoints snapshot the just-published
+    /// state), then starts a fresh segment and evicts storage the retained
+    /// checkpoints no longer need:
+    ///
+    /// 1. the checkpoint file is published atomically (temp + fsync +
+    ///    rename), so a crash at any point leaves the previous checkpoint
+    ///    intact;
+    /// 2. checkpoints beyond [`WalOptions::retain_checkpoints`] are removed,
+    ///    newest kept;
+    /// 3. segments whose every record is covered by the **oldest retained**
+    ///    checkpoint are removed — only after step 1 made that coverage
+    ///    durable.
+    ///
+    /// On failure the log is untouched and fully replayable; the caller may
+    /// simply try again later.
+    pub fn checkpoint<'a>(
+        &mut self,
+        epoch: u64,
+        facts: impl Iterator<Item = &'a Fact>,
+    ) -> Result<(), WalError> {
+        if epoch != self.last_epoch {
+            return Err(WalError::Io(Arc::new(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "checkpoint at epoch {epoch} but the log is at {}",
+                    self.last_epoch
+                ),
+            ))));
+        }
+        let bytes = encode_checkpoint(epoch, facts);
+        self.storage.write_atomic(&checkpoint_name(epoch), &bytes)?;
+        self.checkpoints.push(epoch);
+        // The checkpoint durably covers every epoch <= its own.
+        self.durable_epoch = self.durable_epoch.max(epoch);
+        self.unsynced = 0;
+        // Start a fresh segment (created lazily by the next append).
+        if self.segments.last() != Some(&epoch) {
+            self.segments.push(epoch);
+            self.active_len = 0;
+        }
+        // Retention + eviction, best-effort: a file that refuses to die is
+        // harmless (recovery skips covered records) and will be retried at
+        // the next checkpoint.
+        while self.checkpoints.len() > self.options.retain_checkpoints.max(1) {
+            let old = self.checkpoints.remove(0);
+            let _ = self.storage.remove(&checkpoint_name(old));
+        }
+        let covered = self.checkpoints[0];
+        while self.segments.len() >= 2 && self.segments[1] <= covered {
+            let dead = self.segments[0];
+            if self.storage.remove(&segment_name(dead)).is_err() {
+                break;
+            }
+            self.segments.remove(0);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // Best-effort: a cleanly dropped WAL leaves no sync debt behind.
+        if self.unsynced > 0 && !self.poisoned {
+            let name = self.active_name();
+            let _ = self.storage.sync(&name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcqa_data::fact;
+
+    fn ev(tag: &str) -> DeltaEvent {
+        DeltaEvent::insert(fact!("R", tag, 1))
+    }
+
+    fn open_mem(mem: &MemStorage, options: WalOptions) -> (Wal, Recovery) {
+        Wal::open(Box::new(mem.handle()), options).expect("open")
+    }
+
+    #[test]
+    fn fresh_log_appends_and_recovers() {
+        let mem = MemStorage::new();
+        let (mut wal, rec) = open_mem(&mem, WalOptions::default());
+        assert_eq!(rec.epoch, 0);
+        assert!(rec.batches.is_empty());
+        wal.append(2, &[ev("a"), ev("b")]).unwrap();
+        wal.append(3, &[ev("c")]).unwrap();
+        assert_eq!(wal.durable_epoch(), 3);
+        drop(wal);
+
+        let (wal, rec) = open_mem(&mem, WalOptions::default());
+        assert_eq!(rec.epoch, 3);
+        assert_eq!(rec.checkpoint_epoch, 0);
+        assert_eq!(rec.batches.len(), 2);
+        assert_eq!(rec.batches[0].events, vec![ev("a"), ev("b")]);
+        assert_eq!(wal.last_epoch(), 3);
+    }
+
+    #[test]
+    fn out_of_sequence_appends_are_rejected() {
+        let mem = MemStorage::new();
+        let (mut wal, _) = open_mem(&mem, WalOptions::default());
+        assert!(wal.append(5, &[ev("a")]).is_err(), "gap");
+        assert!(wal.append(0, &[]).is_err(), "empty batch");
+        wal.append(1, &[ev("a")]).unwrap();
+        assert!(wal.append(1, &[ev("b")]).is_err(), "duplicate epoch");
+    }
+
+    #[test]
+    fn every_n_policy_tracks_durable_epoch() {
+        let mem = MemStorage::new();
+        let options = WalOptions {
+            sync: SyncPolicy::EveryN(3),
+            ..WalOptions::default()
+        };
+        let (mut wal, _) = open_mem(&mem, options);
+        wal.append(1, &[ev("a")]).unwrap();
+        wal.append(2, &[ev("b")]).unwrap();
+        assert_eq!(wal.durable_epoch(), 0, "no fsync yet");
+        wal.append(3, &[ev("c")]).unwrap();
+        assert_eq!(wal.durable_epoch(), 3, "third append syncs");
+        wal.append(4, &[ev("d")]).unwrap();
+        assert_eq!(wal.durable_epoch(), 3);
+        wal.sync().unwrap();
+        assert_eq!(wal.durable_epoch(), 4);
+    }
+
+    #[test]
+    fn checkpoints_rotate_segments_and_evict_covered_history() {
+        let mem = MemStorage::new();
+        let options = WalOptions {
+            checkpoint_every: 0, // manual checkpoints in this test
+            retain_checkpoints: 2,
+            ..WalOptions::default()
+        };
+        let (mut wal, _) = open_mem(&mem, options);
+        let facts = [fact!("R", "a", 1)];
+        wal.append(1, &[ev("a")]).unwrap();
+        wal.checkpoint(1, facts.iter()).unwrap();
+        wal.append(2, &[ev("b")]).unwrap();
+        wal.checkpoint(2, facts.iter()).unwrap();
+        wal.append(3, &[ev("c")]).unwrap();
+        wal.checkpoint(3, facts.iter()).unwrap();
+        // Two checkpoints retained; the oldest (ck-1) was evicted, and with
+        // it every segment fully covered by ck-2: wal-0 and wal-1.
+        assert_eq!(wal.checkpoint_epochs(), &[2, 3]);
+        assert_eq!(wal.segment_starts(), &[2, 3]);
+        assert!(mem.file(&checkpoint_name(1)).is_none());
+        assert!(mem.file(&segment_name(0)).is_none());
+        assert!(mem.file(&segment_name(1)).is_none());
+
+        // Recovery uses the newest checkpoint and the (empty) tail.
+        let (_, rec) = open_mem(&mem, options);
+        assert_eq!(rec.checkpoint_epoch, 3);
+        assert_eq!(rec.epoch, 3);
+        assert!(rec.batches.is_empty());
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_to_the_previous_one() {
+        let mem = MemStorage::new();
+        let options = WalOptions {
+            checkpoint_every: 0,
+            retain_checkpoints: 2,
+            ..WalOptions::default()
+        };
+        let (mut wal, _) = open_mem(&mem, options);
+        wal.append(1, &[ev("a")]).unwrap();
+        wal.checkpoint(1, [fact!("R", "a", 1)].iter()).unwrap();
+        wal.append(2, &[ev("b")]).unwrap();
+        wal.checkpoint(2, [fact!("R", "a", 1), fact!("R", "b", 1)].iter())
+            .unwrap();
+        wal.append(3, &[ev("c")]).unwrap();
+        drop(wal);
+        // Rot the newest checkpoint.
+        let name = checkpoint_name(2);
+        let mut bytes = mem.file(&name).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        mem.set_file(&name, bytes);
+
+        let (_, rec) = open_mem(&mem, options);
+        assert_eq!(rec.checkpoint_epoch, 1);
+        assert_eq!(rec.checkpoint_facts, vec![fact!("R", "a", 1)]);
+        // The tail replays from epoch 1: batches for epochs 2 and 3.
+        assert_eq!(
+            rec.batches.iter().map(|b| b.epoch).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(rec.epoch, 3);
+        assert_eq!(rec.skipped_checkpoints, vec![name.clone()]);
+        // The rotten file was deleted so it can never shadow good state.
+        assert!(mem.file(&name).is_none());
+    }
+
+    #[test]
+    fn failed_append_rolls_back_and_keeps_the_log_replayable() {
+        let mem = MemStorage::new();
+        let (mut wal, _) = open_mem(&mem, WalOptions::default());
+        wal.append(1, &[ev("a")]).unwrap();
+        drop(wal);
+
+        // Allow ~1.5 records worth of bytes: the second append tears.
+        let good_len = mem.file(&segment_name(0)).unwrap().len() as u64;
+        let failing = FailingStorage::new(mem.handle()).with_byte_budget(good_len / 2);
+        let (mut wal, rec) = Wal::open(Box::new(failing), WalOptions::default()).unwrap();
+        assert_eq!(rec.epoch, 1);
+        let err = wal.append(2, &[ev("b")]).unwrap_err();
+        assert!(matches!(err, WalError::Io(_)), "{err}");
+        // The torn prefix was truncated away; the log still holds exactly
+        // the acknowledged batch and recovers cleanly.
+        assert!(!wal.is_poisoned());
+        drop(wal);
+        let (_, rec) = open_mem(&mem, WalOptions::default());
+        assert_eq!(rec.epoch, 1);
+        assert_eq!(rec.batches.len(), 1);
+    }
+
+    #[test]
+    fn failed_checkpoint_leaves_old_state_intact() {
+        let mem = MemStorage::new();
+        let options = WalOptions {
+            checkpoint_every: 0,
+            ..WalOptions::default()
+        };
+        let (mut wal, _) = open_mem(&mem, options);
+        wal.append(1, &[ev("a")]).unwrap();
+        wal.checkpoint(1, [fact!("R", "a", 1)].iter()).unwrap();
+        wal.append(2, &[ev("b")]).unwrap();
+        drop(wal);
+
+        // Checkpoint 2 fails atomically (no bytes land); everything else
+        // still recovers.
+        let failing = FailingStorage::new(mem.handle())
+            .with_byte_budget(mem.file(&segment_name(1)).unwrap().len() as u64);
+        let (mut wal, _) = Wal::open(Box::new(failing), options).unwrap();
+        let err = wal
+            .checkpoint(2, [fact!("R", "a", 1), fact!("R", "b", 1)].iter())
+            .unwrap_err();
+        assert!(matches!(err, WalError::Io(_)), "{err}");
+        drop(wal);
+        let (_, rec) = open_mem(&mem, options);
+        assert_eq!(rec.checkpoint_epoch, 1);
+        assert_eq!(rec.epoch, 2);
+    }
+
+    #[test]
+    fn missing_segment_between_checkpoint_and_tail_is_corrupt() {
+        let mem = MemStorage::new();
+        let options = WalOptions {
+            checkpoint_every: 0,
+            ..WalOptions::default()
+        };
+        let (mut wal, _) = open_mem(&mem, options);
+        wal.append(1, &[ev("a")]).unwrap();
+        wal.append(2, &[ev("b")]).unwrap();
+        wal.checkpoint(2, [fact!("R", "a", 1), fact!("R", "b", 1)].iter())
+            .unwrap();
+        wal.append(3, &[ev("c")]).unwrap();
+        wal.append(4, &[ev("d")]).unwrap();
+        drop(wal);
+        // The checkpoint's own eviction already removed the pre-checkpoint
+        // segment; losing the checkpoint too leaves a tail (epochs 3, 4)
+        // that no longer chains from anything.
+        assert!(mem.file(&segment_name(0)).is_none());
+        let mut handle = mem.handle();
+        handle.remove(&checkpoint_name(2)).unwrap();
+        let err = Wal::open(Box::new(mem.handle()), options).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn fs_storage_roundtrips_through_a_real_directory() {
+        let dir = tempfile::TempDir::new().expect("tempdir");
+        let options = WalOptions {
+            checkpoint_every: 0,
+            ..WalOptions::default()
+        };
+        {
+            let storage = FsStorage::open(dir.path()).unwrap();
+            let (mut wal, rec) = Wal::open(Box::new(storage), options).unwrap();
+            assert_eq!(rec.epoch, 0);
+            wal.append(1, &[ev("a")]).unwrap();
+            wal.append(3, &[ev("b"), ev("c")]).unwrap();
+            wal.checkpoint(3, [fact!("R", "a", 1)].iter()).unwrap();
+            wal.append(4, &[ev("d")]).unwrap();
+        }
+        let storage = FsStorage::open(dir.path()).unwrap();
+        let (wal, rec) = Wal::open(Box::new(storage), options).unwrap();
+        assert_eq!(rec.checkpoint_epoch, 3);
+        assert_eq!(rec.checkpoint_facts, vec![fact!("R", "a", 1)]);
+        assert_eq!(rec.batches.len(), 1);
+        assert_eq!(rec.epoch, 4);
+        assert_eq!(wal.last_epoch(), 4);
+    }
+}

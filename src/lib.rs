@@ -7,3 +7,4 @@ pub use rcqa_logic as logic;
 pub use rcqa_query as query;
 pub use rcqa_sat as sat;
 pub use rcqa_session as session;
+pub use rcqa_wal as wal;

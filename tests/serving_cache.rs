@@ -92,7 +92,7 @@ fn mutations_maintain_the_index_without_rebuilding() {
     session.insert(fact!("R", "xnew", "y3")).unwrap();
     let grown = session.execute(GROUPED_MAX).unwrap();
     assert_eq!(grown.rows.len(), 21);
-    assert!(session.delete(&fact!("R", "xnew", "y3")));
+    assert!(session.delete(&fact!("R", "xnew", "y3")).unwrap());
     let shrunk = session.execute(GROUPED_MAX).unwrap();
     assert_eq!(shrunk.rows.len(), 20);
     assert_eq!(
@@ -147,7 +147,8 @@ fn warm_answers_equal_cold_sessions_at_every_thread_count() {
     warm.insert(fact!("R", "xnew", "y1")).unwrap();
     warm.insert(fact!("S", "y1", "znew", 999)).unwrap();
     assert!(
-        warm.delete(&fact!("R", "x3", "y8")) || !warm.database().contains(&fact!("R", "x3", "y8"))
+        warm.delete(&fact!("R", "x3", "y8")).unwrap()
+            || !warm.database().contains(&fact!("R", "x3", "y8"))
     );
     let warm_rows = warm.execute(GROUPED_MAX).unwrap().rows;
 

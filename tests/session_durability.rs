@@ -1,0 +1,348 @@
+//! Crash-recovery invariants of the durable serving session.
+//!
+//! The WAL's unit tests pin down record-level parsing; these tests drive the
+//! whole stack — `Session::commit` appending to the log, a simulated crash
+//! (the storage map is cut at an arbitrary byte offset), and
+//! `Session::open_storage` replaying checkpoint + tail — and assert the
+//! recovery contract:
+//!
+//! * the recovered instance is exactly the state after some **prefix of the
+//!   committed batches** (a crash can cost an unsynced suffix, never tear a
+//!   batch or leave a gap), and its query answers are byte-identical to a
+//!   cold in-memory session over that prefix at 1 and 4 executor threads;
+//! * *interior* corruption — damage before the tail — refuses recovery with
+//!   [`rcqa::wal::WalError::Corrupt`] instead of silently dropping history;
+//! * an append failure degrades gracefully: the commit errors (with the
+//!   `std::io::Error` chained via `source()`), nothing is published, and
+//!   the session keeps serving reads of the last committed snapshot;
+//! * checkpoints are published atomically and prune covered segments
+//!   without ever stranding a retained checkpoint's replay chain.
+
+use proptest::prelude::*;
+use rcqa::core::engine::EngineOptions;
+use rcqa::data::{fact, DatabaseInstance, DeltaEvent, Fact, Value};
+use rcqa::query::{Catalog, TableDef};
+use rcqa::session::{Session, SessionError, SyncPolicy, WalOptions};
+use rcqa::wal::{segment_name, FailingStorage, MemStorage, WalError};
+use std::sync::Arc;
+
+/// `R(X, Y)` with key `X`; `S(Y, Z, Qty)` with key `(Y, Z)`, numeric `Qty`.
+fn rs_catalog() -> Catalog {
+    Catalog::new()
+        .with_table(TableDef::new("R").key_column("X").column("Y"))
+        .with_table(
+            TableDef::new("S")
+                .key_column("Y")
+                .key_column("Z")
+                .numeric_column("Qty"),
+        )
+}
+
+const GROUPED_MAX: &str = "SELECT R.X, MAX(S.Qty) FROM R, S WHERE R.Y = S.Y GROUP BY R.X";
+
+/// Small value domains so random draws collide: inserts become duplicates,
+/// deletes hit present facts, and batches mix effective and no-op events.
+fn pool_fact(draw: u64) -> Fact {
+    if draw.is_multiple_of(2) {
+        let draw = draw / 2;
+        let x = draw % 5;
+        let y = (draw / 5) % 3;
+        fact!("R", format!("x{x}"), format!("y{y}"))
+    } else {
+        let draw = draw / 2;
+        let y = draw % 3;
+        let z = (draw / 3) % 3;
+        let qty = 1 + 4 * ((draw / 9) % 3);
+        Fact::new(
+            "S",
+            [
+                Value::text(format!("y{y}")),
+                Value::text(format!("z{z}")),
+                Value::int(qty as i64),
+            ],
+        )
+    }
+}
+
+/// In-memory WAL options for crash tests: no fsync gating (MemStorage's
+/// "disk" is the map itself) and no checkpoints unless a test wants them.
+fn mem_options() -> WalOptions {
+    WalOptions {
+        sync: SyncPolicy::Never,
+        checkpoint_every: 0,
+        ..WalOptions::default()
+    }
+}
+
+/// Asserts the recovered session's answers equal a cold in-memory session
+/// over the same instance at 1 and 4 executor threads.
+fn assert_answers_match_cold(recovered: &Session, expected: &Arc<DatabaseInstance>) {
+    let warm = recovered.execute(GROUPED_MAX).expect("recovered execute");
+    for threads in [1usize, 4] {
+        let cold =
+            Session::with_instance(rs_catalog(), expected.clone()).with_options(EngineOptions {
+                threads,
+                ..EngineOptions::default()
+            });
+        assert_eq!(
+            cold.execute(GROUPED_MAX).expect("cold execute").rows,
+            warm.rows,
+            "cold@{threads}T differs from the recovered session"
+        );
+    }
+}
+
+#[test]
+fn durable_session_roundtrips_through_a_real_directory() {
+    let dir = tempfile::TempDir::new().expect("tempdir");
+    let (epoch, rows) = {
+        let session = Session::open(rs_catalog(), dir.path()).expect("open");
+        assert!(session.is_durable());
+        assert_eq!(session.epoch(), 0);
+        session
+            .insert_all([
+                fact!("R", "x1", "y1"),
+                fact!("R", "x2", "y2"),
+                fact!("S", "y1", "z1", 5),
+                fact!("S", "y2", "z1", 9),
+            ])
+            .expect("insert_all");
+        assert!(session.delete(&fact!("R", "x2", "y2")).expect("delete"));
+        assert_eq!(session.epoch(), 5);
+        assert_eq!(session.durable_epoch(), Some(5), "Always syncs per commit");
+        (
+            session.epoch(),
+            session.execute(GROUPED_MAX).expect("execute").rows,
+        )
+    };
+
+    let session = Session::open(rs_catalog(), dir.path()).expect("reopen");
+    assert_eq!(session.epoch(), epoch, "epoch survives restart");
+    assert_eq!(
+        session.execute(GROUPED_MAX).expect("execute").rows,
+        rows,
+        "answers survive restart"
+    );
+    // And the recovered session keeps committing where it left off.
+    session.insert(fact!("R", "x9", "y1")).expect("insert");
+    assert_eq!(session.epoch(), epoch + 1);
+}
+
+#[test]
+fn torn_tail_recovers_the_committed_prefix_and_serves_on() {
+    let mem = MemStorage::new();
+    let session =
+        Session::open_storage(rs_catalog(), Box::new(mem.handle()), mem_options()).expect("open");
+    session.insert(fact!("R", "x1", "y1")).expect("insert");
+    session.insert(fact!("S", "y1", "z1", 5)).expect("insert");
+    drop(session);
+
+    // Crash mid-append: cut the segment a few bytes short of the second
+    // record's end.
+    let name = segment_name(0);
+    let bytes = mem.file(&name).expect("segment exists");
+    mem.set_file(&name, bytes[..bytes.len() - 3].to_vec());
+
+    let session =
+        Session::open_storage(rs_catalog(), Box::new(mem.handle()), mem_options()).expect("reopen");
+    assert_eq!(session.epoch(), 1, "only the first commit survives");
+    assert!(session.database().contains(&fact!("R", "x1", "y1")));
+    assert!(!session.database().contains(&fact!("S", "y1", "z1", 5)));
+
+    // The recovered session accepts new commits, and *they* survive too.
+    session.insert(fact!("S", "y1", "z1", 7)).expect("insert");
+    drop(session);
+    let session =
+        Session::open_storage(rs_catalog(), Box::new(mem.handle()), mem_options()).expect("reopen");
+    assert_eq!(session.epoch(), 2);
+    assert!(session.database().contains(&fact!("S", "y1", "z1", 7)));
+}
+
+#[test]
+fn interior_corruption_is_refused_not_truncated() {
+    let mem = MemStorage::new();
+    let session =
+        Session::open_storage(rs_catalog(), Box::new(mem.handle()), mem_options()).expect("open");
+    session.insert(fact!("R", "x1", "y1")).expect("insert");
+    session.insert(fact!("R", "x2", "y2")).expect("insert");
+    drop(session);
+
+    // Flip one byte inside the FIRST record while a valid record follows:
+    // that is interior damage, not a crash artefact.
+    let name = segment_name(0);
+    let mut bytes = mem.file(&name).expect("segment exists");
+    bytes[10] ^= 0x40;
+    mem.set_file(&name, bytes);
+
+    let err = Session::open_storage(rs_catalog(), Box::new(mem.handle()), mem_options())
+        .expect_err("interior corruption must refuse recovery");
+    match err {
+        SessionError::Wal(WalError::Corrupt { file, .. }) => assert_eq!(file, name),
+        other => panic!("expected Wal(Corrupt), got {other:?}"),
+    }
+}
+
+#[test]
+fn append_failure_degrades_writes_but_never_reads() {
+    // Seed some committed state.
+    let mem = MemStorage::new();
+    let session =
+        Session::open_storage(rs_catalog(), Box::new(mem.handle()), mem_options()).expect("open");
+    session.insert(fact!("R", "x1", "y1")).expect("insert");
+    session.insert(fact!("S", "y1", "z1", 5)).expect("insert");
+    let rows = session.execute(GROUPED_MAX).expect("execute").rows;
+    drop(session);
+
+    // Remount on storage that tears the next write after 4 bytes.
+    let failing = FailingStorage::new(mem.handle()).with_byte_budget(4);
+    let session =
+        Session::open_storage(rs_catalog(), Box::new(failing), mem_options()).expect("recover");
+    assert_eq!(session.epoch(), 2);
+
+    let err = session
+        .insert(fact!("R", "x7", "y2"))
+        .expect_err("append must fail");
+    assert!(matches!(err, SessionError::Io(_)), "got {err:?}");
+    let source = std::error::Error::source(&err).expect("Io chains its source");
+    assert!(source.downcast_ref::<std::io::Error>().is_some());
+
+    // Nothing was published: the failed fact is invisible, answers are
+    // unchanged, and reads keep working.
+    assert_eq!(session.epoch(), 2);
+    assert!(!session.database().contains(&fact!("R", "x7", "y2")));
+    assert_eq!(session.execute(GROUPED_MAX).expect("execute").rows, rows);
+
+    // A no-op commit (deleting an absent fact) logs nothing, so it still
+    // succeeds even on dead storage.
+    assert!(!session.delete(&fact!("R", "nope", "y1")).expect("no-op"));
+
+    // The torn prefix was rolled back: the log still recovers to exactly
+    // the acknowledged state.
+    let session =
+        Session::open_storage(rs_catalog(), Box::new(mem.handle()), mem_options()).expect("reopen");
+    assert_eq!(session.epoch(), 2);
+    assert_eq!(session.execute(GROUPED_MAX).expect("execute").rows, rows);
+}
+
+#[test]
+fn checkpoints_prune_the_log_and_recover_atomically() {
+    let mem = MemStorage::new();
+    let options = WalOptions {
+        sync: SyncPolicy::Always,
+        checkpoint_every: 3,
+        retain_checkpoints: 2,
+    };
+    let session =
+        Session::open_storage(rs_catalog(), Box::new(mem.handle()), options).expect("open");
+    let mut mirror = DatabaseInstance::new(rs_catalog().schema());
+    for draw in 0..20u64 {
+        let f = pool_fact(draw * 3);
+        session.insert(f.clone()).expect("insert");
+        mirror.insert(f).expect("mirror insert");
+    }
+    let stats = session.stats();
+    assert!(stats.checkpoints >= 2, "stats: {stats:?}");
+    assert_eq!(stats.checkpoint_failures, 0);
+    let epoch = session.epoch();
+    drop(session);
+
+    // Early segments were pruned once checkpoints covered them...
+    assert!(
+        mem.file(&segment_name(0)).is_none(),
+        "the initial segment should have been evicted"
+    );
+    // ...and recovery over checkpoint + tail reproduces the exact state.
+    let session =
+        Session::open_storage(rs_catalog(), Box::new(mem.handle()), options).expect("reopen");
+    assert_eq!(session.epoch(), epoch);
+    assert_eq!(**session.snapshot().db(), mirror);
+    assert_answers_match_cold(&session, &Arc::new(mirror));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The central crash-recovery property. A random interleaving of
+    /// `insert`, `insert_all`, and `delete` commits runs against a durable
+    /// session; the WAL is then killed at an **arbitrary byte offset** and
+    /// the session reopened. The recovered state must be exactly the state
+    /// after a prefix of the committed batches (whole batches, in order),
+    /// and its answers byte-identical to a cold in-memory session over that
+    /// prefix at 1 and 4 executor threads.
+    #[test]
+    fn crash_at_any_byte_offset_recovers_a_committed_batch_prefix(
+        ops in proptest::collection::vec((0u64..6, 0u64..1_000_000), 1..10),
+        cut_frac in 0u64..10_000,
+    ) {
+        let mem = MemStorage::new();
+        let session =
+            Session::open_storage(rs_catalog(), Box::new(mem.handle()), mem_options())
+                .expect("open");
+        // The test's own log mirror: every *effective* event, in commit
+        // order, plus the cumulative count at each commit boundary.
+        let mut log: Vec<DeltaEvent> = Vec::new();
+        let mut boundaries: Vec<usize> = vec![0];
+        let mut mirror = DatabaseInstance::new(rs_catalog().schema());
+        for (op, draw) in ops {
+            match op {
+                0 | 1 => {
+                    let f = pool_fact(draw);
+                    session.insert(f.clone()).expect("insert conforms");
+                    if mirror.insert(f.clone()).expect("mirror insert") {
+                        log.push(DeltaEvent::insert(f));
+                    }
+                }
+                2 | 3 => {
+                    let batch: Vec<Fact> = (0..(2 + draw % 16))
+                        .map(|i| pool_fact(draw.wrapping_add(i * 37)))
+                        .collect();
+                    session.insert_all(batch.clone()).expect("batch conforms");
+                    for f in batch {
+                        if mirror.insert(f.clone()).expect("mirror insert") {
+                            log.push(DeltaEvent::insert(f));
+                        }
+                    }
+                }
+                _ => {
+                    let f = pool_fact(draw);
+                    let removed = session.delete(&f).expect("delete");
+                    prop_assert_eq!(removed, mirror.remove(&f));
+                    if removed {
+                        log.push(DeltaEvent::delete(f));
+                    }
+                }
+            }
+            if boundaries.last() != Some(&log.len()) {
+                boundaries.push(log.len());
+            }
+            prop_assert_eq!(session.epoch() as usize, log.len());
+        }
+        drop(session);
+
+        // Crash: cut the (single) segment at an arbitrary byte offset.
+        let name = segment_name(0);
+        let bytes = mem.file(&name).unwrap_or_default();
+        let cut = (bytes.len() * cut_frac as usize) / 10_000;
+        mem.set_file(&name, bytes[..cut].to_vec());
+
+        let recovered =
+            Session::open_storage(rs_catalog(), Box::new(mem.handle()), mem_options())
+                .expect("a cut tail is a torn tail: recovery must succeed");
+        let survived = recovered.epoch() as usize;
+        prop_assert!(
+            boundaries.contains(&survived),
+            "recovered epoch {} is not a commit boundary ({:?})",
+            survived,
+            boundaries
+        );
+
+        // Rebuild the expected instance from the surviving event prefix;
+        // every logged event must replay effectively.
+        let mut expected = DatabaseInstance::new(rs_catalog().schema());
+        for event in &log[..survived] {
+            prop_assert!(expected.apply(event.clone()).expect("replay").is_some());
+        }
+        prop_assert_eq!(&**recovered.snapshot().db(), &expected);
+        assert_answers_match_cold(&recovered, &Arc::new(expected));
+    }
+}

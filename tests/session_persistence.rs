@@ -132,7 +132,7 @@ proptest! {
                 // Single delete (present or not).
                 4 => {
                     let f = pool_fact(draw);
-                    let removed = session.delete(&f);
+                    let removed = session.delete(&f).unwrap();
                     prop_assert_eq!(removed, mirror.remove(&f));
                 }
                 // Drain one relation completely, one commit per fact: blocks
@@ -141,7 +141,7 @@ proptest! {
                     let name = if draw % 2 == 0 { "R" } else { "S" };
                     let facts: Vec<Fact> = mirror.facts_of(name).cloned().collect();
                     for f in facts {
-                        prop_assert!(session.delete(&f));
+                        prop_assert!(session.delete(&f).unwrap());
                         prop_assert!(mirror.remove(&f));
                         assert_matches_cold(&session, &mirror);
                     }
@@ -178,7 +178,7 @@ fn emptied_and_repopulated_relation_matches_cold_rebuild() {
         fact!("R", "x0", "y1"),
         fact!("R", "x1", "y2"),
     ] {
-        assert!(session.delete(&f));
+        assert!(session.delete(&f).unwrap());
     }
     let emptied = session.snapshot();
     assert_eq!(session.execute(GROUPED_MAX).unwrap().rows.len(), 0);

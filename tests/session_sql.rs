@@ -142,7 +142,9 @@ fn insert_invalidates_cached_answers() {
         assert_eq!(after.rows[1].lub.unwrap().value, Some(rat(96)));
 
         // A consistent-making delete is seen too.
-        assert!(session.delete(&fact!("Stock", "Tesla Y", "New York", 95)));
+        assert!(session
+            .delete(&fact!("Stock", "Tesla Y", "New York", 95))
+            .unwrap());
         let slimmer = session.execute(sql).unwrap();
         assert_eq!(slimmer.rows[1].glb.unwrap().value, Some(rat(96)));
     }
