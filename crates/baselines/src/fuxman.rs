@@ -89,16 +89,20 @@ pub fn fuxman_sum_glb(
         .map(|s| s.key_len())
         .unwrap_or(fact_atom.arity());
 
+    let interner = index.interner();
     let mut total = Rational::ZERO;
     let mut counted = 0usize;
     let mut dropped = 0usize;
-    'blocks: for block in &fact_index.blocks {
+    'blocks: for block in fact_index.blocks() {
         // Every fact of the block must match the fact atom's pattern; derive
-        // the minimum contribution.
+        // the minimum contribution. (The baseline is a reference point, not a
+        // hot path: it materialises each columnar row back into a `Fact` and
+        // reuses the value-level `match_fact`.)
         let mut min_value: Option<Rational> = None;
         let mut key_binding: Option<Binding> = None;
-        for fact in block.facts.iter() {
-            match match_fact(fact_atom, fact, &Binding::new()) {
+        for row in 0..block.cols.rows() {
+            let fact = fact_index.materialize_fact(block, row, interner);
+            match match_fact(fact_atom, &fact, &Binding::new()) {
                 Some(binding) => {
                     let value = match &query.normalised.term {
                         AggTerm::Const(c) => *c,
@@ -145,22 +149,23 @@ pub fn fuxman_sum_glb(
                 .signature(dim.relation())
                 .map(|s| s.key_len())
                 .unwrap_or(dim.arity());
-            let pattern: Vec<Option<Value>> = (0..dim_key_len)
+            // Absent constants / key values resolve to MISSING_ID, which
+            // matches no block — exactly the "not certainly satisfied" case.
+            let pattern: Vec<Option<u32>> = (0..dim_key_len)
                 .map(|p| match dim.term(p) {
-                    Term::Const(c) => Some(c.clone()),
-                    Term::Var(v) => key_binding.get(v).cloned(),
+                    Term::Const(c) => Some(interner.id_or_missing(c)),
+                    Term::Var(v) => key_binding.get(v).map(|val| interner.id_or_missing(val)),
                 })
                 .collect();
             let dim_index = index.relation(dim.relation());
             let mut any_block = false;
             let mut certain = true;
-            for b in dim_index.blocks_matching(&pattern) {
+            for b in dim_index.blocks_matching(&pattern, interner) {
                 any_block = true;
-                if !b
-                    .facts
-                    .iter()
-                    .all(|f| match_fact(dim, f, &key_binding).is_some())
-                {
+                if !(0..b.cols.rows()).all(|row| {
+                    let f = dim_index.materialize_fact(b, row, interner);
+                    match_fact(dim, &f, &key_binding).is_some()
+                }) {
                     certain = false;
                     break;
                 }

@@ -26,7 +26,10 @@
 //! plus readers-during-writer agreement; `durability` writes `BENCH_wal.json`
 //! (`BENCH_WAL_PATH`), tracking the write-ahead log's per-commit overhead
 //! under amortized and per-commit fsync policies plus the time to recover a
-//! 10⁴-event log tail.
+//! 10⁴-event log tail; `scale` writes `BENCH_scale.json` (`BENCH_SCALE_PATH`;
+//! fact budget overridable via `BENCH_SCALE_FACTS`), comparing the interned
+//! columnar layout against the pre-interning row layout on a Zipf-skewed
+//! 10⁵-fact join.
 
 use std::process::ExitCode;
 
@@ -82,6 +85,11 @@ const MODES: &[(&str, &[&str], &str)] = &[
         "durability",
         &["e15"],
         "WAL append/fsync overhead and crash-recovery time (writes BENCH_wal.json; opt-in)",
+    ),
+    (
+        "scale",
+        &["e16"],
+        "interned columnar vs row layout on a 10^5-fact skewed join (writes BENCH_scale.json; opt-in)",
     ),
 ];
 
@@ -211,6 +219,22 @@ fn main() -> ExitCode {
         let bench = rcqa_bench::bench_durability(128, 16, 10_000, 5);
         println!("{}", rcqa_bench::format_durability(&bench));
         let path = std::env::var("BENCH_WAL_PATH").unwrap_or_else(|_| "BENCH_wal.json".to_string());
+        match std::fs::write(&path, bench.to_json()) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(err) => eprintln!("  failed to write {path}: {err}"),
+        }
+    }
+    if want_opt_in("scale") {
+        // 10^5 facts by default; BENCH_SCALE_FACTS raises it to the 10^6
+        // tier when a longer run is affordable.
+        let target = std::env::var("BENCH_SCALE_FACTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100_000);
+        let bench = rcqa_bench::bench_scale(target, 5);
+        println!("{}", rcqa_bench::format_scale(&bench));
+        let path =
+            std::env::var("BENCH_SCALE_PATH").unwrap_or_else(|_| "BENCH_scale.json".to_string());
         match std::fs::write(&path, bench.to_json()) {
             Ok(()) => println!("  wrote {path}"),
             Err(err) => eprintln!("  failed to write {path}: {err}"),

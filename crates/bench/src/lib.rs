@@ -13,7 +13,7 @@ use rcqa_core::exact::exact_bounds;
 use rcqa_core::prepared::PreparedAggQuery;
 use rcqa_core::rewrite::{rewriting_for, BoundKind};
 use rcqa_core::{classify, forall};
-use rcqa_data::{fact, DatabaseInstance, NumericDomain, Schema, Signature};
+use rcqa_data::{fact, DatabaseInstance, NumericDomain, Schema, Signature, Value};
 use rcqa_gen::{fuxman_counterexample, JoinWorkload};
 use rcqa_query::{parse_agg_query, AttackGraph};
 use std::fmt::Write as _;
@@ -578,6 +578,23 @@ mod tests {
         assert!(json.contains("\"threads\": [1, 2, 4]"));
         assert!(json.contains("\"speedup_at_4\": "));
         assert!(format_parallel(&bench).contains("answers agree : true"));
+    }
+
+    #[test]
+    fn scale_bench_agrees_and_serialises() {
+        let bench = bench_scale(3_000, 1);
+        assert!(bench.facts >= 3_000);
+        assert!(bench.groups > 0);
+        assert!(
+            bench.agree,
+            "row and columnar layouts must compute identical group maps"
+        );
+        assert!(bench.row_peak_bytes > 0 && bench.columnar_peak_bytes > 0);
+        let json = bench.to_json();
+        assert!(json.contains("\"benchmark\": \"scale_interned_columnar_vs_row\""));
+        assert!(json.contains("\"speedup\": "));
+        assert!(json.contains("\"agree\": true"));
+        assert!(format_scale(&bench).contains("answers agree   : true"));
     }
 
     #[test]
@@ -1694,6 +1711,326 @@ pub fn bench_durability(
         recovery_ms,
         agree,
     }
+}
+
+/// Allocation accounting for the scale benchmark (E16): a counting wrapper
+/// around the system allocator. Peak live heap bytes are a portable proxy
+/// for peak RSS — the workspace has no external crates, so there is no
+/// platform RSS probe to lean on, and the quantity E16 compares (retained
+/// size of two data layouts plus their join working set) is heap anyway.
+pub mod alloc_stats {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static LIVE: AtomicUsize = AtomicUsize::new(0);
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    /// A [`GlobalAlloc`] that forwards to [`System`] and tracks live and
+    /// peak heap bytes in two relaxed atomics. The accounting is racy across
+    /// threads by design (relaxed loads; realloc counts the new size before
+    /// the old one is forgotten) — E16 measures single-threaded arms, and a
+    /// few bytes of slack are irrelevant at the 10⁵-fact scale.
+    pub struct CountingAllocator;
+
+    fn on_alloc(size: usize) {
+        let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+
+    // SAFETY: every method forwards verbatim to `System`; the accounting
+    // never observes or alters the returned pointers.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let ptr = unsafe { System.alloc(layout) };
+            if !ptr.is_null() {
+                on_alloc(layout.size());
+            }
+            ptr
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            let ptr = unsafe { System.alloc_zeroed(layout) };
+            if !ptr.is_null() {
+                on_alloc(layout.size());
+            }
+            ptr
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) };
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+            if !new_ptr.is_null() {
+                on_alloc(new_size);
+                LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+            }
+            new_ptr
+        }
+    }
+
+    /// Resets the peak to the current live size and returns that baseline;
+    /// `peak_bytes() - baseline` is then the incremental peak of a region.
+    pub fn reset_peak() -> usize {
+        let live = LIVE.load(Ordering::Relaxed);
+        PEAK.store(live, Ordering::Relaxed);
+        live
+    }
+
+    /// Peak live heap bytes since the last [`reset_peak`].
+    pub fn peak_bytes() -> usize {
+        PEAK.load(Ordering::Relaxed)
+    }
+}
+
+/// Installed for every `rcqa-bench` binary and test, so E16 can report a
+/// peak-heap proxy without platform-specific RSS probes.
+#[global_allocator]
+static GLOBAL_ALLOCATOR: alloc_stats::CountingAllocator = alloc_stats::CountingAllocator;
+
+/// Result of the data-layout scale benchmark (E16): the same grouped
+/// COUNT/SUM join executed over the interned columnar index vs a mirror of
+/// the pre-interning row layout, on a Zipf-skewed 10⁵–10⁶-fact instance.
+#[derive(Clone, Debug)]
+pub struct ScaleBench {
+    /// Number of facts in the instance.
+    pub facts: usize,
+    /// Number of join groups (distinct `x` keys with at least one match).
+    pub groups: usize,
+    /// Number of timed samples per arm (best sample reported).
+    pub samples: usize,
+    /// Best wall-clock time (ms) of the join over the row layout.
+    pub row_ms: f64,
+    /// Best wall-clock time (ms) of the join over the interned columns.
+    pub columnar_ms: f64,
+    /// `row_ms / columnar_ms` — the layout speedup.
+    pub speedup: f64,
+    /// Incremental peak heap bytes of the row arm (layout build + one join).
+    pub row_peak_bytes: usize,
+    /// Incremental peak heap bytes of the columnar arm (index build + one
+    /// join, including the dense id→numeric table).
+    pub columnar_peak_bytes: usize,
+    /// `row_peak_bytes / columnar_peak_bytes`.
+    pub mem_ratio: f64,
+    /// Whether both layouts produced identical per-group (COUNT, SUM) maps.
+    pub agree: bool,
+    /// The machine's available parallelism while measuring.
+    pub available_parallelism: usize,
+}
+
+impl ScaleBench {
+    /// Machine-readable JSON encoding (no external serialisation crates in
+    /// this offline workspace, so the fields are written by hand).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"scale_interned_columnar_vs_row\",\n  \"facts\": {},\n  \
+             \"groups\": {},\n  \"samples\": {},\n  \"row_ms\": {:.3},\n  \
+             \"columnar_ms\": {:.3},\n  \"speedup\": {:.2},\n  \"row_peak_bytes\": {},\n  \
+             \"columnar_peak_bytes\": {},\n  \"mem_ratio\": {:.2},\n  \"agree\": {},\n  \
+             \"available_parallelism\": {}\n}}\n",
+            self.facts,
+            self.groups,
+            self.samples,
+            self.row_ms,
+            self.columnar_ms,
+            self.speedup,
+            self.row_peak_bytes,
+            self.columnar_peak_bytes,
+            self.mem_ratio,
+            self.agree,
+            self.available_parallelism
+        )
+    }
+}
+
+/// A block of the pre-interning row layout: the key and the facts as owned
+/// `Vec<Value>` rows, exactly how `IndexedBlock` stored them before the
+/// columnar refactor.
+struct RowBlock {
+    key: Vec<Value>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// Rebuilds the pre-interning layout of one relation: blocks in key order,
+/// rows as `Vec<Value>` (the instance iterates facts sorted, so a run scan
+/// groups blocks and leaves the list key-sorted).
+fn row_layout(db: &DatabaseInstance, relation: &str) -> Vec<RowBlock> {
+    let key_len = db
+        .schema()
+        .signature(relation)
+        .expect("relation in schema")
+        .key_len();
+    let mut blocks: Vec<RowBlock> = Vec::new();
+    for f in db.facts().filter(|f| f.relation() == relation) {
+        match blocks.last_mut() {
+            Some(b) if b.key == f.args()[..key_len] => b.rows.push(f.args().to_vec()),
+            _ => blocks.push(RowBlock {
+                key: f.args()[..key_len].to_vec(),
+                rows: vec![f.args().to_vec()],
+            }),
+        }
+    }
+    blocks
+}
+
+/// E16 — data-layout scaling: the same grouped `(COUNT, SUM)` join of
+/// `R(x, y) ⋈ S(y, z, r)` executed twice on a Zipf-skewed instance sized in
+/// the 10⁵–10⁶-fact range. Both arms run the identical algorithm — for every
+/// `R` fact, binary-search the contiguous `S`-block span behind its `y`,
+/// scan the span, accumulate per-`x` — so the measured gap is the layout:
+/// the row arm compares and hashes `String`-backed [`Value`]s and walks
+/// per-fact `Vec<Value>` rows; the columnar arm compares raw `u32` ids and
+/// scans one dense column slice, materialising `Value`s only when the final
+/// group map is built. Peak heap (allocation-counter proxy for RSS) is
+/// recorded around each arm's layout build plus one join pass.
+pub fn bench_scale(target_facts: usize, samples: usize) -> ScaleBench {
+    use rcqa_core::index::DbIndex;
+    use rcqa_data::Rational;
+    use rcqa_gen::ScaleWorkload;
+    use std::collections::{BTreeMap, HashMap};
+
+    let cfg = ScaleWorkload {
+        target_facts,
+        ..Default::default()
+    };
+    let db = cfg.generate();
+    let samples = samples.max(1);
+
+    // Row arm: the pre-interning layout. Peak covers build + one join.
+    let baseline = alloc_stats::reset_peak();
+    let r_rows = row_layout(&db, "R");
+    let s_rows = row_layout(&db, "S");
+    let row_join = || -> HashMap<Value, (u64, Rational)> {
+        let mut acc: HashMap<Value, (u64, Rational)> = HashMap::new();
+        for rb in &r_rows {
+            for row in &rb.rows {
+                let y = &row[1];
+                let lo = s_rows.partition_point(|b| b.key[0] < *y);
+                let hi = lo + s_rows[lo..].partition_point(|b| b.key[0] == *y);
+                if lo == hi {
+                    continue;
+                }
+                let entry = acc.entry(row[0].clone()).or_insert((0, Rational::ZERO));
+                for sb in &s_rows[lo..hi] {
+                    for srow in &sb.rows {
+                        entry.0 += 1;
+                        entry.1 += srow[2].as_num().expect("numeric r column");
+                    }
+                }
+            }
+        }
+        acc
+    };
+    let row_result: BTreeMap<Value, (u64, Rational)> = row_join().into_iter().collect();
+    let row_peak_bytes = alloc_stats::peak_bytes().saturating_sub(baseline);
+    let mut row_ms = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let acc = row_join();
+        row_ms = row_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(!acc.is_empty(), "join produced groups");
+    }
+    drop(r_rows);
+    drop(s_rows);
+
+    // Columnar arm: the interned index. Peak covers index build, the dense
+    // id→numeric table, and one join.
+    let baseline = alloc_stats::reset_peak();
+    let idx = DbIndex::new(&db);
+    let interner = idx.interner();
+    let r_rel = idx.relation("R");
+    let s_rel = idx.relation("S");
+    // Materialise each distinct numeric id once (the result-boundary rule):
+    // the join then reads a dense table instead of decoding per fact.
+    let nums: Vec<Rational> = (0..interner.len() as u32)
+        .map(|id| interner.value(id).as_num().unwrap_or(Rational::ZERO))
+        .collect();
+    let columnar_join = || -> HashMap<u32, (u64, Rational)> {
+        let mut acc: HashMap<u32, (u64, Rational)> = HashMap::new();
+        for block in r_rel.blocks() {
+            for row in 0..block.cols.rows() {
+                let x = block.cols.id_at(row, 0);
+                let y = block.cols.id_at(row, 1);
+                let pattern = [Some(y), None];
+                let mut span = s_rel.blocks_matching(&pattern, interner).peekable();
+                if span.peek().is_none() {
+                    continue;
+                }
+                let entry = acc.entry(x).or_insert((0, Rational::ZERO));
+                for sb in span {
+                    for &rid in sb.cols.col(2) {
+                        entry.0 += 1;
+                        entry.1 += nums[rid as usize];
+                    }
+                }
+            }
+        }
+        acc
+    };
+    let columnar_result: BTreeMap<Value, (u64, Rational)> = columnar_join()
+        .into_iter()
+        .map(|(id, agg)| (interner.value(id).clone(), agg))
+        .collect();
+    let columnar_peak_bytes = alloc_stats::peak_bytes().saturating_sub(baseline);
+    let mut columnar_ms = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let acc = columnar_join();
+        columnar_ms = columnar_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(!acc.is_empty(), "join produced groups");
+    }
+
+    ScaleBench {
+        facts: db.len(),
+        groups: row_result.len(),
+        samples,
+        row_ms,
+        columnar_ms,
+        speedup: row_ms / columnar_ms.max(f64::MIN_POSITIVE),
+        row_peak_bytes,
+        columnar_peak_bytes,
+        mem_ratio: row_peak_bytes as f64 / (columnar_peak_bytes as f64).max(f64::MIN_POSITIVE),
+        agree: row_result == columnar_result,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Formats the E16 report for the harness.
+pub fn format_scale(bench: &ScaleBench) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E16 Scale: interned columnar layout vs pre-interning row layout (grouped join)"
+    )
+    .unwrap();
+    writeln!(out, "  facts           : {}", bench.facts).unwrap();
+    writeln!(out, "  groups          : {}", bench.groups).unwrap();
+    writeln!(
+        out,
+        "  row layout      : {:.3} ms, peak {:.1} MiB",
+        bench.row_ms,
+        bench.row_peak_bytes as f64 / (1 << 20) as f64
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  interned columns: {:.3} ms, peak {:.1} MiB",
+        bench.columnar_ms,
+        bench.columnar_peak_bytes as f64 / (1 << 20) as f64
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  speedup         : {:.2}x   (memory ratio {:.2}x)",
+        bench.speedup, bench.mem_ratio
+    )
+    .unwrap();
+    writeln!(out, "  answers agree   : {}", bench.agree).unwrap();
+    out
 }
 
 /// Formats the E15 report for the harness.

@@ -10,18 +10,25 @@
 //!
 //! ## Representation
 //!
-//! Query variables are interned into dense *slots* ([`VarTable`]), so a
-//! (partial) valuation is a flat `Vec<Option<Value>>` instead of a tree map.
-//! The join core ([`embeddings`], [`CertaintyChecker`]) matches facts against
-//! [`CompiledLevels`] — atoms pre-resolved to slot indices — mutating a
-//! single slot vector with trail-based backtracking, so a matched fact costs
-//! a handful of slot writes rather than a `BTreeMap` clone. The public
-//! [`Binding`] type wraps the slot vector together with its (shared) variable
-//! table and still offers map-like, by-variable access.
+//! Query variables are interned into dense *slots* ([`VarTable`]), and —
+//! matching the columnar index — **values are interned into dense `u32` ids**
+//! (see [`rcqa_data::interner`]). The join core works entirely on ids: a
+//! partial valuation is a flat `Vec<u32>` (with [`UNBOUND_ID`] for unbound
+//! slots), atoms are pre-resolved to [`CompiledLevels`] and then to id-level
+//! terms against a concrete index's interner, and matching a fact is a few
+//! `u32` column reads and slot writes with trail-based backtracking — no
+//! `Value` is cloned, hashed, or compared on the hot path. Certainty
+//! memoisation keys are id vectors for the same reason.
+//!
+//! Values materialise only at the boundary: the public [`Binding`] type
+//! (a `Vec<Option<Value>>` slot vector plus its shared variable table, with
+//! map-like by-variable access) is what analysis results carry, and the id
+//! core's outputs are converted into it once per group — after the join and
+//! the ∀embedding filter have already run on ids.
 
-use crate::index::DbIndex;
+use crate::index::{DbIndex, FactColumns, IndexedBlock};
 use crate::prepared::{Level, PreparedBody};
-use rcqa_data::{DatabaseInstance, Fact, Value};
+use rcqa_data::{DatabaseInstance, Fact, Value, ValueInterner, UNBOUND_ID};
 use rcqa_query::{Atom, Term, Var};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -93,11 +100,12 @@ impl VarTable {
 /// A (partial) valuation of query variables: a flat slot vector plus the
 /// shared [`VarTable`] that names the slots.
 ///
-/// Cloning a binding copies the slot vector (values are `Arc`-backed and
-/// cheap) and bumps the table's reference count; no tree rebalancing or
-/// per-entry node allocation happens, which is what makes the join core
-/// allocation-light compared to the previous `BTreeMap<Var, Value>`
-/// representation.
+/// This is the **boundary** representation: analysis results and the
+/// baselines use it, while the join core itself runs on interned-id slot
+/// vectors and converts to `Binding` only when handing results out. Cloning
+/// a binding copies the slot vector (values are `Arc`-backed and cheap) and
+/// bumps the table's reference count; no tree rebalancing or per-entry node
+/// allocation happens.
 #[derive(Clone, Default)]
 pub struct Binding {
     table: Arc<VarTable>,
@@ -171,19 +179,13 @@ impl Binding {
             .collect()
     }
 
-    /// Direct slot access for the join core.
+    /// Direct slot access for boundary conversions.
     #[inline]
     pub(crate) fn slots(&self) -> &[Option<Value>] {
         &self.slots
     }
 
-    /// Binds a slot directly (the slot must belong to this binding's table).
-    #[inline]
-    pub(crate) fn set_slot(&mut self, slot: usize, value: Value) {
-        self.slots[slot] = Some(value);
-    }
-
-    /// Wraps raw slots produced by the join core.
+    /// Wraps raw slots produced by a boundary conversion.
     pub(crate) fn from_slots(table: Arc<VarTable>, slots: Vec<Option<Value>>) -> Binding {
         Binding { table, slots }
     }
@@ -249,7 +251,8 @@ impl fmt::Debug for Binding {
 }
 
 /// One position of a compiled atom: a constant to compare or a slot to
-/// bind/check.
+/// bind/check. Index-independent (constants are still [`Value`]s); resolved
+/// against a concrete index's interner into [`RTerm`]s before joining.
 #[derive(Clone, Debug)]
 enum SlotTerm {
     Const(Value),
@@ -318,6 +321,12 @@ impl CompiledLevels {
         Binding::for_table(self.table.clone())
     }
 
+    /// An unbound id slot vector over this body's variables (the join core's
+    /// working representation).
+    pub(crate) fn unbound_ids(&self) -> Vec<u32> {
+        vec![UNBOUND_ID; self.table.len()]
+    }
+
     /// Number of levels.
     pub fn len(&self) -> usize {
         self.levels.len()
@@ -329,35 +338,101 @@ impl CompiledLevels {
     }
 }
 
-/// Tries to match `fact` against the compiled `level` by mutating `slots` in
-/// place; newly bound slots are recorded on `trail` (even on failure, so the
-/// caller can undo a partial match).
+/// One position of a compiled atom resolved against a concrete index's id
+/// space: constants become interned ids (or [`rcqa_data::MISSING_ID`] when
+/// the constant occurs in no fact — a constraint that matches nothing).
+#[derive(Clone, Copy, Debug)]
+enum RTerm {
+    Const(u32),
+    Slot(usize),
+}
+
+/// Resolves one level's terms against an interner.
+fn resolve_level(level: &CompiledLevel, interner: &ValueInterner) -> Vec<RTerm> {
+    level
+        .terms
+        .iter()
+        .map(|t| match t {
+            SlotTerm::Const(c) => RTerm::Const(interner.id_or_missing(c)),
+            SlotTerm::Slot(s) => RTerm::Slot(*s),
+        })
+        .collect()
+}
+
+/// Resolves every level of a compiled body against an interner. Done once
+/// per (body, index) pair — by [`CertaintyChecker::with_compiled`] and the
+/// enumeration entry points — so the join core never touches a [`Value`].
+fn resolve_terms(compiled: &CompiledLevels, interner: &ValueInterner) -> Vec<Vec<RTerm>> {
+    compiled
+        .levels
+        .iter()
+        .map(|lvl| resolve_level(lvl, interner))
+        .collect()
+}
+
+/// Converts a boundary slot vector into the join core's id representation:
+/// unbound slots become [`UNBOUND_ID`], values absent from the interner
+/// become [`rcqa_data::MISSING_ID`] (they can match no fact, which is exactly
+/// what an absent value must do).
+pub(crate) fn slots_to_ids(slots: &[Option<Value>], interner: &ValueInterner) -> Vec<u32> {
+    slots
+        .iter()
+        .map(|s| s.as_ref().map_or(UNBOUND_ID, |v| interner.id_or_missing(v)))
+        .collect()
+}
+
+/// Materialises an id slot vector back into a [`Binding`] — the result
+/// boundary. Every bound id names an interned value here: join outputs only
+/// ever bind slots to fact ids.
+pub(crate) fn ids_to_binding(
+    table: &Arc<VarTable>,
+    ids: &[u32],
+    interner: &ValueInterner,
+) -> Binding {
+    let slots = ids
+        .iter()
+        .map(|&id| {
+            if id == UNBOUND_ID {
+                None
+            } else {
+                Some(interner.value(id).clone())
+            }
+        })
+        .collect();
+    Binding::from_slots(table.clone(), slots)
+}
+
+/// Tries to match row `row` of a block's columns against the resolved
+/// `terms` by mutating the id slot vector in place; newly bound slots are
+/// recorded on `trail` (even on failure, so the caller can undo a partial
+/// match). Pure integer work: id equality is value equality, and the
+/// sentinels ([`UNBOUND_ID`], [`rcqa_data::MISSING_ID`]) never equal a fact
+/// id, so an unresolved constant or stale bound value simply never matches.
 #[inline]
-fn match_level(
-    level: &CompiledLevel,
-    fact: &Fact,
-    slots: &mut [Option<Value>],
+fn match_level_ids(
+    terms: &[RTerm],
+    cols: &FactColumns,
+    row: usize,
+    slots: &mut [u32],
     trail: &mut Vec<usize>,
 ) -> bool {
-    for (p, term) in level.terms.iter().enumerate() {
-        let actual = fact.arg(p);
-        match term {
-            SlotTerm::Const(c) => {
+    for (p, term) in terms.iter().enumerate() {
+        let actual = cols.id_at(row, p);
+        match *term {
+            RTerm::Const(c) => {
                 if c != actual {
                     return false;
                 }
             }
-            SlotTerm::Slot(s) => match &slots[*s] {
-                Some(bound) => {
-                    if bound != actual {
-                        return false;
-                    }
+            RTerm::Slot(s) => {
+                let bound = slots[s];
+                if bound == UNBOUND_ID {
+                    slots[s] = actual;
+                    trail.push(s);
+                } else if bound != actual {
+                    return false;
                 }
-                None => {
-                    slots[*s] = Some(actual.clone());
-                    trail.push(*s);
-                }
-            },
+            }
         }
     }
     true
@@ -365,21 +440,23 @@ fn match_level(
 
 /// Undoes the slot writes recorded after `mark` and truncates the trail.
 #[inline]
-fn unwind(slots: &mut [Option<Value>], trail: &mut Vec<usize>, mark: usize) {
+fn unwind(slots: &mut [u32], trail: &mut Vec<usize>, mark: usize) {
     for &s in &trail[mark..] {
-        slots[s] = None;
+        slots[s] = UNBOUND_ID;
     }
     trail.truncate(mark);
 }
 
-/// The key pattern of a compiled atom under the current slots: one entry per
-/// key position, `Some(v)` when the position is a constant or a bound slot.
-fn key_pattern(level: &CompiledLevel, slots: &[Option<Value>]) -> Vec<Option<Value>> {
-    level.terms[..level.key_len]
+/// The key id pattern of a resolved atom under the current slots: one entry
+/// per key position, `Some(id)` when the position is a constant or a bound
+/// slot. A `Some(MISSING_ID)` entry is deliberate — `blocks_matching` treats
+/// it as a constraint that matches nothing.
+fn key_pattern_ids(terms: &[RTerm], key_len: usize, slots: &[u32]) -> Vec<Option<u32>> {
+    terms[..key_len]
         .iter()
-        .map(|t| match t {
-            SlotTerm::Const(c) => Some(c.clone()),
-            SlotTerm::Slot(s) => slots[*s].clone(),
+        .map(|t| match *t {
+            RTerm::Const(c) => Some(c),
+            RTerm::Slot(s) => (slots[s] != UNBOUND_ID).then_some(slots[s]),
         })
         .collect()
 }
@@ -387,8 +464,9 @@ fn key_pattern(level: &CompiledLevel, slots: &[Option<Value>]) -> Vec<Option<Val
 /// Tries to match `fact` against `atom` under `binding`; on success returns
 /// the binding extended with the newly bound variables.
 ///
-/// This is the by-name convenience entry point (used by the baselines); the
-/// join core uses the slot-based [`CompiledLevels`] machinery instead.
+/// This is the by-name, [`Value`]-level convenience entry point (used by the
+/// baselines); the join core uses the interned [`CompiledLevels`] machinery
+/// instead.
 pub fn match_fact(atom: &Atom, fact: &Fact, binding: &Binding) -> Option<Binding> {
     let mut extended = binding.clone();
     for (p, term) in atom.terms().iter().enumerate() {
@@ -414,8 +492,15 @@ pub fn match_fact(atom: &Atom, fact: &Fact, binding: &Binding) -> Option<Binding
     Some(extended)
 }
 
-/// Memo of decided certainty sub-problems: (level, relevant slot values).
-type CertaintyMemo = HashMap<(usize, Vec<Option<Value>>), bool>;
+/// Memo of decided certainty sub-problems: (level, relevant slot ids).
+///
+/// Keys are raw ids, so probing costs a small integer hash instead of
+/// hashing values. Two distinct *absent* values both project to `MISSING_ID`
+/// and therefore share memo entries — which is sound: `match_level_ids` only
+/// ever compares a slot against fact ids (never slot against slot), and no
+/// fact id equals `MISSING_ID`, so every absent value induces the same
+/// (all-matches-fail) sub-problem.
+type CertaintyMemo = HashMap<(usize, Vec<u32>), bool>;
 
 /// Certainty checker for the suffixes `F_ℓ ∧ ... ∧ F_n` of a topologically
 /// sorted acyclic query, with memoisation on the relevant part of the binding.
@@ -427,6 +512,8 @@ type CertaintyMemo = HashMap<(usize, Vec<Option<Value>>), bool>;
 /// same sub-problem.
 pub struct CertaintyChecker<'a> {
     compiled: CompiledLevels,
+    /// The compiled terms resolved against `index`'s id space, once.
+    resolved: Vec<Vec<RTerm>>,
     index: &'a DbIndex,
     /// For each level, the slots of the variables of `F_ℓ, ..., F_n` (only
     /// these influence the answer, so they form the memo key).
@@ -445,6 +532,7 @@ impl<'a> CertaintyChecker<'a> {
     /// same [`CompiledLevels`].
     pub fn with_compiled(compiled: CompiledLevels, index: &'a DbIndex) -> CertaintyChecker<'a> {
         let n = compiled.levels.len();
+        let resolved = resolve_terms(&compiled, index.interner());
         let mut relevant_slots: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
         let mut acc: Vec<usize> = Vec::new();
         for l in (0..n).rev() {
@@ -461,6 +549,7 @@ impl<'a> CertaintyChecker<'a> {
         }
         CertaintyChecker {
             compiled,
+            resolved,
             index,
             relevant_slots,
             memo: RefCell::new(HashMap::new()),
@@ -478,19 +567,19 @@ impl<'a> CertaintyChecker<'a> {
     /// `certain_from(0, ∅)` decides `CERTAINTY(q)` for the whole query.
     pub fn certain_from(&self, level: usize, binding: &Binding) -> bool {
         let adapted = binding.adapt_to(&self.compiled.table);
-        let mut slots = adapted.slots;
+        let mut slots = slots_to_ids(adapted.slots(), self.index.interner());
         self.certain_from_slots(level, &mut slots)
     }
 
-    /// Slot-based entry point for callers that already share this checker's
-    /// table (no adaptation, no allocation beyond the memo key).
-    pub(crate) fn certain_from_slots(&self, level: usize, slots: &mut Vec<Option<Value>>) -> bool {
+    /// Id-based entry point for callers that already share this checker's
+    /// table and id space (no adaptation, no allocation beyond the memo key).
+    pub(crate) fn certain_from_slots(&self, level: usize, slots: &mut Vec<u32>) -> bool {
         if level >= self.compiled.levels.len() {
             return true;
         }
-        let key: Vec<Option<Value>> = self.relevant_slots[level]
+        let key: Vec<u32> = self.relevant_slots[level]
             .iter()
-            .map(|&s| slots[s].clone())
+            .map(|&s| slots[s])
             .collect();
         if let Some(&cached) = self.memo.borrow().get(&(level, key.clone())) {
             return cached;
@@ -500,16 +589,18 @@ impl<'a> CertaintyChecker<'a> {
         result
     }
 
-    fn certain_uncached(&self, level: usize, slots: &mut Vec<Option<Value>>) -> bool {
+    fn certain_uncached(&self, level: usize, slots: &mut Vec<u32>) -> bool {
         let lvl = &self.compiled.levels[level];
+        let terms = &self.resolved[level];
+        let interner = self.index.interner();
         let rel = self.index.relation(&lvl.relation);
-        let pattern = key_pattern(lvl, slots);
+        let pattern = key_pattern_ids(terms, lvl.key_len, slots);
         let mut trail: Vec<usize> = Vec::new();
-        for block in rel.blocks_matching(&pattern) {
+        for block in rel.blocks_matching(&pattern, interner) {
             let mut all_ok = true;
-            for fact in block.facts.iter() {
+            for row in 0..block.cols.rows() {
                 let mark = trail.len();
-                let matched = match_level(lvl, fact, slots, &mut trail);
+                let matched = match_level_ids(terms, &block.cols, row, slots, &mut trail);
                 let ok = matched && self.certain_from_slots(level + 1, slots);
                 unwind(slots, &mut trail, mark);
                 if !ok {
@@ -538,10 +629,28 @@ pub fn embeddings_compiled(
     index: &DbIndex,
     initial: &Binding,
 ) -> Vec<Binding> {
-    let mut slots = initial.adapt_to(&compiled.table).slots;
+    let interner = index.interner();
+    let initial_ids = slots_to_ids(initial.adapt_to(&compiled.table).slots(), interner);
+    embeddings_compiled_ids(compiled, index, &initial_ids)
+        .iter()
+        .map(|ids| ids_to_binding(&compiled.table, ids, interner))
+        .collect()
+}
+
+/// Id core of [`embeddings_compiled`]: enumerates all embeddings as id slot
+/// vectors, without materialising a single [`Value`].
+pub(crate) fn embeddings_compiled_ids(
+    compiled: &CompiledLevels,
+    index: &DbIndex,
+    initial: &[u32],
+) -> Vec<Vec<u32>> {
+    let resolved = resolve_terms(compiled, index.interner());
+    let mut slots = initial.to_vec();
     let mut trail = Vec::new();
     let mut out = Vec::new();
-    embed_rec(compiled, index, 0, &mut slots, &mut trail, &mut out);
+    embed_rec(
+        compiled, &resolved, index, 0, &mut slots, &mut trail, &mut out,
+    );
     out
 }
 
@@ -557,14 +666,16 @@ pub fn level0_blocks<'a>(
     compiled: &CompiledLevels,
     index: &'a DbIndex,
     initial: &Binding,
-) -> Option<Vec<&'a crate::index::IndexedBlock>> {
+) -> Option<Vec<&'a IndexedBlock>> {
     let lvl = compiled.levels.first()?;
-    let slots = initial.adapt_to(&compiled.table).slots;
-    let pattern = key_pattern(lvl, &slots);
+    let interner = index.interner();
+    let slots = slots_to_ids(initial.adapt_to(&compiled.table).slots(), interner);
+    let terms = resolve_level(lvl, interner);
+    let pattern = key_pattern_ids(&terms, lvl.key_len, &slots);
     Some(
         index
             .relation(&lvl.relation)
-            .blocks_matching(&pattern)
+            .blocks_matching(&pattern, interner)
             .collect(),
     )
 }
@@ -576,20 +687,38 @@ pub fn embeddings_from_blocks(
     compiled: &CompiledLevels,
     index: &DbIndex,
     initial: &Binding,
-    blocks: &[&crate::index::IndexedBlock],
+    blocks: &[&IndexedBlock],
 ) -> Vec<Binding> {
-    let mut slots = initial.adapt_to(&compiled.table).slots;
+    let interner = index.interner();
+    let initial_ids = slots_to_ids(initial.adapt_to(&compiled.table).slots(), interner);
+    embeddings_from_blocks_ids(compiled, index, &initial_ids, blocks)
+        .iter()
+        .map(|ids| ids_to_binding(&compiled.table, ids, interner))
+        .collect()
+}
+
+/// Id core of [`embeddings_from_blocks`].
+pub(crate) fn embeddings_from_blocks_ids(
+    compiled: &CompiledLevels,
+    index: &DbIndex,
+    initial: &[u32],
+    blocks: &[&IndexedBlock],
+) -> Vec<Vec<u32>> {
+    let mut slots = initial.to_vec();
     let mut trail = Vec::new();
     let mut out = Vec::new();
-    let Some(lvl) = compiled.levels.first() else {
-        out.push(Binding::from_slots(compiled.table.clone(), slots));
+    if compiled.levels.is_empty() {
+        out.push(slots);
         return out;
-    };
+    }
+    let resolved = resolve_terms(compiled, index.interner());
     for block in blocks {
-        for fact in block.facts.iter() {
+        for row in 0..block.cols.rows() {
             let mark = trail.len();
-            if match_level(lvl, fact, &mut slots, &mut trail) {
-                embed_rec(compiled, index, 1, &mut slots, &mut trail, &mut out);
+            if match_level_ids(&resolved[0], &block.cols, row, &mut slots, &mut trail) {
+                embed_rec(
+                    compiled, &resolved, index, 1, &mut slots, &mut trail, &mut out,
+                );
             }
             unwind(&mut slots, &mut trail, mark);
         }
@@ -599,24 +728,26 @@ pub fn embeddings_from_blocks(
 
 fn embed_rec(
     compiled: &CompiledLevels,
+    resolved: &[Vec<RTerm>],
     index: &DbIndex,
     level: usize,
-    slots: &mut Vec<Option<Value>>,
+    slots: &mut Vec<u32>,
     trail: &mut Vec<usize>,
-    out: &mut Vec<Binding>,
+    out: &mut Vec<Vec<u32>>,
 ) {
     if level >= compiled.levels.len() {
-        out.push(Binding::from_slots(compiled.table.clone(), slots.clone()));
+        out.push(slots.clone());
         return;
     }
     let lvl = &compiled.levels[level];
+    let terms = &resolved[level];
     let rel = index.relation(&lvl.relation);
-    let pattern = key_pattern(lvl, slots);
-    for block in rel.blocks_matching(&pattern) {
-        for fact in block.facts.iter() {
+    let pattern = key_pattern_ids(terms, lvl.key_len, slots);
+    for block in rel.blocks_matching(&pattern, index.interner()) {
+        for row in 0..block.cols.rows() {
             let mark = trail.len();
-            if match_level(lvl, fact, slots, trail) {
-                embed_rec(compiled, index, level + 1, slots, trail, out);
+            if match_level_ids(terms, &block.cols, row, slots, trail) {
+                embed_rec(compiled, resolved, index, level + 1, slots, trail, out);
             }
             unwind(slots, trail, mark);
         }
@@ -671,8 +802,9 @@ pub fn analyse_group(
     base: &Binding,
 ) -> ForallAnalysis {
     let compiled = checker.compiled();
-    let embeddings = embeddings_compiled(compiled, index, base);
-    analyse_group_with_embeddings(checker, base, embeddings, true)
+    let base_ids = slots_to_ids(base.adapt_to(&compiled.table).slots(), index.interner());
+    let embeddings = embeddings_compiled_ids(compiled, index, &base_ids);
+    analyse_group_with_embeddings_ids(checker, &base_ids, embeddings, true)
 }
 
 /// Like [`analyse_group`], but for a group whose embeddings have already
@@ -686,12 +818,17 @@ pub fn analyse_group_with_embeddings(
     embeddings: Vec<Binding>,
     compute_forall: bool,
 ) -> ForallAnalysis {
-    let mut base_slots = base.adapt_to(&checker.compiled().table).slots;
-    let certain = checker.certain_from_slots(0, &mut base_slots);
+    let interner = checker.index.interner();
+    let compiled = checker.compiled();
+    let mut base_ids = slots_to_ids(base.adapt_to(&compiled.table).slots(), interner);
+    let certain = checker.certain_from_slots(0, &mut base_ids);
     let forall_embeddings = if certain && compute_forall {
         embeddings
             .iter()
-            .filter(|theta| is_forall_embedding(checker, &base_slots, theta))
+            .filter(|theta| {
+                let theta_ids = slots_to_ids(theta.adapt_to(&compiled.table).slots(), interner);
+                is_forall_embedding(checker, &base_ids, &theta_ids)
+            })
             .cloned()
             .collect()
     } else {
@@ -704,28 +841,55 @@ pub fn analyse_group_with_embeddings(
     }
 }
 
-/// Checks the level-by-level certainty conditions of the ∀embedding
-/// definition for a full embedding `theta`, relative to the frozen base
-/// binding (group key) in `base_slots`.
-fn is_forall_embedding(
+/// Id core of [`analyse_group_with_embeddings`]: certainty and the
+/// ∀embedding filter run entirely on id slot vectors, and the surviving
+/// embeddings are materialised into [`Binding`]s exactly once, at the end —
+/// this is the executor's per-group result boundary.
+pub(crate) fn analyse_group_with_embeddings_ids(
     checker: &CertaintyChecker<'_>,
-    base_slots: &[Option<Value>],
-    theta: &Binding,
-) -> bool {
+    base_ids: &[u32],
+    embeddings: Vec<Vec<u32>>,
+    compute_forall: bool,
+) -> ForallAnalysis {
+    let interner = checker.index.interner();
+    let table = &checker.compiled().table;
+    let mut base = base_ids.to_vec();
+    let certain = checker.certain_from_slots(0, &mut base);
+    let forall_embeddings = if certain && compute_forall {
+        embeddings
+            .iter()
+            .filter(|theta| is_forall_embedding(checker, base_ids, theta))
+            .map(|ids| ids_to_binding(table, ids, interner))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    ForallAnalysis {
+        certain,
+        embeddings: embeddings
+            .iter()
+            .map(|ids| ids_to_binding(table, ids, interner))
+            .collect(),
+        forall_embeddings,
+    }
+}
+
+/// Checks the level-by-level certainty conditions of the ∀embedding
+/// definition for a full embedding `theta` (as ids), relative to the frozen
+/// base binding (group key) in `base_ids`.
+fn is_forall_embedding(checker: &CertaintyChecker<'_>, base_ids: &[u32], theta: &[u32]) -> bool {
     let compiled = checker.compiled();
-    debug_assert!(Arc::ptr_eq(theta.table(), &compiled.table));
-    let theta_slots = theta.slots();
-    let mut restricted = base_slots.to_vec();
+    let mut restricted = base_ids.to_vec();
     for (l, lvl) in compiled.levels.iter().enumerate() {
         // Restriction of theta to ū_{ℓ-1} ∪ x̄_ℓ (plus the frozen base).
-        restricted.clone_from_slice(base_slots);
+        restricted.copy_from_slice(base_ids);
         if l > 0 {
             for &s in &compiled.levels[l - 1].prefix_slots {
-                restricted[s] = theta_slots[s].clone();
+                restricted[s] = theta[s];
             }
         }
         for &s in &lvl.new_key_slots {
-            restricted[s] = theta_slots[s].clone();
+            restricted[s] = theta[s];
         }
         if !checker.certain_from_slots(l, &mut restricted) {
             return false;
@@ -859,7 +1023,9 @@ mod tests {
     #[test]
     fn certainty_detects_falsifying_repair() {
         // Dealers('Smith', t), Stock('Tesla Z', t, q): Tesla Z is never in
-        // stock, so no repair satisfies the query.
+        // stock, so no repair satisfies the query. ('Tesla Z' also resolves
+        // to MISSING_ID — the id core must treat it as matching nothing, not
+        // panic on it.)
         let db = db_stock();
         let q = prepared(
             "COUNT(*) <- Dealers('Smith', t), Stock('Tesla Z', t, q)",

@@ -1,6 +1,6 @@
-//! A block-oriented index over a database instance, used by the operational
-//! evaluators (embedding enumeration, certainty checks, ∀embedding
-//! computation).
+//! A block-oriented, **interned columnar** index over a database instance,
+//! used by the operational evaluators (embedding enumeration, certainty
+//! checks, ∀embedding computation).
 //!
 //! Building a [`DbIndex`] is `O(|db|)` and is the only full scan the engine
 //! performs: every evaluation entry point ([`crate::engine::RangeCqa::glb`],
@@ -12,20 +12,55 @@
 //! precisely so that an index built on one thread and *no* builds on the
 //! executor's worker threads still sum to one observable construction.
 //!
+//! ## The id-space contract
+//!
+//! The index does not store [`Value`]s. A cold build collects every distinct
+//! value of the instance into a [`ValueInterner`], and everything downstream
+//! is dense `u32` ids:
+//!
+//! * each [`IndexedBlock`]'s fact list is **columnar** — one `Vec<u32>` per
+//!   argument position ([`FactColumns`]), so the join pass and the certainty
+//!   checker scan cache-linear integer columns;
+//! * block keys are fixed-width id tuples (`Box<[u32]>`);
+//! * the deep posting lists map raw `u32`s to block positions.
+//!
+//! The contract the interner upholds (see [`rcqa_data::interner`]):
+//!
+//! * **id equality ⇔ value equality** — every distinct value has exactly one
+//!   id, so the hot paths compare and hash raw `u32`s;
+//! * **order-preserving prefix** — ids assigned at cold build time are in
+//!   ascending [`Value`] order, so within the prefix integer order *is* the
+//!   paper's `⪯` order;
+//! * **append-only** — [`DbIndex::apply_delta`] only ever *adds* ids (for
+//!   values first seen by a commit); an id, once assigned, never changes or
+//!   disappears. Appended ids carry no order information, so every ordered
+//!   structure here (block order, row order inside a block, the contiguous
+//!   first-key-component span) is maintained in **value order** via
+//!   [`ValueInterner::cmp_ids`], never raw id order — warm and cold indexes
+//!   therefore agree on all orderings even though their id *layouts* differ;
+//! * **snapshot-shared** — the interner rides inside the index behind an
+//!   `Arc`; a path-copying commit extends one clone append-only while every
+//!   other snapshot keeps the layout it pinned.
+//!
+//! Values **materialize only at the result boundary**: dirty-block keys
+//! reported to the serving layer, `GroupRange` rows, SQL output, and the
+//! structural assertions below. Everything between the instance scan and
+//! those boundaries is integer work.
+//!
 //! ## Structural sharing
 //!
 //! A [`DbIndex`] is a **persistent data structure**: each relation's
 //! [`RelationIndex`] lives behind an [`Arc`], and each [`IndexedBlock`]'s
-//! fact list behind another. Cloning an index is one pointer bump per
+//! column set behind another. Cloning an index is one pointer bump per
 //! relation, and [`DbIndex::apply_delta`] **path-copies**: it materialises a
 //! private copy of exactly the relations the delta touches (via
-//! [`Arc::make_mut`]) and, inside them, of exactly the dirty blocks' fact
-//! lists — every untouched relation and every untouched block keeps sharing
+//! [`Arc::make_mut`]) and, inside them, of exactly the dirty blocks' columns
+//! — every untouched relation and every untouched block keeps sharing
 //! storage with the index the clone came from. The serving layer relies on
 //! this to derive a successor snapshot's index in
 //! `O(|dirty relation| + |delta|)` instead of `O(|db|)` per write batch.
 
-use rcqa_data::{DatabaseInstance, DeltaEvent, DeltaOp, Fact, Value};
+use rcqa_data::{DatabaseInstance, DeltaEvent, DeltaOp, Fact, Value, ValueInterner, MISSING_ID};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,34 +70,126 @@ use std::sync::Arc;
 /// threads (including executor workers).
 static BUILD_COUNT: AtomicU64 = AtomicU64::new(0);
 
-/// One block: the facts of a relation sharing a primary-key value.
+/// The facts of one block in struct-of-arrays layout: one id column per
+/// argument position, all of equal length. Row `r` of the block is
+/// `(cols[0][r], ..., cols[arity-1][r])`, and rows are kept in ascending
+/// fact ([`Value`]) order.
+#[derive(Clone, Debug, Default)]
+pub struct FactColumns {
+    cols: Vec<Vec<u32>>,
+}
+
+impl FactColumns {
+    fn with_arity(arity: usize) -> FactColumns {
+        FactColumns {
+            cols: vec![Vec::new(); arity],
+        }
+    }
+
+    /// Number of facts in the block.
+    pub fn rows(&self) -> usize {
+        self.cols.first().map_or(0, Vec::len)
+    }
+
+    /// The id at `(row, pos)`.
+    #[inline]
+    pub fn id_at(&self, row: usize, pos: usize) -> u32 {
+        self.cols[pos][row]
+    }
+
+    /// One whole argument column.
+    pub fn col(&self, pos: usize) -> &[u32] {
+        &self.cols[pos]
+    }
+
+    /// The ids of one row, in argument order.
+    pub fn row_ids(&self, row: usize) -> impl Iterator<Item = u32> + '_ {
+        self.cols.iter().map(move |c| c[row])
+    }
+
+    fn push_row(&mut self, ids: &[u32]) {
+        debug_assert_eq!(ids.len(), self.cols.len());
+        for (col, &id) in self.cols.iter_mut().zip(ids) {
+            col.push(id);
+        }
+    }
+
+    fn insert_row(&mut self, at: usize, ids: &[u32]) {
+        debug_assert_eq!(ids.len(), self.cols.len());
+        for (col, &id) in self.cols.iter_mut().zip(ids) {
+            col.insert(at, id);
+        }
+    }
+
+    fn remove_row(&mut self, at: usize) {
+        for col in &mut self.cols {
+            col.remove(at);
+        }
+    }
+
+    /// Lexicographic [`Value`] order of row `row` against the id tuple `ids`
+    /// (same width). Row order inside a block is fact order, i.e. exactly
+    /// this comparison.
+    fn cmp_row(&self, row: usize, ids: &[u32], interner: &ValueInterner) -> std::cmp::Ordering {
+        for (col, &id) in self.cols.iter().zip(ids) {
+            match interner.cmp_ids(col[row], id) {
+                std::cmp::Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Position of the row equal to `ids`, or the insertion position keeping
+    /// rows in fact order.
+    fn search_row(&self, ids: &[u32], interner: &ValueInterner) -> Result<usize, usize> {
+        let mut lo = 0usize;
+        let mut hi = self.rows();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.cmp_row(mid, ids, interner) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+}
+
+/// One block: the facts of a relation sharing a primary-key value, as an
+/// interned key tuple plus `Arc`-shared columns.
 ///
-/// The fact list is `Arc`-shared: cloning a block (as part of cloning its
+/// The column set is `Arc`-shared: cloning a block (as part of cloning its
 /// [`RelationIndex`] for incremental maintenance) bumps a pointer instead of
-/// copying facts, and only blocks a delta actually changes are deep-copied
+/// copying columns, and only blocks a delta actually changes are deep-copied
 /// (see [`DbIndex::apply_delta`]).
 #[derive(Clone, Debug)]
 pub struct IndexedBlock {
-    /// The shared key value.
-    pub key: Vec<Value>,
-    /// The facts of the block, in sorted order.
-    pub facts: Arc<Vec<Fact>>,
+    /// The shared key value, as a fixed-width interned id tuple.
+    pub key: Box<[u32]>,
+    /// The facts of the block in columnar layout, rows in sorted fact order.
+    pub cols: Arc<FactColumns>,
 }
 
 /// Index over one relation.
 ///
-/// The block list is the primary structure: blocks are **sorted by key**
-/// (cold builds scan facts in sorted order; incremental maintenance keeps
-/// them there), so a full-key lookup is a binary search and a bound *first*
-/// key component selects a contiguous span of blocks — neither needs an
-/// auxiliary map. Only the **deeper** key positions (`1..key_len`), where
-/// matching blocks are scattered, keep posting lists. Relations with a
-/// single-column key therefore carry no lookup maps at all, which makes the
-/// write path's per-relation path copy (and its maintenance) almost free.
+/// The block list is the primary structure: blocks are **sorted by key value
+/// order** (cold builds scan facts in sorted order; incremental maintenance
+/// keeps them there via [`ValueInterner::cmp_id_tuples`]), so a full-key
+/// lookup is a binary search and a bound *first* key component selects a
+/// contiguous span of blocks — neither needs an auxiliary map. Only the
+/// **deeper** key positions (`1..key_len`), where matching blocks are
+/// scattered, keep posting lists (keyed by raw id — id equality is value
+/// equality). Relations with a single-column key therefore carry no lookup
+/// maps at all, which makes the write path's per-relation path copy (and its
+/// maintenance) almost free.
 #[derive(Clone, Debug, Default)]
 pub struct RelationIndex {
-    /// All blocks of the relation, sorted by key.
-    pub blocks: Vec<IndexedBlock>,
+    /// The relation's name, for materialising facts at the result boundary.
+    name: String,
+    /// All blocks of the relation, sorted by key (value order).
+    blocks: Vec<IndexedBlock>,
     /// Primary-key length of the relation (block keys are fact prefixes of
     /// this length).
     key_len: usize,
@@ -70,10 +197,10 @@ pub struct RelationIndex {
     /// correspond to a stored fact and are rejected outright.
     arity: usize,
     /// Posting lists for key positions `1..key_len` (entry `p - 1` serves
-    /// position `p`): value → sorted positions of the blocks holding that
-    /// value there. Position 0 has none — its matches are a contiguous
+    /// position `p`): id → sorted positions of the blocks holding that id
+    /// there. Position 0 has none — its matches are a contiguous
     /// binary-searchable span of the sorted block list.
-    deep_pos: Vec<HashMap<Value, Vec<usize>>>,
+    deep_pos: Vec<HashMap<u32, Vec<usize>>>,
 }
 
 /// How one applied event changed a relation's **block list** (as opposed to
@@ -88,56 +215,94 @@ enum Structural {
 }
 
 impl RelationIndex {
-    /// Number of facts in the relation.
-    pub fn fact_count(&self) -> usize {
-        self.blocks.iter().map(|b| b.facts.len()).sum()
+    /// The relation this index covers.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
-    /// Looks up the block with exactly the given key: a binary search of the
-    /// sorted block list.
-    pub fn block_by_key(&self, key: &[Value]) -> Option<&IndexedBlock> {
+    /// All blocks, sorted by key (value order).
+    pub fn blocks(&self) -> &[IndexedBlock] {
+        &self.blocks
+    }
+
+    /// Number of facts in the relation.
+    pub fn fact_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.cols.rows()).sum()
+    }
+
+    /// Materialises one row of a block back into a [`Fact`].
+    pub fn materialize_fact(
+        &self,
+        block: &IndexedBlock,
+        row: usize,
+        interner: &ValueInterner,
+    ) -> Fact {
+        Fact::new(
+            &self.name,
+            block.cols.row_ids(row).map(|id| interner.value(id).clone()),
+        )
+    }
+
+    /// Looks up the block with exactly the given key ids: a binary search of
+    /// the sorted block list. Patterns containing unassigned ids (e.g.
+    /// [`MISSING_ID`]) match nothing.
+    pub fn block_by_key_ids(&self, key: &[u32], interner: &ValueInterner) -> Option<&IndexedBlock> {
+        if key.iter().any(|&id| !interner.contains_id(id)) {
+            return None;
+        }
         self.blocks
-            .binary_search_by(|b| b.key.as_slice().cmp(key))
+            .binary_search_by(|b| interner.cmp_id_tuples(&b.key, key))
             .ok()
             .map(|i| &self.blocks[i])
     }
 
-    /// The contiguous span of block positions whose key starts with `v`
-    /// (blocks are sorted by key, so first-component matches are adjacent).
-    fn first_component_span(&self, v: &Value) -> Range<usize> {
-        let start = self.blocks.partition_point(|b| b.key[0] < *v);
-        let end = start + self.blocks[start..].partition_point(|b| b.key[0] <= *v);
+    /// The contiguous span of block positions whose key starts with the
+    /// (assigned) id `v` — blocks are sorted by key value order, so
+    /// first-component matches are adjacent.
+    fn first_component_span(&self, v: u32, interner: &ValueInterner) -> Range<usize> {
+        let start = self
+            .blocks
+            .partition_point(|b| interner.cmp_ids(b.key[0], v) == std::cmp::Ordering::Less);
+        let end = start
+            + self.blocks[start..]
+                .partition_point(|b| interner.cmp_ids(b.key[0], v) != std::cmp::Ordering::Greater);
         start..end
     }
 
-    /// Inserts one fact: the fact lands at its sorted position in its block,
-    /// and a new block lands at its sorted position in the block list (cold
-    /// builds scan facts in sorted order, so block order is key order).
+    /// Inserts one fact (given as interned ids): the row lands at its sorted
+    /// position in its block, and a new block lands at its sorted position in
+    /// the block list.
     ///
     /// Only the block list is maintained — lookups here binary-search it, so
     /// they never depend on the posting lists; [`DbIndex::apply_delta`] owns
     /// the posting-list maintenance for structural changes. Returns
     /// `(changed, structural)`.
-    fn insert_fact(&mut self, fact: Fact) -> (bool, Structural) {
-        let key = &fact.args()[..self.key_len];
-        match self.blocks.binary_search_by(|b| b.key.as_slice().cmp(key)) {
+    fn insert_fact_ids(&mut self, ids: &[u32], interner: &ValueInterner) -> (bool, Structural) {
+        let key = &ids[..self.key_len];
+        match self
+            .blocks
+            .binary_search_by(|b| interner.cmp_id_tuples(&b.key, key))
+        {
             Ok(i) => {
-                // Probe on the shared list first: a no-op re-insert must not
-                // split storage. Only an actual change materialises the block.
-                match self.blocks[i].facts.binary_search(&fact) {
+                // Probe on the shared columns first: a no-op re-insert must
+                // not split storage. Only an actual change materialises the
+                // block.
+                match self.blocks[i].cols.search_row(ids, interner) {
                     Ok(_) => (false, Structural::No),
                     Err(pos) => {
-                        Arc::make_mut(&mut self.blocks[i].facts).insert(pos, fact);
+                        Arc::make_mut(&mut self.blocks[i].cols).insert_row(pos, ids);
                         (true, Structural::No)
                     }
                 }
             }
             Err(pos) => {
+                let mut cols = FactColumns::with_arity(self.arity);
+                cols.push_row(ids);
                 self.blocks.insert(
                     pos,
                     IndexedBlock {
-                        key: key.to_vec(),
-                        facts: Arc::new(vec![fact]),
+                        key: key.into(),
+                        cols: Arc::new(cols),
                     },
                 );
                 (true, Structural::Inserted(pos))
@@ -146,18 +311,21 @@ impl RelationIndex {
     }
 
     /// Removes one fact (and its block, if it becomes empty). Same contract
-    /// as [`RelationIndex::insert_fact`]. Returns `(changed, structural)`.
-    fn remove_fact(&mut self, fact: &Fact) -> (bool, Structural) {
-        let key = &fact.args()[..self.key_len];
-        let Ok(i) = self.blocks.binary_search_by(|b| b.key.as_slice().cmp(key)) else {
+    /// as [`RelationIndex::insert_fact_ids`]. Returns `(changed, structural)`.
+    fn remove_fact_ids(&mut self, ids: &[u32], interner: &ValueInterner) -> (bool, Structural) {
+        let key = &ids[..self.key_len];
+        let Ok(i) = self
+            .blocks
+            .binary_search_by(|b| interner.cmp_id_tuples(&b.key, key))
+        else {
             return (false, Structural::No);
         };
-        let Ok(pos) = self.blocks[i].facts.binary_search(fact) else {
+        let Ok(pos) = self.blocks[i].cols.search_row(ids, interner) else {
             return (false, Structural::No);
         };
-        let facts = Arc::make_mut(&mut self.blocks[i].facts);
-        facts.remove(pos);
-        if facts.is_empty() {
+        let cols = Arc::make_mut(&mut self.blocks[i].cols);
+        cols.remove_row(pos);
+        if cols.rows() == 0 {
             self.blocks.remove(i);
             (true, Structural::Removed(i))
         } else {
@@ -167,7 +335,7 @@ impl RelationIndex {
 
     /// Surgically threads a just-inserted block (at `pos`) through the deep
     /// posting lists: positions at or after `pos` shift up, then the new
-    /// block's values are posted. `O(posting entries)` integer work — no
+    /// block's ids are posted. `O(posting entries)` integer work — no
     /// allocation beyond the new postings.
     fn deep_insert_block(&mut self, pos: usize) {
         for map in &mut self.deep_pos {
@@ -180,24 +348,24 @@ impl RelationIndex {
             }
         }
         let key = self.blocks[pos].key.clone();
-        for (p, v) in key.iter().enumerate().skip(1) {
-            let ids = self.deep_pos[p - 1].entry(v.clone()).or_default();
+        for (p, &v) in key.iter().enumerate().skip(1) {
+            let ids = self.deep_pos[p - 1].entry(v).or_default();
             let at = ids.partition_point(|&i| i < pos);
             ids.insert(at, pos);
         }
     }
 
     /// Surgically unthreads a just-removed block (formerly at `pos`, with
-    /// key `key`) from the deep posting lists: its postings disappear (empty
-    /// lists are dropped — cold builds never hold them), then positions after
-    /// `pos` shift down.
-    fn deep_remove_block(&mut self, pos: usize, key: &[Value]) {
-        for (p, v) in key.iter().enumerate().skip(1) {
+    /// key ids `key`) from the deep posting lists: its postings disappear
+    /// (empty lists are dropped — cold builds never hold them), then
+    /// positions after `pos` shift down.
+    fn deep_remove_block(&mut self, pos: usize, key: &[u32]) {
+        for (p, &v) in key.iter().enumerate().skip(1) {
             let map = &mut self.deep_pos[p - 1];
-            if let Some(ids) = map.get_mut(v) {
+            if let Some(ids) = map.get_mut(&v) {
                 ids.retain(|&j| j != pos);
                 if ids.is_empty() {
-                    map.remove(v);
+                    map.remove(&v);
                 }
             }
         }
@@ -219,36 +387,52 @@ impl RelationIndex {
     fn rebuild_deep_pos(&mut self) {
         self.deep_pos = vec![HashMap::new(); self.key_len.saturating_sub(1)];
         for (i, b) in self.blocks.iter().enumerate() {
-            for (p, v) in b.key.iter().enumerate().skip(1) {
-                self.deep_pos[p - 1].entry(v.clone()).or_default().push(i);
+            for (p, &v) in b.key.iter().enumerate().skip(1) {
+                self.deep_pos[p - 1].entry(v).or_default().push(i);
             }
         }
     }
 
     /// Returns an iterator over the blocks compatible with a partially-bound
-    /// key pattern: `pattern[i] = Some(v)` requires the block key to equal
-    /// `v` at position `i`, `None` leaves the position unconstrained.
+    /// key id pattern: `pattern[i] = Some(id)` requires the block key to
+    /// equal `id` at position `i`, `None` leaves the position unconstrained.
     ///
-    /// The iterator borrows both the index and the pattern and allocates
-    /// nothing beyond the (rare) fully-bound direct lookup; candidate lists
-    /// are walked in place instead of being copied out.
+    /// A pattern entry whose id is unassigned in `interner` (in particular
+    /// [`MISSING_ID`], the interned form of a constant that occurs in no
+    /// fact) matches nothing. The iterator borrows the index and the pattern
+    /// and allocates nothing beyond the (rare) fully-bound direct lookup;
+    /// candidate lists are walked in place — and candidate filtering is raw
+    /// `u32` equality — instead of being copied out.
     pub fn blocks_matching<'a, 'p>(
         &'a self,
-        pattern: &'p [Option<Value>],
+        pattern: &'p [Option<u32>],
+        interner: &ValueInterner,
     ) -> BlocksMatching<'a, 'p> {
-        // Fully bound: direct lookup, no filtering needed.
-        if !pattern.is_empty() && pattern.iter().all(Option::is_some) {
-            let key: Vec<Value> = pattern.iter().map(|v| v.clone().unwrap()).collect();
+        // An unassigned constraint id (MISSING_ID or stale) matches nothing.
+        if pattern
+            .iter()
+            .flatten()
+            .any(|&id| !interner.contains_id(id))
+        {
             return BlocksMatching {
                 blocks: &self.blocks,
                 pattern,
-                source: BlockSource::One(self.block_by_key(&key)),
+                source: BlockSource::One(None),
+            };
+        }
+        // Fully bound: direct lookup, no filtering needed.
+        if !pattern.is_empty() && pattern.iter().all(Option::is_some) {
+            let key: Vec<u32> = pattern.iter().map(|v| v.unwrap()).collect();
+            return BlocksMatching {
+                blocks: &self.blocks,
+                pattern,
+                source: BlockSource::One(self.block_by_key_ids(&key, interner)),
             };
         }
         // A bound first component restricts candidates to a contiguous span
         // of the key-sorted block list (empty span: no match anywhere).
-        let span = match pattern.first().and_then(|v| v.as_ref()) {
-            Some(v) if !self.blocks.is_empty() => self.first_component_span(v),
+        let span = match pattern.first().copied().flatten() {
+            Some(v) if !self.blocks.is_empty() => self.first_component_span(v, interner),
             Some(_) => 0..0,
             None => 0..self.blocks.len(),
         };
@@ -299,7 +483,7 @@ enum BlockSource<'a> {
 /// Iterator returned by [`RelationIndex::blocks_matching`].
 pub struct BlocksMatching<'a, 'p> {
     blocks: &'a [IndexedBlock],
-    pattern: &'p [Option<Value>],
+    pattern: &'p [Option<u32>],
     source: BlockSource<'a>,
 }
 
@@ -313,11 +497,13 @@ impl<'a> Iterator for BlocksMatching<'a, '_> {
                 BlockSource::Candidates(ids) => self.blocks.get(*ids.next()?)?,
                 BlockSource::All(range) => &self.blocks[range.next()?],
             };
+            // Raw id equality: id equality is value equality by the interner
+            // contract.
             let matches = self
                 .pattern
                 .iter()
                 .enumerate()
-                .all(|(p, v)| v.as_ref().map(|v| &candidate.key[p] == v).unwrap_or(true));
+                .all(|(p, v)| v.map(|v| candidate.key[p] == v).unwrap_or(true));
             if matches {
                 return Some(candidate);
             }
@@ -327,7 +513,9 @@ impl<'a> Iterator for BlocksMatching<'a, '_> {
 
 /// One level-0 block touched by [`DbIndex::apply_delta`]: the relation and
 /// the primary-key value of a block that gained or lost facts (including
-/// blocks that were created or emptied by the delta).
+/// blocks that were created or emptied by the delta). Keys are materialised
+/// [`Value`]s — this type crosses the result boundary into the serving
+/// layer's dirty-group bookkeeping.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct DirtyBlock {
     /// The relation the block belongs to.
@@ -344,9 +532,10 @@ pub struct DirtyBlock {
 /// that one copy. Incremental maintenance ([`DbIndex::apply_delta`]) is only
 /// ever performed on a private clone *before* the clone is published inside
 /// a new snapshot, so published indexes are immutable. The interior `Arc`s
-/// (per relation, per block fact list) never change after publication
-/// either — path copies happen on the writer's private clone — so borrowing
-/// through a published index is data-race-free by construction.
+/// (per relation, per block column set, and the interner's sorted prefix)
+/// never change after publication either — path copies happen on the
+/// writer's private clone — so borrowing through a published index is
+/// data-race-free by construction.
 ///
 /// Per-relation indexes are `Arc`-shared: cloning a `DbIndex` is one pointer
 /// bump per relation, and `apply_delta` path-copies only the relations (and,
@@ -354,6 +543,10 @@ pub struct DirtyBlock {
 #[derive(Clone, Debug, Default)]
 pub struct DbIndex {
     relations: HashMap<String, Arc<RelationIndex>>,
+    /// The id space all relations' columns are expressed in. `Arc`-shared
+    /// across snapshots; [`DbIndex::apply_delta`] extends a private clone
+    /// append-only.
+    interner: Arc<ValueInterner>,
     /// Returned for names outside the schema, so lookups are total.
     empty: RelationIndex,
 }
@@ -365,40 +558,56 @@ const _: () = {
 };
 
 impl DbIndex {
-    /// Builds the index for a database instance.
+    /// Builds the index for a database instance: one pass collecting the
+    /// sorted value universe into the interner, one pass translating facts
+    /// into columnar id storage.
     pub fn new(db: &DatabaseInstance) -> DbIndex {
         BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
+        let universe: BTreeSet<Value> = db.facts().flat_map(|f| f.args().iter().cloned()).collect();
+        let interner = ValueInterner::from_sorted(universe.into_iter().collect());
         let mut relations: HashMap<String, Arc<RelationIndex>> = HashMap::new();
+        let mut ids: Vec<u32> = Vec::new();
         for (name, sig) in db.schema().relations() {
             let key_len = sig.key_len();
             let mut rel = RelationIndex {
+                name: name.to_string(),
                 blocks: Vec::new(),
                 key_len,
                 arity: sig.arity(),
                 deep_pos: vec![HashMap::new(); key_len.saturating_sub(1)],
             };
-            let mut pending: Option<(Vec<Value>, Vec<Fact>)> = None;
             // Facts arrive in sorted order, so each block's facts form one
-            // contiguous run: accumulate the run, then freeze it into an
-            // `Arc` when the key changes.
-            let flush = |rel: &mut RelationIndex, pending: Option<(Vec<Value>, Vec<Fact>)>| {
-                let Some((key, facts)) = pending else { return };
+            // contiguous run: accumulate the run's rows, then freeze the
+            // columns into an `Arc` when the key changes. Because every
+            // value is in the interner's sorted prefix here, id order is
+            // value order and block/row order comes out right by raw ids.
+            let mut pending: Option<(Box<[u32]>, FactColumns)> = None;
+            let flush = |rel: &mut RelationIndex, pending: Option<(Box<[u32]>, FactColumns)>| {
+                let Some((key, cols)) = pending else { return };
                 let i = rel.blocks.len();
-                for (p, v) in key.iter().enumerate().skip(1) {
-                    rel.deep_pos[p - 1].entry(v.clone()).or_default().push(i);
+                for (p, &v) in key.iter().enumerate().skip(1) {
+                    rel.deep_pos[p - 1].entry(v).or_default().push(i);
                 }
                 rel.blocks.push(IndexedBlock {
                     key,
-                    facts: Arc::new(facts),
+                    cols: Arc::new(cols),
                 });
             };
             for fact in db.facts_of(name) {
-                let key = &fact.args()[..key_len];
+                ids.clear();
+                ids.extend(fact.args().iter().map(|v| {
+                    interner
+                        .id_of(v)
+                        .expect("every instance value is in the interner")
+                }));
+                let key = &ids[..key_len];
                 match &mut pending {
-                    Some((k, facts)) if k.as_slice() == key => facts.push(fact.clone()),
+                    Some((k, cols)) if &**k == key => cols.push_row(&ids),
                     _ => {
                         flush(&mut rel, pending.take());
-                        pending = Some((key.to_vec(), vec![fact.clone()]));
+                        let mut cols = FactColumns::with_arity(sig.arity());
+                        cols.push_row(&ids);
+                        pending = Some((key.into(), cols));
                     }
                 }
             }
@@ -407,21 +616,38 @@ impl DbIndex {
         }
         DbIndex {
             relations,
+            interner: Arc::new(interner),
             empty: RelationIndex::default(),
         }
     }
 
+    /// The id space of this index. Callers resolve query constants and group
+    /// keys through it ([`ValueInterner::id_or_missing`]) and materialise
+    /// results back out of it.
+    pub fn interner(&self) -> &ValueInterner {
+        &self.interner
+    }
+
     /// Applies a sequence of change events in place, without rebuilding (and
     /// without advancing [`DbIndex::build_count`] — incremental maintenance
-    /// is precisely *not* a build). After the call the index is byte-identical
-    /// to a cold [`DbIndex::new`] over the mutated instance: facts sit at
-    /// their sorted positions inside blocks, blocks at their sorted positions
-    /// inside relations, and the key/posting lookups match.
+    /// is precisely *not* a build). After the call the index is structurally
+    /// identical to a cold [`DbIndex::new`] over the mutated instance: rows
+    /// sit at their sorted positions inside blocks, blocks at their sorted
+    /// (value-order) positions inside relations, and the key/posting lookups
+    /// match. The id *layouts* may differ — the warm interner appends ids
+    /// for first-seen values while a cold build sorts everything — which is
+    /// exactly the difference [`DbIndex::assert_structurally_identical`]
+    /// quotients out by comparing materialised values.
+    ///
+    /// Interning is two-pass: first every insert's values are interned
+    /// (append-only, on a private copy of the shared interner), then events
+    /// are resolved and applied per relation. A delete whose values are not
+    /// all interned cannot name a stored fact and is a no-op.
     ///
     /// Maintenance **path-copies**: events are grouped per relation, each
     /// touched relation is materialised once (`Arc::make_mut` — untouched
     /// relations keep sharing storage with every other clone of this index),
-    /// and inside it only the dirty blocks' fact lists are deep-copied. Deep
+    /// and inside it only the dirty blocks' columns are deep-copied. Deep
     /// posting lists (key positions past the first; single-column-key
     /// relations have none) are maintained surgically while a batch's
     /// structural changes are few, and rebuilt in one `O(blocks)` pass once
@@ -439,9 +665,29 @@ impl DbIndex {
         /// posting-list surgery (each `O(postings)`) loses to one deferred
         /// `O(blocks)` rebuild.
         const SURGERY_CAP: usize = 16;
-        // Group events per relation, preserving their order within each
-        // relation (order across relations is immaterial — relations are
-        // independent).
+        // Pass 1: intern the values of every applicable insert, append-only
+        // on a private copy (other snapshots keep their pinned layout).
+        {
+            let interner = Arc::make_mut(&mut self.interner);
+            for event in events {
+                if !matches!(event.op, DeltaOp::Insert) {
+                    continue;
+                }
+                let Some(rel) = self.relations.get(event.fact.relation()) else {
+                    continue;
+                };
+                if event.fact.arity() != rel.arity {
+                    continue;
+                }
+                for v in event.fact.args() {
+                    interner.intern(v);
+                }
+            }
+        }
+        let interner = self.interner.clone();
+        // Pass 2: group events per relation, preserving their order within
+        // each relation (order across relations is immaterial — relations
+        // are independent), then resolve and apply.
         let mut by_relation: BTreeMap<&str, Vec<&DeltaEvent>> = BTreeMap::new();
         for event in events {
             by_relation
@@ -450,12 +696,13 @@ impl DbIndex {
                 .push(event);
         }
         let mut dirty: BTreeSet<DirtyBlock> = BTreeSet::new();
+        let mut ids: Vec<u32> = Vec::new();
         for (name, rel_events) in by_relation {
             let Some(shared) = self.relations.get_mut(name) else {
                 continue;
             };
             // The one per-relation path copy: blocks clone shallowly (their
-            // fact lists are `Arc`-shared) plus the deep posting lists.
+            // columns are `Arc`-shared) plus the deep posting lists.
             let rel = Arc::make_mut(shared);
             let has_deep = rel.key_len > 1;
             let mut structural_changes = 0usize;
@@ -468,9 +715,17 @@ impl DbIndex {
                     // key but not the full arity must not be indexed either.)
                     continue;
                 }
+                ids.clear();
+                ids.extend(event.fact.args().iter().map(|v| interner.id_or_missing(v)));
+                if ids.contains(&MISSING_ID) {
+                    // Only reachable for deletes (pass 1 interned every
+                    // applicable insert): the fact cannot be stored, no-op.
+                    debug_assert!(matches!(event.op, DeltaOp::Delete));
+                    continue;
+                }
                 let (changed, structural) = match event.op {
-                    DeltaOp::Insert => rel.insert_fact(event.fact.clone()),
-                    DeltaOp::Delete => rel.remove_fact(&event.fact),
+                    DeltaOp::Insert => rel.insert_fact_ids(&ids, &interner),
+                    DeltaOp::Delete => rel.remove_fact_ids(&ids, &interner),
                 };
                 if has_deep && !matches!(structural, Structural::No) {
                     structural_changes += 1;
@@ -481,8 +736,7 @@ impl DbIndex {
                             Structural::Removed(pos) => {
                                 // The emptied block's key is the event fact's
                                 // key prefix.
-                                let key = &event.fact.args()[..rel.key_len];
-                                rel.deep_remove_block(pos, key);
+                                rel.deep_remove_block(pos, &ids[..rel.key_len]);
                             }
                             Structural::No => unreachable!("guarded above"),
                         }
@@ -491,7 +745,7 @@ impl DbIndex {
                 if changed {
                     dirty.insert(DirtyBlock {
                         relation: name.to_string(),
-                        key: event.fact.args()[..rel.key_len].to_vec(),
+                        key: interner.values_of(&ids[..rel.key_len]),
                     });
                 }
             }
@@ -526,11 +780,15 @@ impl DbIndex {
     }
 
     /// Panics unless `self` is **structurally identical** to `other`: same
-    /// relations, same block order, same fact order inside every block, and
-    /// byte-identical deep posting lists — not merely answer-equivalent.
-    /// This is the invariant [`DbIndex::apply_delta`] maintains against a
-    /// cold rebuild of the mutated instance; tests (unit, integration, and
-    /// property-based) call this helper to verify it.
+    /// relations, same block order, same row order inside every block, and
+    /// identical deep posting lists — all compared on **materialised
+    /// values**, not raw ids. Id layouts legitimately differ between a warm
+    /// index (whose interner appended ids commit by commit, and may still
+    /// hold values the instance no longer contains) and a cold rebuild
+    /// (all-sorted, minimal); the structural invariant
+    /// [`DbIndex::apply_delta`] maintains is about the *value-level* shape,
+    /// which this helper checks exactly. Tests (unit, integration, and
+    /// property-based) call it to verify warm == cold.
     pub fn assert_structurally_identical(&self, other: &DbIndex) {
         let mut names: Vec<&String> = self.relations.keys().collect();
         names.sort();
@@ -544,10 +802,53 @@ impl DbIndex {
             assert_eq!(a.arity, b.arity, "{name}: arity");
             assert_eq!(a.blocks.len(), b.blocks.len(), "{name}: block count");
             for (x, y) in a.blocks.iter().zip(b.blocks.iter()) {
-                assert_eq!(x.key, y.key, "{name}: block order");
-                assert_eq!(x.facts, y.facts, "{name}: facts of block {:?}", x.key);
+                assert_eq!(
+                    self.interner.values_of(&x.key),
+                    other.interner.values_of(&y.key),
+                    "{name}: block order"
+                );
+                assert_eq!(
+                    x.cols.rows(),
+                    y.cols.rows(),
+                    "{name}: row count of block {:?}",
+                    self.interner.values_of(&x.key)
+                );
+                for row in 0..x.cols.rows() {
+                    let vx: Vec<&Value> = x
+                        .cols
+                        .row_ids(row)
+                        .map(|id| self.interner.value(id))
+                        .collect();
+                    let vy: Vec<&Value> = y
+                        .cols
+                        .row_ids(row)
+                        .map(|id| other.interner.value(id))
+                        .collect();
+                    assert_eq!(
+                        vx,
+                        vy,
+                        "{name}: row {row} of block {:?}",
+                        self.interner.values_of(&x.key)
+                    );
+                }
             }
-            assert_eq!(a.deep_pos, b.deep_pos, "{name}: deep posting lists");
+            let deep = |rel: &RelationIndex,
+                        interner: &ValueInterner|
+             -> Vec<BTreeMap<Value, Vec<usize>>> {
+                rel.deep_pos
+                    .iter()
+                    .map(|m| {
+                        m.iter()
+                            .map(|(&id, pos)| (interner.value(id).clone(), pos.clone()))
+                            .collect()
+                    })
+                    .collect()
+            };
+            assert_eq!(
+                deep(a, &self.interner),
+                deep(b, &other.interner),
+                "{name}: deep posting lists"
+            );
         }
     }
 
@@ -593,29 +894,48 @@ mod tests {
         db
     }
 
+    /// Interns a value key through an index's id space (tests only; absent
+    /// values become `MISSING_ID`, which matches nothing).
+    fn key_ids(idx: &DbIndex, key: &[Value]) -> Vec<u32> {
+        key.iter()
+            .map(|v| idx.interner().id_or_missing(v))
+            .collect()
+    }
+
     #[test]
     fn blocks_and_lookup() {
         let db = db();
         let idx = DbIndex::new(&db);
         let s = idx.relation("S");
-        assert_eq!(s.blocks.len(), 3);
+        assert_eq!(s.blocks().len(), 3);
         assert_eq!(s.fact_count(), 4);
-        let b = s
-            .block_by_key(&[Value::text("b1"), Value::text("c1")])
-            .unwrap();
-        assert_eq!(b.facts.len(), 2);
-        assert!(s
-            .block_by_key(&[Value::text("zz"), Value::text("c1")])
-            .is_none());
+        let key = key_ids(&idx, &[Value::text("b1"), Value::text("c1")]);
+        let b = s.block_by_key_ids(&key, idx.interner()).unwrap();
+        assert_eq!(b.cols.rows(), 2);
+        // Rows materialise back to the original facts, in sorted order.
+        assert_eq!(
+            s.materialize_fact(b, 0, idx.interner()),
+            fact!("S", "b1", "c1", 1)
+        );
+        assert_eq!(
+            s.materialize_fact(b, 1, idx.interner()),
+            fact!("S", "b1", "c1", 2)
+        );
+        // A key containing an absent value resolves to MISSING_ID and finds
+        // nothing.
+        let absent = key_ids(&idx, &[Value::text("zz"), Value::text("c1")]);
+        assert!(absent.contains(&MISSING_ID));
+        assert!(s.block_by_key_ids(&absent, idx.interner()).is_none());
         // Empty relation exists in the index.
-        assert_eq!(idx.relation("Empty").blocks.len(), 0);
+        assert_eq!(idx.relation("Empty").blocks().len(), 0);
         // Unknown relations resolve to an empty index instead of a panic or
         // an Option (doc contract: lookups are total).
         assert!(!idx.has_relation("Missing"));
-        assert_eq!(idx.relation("Missing").blocks.len(), 0);
+        assert_eq!(idx.relation("Missing").blocks().len(), 0);
+        let b1 = idx.interner().id_or_missing(&Value::text("b1"));
         assert_eq!(
             idx.relation("Missing")
-                .blocks_matching(&[Some(Value::text("b1"))])
+                .blocks_matching(&[Some(b1)], idx.interner())
                 .count(),
             0
         );
@@ -625,29 +945,36 @@ mod tests {
     fn partial_key_lookup() {
         let db = db();
         let idx = DbIndex::new(&db);
+        let interner = idx.interner();
+        let id = |v: Value| interner.id_or_missing(&v);
         let s = idx.relation("S");
         // All blocks with first key component b1.
         let matched: Vec<_> = s
-            .blocks_matching(&[Some(Value::text("b1")), None])
+            .blocks_matching(&[Some(id(Value::text("b1"))), None], interner)
             .collect();
         assert_eq!(matched.len(), 2);
         // Unconstrained pattern returns every block.
-        assert_eq!(s.blocks_matching(&[None, None]).count(), 3);
+        assert_eq!(s.blocks_matching(&[None, None], interner).count(), 3);
         // Second component only.
         let matched: Vec<_> = s
-            .blocks_matching(&[None, Some(Value::text("c3"))])
+            .blocks_matching(&[None, Some(id(Value::text("c3")))], interner)
             .collect();
         assert_eq!(matched.len(), 1);
-        assert_eq!(matched[0].key[0], Value::text("b2"));
-        // Value absent from the index.
+        assert_eq!(interner.value(matched[0].key[0]), &Value::text("b2"));
+        // Value absent from the index: the MISSING_ID constraint matches
+        // nothing.
         assert_eq!(
-            s.blocks_matching(&[Some(Value::text("zzz")), None]).count(),
+            s.blocks_matching(&[Some(id(Value::text("zzz"))), None], interner)
+                .count(),
             0
         );
         // Fully bound pattern.
         assert_eq!(
-            s.blocks_matching(&[Some(Value::text("b1")), Some(Value::text("c2"))])
-                .count(),
+            s.blocks_matching(
+                &[Some(id(Value::text("b1"))), Some(id(Value::text("c2")))],
+                interner
+            )
+            .count(),
             1
         );
     }
@@ -656,10 +983,11 @@ mod tests {
     // is process-wide, so differencing it is only deterministic in a test
     // binary whose other tests build no indexes concurrently.
 
-    /// Full structural equality with a cold rebuild: block order, fact order
-    /// inside blocks, key lookup, and posting lists must all match, not just
-    /// the answers they produce. (Thin wrapper over the public helper so the
-    /// call sites below keep their argument order.)
+    /// Full structural equality with a cold rebuild: block order, row order
+    /// inside blocks, key lookup, and posting lists must all match on
+    /// materialised values, not just the answers they produce. (Thin wrapper
+    /// over the public helper so the call sites below keep their argument
+    /// order.)
     fn assert_identical(incremental: &DbIndex, cold: &DbIndex) {
         incremental.assert_structurally_identical(cold);
     }
@@ -671,7 +999,10 @@ mod tests {
         let steps = [
             // Grow an existing block (sorts before the present facts).
             DeltaEvent::insert(fact!("S", "b1", "c1", 0)),
-            // New block between existing ones.
+            // New block between existing ones. ("c15" and the keys below are
+            // first-seen values: they land as *appended* interner ids, whose
+            // raw order disagrees with value order — the binary searches must
+            // still place the blocks correctly.)
             DeltaEvent::insert(fact!("S", "b1", "c15", 7)),
             // New block at the front and at the back.
             DeltaEvent::insert(fact!("S", "a0", "c0", 9)),
@@ -682,7 +1013,8 @@ mod tests {
             DeltaEvent::delete(fact!("S", "b1", "c1", 1)),
             // Empty a block entirely.
             DeltaEvent::delete(fact!("S", "b2", "c3", 5)),
-            // No-ops: deleting an absent fact, re-inserting a present one.
+            // No-ops: deleting an absent fact (whose values were never
+            // interned), re-inserting a present one.
             DeltaEvent::delete(fact!("S", "nope", "c1", 1)),
             DeltaEvent::insert(fact!("S", "b1", "c2", 3)),
         ];
@@ -696,7 +1028,8 @@ mod tests {
             );
             assert_identical(&idx, &DbIndex::new(&db));
         }
-        // A batch reports each dirty block once, sorted.
+        // A batch reports each dirty block once, sorted, with materialised
+        // keys.
         let batch = [
             DeltaEvent::insert(fact!("S", "m1", "c1", 1)),
             DeltaEvent::insert(fact!("S", "m1", "c1", 2)),
@@ -723,6 +1056,44 @@ mod tests {
     }
 
     #[test]
+    fn warm_lookups_cover_appended_ids() {
+        // After a commit introduces first-seen values, the warm index must
+        // answer pattern lookups for them (overlay ids), for pre-existing
+        // values (prefix ids), and for absent values (MISSING_ID).
+        let db = db();
+        let mut idx = DbIndex::new(&db);
+        idx.apply_delta(&[
+            DeltaEvent::insert(fact!("S", "b1", "c15", 7)),
+            DeltaEvent::insert(fact!("S", "aa", "c3", 8)),
+        ]);
+        let interner = idx.interner();
+        let id = |v: Value| interner.id_or_missing(&v);
+        let s = idx.relation("S");
+        // Appended first component: contiguous span of one.
+        assert_eq!(
+            s.blocks_matching(&[Some(id(Value::text("aa"))), None], interner)
+                .count(),
+            1
+        );
+        // Appended deep component groups with the pre-existing posting.
+        assert_eq!(
+            s.blocks_matching(&[None, Some(id(Value::text("c3")))], interner)
+                .count(),
+            2
+        );
+        assert_eq!(
+            s.blocks_matching(&[None, Some(id(Value::text("c15")))], interner)
+                .count(),
+            1
+        );
+        assert_eq!(
+            s.blocks_matching(&[Some(id(Value::text("gone"))), None], interner)
+                .count(),
+            0
+        );
+    }
+
+    #[test]
     fn apply_delta_path_copies_only_touched_relations() {
         let db = db();
         let base = DbIndex::new(&db);
@@ -736,17 +1107,18 @@ mod tests {
         assert!(!base.shares_relation_storage(&derived, "S"));
         assert!(base.shares_relation_storage(&derived, "Empty"));
         // Inside the touched relation, untouched blocks still share their
-        // fact lists; only the dirty block was deep-copied.
+        // columns; only the dirty block was deep-copied.
         let (s_base, s_derived) = (base.relation("S"), derived.relation("S"));
-        for (x, y) in s_base.blocks.iter().zip(s_derived.blocks.iter()) {
-            let shared = Arc::ptr_eq(&x.facts, &y.facts);
-            let is_dirty = x.key == vec![Value::text("b1"), Value::text("c1")];
+        let dirty_key = key_ids(&base, &[Value::text("b1"), Value::text("c1")]);
+        for (x, y) in s_base.blocks().iter().zip(s_derived.blocks().iter()) {
+            let shared = Arc::ptr_eq(&x.cols, &y.cols);
+            let is_dirty = *x.key == *dirty_key;
             assert_eq!(shared, !is_dirty, "block {:?}", x.key);
         }
         // Ineffective deltas (re-inserting a present fact, deleting an
         // absent one) still count as a touch of the relation (the copy
         // happens before the lookup), but mark nothing dirty and deep-copy
-        // no block's fact list.
+        // no block's columns.
         let mut noop = base.clone();
         let dirty = noop.apply_delta(&[
             DeltaEvent::insert(fact!("S", "b1", "c1", 1)),
@@ -755,11 +1127,11 @@ mod tests {
         assert!(dirty.is_empty());
         for (x, y) in base
             .relation("S")
-            .blocks
+            .blocks()
             .iter()
-            .zip(noop.relation("S").blocks.iter())
+            .zip(noop.relation("S").blocks().iter())
         {
-            assert!(Arc::ptr_eq(&x.facts, &y.facts), "block {:?}", x.key);
+            assert!(Arc::ptr_eq(&x.cols, &y.cols), "block {:?}", x.key);
         }
         // The base index is unchanged throughout.
         base.assert_structurally_identical(&DbIndex::new(&db));
@@ -769,7 +1141,7 @@ mod tests {
     fn bulk_batches_match_cold_rebuilds() {
         // A batch comparable in size to the instance — the shape that used to
         // trigger the serving layer's drop-the-index fallback — must still
-        // leave the index byte-identical to a cold rebuild.
+        // leave the index structurally identical to a cold rebuild.
         let mut db = db();
         let mut idx = DbIndex::new(&db);
         let mut batch = Vec::new();
@@ -805,6 +1177,7 @@ mod tests {
     fn apply_delta_ignores_unknown_relations() {
         let db = db();
         let mut idx = DbIndex::new(&db);
+        let before_len = idx.interner().len();
         let dirty = idx.apply_delta(&[
             DeltaEvent::insert(fact!("Missing", "x", "y")),
             // Arity shorter than the key cannot match any stored fact.
@@ -816,6 +1189,8 @@ mod tests {
             DeltaEvent::insert(fact!("S", "b1", "c1", 8, 9)),
         ]);
         assert!(dirty.is_empty());
+        // None of the inapplicable events interned anything.
+        assert_eq!(idx.interner().len(), before_len);
         assert_identical(&idx, &DbIndex::new(&db));
     }
 }

@@ -12,9 +12,23 @@
 //! [`CertaintyChecker`]** over the shared index: certainty sub-problems are
 //! reused across the groups of one shard, and no locks are taken on the hot
 //! path. The final [`PlanNode::RangeMerge`] concatenates the shard outputs in
-//! shard order; because the partition step emits groups in sorted key order
-//! and shards are contiguous, the merged answer is **byte-identical** to the
-//! sequential one at every thread count.
+//! shard order; because the partition step emits groups in sorted group-key
+//! **value** order (interned ids are compared through
+//! [`ValueInterner::cmp_id_tuples`], so the order is independent of the id
+//! layout) and shards are contiguous, the merged answer is **byte-identical**
+//! to the sequential one at every thread count — and to the answer of a cold
+//! rebuild whose interner assigned different ids.
+//!
+//! ## Id discipline
+//!
+//! The join pass, group partitioning, and the ∀embedding filter all run on
+//! interned `u32` ids (see [`crate::index`]): a group is a `(Vec<u32>,
+//! Vec<Vec<u32>>)` — key ids plus embedding id vectors — and group keys are
+//! hashed/compared as raw integers (id equality is value equality). Values
+//! materialise at the **result boundary** only: per group, the key becomes
+//! [`Value`]s when its [`GroupRange`] row is built (the exact fallback's
+//! group substitution also needs them), and the group's analysis materialises
+//! its surviving embeddings once, after the id-level certainty work.
 //!
 //! Worker count comes from
 //! [`EngineOptions::threads`](crate::engine::EngineOptions::threads)
@@ -27,10 +41,10 @@
 //! executions: the serving layer (`rcqa-session`) freezes an `Arc<DbIndex>`
 //! per snapshot and runs every client's plan — each with its own worker pool
 //! — against the same copy. Snapshot indexes are themselves structurally
-//! shared (per-relation and per-block-fact-list `Arc`s, see
-//! [`crate::index`]), so "the same copy" may physically overlap the indexes
-//! of neighbouring snapshots; that sharing is invisible here because
-//! published indexes — interior `Arc`s included — are never mutated.
+//! shared (per-relation and per-block-column `Arc`s, see [`crate::index`]),
+//! so "the same copy" may physically overlap the indexes of neighbouring
+//! snapshots; that sharing is invisible here because published indexes —
+//! interior `Arc`s included — are never mutated.
 //!
 //! [`PlanNode::PartitionByGroup`]: crate::plan::physical::PlanNode::PartitionByGroup
 //! [`PlanNode::RangeMerge`]: crate::plan::physical::PlanNode::RangeMerge
@@ -39,17 +53,22 @@ use crate::engine::{substitute_group, BoundAnswer, EngineOptions, GroupRange, Me
 use crate::error::CoreError;
 use crate::exact::{exact_bounds, ExactBounds};
 use crate::forall::{
-    analyse_group_with_embeddings, embeddings_compiled, embeddings_from_blocks, level0_blocks,
-    Binding, CertaintyChecker, CompiledLevels, ForallAnalysis,
+    analyse_group_with_embeddings_ids, embeddings_compiled_ids, embeddings_from_blocks_ids,
+    ids_to_binding, level0_blocks, Binding, CertaintyChecker, CompiledLevels, ForallAnalysis,
 };
 use crate::glb::{global_extremum, optimal_aggregate, Choice};
 use crate::index::DbIndex;
 use crate::plan::physical::{BoundOp, ExecSpec, PhysicalPlan};
 use crate::prepared::PreparedAggQuery;
 use crate::rewrite::BoundKind;
-use rcqa_data::{DatabaseInstance, Value};
+use rcqa_data::{DatabaseInstance, Value, ValueInterner, UNBOUND_ID};
 use rcqa_query::Var;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// One partitioned group in the executor's working representation: the group
+/// key and the group's embeddings, all as interned ids over the closed
+/// body's slot table.
+type IdGroup = (Vec<u32>, Vec<Vec<u32>>);
 
 /// Everything the executor needs besides the plan itself.
 #[derive(Clone, Copy)]
@@ -75,9 +94,9 @@ pub fn execute(plan: &PhysicalPlan, cx: &ExecContext<'_>) -> Result<Vec<GroupRan
     // parallel), embeddings partitioned by group key.
     let compiled = CompiledLevels::new(cx.prepared.body.levels());
     let free = cx.prepared.normalised.body.free_vars().to_vec();
-    let groups: Vec<(Vec<Value>, Vec<Binding>)> = if free.is_empty() {
+    let groups: Vec<IdGroup> = if free.is_empty() {
         let embs = if spec.needs_analysis {
-            embeddings_compiled(&compiled, cx.index, &compiled.binding())
+            embeddings_compiled_ids(&compiled, cx.index, &compiled.unbound_ids())
         } else {
             Vec::new()
         };
@@ -120,29 +139,42 @@ pub fn execute_for_groups(
         // apply.
         return execute(plan, cx);
     }
+    let interner = cx.index.interner();
+    // Resolve the requested keys into id space. A key containing a value the
+    // index has never seen can match no group (every group key is assembled
+    // from fact values), so it simply drops out of the filter set.
+    let key_ids: HashSet<Vec<u32>> = keys
+        .iter()
+        .filter_map(|key| key.iter().map(|v| interner.id_of(v)).collect())
+        .collect();
     let compiled = CompiledLevels::new(cx.prepared.body.levels());
     let open = CompiledLevels::new(cx.prepared.open_levels());
-    let initial = open.binding();
-    let groups: Vec<(Vec<Value>, Vec<Binding>)> = match level0_blocks(&open, cx.index, &initial) {
+    let groups: Vec<IdGroup> = match level0_blocks(&open, cx.index, &open.binding()) {
         Some(blocks) => {
             let selected: Vec<_> = blocks
                 .into_iter()
                 .filter(|b| {
-                    let projection: Vec<Value> =
-                        key_positions.iter().map(|&p| b.key[p].clone()).collect();
-                    keys.contains(&projection)
+                    let projection: Vec<u32> = key_positions.iter().map(|&p| b.key[p]).collect();
+                    key_ids.contains(&projection)
                 })
                 .collect();
             let (free_slots, remap) = group_projection(&open, &compiled, &free);
-            let embs = embeddings_from_blocks(&open, cx.index, &initial, &selected);
-            bucket_embeddings(&compiled, &free_slots, &remap, embs, spec.keep_embeddings)
-                .into_iter()
-                .collect()
+            let embs = embeddings_from_blocks_ids(&open, cx.index, &open.unbound_ids(), &selected);
+            sorted_groups(
+                bucket_embeddings(
+                    compiled.table().len(),
+                    &free_slots,
+                    &remap,
+                    embs,
+                    spec.keep_embeddings,
+                ),
+                interner,
+            )
         }
         None => {
             // No levels to filter on: partition everything and keep the
             // requested groups.
-            partition_groups(
+            partition_groups_ids(
                 cx.prepared,
                 cx.index,
                 &compiled,
@@ -150,7 +182,7 @@ pub fn execute_for_groups(
                 spec.keep_embeddings,
             )
             .into_iter()
-            .filter(|(key, _)| keys.contains(key))
+            .filter(|(key, _)| key_ids.contains(key))
             .collect()
         }
     };
@@ -166,7 +198,7 @@ fn eval_groups(
     cx: &ExecContext<'_>,
     compiled: &CompiledLevels,
     free: &[Var],
-    groups: Vec<(Vec<Value>, Vec<Binding>)>,
+    groups: Vec<IdGroup>,
     requested_workers: usize,
 ) -> Result<Vec<GroupRange>, CoreError> {
     // Slots of the free variables in the closed body's table, for seeding
@@ -231,18 +263,22 @@ fn eval_shard(
     checker: &CertaintyChecker<'_>,
     compiled: &CompiledLevels,
     free_slots: &[Option<usize>],
-    groups: Vec<(Vec<Value>, Vec<Binding>)>,
+    groups: Vec<IdGroup>,
 ) -> Result<Vec<GroupRange>, CoreError> {
+    let interner = cx.index.interner();
     let mut out = Vec::with_capacity(groups.len());
-    for (key, embs) in groups {
+    for (key_ids, embs) in groups {
+        // The result boundary: the group key materialises here, for the
+        // GroupRange row and (below) the exact fallback's substitution.
+        let key = interner.values_of(&key_ids);
         let analysis = if spec.needs_analysis {
-            let mut base = compiled.binding();
-            for (slot, value) in free_slots.iter().zip(key.iter()) {
+            let mut base = compiled.unbound_ids();
+            for (slot, &id) in free_slots.iter().zip(key_ids.iter()) {
                 if let Some(s) = slot {
-                    base.set_slot(*s, value.clone());
+                    base[*s] = id;
                 }
             }
-            Some(analyse_group_with_embeddings(
+            Some(analyse_group_with_embeddings_ids(
                 checker,
                 &base,
                 embs,
@@ -380,40 +416,83 @@ fn group_projection(
     (free_slots, remap)
 }
 
-/// Buckets a batch of open-body embeddings by group key, re-expressing each
-/// kept embedding over the closed body's slot table.
+/// Buckets a batch of open-body embeddings (as id vectors) by group key,
+/// re-expressing each kept embedding over the closed body's slot table.
+///
+/// Keys are raw id tuples hashed as integers — exact, since id equality is
+/// value equality. Buckets preserve arrival order; the key *order* across
+/// buckets is imposed afterwards by [`sorted_groups`].
 fn bucket_embeddings(
-    closed: &CompiledLevels,
+    closed_len: usize,
     free_slots: &[usize],
     remap: &[Option<usize>],
-    open_embeddings: Vec<Binding>,
+    open_embeddings: Vec<Vec<u32>>,
     keep_embeddings: bool,
-) -> BTreeMap<Vec<Value>, Vec<Binding>> {
-    let mut groups: BTreeMap<Vec<Value>, Vec<Binding>> = BTreeMap::new();
+) -> HashMap<Vec<u32>, Vec<Vec<u32>>> {
+    let mut groups: HashMap<Vec<u32>, Vec<Vec<u32>>> = HashMap::new();
     for theta in open_embeddings {
-        let slots = theta.slots();
-        let key: Vec<Value> = free_slots
-            .iter()
-            .map(|&s| slots[s].clone().expect("free variable bound by embedding"))
-            .collect();
+        let key: Vec<u32> = free_slots.iter().map(|&s| theta[s]).collect();
+        debug_assert!(
+            !key.contains(&UNBOUND_ID),
+            "free variables are bound by every embedding"
+        );
         let bucket = groups.entry(key).or_default();
         if keep_embeddings {
-            let mut closed_slots: Vec<Option<Value>> = vec![None; closed.table().len()];
+            let mut closed_slots: Vec<u32> = vec![UNBOUND_ID; closed_len];
             for (o, c) in remap.iter().enumerate() {
                 if let Some(c) = c {
-                    closed_slots[*c] = slots[o].clone();
+                    closed_slots[*c] = theta[o];
                 }
             }
-            bucket.push(Binding::from_slots(closed.table().clone(), closed_slots));
+            bucket.push(closed_slots);
         }
     }
     groups
 }
 
+/// Orders bucketed groups by group-key **value** order (via
+/// [`ValueInterner::cmp_id_tuples`]): the output order is therefore
+/// independent of both the hash map's iteration order and the interner's id
+/// layout, which is what keeps answers byte-identical across thread counts
+/// and across warm/cold indexes.
+fn sorted_groups(
+    groups: HashMap<Vec<u32>, Vec<Vec<u32>>>,
+    interner: &ValueInterner,
+) -> Vec<IdGroup> {
+    let mut out: Vec<IdGroup> = groups.into_iter().collect();
+    out.sort_by(|a, b| interner.cmp_id_tuples(&a.0, &b.0));
+    out
+}
+
 /// Enumerates the open body once over the shared index and partitions the
 /// embeddings by group key, re-expressed over the closed body's slot table
 /// (so downstream certainty checks need no per-group re-preparation). This is
-/// the sequential `PartitionByGroup` operator.
+/// the sequential `PartitionByGroup` operator, in id space.
+fn partition_groups_ids(
+    prepared: &PreparedAggQuery,
+    index: &DbIndex,
+    closed: &CompiledLevels,
+    free: &[Var],
+    keep_embeddings: bool,
+) -> Vec<IdGroup> {
+    let open = CompiledLevels::new(prepared.open_levels());
+    let (free_slots, remap) = group_projection(&open, closed, free);
+    let open_embeddings = embeddings_compiled_ids(&open, index, &open.unbound_ids());
+    sorted_groups(
+        bucket_embeddings(
+            closed.table().len(),
+            &free_slots,
+            &remap,
+            open_embeddings,
+            keep_embeddings,
+        ),
+        index.interner(),
+    )
+}
+
+/// Value-level wrapper over [`partition_groups_ids`] for callers outside the
+/// executor (the engine's candidate-group enumeration): group keys — and,
+/// when kept, embeddings — are materialised at return.
 pub(crate) fn partition_groups(
     prepared: &PreparedAggQuery,
     index: &DbIndex,
@@ -421,18 +500,18 @@ pub(crate) fn partition_groups(
     free: &[Var],
     keep_embeddings: bool,
 ) -> Vec<(Vec<Value>, Vec<Binding>)> {
-    let open = CompiledLevels::new(prepared.open_levels());
-    let (free_slots, remap) = group_projection(&open, closed, free);
-    let open_embeddings = embeddings_compiled(&open, index, &open.binding());
-    bucket_embeddings(
-        closed,
-        &free_slots,
-        &remap,
-        open_embeddings,
-        keep_embeddings,
-    )
-    .into_iter()
-    .collect()
+    let interner = index.interner();
+    partition_groups_ids(prepared, index, closed, free, keep_embeddings)
+        .into_iter()
+        .map(|(key, embs)| {
+            (
+                interner.values_of(&key),
+                embs.iter()
+                    .map(|ids| ids_to_binding(closed.table(), ids, interner))
+                    .collect(),
+            )
+        })
+        .collect()
 }
 
 /// The parallel `Scan + Join + PartitionByGroup` phase: the shared index is
@@ -440,7 +519,7 @@ pub(crate) fn partition_groups(
 /// and buckets its range, and the per-shard maps are merged in shard order.
 /// Because the sequential enumeration also walks level-0 blocks in that
 /// order, the merged partitions — keys *and* the embedding order within each
-/// group — are byte-identical to [`partition_groups`].
+/// group — are byte-identical to [`partition_groups_ids`].
 fn partition_groups_sharded(
     prepared: &PreparedAggQuery,
     index: &DbIndex,
@@ -448,27 +527,28 @@ fn partition_groups_sharded(
     free: &[Var],
     keep_embeddings: bool,
     workers: usize,
-) -> Vec<(Vec<Value>, Vec<Binding>)> {
+) -> Vec<IdGroup> {
     let open = CompiledLevels::new(prepared.open_levels());
-    let initial = open.binding();
-    let blocks = match level0_blocks(&open, index, &initial) {
+    let blocks = match level0_blocks(&open, index, &open.binding()) {
         Some(blocks) => blocks,
-        None => return partition_groups(prepared, index, closed, free, keep_embeddings),
+        None => return partition_groups_ids(prepared, index, closed, free, keep_embeddings),
     };
     let workers = workers.clamp(1, blocks.len().max(1));
     if workers <= 1 {
-        return partition_groups(prepared, index, closed, free, keep_embeddings);
+        return partition_groups_ids(prepared, index, closed, free, keep_embeddings);
     }
     let (free_slots, remap) = group_projection(&open, closed, free);
+    let initial = open.unbound_ids();
+    let closed_len = closed.table().len();
     let shards = shard(blocks, workers);
     let (open, initial, free_slots, remap) = (&open, &initial, &free_slots, &remap);
-    let shard_maps: Vec<BTreeMap<Vec<Value>, Vec<Binding>>> = std::thread::scope(|s| {
+    let shard_maps: Vec<HashMap<Vec<u32>, Vec<Vec<u32>>>> = std::thread::scope(|s| {
         let handles: Vec<_> = shards
             .into_iter()
             .map(|blocks| {
                 s.spawn(move || {
-                    let embs = embeddings_from_blocks(open, index, initial, &blocks);
-                    bucket_embeddings(closed, free_slots, remap, embs, keep_embeddings)
+                    let embs = embeddings_from_blocks_ids(open, index, initial, &blocks);
+                    bucket_embeddings(closed_len, free_slots, remap, embs, keep_embeddings)
                 })
             })
             .collect();
@@ -479,13 +559,17 @@ fn partition_groups_sharded(
     });
     // RangeMerge discipline: merge shard maps in shard order, so each group's
     // embeddings appear in level-0 block order exactly as sequentially.
-    let mut merged: BTreeMap<Vec<Value>, Vec<Binding>> = BTreeMap::new();
+    let mut merged: HashMap<Vec<u32>, Vec<Vec<u32>>> = HashMap::new();
     for map in shard_maps {
-        for (key, mut embs) in map {
-            merged.entry(key).or_default().append(&mut embs);
+        let mut entries: Vec<(Vec<u32>, Vec<Vec<u32>>)> = map.into_iter().collect();
+        // Within one shard the map's iteration order is arbitrary, but each
+        // bucket's contents are already in block order; bucket-to-bucket
+        // order inside a shard is immaterial because buckets are disjoint.
+        for (key, embs) in entries.drain(..) {
+            merged.entry(key).or_default().extend(embs);
         }
     }
-    merged.into_iter().collect()
+    sorted_groups(merged, index.interner())
 }
 
 #[cfg(test)]

@@ -245,22 +245,23 @@ impl DatabaseInstance {
         let Some(facts) = self.relations.get(name) else {
             return Vec::new();
         };
-        let mut by_key: BTreeMap<Vec<Value>, Vec<Fact>> = BTreeMap::new();
-        for f in facts.iter() {
-            by_key
-                .entry(f.key(sig).to_vec())
-                .or_default()
-                .push(f.clone());
-        }
+        // Facts are stored sorted and the key is an args prefix, so facts of
+        // a block are contiguous: one linear run-scan groups them with a
+        // single key allocation per block (no `BTreeMap<Vec<Value>, _>`
+        // probing and re-cloning of every key).
         let rel = self.schema.intern(name).expect("relation in schema");
-        by_key
-            .into_iter()
-            .map(|(key, facts)| Block {
-                relation: rel.clone(),
-                key,
-                facts,
-            })
-            .collect()
+        let mut blocks: Vec<Block> = Vec::new();
+        for f in facts.iter() {
+            match blocks.last_mut() {
+                Some(b) if b.key.as_slice() == f.key(sig) => b.facts.push(f.clone()),
+                _ => blocks.push(Block {
+                    relation: rel.clone(),
+                    key: f.key(sig).to_vec(),
+                    facts: vec![f.clone()],
+                }),
+            }
+        }
+        blocks
     }
 
     /// All blocks of the instance, grouped per relation, in relation-name

@@ -1,0 +1,281 @@
+//! Dense `u32` interning of [`Value`]s — the id space the columnar index
+//! stores and the join core compares.
+//!
+//! A [`ValueInterner`] assigns each distinct [`Value`] a dense `u32` id. Ids
+//! come in two ranges:
+//!
+//! * the **sorted prefix** `0..sorted_len()`: assigned at cold build time in
+//!   ascending [`Value`] order, so *within the prefix* numeric id order *is*
+//!   value order (the paper's `⪯` tie-breaking survives interning for free);
+//! * the **append-only overlay** `sorted_len()..len()`: ids handed out by
+//!   [`ValueInterner::intern`] for values first seen by a later commit, in
+//!   arrival order. Overlay ids carry no order information — comparisons
+//!   involving them fall back to materialising the values — but they are
+//!   **stable**: an id, once assigned, never changes or disappears, so
+//!   structurally-shared snapshots of interned storage can span commits.
+//!
+//! Id equality always coincides with value equality (each distinct value has
+//! exactly one id), which is what lets the hot paths hash and compare raw
+//! `u32`s. Exact ordering is provided by [`ValueInterner::cmp_ids`], which is
+//! a plain integer comparison whenever both ids sit in the sorted prefix.
+//!
+//! Two ids are reserved as caller-side sentinels and never assigned:
+//! [`UNBOUND_ID`] (an unbound join slot) and [`MISSING_ID`] (a query constant
+//! absent from the interner, which therefore matches nothing).
+
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Sentinel id for an unbound join slot. Never assigned to a value.
+pub const UNBOUND_ID: u32 = u32::MAX;
+
+/// Sentinel id for a value that is **not** in the interner (e.g. a query
+/// constant that occurs in no fact). Never assigned to a value; comparing any
+/// fact id against it fails, so a `MISSING_ID` constraint matches nothing.
+pub const MISSING_ID: u32 = u32::MAX - 1;
+
+/// Largest number of distinct values an interner may hold (leaves the two
+/// sentinel ids unassignable).
+pub const MAX_INTERNED: usize = (u32::MAX - 2) as usize;
+
+/// A dense, order-aware, append-only mapping `Value ↔ u32`.
+///
+/// Cloning is cheap: the sorted prefix is `Arc`-shared, and only the (small)
+/// overlay vectors are copied. This is what keeps the serving layer's
+/// per-commit path copy of the index flat even though the interner rides
+/// inside it.
+#[derive(Clone, Debug, Default)]
+pub struct ValueInterner {
+    /// Ids `0..sorted.len()`, in ascending `Value` order. Frozen at build.
+    sorted: Arc<Vec<Value>>,
+    /// Ids `sorted.len()..`, in arrival order.
+    appended: Vec<Value>,
+    /// The overlay's ids, sorted by their value — the overlay's lookup side.
+    appended_by_value: Vec<u32>,
+}
+
+impl ValueInterner {
+    /// An empty interner.
+    pub fn new() -> ValueInterner {
+        ValueInterner::default()
+    }
+
+    /// Builds an interner whose sorted prefix is exactly `values`.
+    ///
+    /// `values` must be strictly ascending (sorted and duplicate-free); cold
+    /// builds obtain it by draining a `BTreeSet<Value>`.
+    pub fn from_sorted(values: Vec<Value>) -> ValueInterner {
+        debug_assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "sorted prefix must be strictly ascending"
+        );
+        assert!(values.len() <= MAX_INTERNED, "interner capacity exhausted");
+        ValueInterner {
+            sorted: Arc::new(values),
+            appended: Vec::new(),
+            appended_by_value: Vec::new(),
+        }
+    }
+
+    /// Number of ids in the sorted prefix (ids below this compare by plain
+    /// integer order).
+    pub fn sorted_len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Total number of interned values.
+    pub fn len(&self) -> usize {
+        self.sorted.len() + self.appended.len()
+    }
+
+    /// Returns `true` if nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The id of `v`, if interned.
+    pub fn id_of(&self, v: &Value) -> Option<u32> {
+        if let Ok(i) = self.sorted.binary_search(v) {
+            return Some(i as u32);
+        }
+        self.appended_by_value
+            .binary_search_by(|&id| self.value(id).cmp(v))
+            .ok()
+            .map(|i| self.appended_by_value[i])
+    }
+
+    /// The id of `v`, or [`MISSING_ID`] when `v` is not interned — the form
+    /// lookup code wants: a missing constant becomes a constraint that
+    /// matches nothing instead of an `Option` to thread around.
+    pub fn id_or_missing(&self, v: &Value) -> u32 {
+        self.id_of(v).unwrap_or(MISSING_ID)
+    }
+
+    /// Interns `v`, returning its (existing or freshly appended) id.
+    /// Append-only: already-assigned ids are never disturbed.
+    pub fn intern(&mut self, v: &Value) -> u32 {
+        if let Some(id) = self.id_of(v) {
+            return id;
+        }
+        assert!(self.len() < MAX_INTERNED, "interner capacity exhausted");
+        let id = self.len() as u32;
+        self.appended.push(v.clone());
+        let at = self
+            .appended_by_value
+            .binary_search_by(|&other| self.value(other).cmp(v))
+            .expect_err("v is not interned");
+        self.appended_by_value.insert(at, id);
+        id
+    }
+
+    /// The value behind an id.
+    ///
+    /// # Panics
+    /// Panics if `id` was never assigned (including the sentinels).
+    pub fn value(&self, id: u32) -> &Value {
+        let id = id as usize;
+        if id < self.sorted.len() {
+            &self.sorted[id]
+        } else {
+            &self.appended[id - self.sorted.len()]
+        }
+    }
+
+    /// Returns `true` if `id` names an interned value (sentinels and
+    /// out-of-range ids do not).
+    pub fn contains_id(&self, id: u32) -> bool {
+        (id as usize) < self.len()
+    }
+
+    /// Exact value order of two assigned ids: a plain integer comparison when
+    /// both sit in the sorted prefix, a materialised [`Value`] comparison
+    /// otherwise. Equal ids are equal values by construction.
+    pub fn cmp_ids(&self, a: u32, b: u32) -> Ordering {
+        if a == b {
+            return Ordering::Equal;
+        }
+        if (a as usize) < self.sorted.len() && (b as usize) < self.sorted.len() {
+            return a.cmp(&b);
+        }
+        self.value(a).cmp(self.value(b))
+    }
+
+    /// Lexicographic value order of two id tuples (the block-key order of the
+    /// columnar index).
+    pub fn cmp_id_tuples(&self, a: &[u32], b: &[u32]) -> Ordering {
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            match self.cmp_ids(x, y) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        a.len().cmp(&b.len())
+    }
+
+    /// Materialises an id tuple back into values.
+    pub fn values_of(&self, ids: &[u32]) -> Vec<Value> {
+        ids.iter().map(|&id| self.value(id).clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn build(values: impl IntoIterator<Item = Value>) -> ValueInterner {
+        let sorted: BTreeSet<Value> = values.into_iter().collect();
+        ValueInterner::from_sorted(sorted.into_iter().collect())
+    }
+
+    #[test]
+    fn ids_round_trip_and_sorted_prefix_orders() {
+        let mut interner = build([
+            Value::int(3),
+            Value::int(1),
+            Value::text("b"),
+            Value::text("a"),
+        ]);
+        assert_eq!(interner.len(), 4);
+        assert_eq!(interner.sorted_len(), 4);
+        // Num < Text, and within each kind the natural order.
+        assert_eq!(interner.id_of(&Value::int(1)), Some(0));
+        assert_eq!(interner.id_of(&Value::int(3)), Some(1));
+        assert_eq!(interner.id_of(&Value::text("a")), Some(2));
+        assert_eq!(interner.id_of(&Value::text("b")), Some(3));
+        assert_eq!(interner.id_of(&Value::int(2)), None);
+        assert_eq!(interner.id_or_missing(&Value::int(2)), MISSING_ID);
+        // Appended ids are dense, stable, and findable.
+        let id2 = interner.intern(&Value::int(2));
+        assert_eq!(id2, 4);
+        assert_eq!(interner.intern(&Value::int(2)), 4);
+        assert_eq!(interner.id_of(&Value::int(2)), Some(4));
+        assert_eq!(interner.intern(&Value::int(1)), 0, "existing ids reused");
+        assert_eq!(interner.value(4), &Value::int(2));
+        // Order is exact across the prefix/overlay boundary.
+        assert_eq!(interner.cmp_ids(0, 4), Ordering::Less); // 1 < 2
+        assert_eq!(interner.cmp_ids(4, 1), Ordering::Less); // 2 < 3
+        assert_eq!(interner.cmp_ids(4, 4), Ordering::Equal);
+        assert!(!interner.contains_id(UNBOUND_ID));
+        assert!(!interner.contains_id(MISSING_ID));
+    }
+
+    #[test]
+    fn tuple_order_is_lexicographic_value_order() {
+        let interner = build([Value::text("x"), Value::text("y"), Value::int(7)]);
+        let x = interner.id_of(&Value::text("x")).unwrap();
+        let y = interner.id_of(&Value::text("y")).unwrap();
+        let seven = interner.id_of(&Value::int(7)).unwrap();
+        assert_eq!(interner.cmp_id_tuples(&[x, seven], &[x, y]), Ordering::Less);
+        assert_eq!(interner.cmp_id_tuples(&[x], &[x, y]), Ordering::Less);
+        assert_eq!(interner.cmp_id_tuples(&[y], &[x, y]), Ordering::Greater);
+        assert_eq!(
+            interner.values_of(&[x, seven]),
+            vec![Value::text("x"), Value::int(7)]
+        );
+    }
+
+    /// Small mixed-kind value pool so draws collide across prefix/overlay.
+    fn value_from(draw: (u8, i64)) -> Value {
+        if draw.0.is_multiple_of(2) {
+            Value::int(draw.1)
+        } else {
+            Value::text(format!("t{}", draw.1.rem_euclid(40)))
+        }
+    }
+
+    proptest! {
+        /// The tentpole contract: ids are order-isomorphic to `Value` order —
+        /// for any two interned values, `cmp_ids` of their ids equals
+        /// `Value::cmp`, across any split between sorted prefix and overlay.
+        #[test]
+        fn ids_are_order_isomorphic_to_values(
+            prefix_draws in proptest::collection::vec((0u8..4, -30i64..30), 0..24),
+            overlay_draws in proptest::collection::vec((0u8..4, -30i64..30), 0..24),
+        ) {
+            let prefix: Vec<Value> = prefix_draws.into_iter().map(value_from).collect();
+            let overlay: Vec<Value> = overlay_draws.into_iter().map(value_from).collect();
+            let mut interner = build(prefix.clone());
+            for v in &overlay {
+                interner.intern(v);
+            }
+            let all: Vec<Value> = prefix.into_iter().chain(overlay).collect();
+            for a in &all {
+                let ia = interner.id_of(a).expect("interned");
+                prop_assert_eq!(interner.value(ia), a);
+                for b in &all {
+                    let ib = interner.id_of(b).expect("interned");
+                    prop_assert_eq!(
+                        interner.cmp_ids(ia, ib),
+                        a.cmp(b),
+                        "ids {} / {} vs values {:?} / {:?}",
+                        ia, ib, a, b
+                    );
+                    prop_assert_eq!(ia == ib, a == b);
+                }
+            }
+        }
+    }
+}

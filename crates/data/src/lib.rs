@@ -35,6 +35,7 @@ pub mod delta;
 pub mod error;
 pub mod fact;
 pub mod instance;
+pub mod interner;
 pub mod rational;
 pub mod schema;
 pub mod value;
@@ -46,6 +47,7 @@ pub mod prelude {
     pub use crate::error::DataError;
     pub use crate::fact::Fact;
     pub use crate::instance::{Block, DatabaseInstance, NumericDomain, RepairIter};
+    pub use crate::interner::{ValueInterner, MISSING_ID, UNBOUND_ID};
     pub use crate::rational::{rat, ratio, Rational};
     pub use crate::schema::{RelName, Schema, Signature};
     pub use crate::value::Value;

@@ -209,6 +209,14 @@ impl Rational {
 
     /// Checked addition (guards against i128 overflow).
     pub fn checked_add(&self, other: &Rational) -> Option<Rational> {
+        // Integer fast path: aggregate columns are overwhelmingly integers,
+        // and an integer sum is already in normal form — skip the gcd.
+        if self.den == 1 && other.den == 1 {
+            return self
+                .num
+                .checked_add(other.num)
+                .map(|num| Rational { num, den: 1 });
+        }
         let num = self
             .num
             .checked_mul(other.den)?
@@ -260,6 +268,11 @@ impl PartialOrd for Rational {
 
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Integer fast path: two integers compare by numerator alone, with no
+        // sign split or cross-multiplication.
+        if self.den == 1 && other.den == 1 {
+            return self.num.cmp(&other.num);
+        }
         // Sign comparison first: it is exact, and it reduces the remaining
         // work to positive magnitudes (which `u128` holds even for an
         // `i128::MIN` numerator).
@@ -693,6 +706,48 @@ mod tests {
             prop_assert_eq!(b.cmp(&a), got.reverse());
             prop_assert_eq!(got == Ordering::Equal, a == b);
             prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+        }
+
+        /// The `den == 1` comparison fast path agrees with the exact
+        /// cross-multiplication reference, both int-vs-int and int-vs-ratio.
+        #[test]
+        fn prop_int_fast_cmp_matches_exact_reference(
+            a in i64::MIN..i64::MAX,
+            b in i64::MIN..i64::MAX,
+            q in small_rational(),
+        ) {
+            let ra = Rational::from_int(a);
+            let rb = Rational::from_int(b);
+            prop_assert_eq!(ra.cmp(&rb), a.cmp(&b));
+            prop_assert_eq!(ra.cmp(&rb), wide_cmp(&ra, &rb));
+            // Mixed: only one side is on the fast path's `den == 1` shape.
+            prop_assert_eq!(ra.cmp(&q), wide_cmp(&ra, &q));
+            prop_assert_eq!(q.cmp(&ra), wide_cmp(&q, &ra));
+        }
+
+        /// The `den == 1` addition fast path produces the same normal form
+        /// as the general cross-multiplying path.
+        #[test]
+        fn prop_int_fast_add_matches_general_path(
+            a in i64::MIN..i64::MAX,
+            b in i64::MIN..i64::MAX,
+            q in small_rational(),
+        ) {
+            let ra = Rational::from_int(a);
+            let rb = Rational::from_int(b);
+            let sum = ra.checked_add(&rb).unwrap();
+            prop_assert_eq!(sum.numerator(), a as i128 + b as i128);
+            prop_assert_eq!(sum.denominator(), 1);
+            // Fast path composes with the general path: (a + q) + (b - q)
+            // routes through cross-multiplication yet lands on the same
+            // normal form as the integer-only sum.
+            if let Some(aq) = ra.checked_add(&q) {
+                if let Some(bq) = rb.checked_add(&q.checked_neg().unwrap()) {
+                    if let Some(roundabout) = aq.checked_add(&bq) {
+                        prop_assert_eq!(roundabout, sum);
+                    }
+                }
+            }
         }
     }
 }

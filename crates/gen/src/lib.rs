@@ -9,7 +9,7 @@
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use rcqa_data::{DatabaseInstance, Fact, Schema, Signature, Value};
 use rcqa_query::{parse_agg_query, AggQuery};
 
@@ -237,6 +237,135 @@ impl StarWorkload {
     }
 }
 
+/// A large, Zipf-skewed variant of the two-relation join workload for the
+/// scale benchmark (E16). The schema and queries are those of
+/// [`JoinWorkload`] — `R(x, y)` key `x`, `S(y, z, r)` key `(y, z)` — but the
+/// instance is sized in total facts (10⁵–10⁶) rather than in blocks, and the
+/// join fan-out is skewed: the number of `S`-blocks behind a `y` value falls
+/// off as `max_fanout / rank^zipf_exponent`, and `R` tuples pick their `y` by
+/// a log-uniform rank draw, so a few hot `y` values carry most of the join.
+/// Skew is what separates data layouts — the hot spans are long, so the
+/// per-fact cost of the inner loop (hash a `String`-backed key vs compare a
+/// dense `u32`) dominates end-to-end join time.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleWorkload {
+    /// Approximate total fact budget (`R` and `S` together). The generator
+    /// stops opening new blocks once the budget is reached, so the realised
+    /// size tracks the target within one block.
+    pub target_facts: usize,
+    /// Zipf exponent of the fan-out skew (1.0 is classic Zipf; 0.0 uniform).
+    pub zipf_exponent: f64,
+    /// Fraction of blocks (in both relations) that violate their primary key.
+    pub inconsistency_ratio: f64,
+    /// Values in the numeric column are drawn uniformly from `0..=max_value`.
+    pub max_value: i64,
+    /// RNG seed (the generator is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for ScaleWorkload {
+    fn default() -> Self {
+        ScaleWorkload {
+            target_facts: 100_000,
+            zipf_exponent: 1.0,
+            inconsistency_ratio: 0.1,
+            max_value: 100,
+            seed: 23,
+        }
+    }
+}
+
+impl ScaleWorkload {
+    /// The schema of the workload (same shape as [`JoinWorkload`]).
+    pub fn schema(&self) -> Schema {
+        Schema::new()
+            .with_relation("R", Signature::new(2, 1, []).unwrap())
+            .with_relation("S", Signature::new(3, 2, [2]).unwrap())
+    }
+
+    /// The grouped SUM query over the workload (GROUP BY `x`).
+    pub fn grouped_sum_query(&self) -> AggQuery {
+        parse_agg_query("(x, SUM(r)) <- R(x, y), S(y, z, r)").expect("fixed query parses")
+    }
+
+    /// Number of distinct `y` values: wide enough that the Zipf tail is
+    /// mostly singleton blocks, narrow enough that hot heads repeat a lot.
+    fn y_domain(&self) -> usize {
+        (self.target_facts / 16).clamp(1, 1 << 20)
+    }
+
+    /// Zipf-like fan-out: `S`-blocks behind the `y` of the given rank.
+    fn fanout(&self, rank: usize) -> usize {
+        let max_fanout = 64.0;
+        let f = max_fanout / ((rank + 1) as f64).powf(self.zipf_exponent);
+        (f as usize).max(1)
+    }
+
+    /// Generates the database instance.
+    pub fn generate(&self) -> DatabaseInstance {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut db = DatabaseInstance::new(self.schema());
+        let y_of = |i: usize| Value::text(format!("y{i}"));
+        let budget = self.target_facts.max(16);
+        // Half the budget on `S`: walk the ranks, opening `fanout(rank)`
+        // blocks per `y`, until the half-budget is spent.
+        let s_budget = budget / 2;
+        let mut s_facts = 0usize;
+        let mut y_open = 0usize;
+        'srel: for y in 0..self.y_domain() {
+            y_open = y + 1;
+            for z in 0..self.fanout(y) {
+                let zkey = Value::text(format!("z{y}_{z}"));
+                let copies = if rng.gen_bool(self.inconsistency_ratio) {
+                    2
+                } else {
+                    1
+                };
+                let mut used = std::collections::BTreeSet::new();
+                for _ in 0..copies {
+                    let r = rng.gen_range(0..=self.max_value.max(1));
+                    if used.insert(r) {
+                        db.insert(Fact::new("S", [y_of(y), zkey.clone(), Value::int(r)]))
+                            .expect("generated fact conforms to schema");
+                        s_facts += 1;
+                    }
+                }
+                if s_facts >= s_budget {
+                    break 'srel;
+                }
+            }
+        }
+        // The other half on `R`: every tuple picks its `y` by a log-uniform
+        // rank draw over the opened `y` values, so low ranks (hot, high
+        // fan-out) are exponentially more popular — the R-side of the skew.
+        let r_budget = budget - s_facts;
+        let mut r_facts = 0usize;
+        let mut block = 0usize;
+        while r_facts < r_budget {
+            let key = Value::text(format!("x{block}"));
+            block += 1;
+            let copies = if rng.gen_bool(self.inconsistency_ratio) {
+                2
+            } else {
+                1
+            };
+            let mut used = std::collections::BTreeSet::new();
+            for _ in 0..copies {
+                // Unit draw with 53 mantissa bits (the rand shim's gen_range
+                // only covers integer ranges).
+                let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let y = ((y_open as f64).powf(u) as usize - 1).min(y_open - 1);
+                if used.insert(y) {
+                    db.insert(Fact::new("R", [key.clone(), y_of(y)]))
+                        .expect("generated fact conforms to schema");
+                    r_facts += 1;
+                }
+            }
+        }
+        db
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +402,35 @@ mod tests {
         let db = cfg.generate();
         assert!(db.is_consistent());
         assert_eq!(db.repair_count(), Some(1));
+    }
+
+    #[test]
+    fn scale_workload_hits_budget_and_is_skewed() {
+        let cfg = ScaleWorkload {
+            target_facts: 4_000,
+            ..Default::default()
+        };
+        let db1 = cfg.generate();
+        let db2 = cfg.generate();
+        assert_eq!(db1, db2, "generator must be deterministic");
+        // The realised size tracks the budget within one block.
+        assert!(db1.len() >= cfg.target_facts);
+        assert!(db1.len() <= cfg.target_facts + 4);
+        assert!(db1.inconsistent_block_count() > 0);
+        assert!(cfg.grouped_sum_query().validate(&cfg.schema()).is_ok());
+        // Skew: the hottest y value backs far more S-blocks than the median.
+        let hot = db1
+            .facts()
+            .filter(|f| f.relation() == "S" && f.args()[0] == Value::text("y0"))
+            .count();
+        let cold = db1
+            .facts()
+            .filter(|f| f.relation() == "S" && f.args()[0] == Value::text("y40"))
+            .count();
+        assert!(
+            hot >= 8 * cold.max(1),
+            "expected Zipf head ({hot}) ≫ tail ({cold})"
+        );
     }
 
     #[test]

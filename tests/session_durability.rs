@@ -128,6 +128,63 @@ fn durable_session_roundtrips_through_a_real_directory() {
     assert_eq!(session.epoch(), epoch + 1);
 }
 
+/// Interleaved inserts and deletes across a restart: the pre-crash warm
+/// session interned its values in commit order (appended ids on top of the
+/// initial sorted prefix), while recovery replays the WAL into a fresh
+/// session whose id layout is built from scratch. The two layouts are
+/// legitimately different — the contract is that answers are byte-identical
+/// anyway, warm vs recovered vs cold, at 1 and 4 executor threads.
+#[test]
+fn recovery_after_interleaved_out_of_order_writes_matches_warm_answers() {
+    let mem = MemStorage::new();
+    let warm_rows = {
+        let session = Session::open_storage(rs_catalog(), Box::new(mem.handle()), mem_options())
+            .expect("open");
+        // Warm the index first so the interleaving runs on the delta path.
+        session.execute(GROUPED_MAX).expect("warm-up");
+        // Inserts arrive in anti-sorted order ("x…" before "a…"), so the
+        // warm session's appended ids invert value order; deletes hit both
+        // generations, and one deleted fact is re-inserted.
+        session.insert(fact!("R", "x5", "y1")).expect("insert");
+        session
+            .insert_all([
+                fact!("S", "y1", "z1", 9),
+                fact!("R", "m3", "y1"),
+                Fact::new("S", [Value::text("b0"), Value::text("z0"), Value::int(4)]),
+            ])
+            .expect("batch");
+        session.insert(fact!("R", "a0", "b0")).expect("insert");
+        assert!(session.delete(&fact!("R", "m3", "y1")).expect("delete"));
+        session.insert(fact!("R", "m3", "b0")).expect("insert");
+        assert!(session.delete(&fact!("R", "x5", "y1")).expect("delete"));
+        session.sync().expect("sync");
+        session.execute(GROUPED_MAX).expect("warm execute").rows
+    };
+
+    let recovered = Session::open_storage(rs_catalog(), Box::new(mem.handle()), mem_options())
+        .expect("recover");
+    assert_eq!(
+        recovered
+            .execute(GROUPED_MAX)
+            .expect("recovered execute")
+            .rows,
+        warm_rows,
+        "recovered answers differ from the pre-crash warm session"
+    );
+    assert_answers_match_cold(&recovered, &recovered.database());
+
+    // The recovered session keeps interleaving — and a second recovery over
+    // the longer log still agrees with it.
+    recovered.insert(fact!("R", "a1", "y1")).expect("insert");
+    assert!(recovered.delete(&fact!("R", "a0", "b0")).expect("delete"));
+    let warm_rows = recovered.execute(GROUPED_MAX).expect("execute").rows;
+    drop(recovered);
+    let again = Session::open_storage(rs_catalog(), Box::new(mem.handle()), mem_options())
+        .expect("recover again");
+    assert_eq!(again.execute(GROUPED_MAX).expect("execute").rows, warm_rows);
+    assert_answers_match_cold(&again, &again.database());
+}
+
 #[test]
 fn torn_tail_recovers_the_committed_prefix_and_serves_on() {
     let mem = MemStorage::new();

@@ -152,6 +152,66 @@ proptest! {
     }
 }
 
+/// Appended interner ids: a session warmed over an existing instance holds a
+/// sorted id prefix; every later insert of a *fresh* value appends an id at
+/// the top, so raw id order no longer matches value order. This interleaving
+/// deliberately inserts values that sort before and between the warm-up data
+/// ("a…", "m…" against "x…"/"y…"), deletes across both generations, and
+/// re-inserts a previously deleted fact (whose ids stay interned) — after
+/// every commit the warm index must stay structurally identical to a cold
+/// rebuild and answer-identical to cold sessions at 1 and 4 threads.
+#[test]
+fn appended_ids_from_out_of_order_inserts_stay_identical_to_cold() {
+    let mut initial = DatabaseInstance::new(rs_catalog().schema());
+    initial
+        .insert_all([
+            fact!("R", "x0", "y0"),
+            fact!("R", "x1", "y1"),
+            fact!("S", "y0", "z0", 5),
+            fact!("S", "y1", "z1", 9),
+        ])
+        .unwrap();
+    let session = Session::with_instance(rs_catalog(), initial.clone());
+    let mut mirror = initial;
+    // Warm the index: the interner's sorted prefix now covers exactly the
+    // initial values, so everything below is appended-id territory.
+    session.execute(GROUPED_MAX).expect("warm-up");
+
+    let steps: Vec<(bool, Fact)> = vec![
+        // Fresh R key sorting before every existing x value.
+        (true, fact!("R", "a0", "y0")),
+        // Fresh S block whose y sorts between nothing and y0's world — new
+        // key component and new qty on the numeric column.
+        (
+            true,
+            Fact::new("S", [Value::text("b0"), Value::text("z9"), Value::int(3)]),
+        ),
+        // Join the two fresh generations: an old key pointing at the new y.
+        (true, fact!("R", "m5", "b0")),
+        // Delete a warm-up-generation fact...
+        (false, fact!("R", "x0", "y0")),
+        // ...and an appended-generation one.
+        (false, fact!("R", "a0", "y0")),
+        // Re-insert it: both ids are already interned, nothing new appends.
+        (true, fact!("R", "a0", "y0")),
+        // One more fresh value after the delete churn.
+        (
+            true,
+            Fact::new("S", [Value::text("b0"), Value::text("c1"), Value::int(11)]),
+        ),
+    ];
+    for (is_insert, f) in steps {
+        if is_insert {
+            session.insert(f.clone()).expect("insert conforms");
+            mirror.insert(f).expect("mirror insert conforms");
+        } else {
+            assert!(session.delete(&f).expect("delete runs"));
+            assert!(mirror.remove(&f));
+        }
+        assert_matches_cold(&session, &mirror);
+    }
+}
+
 /// The emptied-then-repopulated regression: incrementally maintaining an
 /// index across "relation drains to zero facts, then refills" must land on
 /// exactly the cold-rebuild structure. The old `DatabaseInstance::remove`
