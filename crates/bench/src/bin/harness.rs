@@ -1,4 +1,4 @@
-//! The experiment harness: regenerates every experiment report (E1–E15).
+//! The experiment harness: regenerates every experiment report (E1–E17).
 //!
 //! Usage:
 //!   cargo run -p rcqa-bench --bin harness --release             # E1–E10
@@ -29,7 +29,9 @@
 //! 10⁴-event log tail; `scale` writes `BENCH_scale.json` (`BENCH_SCALE_PATH`;
 //! fact budget overridable via `BENCH_SCALE_FACTS`), comparing the interned
 //! columnar layout against the pre-interning row layout on a Zipf-skewed
-//! 10⁵-fact join.
+//! 10⁵-fact join; `range` writes `BENCH_range.json` (`BENCH_RANGE_PATH`,
+//! `BENCH_RANGE_FACTS`), comparing the cost-based range seek against the
+//! forced full-scan baseline on the same 10⁵-fact tier.
 
 use std::process::ExitCode;
 
@@ -90,6 +92,11 @@ const MODES: &[(&str, &[&str], &str)] = &[
         "scale",
         &["e16"],
         "interned columnar vs row layout on a 10^5-fact skewed join (writes BENCH_scale.json; opt-in)",
+    ),
+    (
+        "range",
+        &["e17"],
+        "cost-based range seek vs forced full scan on a 10^5-fact skewed join (writes BENCH_range.json; opt-in)",
     ),
 ];
 
@@ -235,6 +242,21 @@ fn main() -> ExitCode {
         println!("{}", rcqa_bench::format_scale(&bench));
         let path =
             std::env::var("BENCH_SCALE_PATH").unwrap_or_else(|_| "BENCH_scale.json".to_string());
+        match std::fs::write(&path, bench.to_json()) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(err) => eprintln!("  failed to write {path}: {err}"),
+        }
+    }
+    if want_opt_in("range") {
+        // Same 10^5-fact default tier as `scale`; BENCH_RANGE_FACTS overrides.
+        let target = std::env::var("BENCH_RANGE_FACTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100_000);
+        let bench = rcqa_bench::bench_range(target, 5);
+        println!("{}", rcqa_bench::format_range(&bench));
+        let path =
+            std::env::var("BENCH_RANGE_PATH").unwrap_or_else(|_| "BENCH_range.json".to_string());
         match std::fs::write(&path, bench.to_json()) {
             Ok(()) => println!("  wrote {path}"),
             Err(err) => eprintln!("  failed to write {path}: {err}"),

@@ -598,6 +598,25 @@ mod tests {
     }
 
     #[test]
+    fn range_bench_agrees_and_serialises() {
+        let bench = bench_range(3_000, 1);
+        assert!(bench.facts >= 3_000);
+        assert!(bench.groups > 0);
+        assert!(bench.matched_groups > 0, "the x9* family must be non-empty");
+        assert!(
+            bench.matched_groups < bench.groups,
+            "the range predicate must be selective"
+        );
+        assert!(bench.agree, "seek and forced-scan arms must agree");
+        assert!(bench.seek_path_used, "the planner must choose the seek");
+        let json = bench.to_json();
+        assert!(json.contains("\"benchmark\": \"range_seek_vs_full_scan\""));
+        assert!(json.contains("\"speedup\": "));
+        assert!(json.contains("\"agree\": true"));
+        assert!(format_range(&bench).contains("answers agree  : true"));
+    }
+
+    #[test]
     fn groupby_bench_agrees_and_serialises() {
         let bench = bench_groupby(24, 2);
         assert!(bench.groups > 0);
@@ -2030,6 +2049,161 @@ pub fn format_scale(bench: &ScaleBench) -> String {
     )
     .unwrap();
     writeln!(out, "  answers agree   : {}", bench.agree).unwrap();
+    out
+}
+
+/// Result of the range-seek planner benchmark (E17): the same grouped MAX
+/// query with a selective range predicate on the group key, answered once by
+/// the cost-based seek plan and once with the planner forced onto the
+/// full-scan baseline (`EngineOptions::force_scan`), over one shared index
+/// of a Zipf-skewed [`rcqa_gen::ScaleWorkload`] instance.
+#[derive(Clone, Debug)]
+pub struct RangeBench {
+    /// Number of facts in the instance.
+    pub facts: usize,
+    /// Total groups of the unrestricted query (what the scan arm evaluates).
+    pub groups: usize,
+    /// Groups surviving the range predicate (what both arms answer).
+    pub matched_groups: usize,
+    /// Number of timed samples per arm (best sample reported).
+    pub samples: usize,
+    /// Best wall-clock time (ms) of the forced full-scan arm.
+    pub scan_ms: f64,
+    /// Best wall-clock time (ms) of the cost-based seek arm.
+    pub seek_ms: f64,
+    /// `scan_ms / seek_ms` — the access-path speedup.
+    pub speedup: f64,
+    /// Whether the seek arm's plan actually chose a `Seek` leaf (from
+    /// `explain`); false would mean the planner mis-costed the predicate.
+    pub seek_path_used: bool,
+    /// Whether both arms returned byte-identical rows.
+    pub agree: bool,
+    /// The machine's available parallelism while measuring.
+    pub available_parallelism: usize,
+}
+
+impl RangeBench {
+    /// Machine-readable JSON encoding (no external serialisation crates in
+    /// this offline workspace, so the fields are written by hand).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"benchmark\": \"range_seek_vs_full_scan\",\n  \"facts\": {},\n  \
+             \"groups\": {},\n  \"matched_groups\": {},\n  \"samples\": {},\n  \
+             \"scan_ms\": {:.3},\n  \"seek_ms\": {:.3},\n  \"speedup\": {:.2},\n  \
+             \"seek_path_used\": {},\n  \"agree\": {},\n  \
+             \"available_parallelism\": {}\n}}\n",
+            self.facts,
+            self.groups,
+            self.matched_groups,
+            self.samples,
+            self.scan_ms,
+            self.seek_ms,
+            self.speedup,
+            self.seek_path_used,
+            self.agree,
+            self.available_parallelism
+        )
+    }
+}
+
+/// E17 — cost-based range seek vs forced full scan: the grouped MAX query of
+/// [`rcqa_gen::ScaleWorkload::range_query`] (`x >= 'x9'`, a contiguous
+/// restriction matching a few percent of the `R` blocks) evaluated through
+/// the full engine twice over one pre-built index. The seek arm lets the
+/// planner slice the sorted block list by binary search and evaluate only
+/// the matching groups; the forced-scan arm (`EngineOptions::force_scan`)
+/// evaluates every group and filters the rows afterwards — the seed
+/// behaviour before the range-seek planner. Both arms must return
+/// byte-identical rows; the gap is the work the seek avoided.
+pub fn bench_range(target_facts: usize, samples: usize) -> RangeBench {
+    use rcqa_core::engine::EngineOptions;
+    use rcqa_core::index::DbIndex;
+    use rcqa_gen::ScaleWorkload;
+
+    let cfg = ScaleWorkload {
+        target_facts,
+        ..Default::default()
+    };
+    let db = cfg.generate();
+    let (query, predicate) = cfg.range_query();
+    let samples = samples.max(1);
+    let index = DbIndex::new(&db);
+
+    let engine = |force_scan: bool| {
+        RangeCqa::new(&query, &cfg.schema())
+            .expect("workload query prepares")
+            .with_predicates(vec![predicate.clone()])
+            .expect("predicate variable occurs in the body")
+            .with_options(EngineOptions {
+                force_scan,
+                ..EngineOptions::default()
+            })
+    };
+    // Total group count of the unrestricted query, for scale reporting.
+    let groups = RangeCqa::new(&query, &cfg.schema())
+        .expect("workload query prepares")
+        .range_with_index(&db, &index)
+        .expect("unrestricted evaluation succeeds")
+        .len();
+
+    let run = |force_scan: bool| -> (Vec<GroupRange>, f64) {
+        let engine = engine(force_scan);
+        let rows = engine
+            .range_with_index(&db, &index)
+            .expect("restricted evaluation succeeds");
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            let again = engine
+                .range_with_index(&db, &index)
+                .expect("restricted evaluation succeeds");
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(again.len(), rows.len(), "evaluation must be stable");
+        }
+        (rows, best)
+    };
+    let (scan_rows, scan_ms) = run(true);
+    let (seek_rows, seek_ms) = run(false);
+    let seek_path_used = engine(false)
+        .explain_with_index(&db, &index)
+        .contains("Seek");
+
+    RangeBench {
+        facts: db.len(),
+        groups,
+        matched_groups: seek_rows.len(),
+        samples,
+        scan_ms,
+        seek_ms,
+        speedup: scan_ms / seek_ms.max(f64::MIN_POSITIVE),
+        seek_path_used,
+        agree: scan_rows == seek_rows,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Formats the E17 report for the harness.
+pub fn format_range(bench: &RangeBench) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E17 Range seek: cost-based seek vs forced full scan (grouped MAX, x >= 'x9')"
+    )
+    .unwrap();
+    writeln!(out, "  facts          : {}", bench.facts).unwrap();
+    writeln!(
+        out,
+        "  groups         : {} total, {} matching the predicate",
+        bench.groups, bench.matched_groups
+    )
+    .unwrap();
+    writeln!(out, "  full scan      : {:.3} ms", bench.scan_ms).unwrap();
+    writeln!(out, "  range seek     : {:.3} ms", bench.seek_ms).unwrap();
+    writeln!(out, "  speedup        : {:.2}x", bench.speedup).unwrap();
+    writeln!(out, "  seek path used : {}", bench.seek_path_used).unwrap();
+    writeln!(out, "  answers agree  : {}", bench.agree).unwrap();
     out
 }
 

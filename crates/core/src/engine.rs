@@ -72,13 +72,13 @@
 use crate::classify::{classify_prepared, Classification};
 use crate::error::CoreError;
 use crate::forall::CompiledLevels;
-use crate::index::DbIndex;
+use crate::index::{AccessPath, BlockRestriction, DbIndex};
 use crate::plan::exec::{execute, execute_for_groups, partition_groups, ExecContext};
 use crate::plan::{LogicalPlan, PhysicalPlan};
 use crate::prepared::PreparedAggQuery;
 use crate::rewrite::{rewriting_for, BoundKind, Rewriting};
 use rcqa_data::{DatabaseInstance, NumericDomain, Rational, Schema, Value};
-use rcqa_query::{AggQuery, Term, Var};
+use rcqa_query::{AggQuery, QueryError, Term, Var, VarPredicate};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// How an answer was obtained.
@@ -129,6 +129,13 @@ pub struct EngineOptions {
     /// [`std::thread::available_parallelism`]. The worker count is always
     /// clamped to the number of groups, so closed queries run inline.
     pub threads: usize,
+    /// Disable the cost-based range-seek access path: comparison predicates
+    /// on GROUP BY variables are applied as post-aggregation row filters
+    /// (every group is evaluated), and restrictions on non-free key
+    /// variables fall back to a linear block filter instead of ordered
+    /// binary-searched seeks. The answers are identical; only the access
+    /// path changes. This is the baseline arm of the seek-vs-scan benchmark.
+    pub force_scan: bool,
 }
 
 impl Default for EngineOptions {
@@ -137,6 +144,7 @@ impl Default for EngineOptions {
             allow_exact_fallback: true,
             max_repairs: 1 << 22,
             threads: 0,
+            force_scan: false,
         }
     }
 }
@@ -194,12 +202,58 @@ impl GroupLocality {
     }
 }
 
+/// How the comparison predicates of one engine are routed through the
+/// pipeline. Every predicate takes exactly one of three sound routes:
+///
+/// * **block restriction** — the variable sits at a key position of some
+///   atom, so every embedding binds it from a block key and whole blocks
+///   can be kept or dropped before the join ([`DbIndex::restrict`]);
+/// * **row filter** — the variable is a GROUP BY variable, so its value is
+///   the (definite) group key component and rows are filtered after
+///   aggregation;
+/// * **exact embedding filter** — applied inside the exhaustive-repair
+///   fallback ([`crate::exact::exact_bounds_filtered`]). Non-free
+///   block-restricted predicates also take this route (the exact path
+///   re-enumerates the *full* instance), and **residual** predicates
+///   (non-free variable at no key position) take it exclusively, forcing
+///   [`LogicalPlan::force_exact`].
+#[derive(Clone, Debug, Default)]
+struct PredicateRouting {
+    restrictions: Vec<BlockRestriction>,
+    /// `(position in free-variable order, predicate)`.
+    row_filters: Vec<(usize, VarPredicate)>,
+    exact: Vec<VarPredicate>,
+    /// The residual subset of `exact` (non-free variable at no key
+    /// position); non-empty forces the exact fallback on every bound.
+    residual: Vec<VarPredicate>,
+}
+
+impl PredicateRouting {
+    /// Whether a residual predicate forces the exact fallback.
+    fn forces_exact(&self) -> bool {
+        !self.residual.is_empty()
+    }
+
+    /// Drops the rows whose group key fails a row filter.
+    fn filter_rows(&self, rows: &mut Vec<GroupRange>) {
+        if self.row_filters.is_empty() {
+            return;
+        }
+        rows.retain(|g| {
+            self.row_filters
+                .iter()
+                .all(|(pos, p)| p.holds_value(&g.key[*pos]))
+        });
+    }
+}
+
 /// The range-consistent query answering engine for one aggregation query.
 #[derive(Clone, Debug)]
 pub struct RangeCqa {
     prepared: PreparedAggQuery,
     schema: Schema,
     options: EngineOptions,
+    predicates: Vec<VarPredicate>,
 }
 
 impl RangeCqa {
@@ -209,6 +263,7 @@ impl RangeCqa {
             prepared: PreparedAggQuery::new(query, schema)?,
             schema: schema.clone(),
             options: EngineOptions::default(),
+            predicates: Vec::new(),
         })
     }
 
@@ -216,6 +271,36 @@ impl RangeCqa {
     pub fn with_options(mut self, options: EngineOptions) -> RangeCqa {
         self.options = options;
         self
+    }
+
+    /// Attaches comparison predicates (`WHERE v < c` and friends). Each
+    /// predicate's variable must occur in the query body. Answers are those
+    /// of the predicate-filtered query: embeddings whose binding fails a
+    /// predicate do not contribute, and a group none of whose embeddings
+    /// satisfy every predicate has no row.
+    pub fn with_predicates(mut self, predicates: Vec<VarPredicate>) -> Result<RangeCqa, CoreError> {
+        for p in &predicates {
+            let occurs = self
+                .prepared
+                .normalised
+                .body
+                .atoms()
+                .iter()
+                .any(|a| a.terms().iter().any(|t| t.as_var() == Some(&p.var)));
+            if !occurs {
+                return Err(CoreError::Query(QueryError::Unsupported(format!(
+                    "predicate variable {} does not occur in the query body",
+                    p.var
+                ))));
+            }
+        }
+        self.predicates = predicates;
+        Ok(self)
+    }
+
+    /// The attached comparison predicates.
+    pub fn predicates(&self) -> &[VarPredicate] {
+        &self.predicates
     }
 
     /// The prepared query.
@@ -328,48 +413,172 @@ impl RangeCqa {
         index: &DbIndex,
         keys: &BTreeSet<Vec<Value>>,
     ) -> Result<Vec<GroupRange>, CoreError> {
-        let plan = self.plan(db.numeric_domain(), true, true);
+        let routing = self.route_predicates();
+        let (view, access) = self.restricted_view(index, &routing);
+        let index = view.as_ref().unwrap_or(index);
+        let plan = self
+            .logical_plan(db.numeric_domain(), true, true)
+            .lower_with_access(&self.prepared, &access);
         let cx = ExecContext {
             prepared: &self.prepared,
             db,
             index,
             options: &self.options,
+            exact_predicates: &routing.exact,
         };
-        match self.group_locality() {
-            Some(locality) => execute_for_groups(&plan, &cx, &locality.key_positions, keys),
-            None => Ok(execute(&plan, &cx)?
+        let mut rows = match self.group_locality() {
+            Some(locality) => execute_for_groups(&plan, &cx, &locality.key_positions, keys)?,
+            None => execute(&plan, &cx)?
                 .into_iter()
                 .filter(|g| keys.contains(&g.key))
-                .collect()),
-        }
+                .collect(),
+        };
+        routing.filter_rows(&mut rows);
+        Ok(rows)
     }
 
     /// The logical plan (strategy per requested bound) for the given numeric
-    /// domain.
+    /// domain. A residual comparison predicate downgrades every bound to the
+    /// exhaustive-repair fallback ([`LogicalPlan::force_exact`]).
     pub fn logical_plan(
         &self,
         domain: NumericDomain,
         want_glb: bool,
         want_lub: bool,
     ) -> LogicalPlan {
-        LogicalPlan::new(&self.prepared, domain, want_glb, want_lub)
+        let plan = LogicalPlan::new(&self.prepared, domain, want_glb, want_lub);
+        if self.route_predicates().forces_exact() {
+            plan.force_exact()
+        } else {
+            plan
+        }
     }
 
     /// The physical plan (lowered operator pipeline) for the given numeric
-    /// domain — the exact pipeline `glb`/`lub`/`range` execute.
+    /// domain — the exact pipeline `glb`/`lub`/`range` execute, except that
+    /// without an instance no access path is chosen and the leaf is always a
+    /// full `Scan` ([`RangeCqa::explain`] shows the instance-specific
+    /// choice).
     pub fn plan(&self, domain: NumericDomain, want_glb: bool, want_lub: bool) -> PhysicalPlan {
         self.logical_plan(domain, want_glb, want_lub)
             .lower(&self.prepared)
     }
 
     /// An `EXPLAIN`-style rendering of the physical plan a [`RangeCqa::range`]
-    /// call on `db` would execute.
+    /// call on `db` would execute, including the chosen access path (seek vs
+    /// scan, with the stats estimate) and predicate routing. Builds an index
+    /// to consult the stats; use [`RangeCqa::explain_with_index`] to reuse a
+    /// snapshot's.
     pub fn explain(&self, db: &DatabaseInstance) -> String {
-        self.plan(db.numeric_domain(), true, true).to_string()
+        self.explain_with_index(db, &DbIndex::new(db))
     }
 
-    /// The shared evaluation pipeline behind `glb`/`lub`/`range`: plan,
-    /// lower, execute.
+    /// [`RangeCqa::explain`] over a caller-supplied index for `db`.
+    pub fn explain_with_index(&self, db: &DatabaseInstance, index: &DbIndex) -> String {
+        let routing = self.route_predicates();
+        let (_view, access) = self.restricted_view(index, &routing);
+        let mut out = self
+            .logical_plan(db.numeric_domain(), true, true)
+            .lower_with_access(&self.prepared, &access)
+            .to_string();
+        if !routing.row_filters.is_empty() {
+            let shown: Vec<String> = routing
+                .row_filters
+                .iter()
+                .map(|(_, p)| p.to_string())
+                .collect();
+            out.push_str(&format!(
+                "post-filter: rows where {} (group-key predicate{})\n",
+                shown.join(" and "),
+                if shown.len() == 1 { "" } else { "s" }
+            ));
+        }
+        let residual: Vec<String> = routing.residual.iter().map(|p| p.to_string()).collect();
+        if !residual.is_empty() {
+            out.push_str(&format!(
+                "residual predicate{}: {} (no key position; exhaustive repair enumeration)\n",
+                if residual.len() == 1 { "" } else { "s" },
+                residual.join(" and ")
+            ));
+        }
+        out
+    }
+
+    /// Routes each attached predicate to its sound evaluation site; see
+    /// [`PredicateRouting`].
+    fn route_predicates(&self) -> PredicateRouting {
+        let mut routing = PredicateRouting::default();
+        if self.predicates.is_empty() {
+            return routing;
+        }
+        let free = self.prepared.normalised.body.free_vars();
+        for p in &self.predicates {
+            // Every key-positioned occurrence of the variable: each one is a
+            // sound block filter, and deeper ones narrow multi-column seeks.
+            let mut occurrences = Vec::new();
+            for atom in self.prepared.normalised.body.atoms() {
+                let Some(sig) = self.schema.signature(atom.relation()) else {
+                    continue;
+                };
+                for (pos, term) in atom.terms()[..sig.key_len()].iter().enumerate() {
+                    if term.as_var() == Some(&p.var) {
+                        occurrences.push(BlockRestriction {
+                            relation: atom.relation().to_string(),
+                            pos,
+                            op: p.op,
+                            value: p.value.clone(),
+                        });
+                    }
+                }
+            }
+            match (
+                free.iter().position(|v| *v == p.var),
+                occurrences.is_empty(),
+            ) {
+                // Free variable at a key position: push into the block index
+                // (the group key is bound from block keys, so restriction is
+                // exact) — unless the baseline arm asked for a full scan, in
+                // which case filter the finished rows instead.
+                (Some(pos), false) if self.options.force_scan => {
+                    routing.row_filters.push((pos, p.clone()));
+                }
+                (Some(_), false) => routing.restrictions.extend(occurrences),
+                // Free variable off every key: the group key is still
+                // definite, so a row filter is exact.
+                (Some(pos), true) => routing.row_filters.push((pos, p.clone())),
+                // Non-free variable at a key position: restrict the index for
+                // the rewriting paths, and filter embeddings on the exact
+                // path (which re-enumerates the full instance).
+                (None, false) => {
+                    routing.restrictions.extend(occurrences);
+                    routing.exact.push(p.clone());
+                }
+                // Residual: only exhaustive enumeration is sound.
+                (None, true) => {
+                    routing.exact.push(p.clone());
+                    routing.residual.push(p.clone());
+                }
+            }
+        }
+        routing
+    }
+
+    /// The restricted view of `index` for the routed block restrictions, and
+    /// its access paths. `(None, [])` when there is nothing to restrict.
+    fn restricted_view(
+        &self,
+        index: &DbIndex,
+        routing: &PredicateRouting,
+    ) -> (Option<DbIndex>, Vec<AccessPath>) {
+        if routing.restrictions.is_empty() {
+            return (None, Vec::new());
+        }
+        let (view, access) = index.restrict(&routing.restrictions, self.options.force_scan);
+        (Some(view), access)
+    }
+
+    /// The shared evaluation pipeline behind `glb`/`lub`/`range`: route the
+    /// predicates, restrict the index, plan, lower, execute, row-filter.
     fn evaluate(
         &self,
         db: &DatabaseInstance,
@@ -377,16 +586,24 @@ impl RangeCqa {
         want_glb: bool,
         want_lub: bool,
     ) -> Result<Vec<GroupRange>, CoreError> {
-        let plan = self.plan(db.numeric_domain(), want_glb, want_lub);
-        execute(
+        let routing = self.route_predicates();
+        let (view, access) = self.restricted_view(index, &routing);
+        let index = view.as_ref().unwrap_or(index);
+        let plan = self
+            .logical_plan(db.numeric_domain(), want_glb, want_lub)
+            .lower_with_access(&self.prepared, &access);
+        let mut rows = execute(
             &plan,
             &ExecContext {
                 prepared: &self.prepared,
                 db,
                 index,
                 options: &self.options,
+                exact_predicates: &routing.exact,
             },
-        )
+        )?;
+        routing.filter_rows(&mut rows);
+        Ok(rows)
     }
 }
 
@@ -708,6 +925,223 @@ mod tests {
                 let got = engine.range_for_groups(&db, &index, &missing).unwrap();
                 assert!(got.is_empty(), "{text} @{threads}T");
             }
+        }
+    }
+
+    /// Every predicate route (free pushable, free row-filter, non-free
+    /// pushable, residual) against the exhaustive-repair oracle, at both
+    /// thread counts and on both access-path arms.
+    #[test]
+    fn predicates_agree_with_the_exact_oracle() {
+        use crate::exact::exact_bounds_by_group_filtered;
+        use rcqa_query::{CmpOp, VarPredicate};
+        let db = db_stock();
+        let var = |n: &str| Var::new(n);
+        let cases: Vec<(&str, Vec<VarPredicate>)> = vec![
+            // x: free, key of Dealers (block-pushable group key).
+            (
+                "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)",
+                vec![VarPredicate {
+                    var: var("x"),
+                    op: CmpOp::Gt,
+                    value: Value::text("James"),
+                }],
+            ),
+            // p: non-free, key[0] of Stock (block-pushable).
+            (
+                "(x, MAX(y)) <- Dealers(x, t), Stock(p, t, y)",
+                vec![VarPredicate {
+                    var: var("p"),
+                    op: CmpOp::Eq,
+                    value: Value::text("Tesla Y"),
+                }],
+            ),
+            // t: non-free, key[1] of Stock — Ne is non-contiguous, so the
+            // restriction degrades to a linear block filter.
+            (
+                "(x, MIN(y)) <- Dealers(x, t), Stock(p, t, y)",
+                vec![VarPredicate {
+                    var: var("t"),
+                    op: CmpOp::Ne,
+                    value: Value::text("Boston"),
+                }],
+            ),
+            // y: non-free, no key position — residual, forces exact.
+            (
+                "(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)",
+                vec![VarPredicate {
+                    var: var("y"),
+                    op: CmpOp::Ge,
+                    value: Value::from(40),
+                }],
+            ),
+            // t as group key: free but at no key position of the level-0
+            // atom's key — row filter.
+            (
+                "(t, MAX(y)) <- Dealers(x, t), Stock(p, t, y)",
+                vec![VarPredicate {
+                    var: var("t"),
+                    op: CmpOp::Lt,
+                    value: Value::text("New York"),
+                }],
+            ),
+            // Conjunction mixing routes; closed query keeps its single row.
+            (
+                "SUM(y) <- Dealers('Smith', t), Stock(p, t, y)",
+                vec![
+                    VarPredicate {
+                        var: var("p"),
+                        op: CmpOp::Le,
+                        value: Value::text("Tesla X"),
+                    },
+                    VarPredicate {
+                        var: var("y"),
+                        op: CmpOp::Lt,
+                        value: Value::from(100),
+                    },
+                ],
+            ),
+        ];
+        for (text, preds) in cases {
+            let q = parse_agg_query(text).unwrap();
+            let prepared = PreparedAggQuery::new(&q, db.schema()).unwrap();
+            let oracle = exact_bounds_by_group_filtered(&prepared, &db, 1 << 20, &preds).unwrap();
+            let mut reference: Option<Vec<GroupRange>> = None;
+            for threads in [1, 4] {
+                for force_scan in [false, true] {
+                    let engine = RangeCqa::new(&q, db.schema())
+                        .unwrap()
+                        .with_predicates(preds.clone())
+                        .unwrap()
+                        .with_options(EngineOptions {
+                            threads,
+                            force_scan,
+                            ..EngineOptions::default()
+                        });
+                    let rows = engine.range(&db).unwrap();
+                    assert_eq!(
+                        rows.len(),
+                        oracle.len(),
+                        "{text} @{threads}T force_scan={force_scan}"
+                    );
+                    for (row, (key, bounds)) in rows.iter().zip(oracle.iter()) {
+                        assert_eq!(&row.key, key, "{text}");
+                        assert_eq!(
+                            row.glb.unwrap().value,
+                            bounds.glb,
+                            "{text} glb of {key:?} @{threads}T force_scan={force_scan}"
+                        );
+                        assert_eq!(
+                            row.lub.unwrap().value,
+                            bounds.lub,
+                            "{text} lub of {key:?} @{threads}T force_scan={force_scan}"
+                        );
+                    }
+                    // Byte-identical across thread counts and both arms.
+                    match &reference {
+                        None => reference = Some(rows),
+                        Some(first) => assert_eq!(&rows, first, "{text}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residual_predicates_force_the_exact_fallback() {
+        use rcqa_query::{CmpOp, VarPredicate};
+        let db = db_stock();
+        let q = parse_agg_query("(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema())
+            .unwrap()
+            .with_predicates(vec![VarPredicate {
+                var: Var::new("y"),
+                op: CmpOp::Gt,
+                value: Value::from(35),
+            }])
+            .unwrap();
+        let plan = engine.logical_plan(NumericDomain::NonNegative, true, true);
+        assert_eq!(
+            plan.glb,
+            Some(crate::plan::BoundStrategy::ExactFallback),
+            "residual predicate must downgrade the rewriting-backed glb"
+        );
+        let rows = engine.range(&db).unwrap();
+        for row in &rows {
+            assert_eq!(row.glb.unwrap().method, Method::ExactEnumeration);
+        }
+        let shown = engine.explain(&db);
+        assert!(shown.contains("residual predicate"), "{shown}");
+    }
+
+    #[test]
+    fn predicate_variables_must_occur_in_the_body() {
+        use rcqa_query::{CmpOp, VarPredicate};
+        let db = db_stock();
+        let q = parse_agg_query("(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+        let err = RangeCqa::new(&q, db.schema())
+            .unwrap()
+            .with_predicates(vec![VarPredicate {
+                var: Var::new("zz"),
+                op: CmpOp::Eq,
+                value: Value::from(1),
+            }])
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Query(_)), "{err}");
+    }
+
+    #[test]
+    fn explain_documents_the_access_path() {
+        use rcqa_query::{CmpOp, VarPredicate};
+        let db = db_stock();
+        let q = parse_agg_query("(x, MAX(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema())
+            .unwrap()
+            .with_predicates(vec![VarPredicate {
+                var: Var::new("p"),
+                op: CmpOp::Eq,
+                value: Value::text("Tesla Y"),
+            }])
+            .unwrap();
+        let shown = engine.explain(&db);
+        assert!(shown.contains("Seek"), "{shown}");
+        assert!(shown.contains("Stock"), "{shown}");
+        assert!(shown.contains("est"), "{shown}");
+        // The baseline arm reports the same restriction as a filter.
+        let forced = engine
+            .clone()
+            .with_options(EngineOptions {
+                force_scan: true,
+                ..EngineOptions::default()
+            })
+            .explain(&db);
+        assert!(forced.contains("filter"), "{forced}");
+        // Without predicates the leaf stays a full scan.
+        let plain = RangeCqa::new(&q, db.schema()).unwrap().explain(&db);
+        assert!(plain.contains("Scan"), "{plain}");
+        assert!(!plain.contains("Seek"), "{plain}");
+    }
+
+    #[test]
+    fn range_for_groups_respects_predicates() {
+        use rcqa_query::{CmpOp, VarPredicate};
+        let db = db_stock();
+        let index = DbIndex::new(&db);
+        let q = parse_agg_query("(x, MAX(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema())
+            .unwrap()
+            .with_predicates(vec![VarPredicate {
+                var: Var::new("p"),
+                op: CmpOp::Eq,
+                value: Value::text("Tesla X"),
+            }])
+            .unwrap();
+        let full = engine.range_with_index(&db, &index).unwrap();
+        assert!(!full.is_empty());
+        for row in &full {
+            let keys: BTreeSet<Vec<Value>> = [row.key.clone()].into();
+            let got = engine.range_for_groups(&db, &index, &keys).unwrap();
+            assert_eq!(got, vec![row.clone()]);
         }
     }
 

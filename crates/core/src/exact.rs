@@ -25,6 +25,13 @@ pub struct ExactBounds {
     pub lub: Option<Rational>,
     /// Number of repairs enumerated.
     pub repairs: u128,
+    /// Whether **some** repair had at least one (predicate-satisfying)
+    /// embedding — equivalently, whether the full instance has one, since an
+    /// embedding picks at most one fact per block and therefore survives
+    /// into some repair. `false` means the group/query is not even a
+    /// possible answer under the predicates: callers drop such groups rather
+    /// than report a vacuous `⊥` row.
+    pub satisfiable: bool,
 }
 
 /// Computes the exact bounds of a closed aggregation query by enumerating all
@@ -36,6 +43,26 @@ pub fn exact_bounds(
     query: &PreparedAggQuery,
     db: &DatabaseInstance,
     max_repairs: u128,
+) -> Result<ExactBounds, CoreError> {
+    exact_bounds_filtered(query, db, max_repairs, &[])
+}
+
+/// [`exact_bounds`] with comparison predicates applied as **embedding
+/// filters**: in each repair, only embeddings whose binding of each
+/// predicate's variable satisfies it contribute to the aggregate. A repair
+/// whose satisfying embeddings are empty yields `⊥`, exactly as an empty
+/// join would.
+///
+/// This is the ground truth the restricted-index path is checked against,
+/// and the only sound route for **residual** predicates (variables at no key
+/// position). Predicate variables must be non-free variables of the body —
+/// free variables are constants after group substitution and must be
+/// filtered at the group level instead.
+pub fn exact_bounds_filtered(
+    query: &PreparedAggQuery,
+    db: &DatabaseInstance,
+    max_repairs: u128,
+    predicates: &[rcqa_query::VarPredicate],
 ) -> Result<ExactBounds, CoreError> {
     debug_assert!(
         query.normalised.body.free_vars().is_empty(),
@@ -56,11 +83,12 @@ pub fn exact_bounds(
     let mut glb: Option<Rational> = None;
     let mut lub: Option<Rational> = None;
     let mut bottom = false;
+    let mut satisfiable = false;
     let mut repairs = 0u128;
     for repair in db.repairs() {
         repairs += 1;
         let index = DbIndex::new(&repair);
-        let embs: Vec<Binding> = if levels.is_empty() && !atoms.is_empty() {
+        let mut embs: Vec<Binding> = if levels.is_empty() && !atoms.is_empty() {
             // Cyclic attack graph: fall back to a naive join over atoms in
             // query order (levels are empty in that case).
             let pseudo_levels = pseudo_levels(query, &repair);
@@ -68,8 +96,27 @@ pub fn exact_bounds(
         } else {
             embeddings(&levels, &index, &Binding::new())
         };
+        if !predicates.is_empty() {
+            embs.retain(|b| {
+                predicates.iter().all(|p| {
+                    b.get(&p.var)
+                        .map(|v| p.holds_value(v))
+                        .expect("predicate variables occur in the body")
+                })
+            });
+        }
         if embs.is_empty() {
+            // ⊥ decides both bounds, but satisfiability (does *any* repair
+            // have a satisfying embedding?) may still be open — keep
+            // scanning until it is settled.
             bottom = true;
+            if satisfiable {
+                break;
+            }
+            continue;
+        }
+        satisfiable = true;
+        if bottom {
             break;
         }
         let values: Vec<Rational> = embs.iter().map(|b| term_value(term, b)).collect();
@@ -90,9 +137,15 @@ pub fn exact_bounds(
             glb: None,
             lub: None,
             repairs,
+            satisfiable,
         })
     } else {
-        Ok(ExactBounds { glb, lub, repairs })
+        Ok(ExactBounds {
+            glb,
+            lub,
+            repairs,
+            satisfiable,
+        })
     }
 }
 
@@ -126,12 +179,47 @@ pub fn exact_bounds_by_group(
     db: &DatabaseInstance,
     max_repairs: u128,
 ) -> Result<Vec<(Vec<rcqa_data::Value>, ExactBounds)>, CoreError> {
+    exact_bounds_by_group_filtered(query, db, max_repairs, &[])
+}
+
+/// [`exact_bounds_by_group`] with comparison predicates: predicates on free
+/// (GROUP BY) variables filter the candidate group keys — a group's key is
+/// definite, so this is plain evaluation — and the rest apply as embedding
+/// filters inside each group's exhaustive enumeration
+/// ([`exact_bounds_filtered`]). The brute-force oracle the engine's
+/// predicate paths are tested against.
+pub fn exact_bounds_by_group_filtered(
+    query: &PreparedAggQuery,
+    db: &DatabaseInstance,
+    max_repairs: u128,
+    predicates: &[rcqa_query::VarPredicate],
+) -> Result<Vec<(Vec<rcqa_data::Value>, ExactBounds)>, CoreError> {
+    let free = query.normalised.body.free_vars().to_vec();
+    let (on_free, on_bound): (Vec<_>, Vec<_>) = predicates
+        .iter()
+        .cloned()
+        .partition(|p| free.contains(&p.var));
     let groups = crate::engine::candidate_groups(query, db);
     let mut out = Vec::new();
     for key in groups {
+        let keep = on_free.iter().all(|p| {
+            let pos = free
+                .iter()
+                .position(|v| *v == p.var)
+                .expect("free predicate variable is a free variable");
+            p.holds_value(&key[pos])
+        });
+        if !keep {
+            continue;
+        }
         let closed = crate::engine::substitute_group(query, &key)?;
-        let bounds = exact_bounds(&closed, db, max_repairs)?;
-        out.push((key, bounds));
+        let bounds = exact_bounds_filtered(&closed, db, max_repairs, &on_bound)?;
+        // An open-query group with no satisfying embedding anywhere is not
+        // even a possible answer under the predicates — it has no row. A
+        // closed query always answers with its single row (`[⊥, ⊥]` then).
+        if bounds.satisfiable || key.is_empty() {
+            out.push((key, bounds));
+        }
     }
     Ok(out)
 }

@@ -61,6 +61,7 @@
 //! `O(|dirty relation| + |delta|)` instead of `O(|db|)` per write batch.
 
 use rcqa_data::{DatabaseInstance, DeltaEvent, DeltaOp, Fact, Value, ValueInterner, MISSING_ID};
+use rcqa_query::CmpOp;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -172,6 +173,86 @@ pub struct IndexedBlock {
     pub cols: Arc<FactColumns>,
 }
 
+/// Lightweight per-relation statistics, collected at cold build time and
+/// kept current per touched relation by [`DbIndex::apply_delta`]. They drive
+/// the cost-based seek-vs-scan choice of [`DbIndex::restrict`]: the fence
+/// sample is a coarse equi-depth histogram of the first key component (the
+/// seekable column), giving an `O(1)` estimate of how many blocks a range
+/// predicate selects before anything is touched.
+#[derive(Clone, Debug, Default)]
+pub struct RelationStats {
+    /// Number of blocks (primary-key group cardinality).
+    pub blocks: usize,
+    /// Number of facts.
+    pub facts: usize,
+    /// Number of distinct first key components (fanout of the seekable
+    /// position).
+    pub distinct_head: usize,
+    /// First-key-component ids sampled at ≤ [`RelationStats::FENCES`]
+    /// equi-spaced positions of the sorted block list. Raw ids — estimates
+    /// compare them to probe values via [`ValueInterner::cmp_id_to_value`],
+    /// so warm and cold layouts produce identical estimates.
+    head_fences: Vec<u32>,
+}
+
+impl RelationStats {
+    /// Fence sample size: enough resolution to tell "a sliver" from "most of
+    /// the relation", cheap enough to recompute on every write batch.
+    const FENCES: usize = 16;
+
+    fn compute(blocks: &[IndexedBlock]) -> RelationStats {
+        let n = blocks.len();
+        let mut distinct_head = 0usize;
+        for i in 0..n {
+            if i == 0 || blocks[i].key[0] != blocks[i - 1].key[0] {
+                distinct_head += 1;
+            }
+        }
+        let samples = Self::FENCES.min(n);
+        RelationStats {
+            blocks: n,
+            facts: blocks.iter().map(|b| b.cols.rows()).sum(),
+            distinct_head,
+            head_fences: (0..samples)
+                .map(|k| blocks[k * n / samples].key[0])
+                .collect(),
+        }
+    }
+
+    /// Histogram estimate of how many blocks have a first key component
+    /// satisfying `op value`: the matched-fence fraction scaled to the block
+    /// count (rounded up, so a predicate some fence satisfies never
+    /// estimates zero). Non-contiguous operators (`<>`) estimate a full
+    /// scan.
+    pub fn estimate_head_matches(
+        &self,
+        op: CmpOp,
+        value: &Value,
+        interner: &ValueInterner,
+    ) -> usize {
+        if self.blocks == 0 || self.head_fences.is_empty() {
+            return 0;
+        }
+        if !op.is_contiguous() {
+            return self.blocks;
+        }
+        let rank = interner.prefix_rank(value);
+        let hit = self
+            .head_fences
+            .iter()
+            .filter(|&&f| op.holds(interner.cmp_id_to_value(f, value, rank)))
+            .count();
+        (self.blocks * hit).div_ceil(self.head_fences.len())
+    }
+
+    /// Materialised fence values, for value-level structural comparison and
+    /// observability (warm and cold id layouts differ; fence *values* must
+    /// not).
+    pub fn fence_values(&self, interner: &ValueInterner) -> Vec<Value> {
+        interner.values_of(&self.head_fences)
+    }
+}
+
 /// Index over one relation.
 ///
 /// The block list is the primary structure: blocks are **sorted by key value
@@ -201,6 +282,9 @@ pub struct RelationIndex {
     /// there. Position 0 has none — its matches are a contiguous
     /// binary-searchable span of the sorted block list.
     deep_pos: Vec<HashMap<u32, Vec<usize>>>,
+    /// Statistics over the current block list, recomputed whenever the block
+    /// list changes (cold build, `apply_delta`, `restrict`).
+    stats: RelationStats,
 }
 
 /// How one applied event changed a relation's **block list** (as opposed to
@@ -228,6 +312,16 @@ impl RelationIndex {
     /// Number of facts in the relation.
     pub fn fact_count(&self) -> usize {
         self.blocks.iter().map(|b| b.cols.rows()).sum()
+    }
+
+    /// Primary-key length of the relation.
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+
+    /// Statistics over the current block list.
+    pub fn stats(&self) -> &RelationStats {
+        &self.stats
     }
 
     /// Materialises one row of a block back into a [`Fact`].
@@ -267,6 +361,77 @@ impl RelationIndex {
             + self.blocks[start..]
                 .partition_point(|b| interner.cmp_ids(b.key[0], v) != std::cmp::Ordering::Greater);
         start..end
+    }
+
+    /// Ordered range seek on the first key component: the contiguous span of
+    /// block positions whose first key component satisfies `op v`. Blocks
+    /// are sorted by key value order, so for every contiguous operator the
+    /// matches are adjacent and two binary searches find them — `O(log
+    /// blocks)`, and for sorted-prefix ids each probe is a raw `u32`
+    /// comparison ([`ValueInterner::cmp_id_to_value`]). The probe value need
+    /// not occur in the instance.
+    ///
+    /// Panics on `<>` (not contiguous — callers linear-filter instead).
+    pub fn head_seek_span(&self, op: CmpOp, v: &Value, interner: &ValueInterner) -> Range<usize> {
+        self.range_span_at(0..self.blocks.len(), 0, op, v, interner)
+    }
+
+    /// Multi-column prefix seek: narrows to the blocks whose leading key ids
+    /// equal `prefix`, then range-seeks `op v` on key position
+    /// `prefix.len()` inside that span. Valid because block order is
+    /// lexicographic: within a fixed key prefix the next component ascends,
+    /// so every step is another pair of binary searches.
+    pub fn prefix_seek_span(
+        &self,
+        prefix: &[u32],
+        op: CmpOp,
+        v: &Value,
+        interner: &ValueInterner,
+    ) -> Range<usize> {
+        let mut span = 0..self.blocks.len();
+        for (pos, &id) in prefix.iter().enumerate() {
+            let s = &self.blocks[span.clone()];
+            let start = span.start
+                + s.partition_point(|b| {
+                    interner.cmp_ids(b.key[pos], id) == std::cmp::Ordering::Less
+                });
+            let end = span.start
+                + s.partition_point(|b| {
+                    interner.cmp_ids(b.key[pos], id) != std::cmp::Ordering::Greater
+                });
+            span = start..end;
+        }
+        self.range_span_at(span, prefix.len(), op, v, interner)
+    }
+
+    /// The sub-span of `within` (a span in which key components before `pos`
+    /// are constant) whose key component at `pos` satisfies `op v`.
+    fn range_span_at(
+        &self,
+        within: Range<usize>,
+        pos: usize,
+        op: CmpOp,
+        v: &Value,
+        interner: &ValueInterner,
+    ) -> Range<usize> {
+        assert!(op.is_contiguous(), "{op} does not select a contiguous span");
+        let rank = interner.prefix_rank(v);
+        let s = &self.blocks[within.clone()];
+        let lt = s.partition_point(|b| {
+            interner.cmp_id_to_value(b.key[pos], v, rank) == std::cmp::Ordering::Less
+        });
+        let le = s.partition_point(|b| {
+            interner.cmp_id_to_value(b.key[pos], v, rank) != std::cmp::Ordering::Greater
+        });
+        let base = within.start;
+        match op {
+            CmpOp::Lt => base..base + lt,
+            CmpOp::Le => base..base + le,
+            CmpOp::Eq => base + lt..base + le,
+            CmpOp::Gt => base + le..within.end,
+            CmpOp::Ge => base + lt..within.end,
+            CmpOp::Ne => unreachable!("guarded above"),
+        }
     }
 
     /// Inserts one fact (given as interned ids): the row lands at its sorted
@@ -511,6 +676,59 @@ impl<'a> Iterator for BlocksMatching<'a, '_> {
     }
 }
 
+/// One pushed-down block predicate for [`DbIndex::restrict`]: keeps only
+/// the blocks of `relation` whose key satisfies `op value` at key position
+/// `pos`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockRestriction {
+    /// The relation whose block list is restricted.
+    pub relation: String,
+    /// Key position the predicate constrains (`< key_len`).
+    pub pos: usize,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The literal the key component is compared against.
+    pub value: Value,
+}
+
+/// How [`DbIndex::restrict`] answered one relation's restrictions — the
+/// access-path record surfaced by `explain` and the bench harness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessPath {
+    /// The restricted relation.
+    pub relation: String,
+    /// Whether an ordered binary-searched seek narrowed the block list
+    /// (false: pure linear filter — forced, unselective, or unseekable).
+    pub used_seek: bool,
+    /// Blocks before restriction.
+    pub total_blocks: usize,
+    /// The fence-histogram estimate the seek-vs-scan choice was made on
+    /// (equals `total_blocks` when no seek was attempted).
+    pub est_blocks: usize,
+    /// Blocks actually surviving all of the relation's restrictions.
+    pub matched_blocks: usize,
+    /// Predicate summary, e.g. `seek key[0] < 500; filter key[1] <> 'x'`.
+    pub detail: String,
+}
+
+impl std::fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} ({} of {} blocks, est {})",
+            self.relation,
+            if self.detail.is_empty() {
+                "scan"
+            } else {
+                &self.detail
+            },
+            self.matched_blocks,
+            self.total_blocks,
+            self.est_blocks
+        )
+    }
+}
+
 /// One level-0 block touched by [`DbIndex::apply_delta`]: the relation and
 /// the primary-key value of a block that gained or lost facts (including
 /// blocks that were created or emptied by the delta). Keys are materialised
@@ -575,6 +793,7 @@ impl DbIndex {
                 key_len,
                 arity: sig.arity(),
                 deep_pos: vec![HashMap::new(); key_len.saturating_sub(1)],
+                stats: RelationStats::default(),
             };
             // Facts arrive in sorted order, so each block's facts form one
             // contiguous run: accumulate the run's rows, then freeze the
@@ -612,6 +831,7 @@ impl DbIndex {
                 }
             }
             flush(&mut rel, pending.take());
+            rel.stats = RelationStats::compute(&rel.blocks);
             relations.insert(name.to_string(), Arc::new(rel));
         }
         DbIndex {
@@ -752,8 +972,137 @@ impl DbIndex {
             if deferred {
                 rel.rebuild_deep_pos();
             }
+            // Stats ride with the relation: one O(blocks) pass per touched
+            // relation per batch keeps the seek-vs-scan estimates current
+            // without ever scanning untouched relations.
+            rel.stats = RelationStats::compute(&rel.blocks);
         }
         dirty.into_iter().collect()
+    }
+
+    /// Builds a **restricted view** of this index: for each relation named
+    /// by a [`BlockRestriction`], a new [`RelationIndex`] holding only the
+    /// blocks whose keys satisfy *all* of that relation's restrictions (with
+    /// posting lists and stats rebuilt for the surviving blocks); every
+    /// other relation — and the interner — stays `Arc`-shared with `self`.
+    /// Not a build: [`DbIndex::build_count`] does not advance.
+    ///
+    /// This is how comparison predicates on key-position variables reach the
+    /// evaluator: dropping a block wholesale restricts every repair's choice
+    /// for that block away, which is exactly the predicate's effect on
+    /// embeddings (the key value is shared by all facts of the block), so
+    /// the unchanged join/certainty machinery downstream computes the
+    /// predicate-filtered range answers.
+    ///
+    /// The access path per relation is **cost-based**: a restriction chain
+    /// starting at key position 0 (equalities extending to deeper positions,
+    /// then at most one inequality) is answered by an ordered
+    /// [`RelationIndex::prefix_seek_span`] — but only when the fence
+    /// histogram ([`RelationStats`]) estimates it selects fewer than all
+    /// blocks and `force_scan` is off. Everything else (deeper positions,
+    /// `<>`, unselective estimates) linear-filters. Returns the view plus
+    /// one [`AccessPath`] record per restricted relation (sorted by relation
+    /// name), which `explain` and the bench harness surface.
+    pub fn restrict(
+        &self,
+        restrictions: &[BlockRestriction],
+        force_scan: bool,
+    ) -> (DbIndex, Vec<AccessPath>) {
+        let mut grouped: BTreeMap<&str, Vec<&BlockRestriction>> = BTreeMap::new();
+        for r in restrictions {
+            grouped.entry(r.relation.as_str()).or_default().push(r);
+        }
+        let mut out = self.clone();
+        let mut paths = Vec::new();
+        for (name, rs) in grouped {
+            let Some(shared) = self.relations.get(name) else {
+                continue;
+            };
+            let rel: &RelationIndex = shared;
+            debug_assert!(rs.iter().all(|r| r.pos < rel.key_len));
+            let total = rel.blocks.len();
+            // Histogram estimate for the head restriction (the decision is
+            // about the seekable position; deeper filters ride along).
+            let head = rs.iter().find(|r| r.pos == 0 && r.op.is_contiguous());
+            let est = head.map_or(total, |r| {
+                rel.stats
+                    .estimate_head_matches(r.op, &r.value, &self.interner)
+            });
+            // Greedy seek chain: contiguous restriction at position 0, then
+            // — while every earlier step was an equality — at each next
+            // position. `consumed` marks restrictions the seek answered.
+            let mut span = 0..total;
+            let mut consumed = vec![false; rs.len()];
+            let mut seek_parts: Vec<String> = Vec::new();
+            if !force_scan && est < total {
+                let mut pos = 0usize;
+                let mut prefix_is_eq = true;
+                while prefix_is_eq {
+                    let Some(i) = (0..rs.len())
+                        .find(|&i| !consumed[i] && rs[i].pos == pos && rs[i].op.is_contiguous())
+                    else {
+                        break;
+                    };
+                    let r = rs[i];
+                    span = rel.range_span_at(span, pos, r.op, &r.value, &self.interner);
+                    consumed[i] = true;
+                    seek_parts.push(format!("key[{pos}] {} {}", r.op, r.value));
+                    prefix_is_eq = r.op == CmpOp::Eq;
+                    pos += 1;
+                }
+            }
+            let used_seek = !seek_parts.is_empty();
+            // Everything the seek did not answer linear-filters the span.
+            let residual: Vec<(&BlockRestriction, Result<u32, u32>)> = rs
+                .iter()
+                .zip(&consumed)
+                .filter(|(_, &c)| !c)
+                .map(|(&r, _)| (r, self.interner.prefix_rank(&r.value)))
+                .collect();
+            let filter_parts: Vec<String> = residual
+                .iter()
+                .map(|(r, _)| format!("key[{}] {} {}", r.pos, r.op, r.value))
+                .collect();
+            let blocks: Vec<IndexedBlock> = rel.blocks[span]
+                .iter()
+                .filter(|b| {
+                    residual.iter().all(|(r, rank)| {
+                        r.op.holds(self.interner.cmp_id_to_value(b.key[r.pos], &r.value, *rank))
+                    })
+                })
+                .cloned()
+                .collect();
+            let mut restricted = RelationIndex {
+                name: rel.name.clone(),
+                blocks,
+                key_len: rel.key_len,
+                arity: rel.arity,
+                deep_pos: Vec::new(),
+                stats: RelationStats::default(),
+            };
+            restricted.rebuild_deep_pos();
+            restricted.stats = RelationStats::compute(&restricted.blocks);
+            let mut detail = String::new();
+            if used_seek {
+                detail.push_str(&format!("seek {}", seek_parts.join(", ")));
+            }
+            if !filter_parts.is_empty() {
+                if used_seek {
+                    detail.push_str("; ");
+                }
+                detail.push_str(&format!("filter {}", filter_parts.join(", ")));
+            }
+            paths.push(AccessPath {
+                relation: name.to_string(),
+                used_seek,
+                total_blocks: total,
+                est_blocks: if used_seek { est } else { total },
+                matched_blocks: restricted.blocks.len(),
+                detail,
+            });
+            out.relations.insert(name.to_string(), Arc::new(restricted));
+        }
+        (out, paths)
     }
 
     /// The index of a relation. Every relation of the schema is present (even
@@ -848,6 +1197,16 @@ impl DbIndex {
                 deep(a, &self.interner),
                 deep(b, &other.interner),
                 "{name}: deep posting lists"
+            );
+            assert_eq!(
+                (a.stats.blocks, a.stats.facts, a.stats.distinct_head),
+                (b.stats.blocks, b.stats.facts, b.stats.distinct_head),
+                "{name}: stats counters"
+            );
+            assert_eq!(
+                a.stats.fence_values(&self.interner),
+                b.stats.fence_values(&other.interner),
+                "{name}: stats fences"
             );
         }
     }
@@ -1171,6 +1530,223 @@ mod tests {
         }
         assert_eq!(dirty.len(), 202);
         idx.assert_structurally_identical(&DbIndex::new(&db));
+    }
+
+    /// Integer-keyed relation for seek/restriction tests: both positions are
+    /// key, so every fact is its own block and block keys are (k0, k1).
+    fn db_nums() -> DatabaseInstance {
+        let schema = Schema::new().with_relation("R", Signature::new(2, 2, [0, 1]).unwrap());
+        let mut db = DatabaseInstance::new(schema);
+        db.insert_all([
+            fact!("R", 1, 1),
+            fact!("R", 1, 3),
+            fact!("R", 1, 5),
+            fact!("R", 2, 2),
+            fact!("R", 2, 4),
+            fact!("R", 3, 1),
+            fact!("R", 5, 9),
+        ])
+        .unwrap();
+        db
+    }
+
+    /// Brute-force reference for a span: the block positions whose key at
+    /// `pos` satisfies `op v`, which must be contiguous for contiguous ops.
+    fn brute_span(idx: &DbIndex, rel: &str, pos: usize, op: CmpOp, v: &Value) -> Vec<usize> {
+        idx.relation(rel)
+            .blocks()
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| op.holds(idx.interner().value(b.key[pos]).cmp(v)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn head_seek_span_matches_brute_force() {
+        let db = db_nums();
+        let mut idx = DbIndex::new(&db);
+        // Appended ids (out of raw order) must not confuse the seeks.
+        idx.apply_delta(&[
+            DeltaEvent::insert(fact!("R", 0, 7)),
+            DeltaEvent::insert(fact!("R", 9, 0)),
+        ]);
+        let ops = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq];
+        for op in ops {
+            for probe in -1..=10 {
+                let v = Value::int(probe);
+                let span = idx.relation("R").head_seek_span(op, &v, idx.interner());
+                let expect = brute_span(&idx, "R", 0, op, &v);
+                assert_eq!(
+                    span.collect::<Vec<_>>(),
+                    expect,
+                    "head span for key[0] {op} {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_seek_span_matches_brute_force() {
+        let db = db_nums();
+        let idx = DbIndex::new(&db);
+        let r = idx.relation("R");
+        for head in [1i64, 2, 3, 4] {
+            let head_id = idx.interner().id_or_missing(&Value::int(head));
+            for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq] {
+                for probe in 0..=6 {
+                    let v = Value::int(probe);
+                    let span = r.prefix_seek_span(&[head_id], op, &v, idx.interner());
+                    let expect: Vec<usize> = r
+                        .blocks()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, b)| {
+                            b.key[0] == head_id && op.holds(idx.interner().value(b.key[1]).cmp(&v))
+                        })
+                        .map(|(i, _)| i)
+                        .collect();
+                    assert_eq!(
+                        span.collect::<Vec<_>>(),
+                        expect,
+                        "prefix span for key[0] = {head}, key[1] {op} {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_agrees_with_brute_force_filter() {
+        let db = db_nums();
+        let idx = DbIndex::new(&db);
+        let cases: Vec<Vec<BlockRestriction>> = vec![
+            vec![BlockRestriction {
+                relation: "R".into(),
+                pos: 0,
+                op: CmpOp::Lt,
+                value: Value::int(3),
+            }],
+            vec![BlockRestriction {
+                relation: "R".into(),
+                pos: 1,
+                op: CmpOp::Ge,
+                value: Value::int(4),
+            }],
+            vec![
+                BlockRestriction {
+                    relation: "R".into(),
+                    pos: 0,
+                    op: CmpOp::Eq,
+                    value: Value::int(1),
+                },
+                BlockRestriction {
+                    relation: "R".into(),
+                    pos: 1,
+                    op: CmpOp::Gt,
+                    value: Value::int(2),
+                },
+            ],
+            vec![BlockRestriction {
+                relation: "R".into(),
+                pos: 0,
+                op: CmpOp::Ne,
+                value: Value::int(2),
+            }],
+        ];
+        for restrictions in &cases {
+            let expect: Vec<Vec<Value>> = idx
+                .relation("R")
+                .blocks()
+                .iter()
+                .filter(|b| {
+                    restrictions
+                        .iter()
+                        .all(|r| r.op.holds(idx.interner().value(b.key[r.pos]).cmp(&r.value)))
+                })
+                .map(|b| idx.interner().values_of(&b.key))
+                .collect();
+            for force_scan in [false, true] {
+                let (view, paths) = idx.restrict(restrictions, force_scan);
+                let got: Vec<Vec<Value>> = view
+                    .relation("R")
+                    .blocks()
+                    .iter()
+                    .map(|b| view.interner().values_of(&b.key))
+                    .collect();
+                assert_eq!(got, expect, "restricted blocks ({restrictions:?})");
+                assert_eq!(paths.len(), 1);
+                assert_eq!(paths[0].matched_blocks, expect.len());
+                assert_eq!(paths[0].total_blocks, 7);
+                if force_scan {
+                    assert!(!paths[0].used_seek, "force_scan must not seek");
+                }
+                // Stats track the restricted block list.
+                assert_eq!(view.relation("R").stats().blocks, expect.len());
+                // The deep posting lists cover exactly the surviving blocks.
+                let mut rebuilt = view.relation("R").clone();
+                rebuilt.rebuild_deep_pos();
+                assert_eq!(rebuilt.deep_pos, view.relation("R").deep_pos);
+            }
+        }
+        // The selective head predicate takes the seek path by default.
+        let (_, paths) = idx.restrict(&cases[0], false);
+        assert!(paths[0].used_seek);
+        assert!(paths[0].est_blocks < paths[0].total_blocks);
+    }
+
+    #[test]
+    fn restrict_shares_untouched_relations_and_interner() {
+        let db = db();
+        let idx = DbIndex::new(&db);
+        let (view, paths) = idx.restrict(
+            &[BlockRestriction {
+                relation: "S".into(),
+                pos: 0,
+                op: CmpOp::Le,
+                value: Value::text("b1"),
+            }],
+            false,
+        );
+        assert_eq!(paths.len(), 1);
+        assert_eq!(view.relation("S").blocks().len(), 2);
+        assert!(view.shares_relation_storage(&idx, "Empty"));
+        assert!(!view.shares_relation_storage(&idx, "S"));
+        assert!(std::ptr::eq(view.interner(), idx.interner()));
+        // Restricting an unknown relation is a no-op, not a panic.
+        let (view2, paths2) = idx.restrict(
+            &[BlockRestriction {
+                relation: "Nope".into(),
+                pos: 0,
+                op: CmpOp::Lt,
+                value: Value::int(1),
+            }],
+            false,
+        );
+        assert!(paths2.is_empty());
+        assert!(view2.shares_relation_storage(&idx, "S"));
+    }
+
+    #[test]
+    fn stats_track_block_list_shape() {
+        let db = db();
+        let idx = DbIndex::new(&db);
+        let s = idx.relation("S").stats();
+        assert_eq!(s.blocks, 3);
+        assert_eq!(s.facts, 4);
+        assert_eq!(s.distinct_head, 2); // b1, b2
+        assert_eq!(idx.relation("Empty").stats().blocks, 0);
+        // Estimates: a predicate matching no fence still rounds sanely, a
+        // predicate matching all fences estimates the whole relation, and
+        // `<>` never pretends to be seekable.
+        let est_all = s.estimate_head_matches(CmpOp::Ge, &Value::text("a"), idx.interner());
+        assert_eq!(est_all, 3);
+        let est_none = s.estimate_head_matches(CmpOp::Lt, &Value::text("a"), idx.interner());
+        assert_eq!(est_none, 0);
+        assert_eq!(
+            s.estimate_head_matches(CmpOp::Ne, &Value::text("b1"), idx.interner()),
+            3
+        );
     }
 
     #[test]

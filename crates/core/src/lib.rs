@@ -56,6 +56,7 @@ pub mod exact;
 pub mod forall;
 pub mod glb;
 pub mod index;
+pub mod interval;
 pub mod plan;
 pub mod prepared;
 pub mod rewrite;
@@ -65,10 +66,14 @@ pub use classify::{
 };
 pub use engine::{BoundAnswer, EngineOptions, GroupLocality, GroupRange, Method, RangeCqa};
 pub use error::CoreError;
-pub use exact::{exact_bounds, exact_bounds_by_group, ExactBounds};
+pub use exact::{
+    exact_bounds, exact_bounds_by_group, exact_bounds_by_group_filtered, exact_bounds_filtered,
+    ExactBounds,
+};
 pub use forall::{analyse, Binding, CertaintyChecker, CompiledLevels, ForallAnalysis, VarTable};
 pub use glb::{global_extremum, optimal_aggregate, Choice};
-pub use index::{DbIndex, DirtyBlock};
+pub use index::{AccessPath, BlockRestriction, DbIndex, DirtyBlock, RelationStats};
+pub use interval::{certain_topk, having_status, having_status_all, order_rows, HavingStatus};
 pub use plan::{BoundOp, BoundStrategy, LogicalPlan, PhysicalPlan, PlanNode};
 pub use prepared::{PreparedAggQuery, PreparedBody};
 pub use rewrite::{rewriting_for, BoundKind, Rewriting};

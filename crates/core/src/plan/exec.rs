@@ -51,7 +51,7 @@
 
 use crate::engine::{substitute_group, BoundAnswer, EngineOptions, GroupRange, Method};
 use crate::error::CoreError;
-use crate::exact::{exact_bounds, ExactBounds};
+use crate::exact::{exact_bounds_filtered, ExactBounds};
 use crate::forall::{
     analyse_group_with_embeddings_ids, embeddings_compiled_ids, embeddings_from_blocks_ids,
     ids_to_binding, level0_blocks, Binding, CertaintyChecker, CompiledLevels, ForallAnalysis,
@@ -62,7 +62,7 @@ use crate::plan::physical::{BoundOp, ExecSpec, PhysicalPlan};
 use crate::prepared::PreparedAggQuery;
 use crate::rewrite::BoundKind;
 use rcqa_data::{DatabaseInstance, Value, ValueInterner, UNBOUND_ID};
-use rcqa_query::Var;
+use rcqa_query::{Var, VarPredicate};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// One partitioned group in the executor's working representation: the group
@@ -81,6 +81,12 @@ pub struct ExecContext<'a> {
     pub index: &'a DbIndex,
     /// Engine options (fallback policy, repair budget, worker count).
     pub options: &'a EngineOptions,
+    /// Comparison predicates the exact fallback applies as embedding filters
+    /// inside each enumerated repair (non-free variables only — predicates
+    /// on key-position variables are pushed into the restricted index and
+    /// predicates on free variables filter whole result rows upstream, so
+    /// the rewriting-backed operators never see a predicate here).
+    pub exact_predicates: &'a [VarPredicate],
 }
 
 /// Executes a physical plan, returning one [`GroupRange`] per group in
@@ -310,6 +316,17 @@ fn eval_shard(
             )?),
             None => None,
         };
+        // Residual predicates are invisible to the partitioner, so the exact
+        // enumeration may discover that a candidate group has no satisfying
+        // embedding at all — such a group is not a possible answer and has
+        // no row. (Closed queries keep their single row: a scalar query
+        // honestly answers ⊥.)
+        if !key.is_empty()
+            && !cx.exact_predicates.is_empty()
+            && exact_cache.is_some_and(|b| !b.satisfiable)
+        {
+            continue;
+        }
         out.push(GroupRange { key, glb, lub });
     }
     Ok(out)
@@ -368,10 +385,20 @@ fn bound_answer(
                 Some(bounds) => *bounds,
                 None => {
                     let computed = if key.is_empty() {
-                        exact_bounds(cx.prepared, cx.db, cx.options.max_repairs)?
+                        exact_bounds_filtered(
+                            cx.prepared,
+                            cx.db,
+                            cx.options.max_repairs,
+                            cx.exact_predicates,
+                        )?
                     } else {
                         let closed = substitute_group(cx.prepared, key)?;
-                        exact_bounds(&closed, cx.db, cx.options.max_repairs)?
+                        exact_bounds_filtered(
+                            &closed,
+                            cx.db,
+                            cx.options.max_repairs,
+                            cx.exact_predicates,
+                        )?
                     };
                     *exact_cache = Some(computed);
                     computed

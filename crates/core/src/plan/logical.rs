@@ -7,6 +7,7 @@
 //! cyclic).
 
 use crate::glb::Choice;
+use crate::index::AccessPath;
 use crate::plan::physical::{BoundOp, PhysicalPlan, PlanNode};
 use crate::prepared::PreparedAggQuery;
 use crate::rewrite::BoundKind;
@@ -124,6 +125,21 @@ impl LogicalPlan {
         }
     }
 
+    /// Downgrades every requested bound to the exhaustive-repair fallback.
+    ///
+    /// The honest route for **residual comparison predicates** — predicates
+    /// on a non-free variable that occurs at no key position of any atom.
+    /// Such a predicate cannot be pushed into the block index (a block mixes
+    /// facts that pass and facts that fail it, so dropping or keeping whole
+    /// blocks is wrong in both directions) and the rewriting theorems say
+    /// nothing about it; enumerating repairs with the predicate applied as
+    /// an embedding filter is the only sound path.
+    pub fn force_exact(mut self) -> LogicalPlan {
+        self.glb = self.glb.map(|_| BoundStrategy::ExactFallback);
+        self.lub = self.lub.map(|_| BoundStrategy::ExactFallback);
+        self
+    }
+
     /// Whether any requested bound consumes the embedding analysis.
     pub fn needs_analysis(&self) -> bool {
         self.glb
@@ -143,6 +159,18 @@ impl LogicalPlan {
     /// Lowers the logical plan to the physical operator pipeline executed by
     /// [`crate::plan::exec::execute`].
     pub fn lower(&self, prepared: &PreparedAggQuery) -> PhysicalPlan {
+        self.lower_with_access(prepared, &[])
+    }
+
+    /// Lowers with an access path: when `access` is non-empty the pipeline's
+    /// leaf is a [`PlanNode::Seek`] over the restricted block index (the
+    /// [`crate::index::DbIndex::restrict`] view those [`AccessPath`] records
+    /// came from) instead of a full [`PlanNode::Scan`].
+    pub fn lower_with_access(
+        &self,
+        prepared: &PreparedAggQuery,
+        access: &[AccessPath],
+    ) -> PhysicalPlan {
         let relations: Vec<String> = prepared
             .body
             .atoms_in_order()
@@ -153,7 +181,14 @@ impl LogicalPlan {
         let grouped = !group_vars.is_empty();
         let needs_analysis = self.needs_analysis();
 
-        let scan = PlanNode::Scan { relations };
+        let scan = if access.is_empty() {
+            PlanNode::Scan { relations }
+        } else {
+            PlanNode::Seek {
+                relations,
+                paths: access.iter().map(|p| p.to_string()).collect(),
+            }
+        };
         let join = PlanNode::Join {
             levels: prepared.body.len(),
             open_body: grouped,

@@ -69,6 +69,19 @@ pub enum PlanNode {
         /// Relations scanned, in topological body order.
         relations: Vec<String>,
     },
+    /// Access path: a **restricted view** of the shared block index — the
+    /// relations carrying comparison predicates on key positions were
+    /// narrowed by [`crate::index::DbIndex::restrict`] (ordered binary-
+    /// searched range seeks where the stats said so, linear filters
+    /// otherwise) before the join pass ran. A leaf, like [`PlanNode::Scan`];
+    /// the join reads the view exactly as it would the full index.
+    Seek {
+        /// Relations read, in topological body order.
+        relations: Vec<String>,
+        /// One rendered access-path line per restricted relation (relation,
+        /// seek/filter predicates, matched/total blocks, stats estimate).
+        paths: Vec<String>,
+    },
     /// One level-wise join pass over the (open or closed) body.
     Join {
         /// Number of join levels (atoms).
@@ -119,7 +132,7 @@ impl PlanNode {
     /// The upstream operator, if any.
     pub fn input(&self) -> Option<&PlanNode> {
         match self {
-            PlanNode::Scan { .. } => None,
+            PlanNode::Scan { .. } | PlanNode::Seek { .. } => None,
             PlanNode::Join { input, .. }
             | PlanNode::PartitionByGroup { input, .. }
             | PlanNode::ForallCheck { input, .. }
@@ -153,7 +166,9 @@ impl PhysicalPlan {
     /// # Panics
     /// Panics if the plan does not have the canonical
     /// `RangeMerge → AggregateBound → ForallCheck → PartitionByGroup → Join →
-    /// Scan` shape produced by [`crate::plan::logical::LogicalPlan::lower`].
+    /// Scan|Seek` shape produced by [`crate::plan::logical::LogicalPlan::lower`]
+    /// (`Seek` when [`crate::plan::logical::LogicalPlan::lower_with_access`]
+    /// installed a restricted access path).
     pub(crate) fn spec(&self) -> ExecSpec {
         let PlanNode::RangeMerge { input } = &self.root else {
             panic!("physical plan must be rooted at RangeMerge");
@@ -180,8 +195,8 @@ impl PhysicalPlan {
         else {
             panic!("PartitionByGroup must read from Join");
         };
-        let PlanNode::Scan { .. } = input.as_ref() else {
-            panic!("Join must read from Scan");
+        let (PlanNode::Scan { .. } | PlanNode::Seek { .. }) = input.as_ref() else {
+            panic!("Join must read from Scan or Seek");
         };
         ExecSpec {
             glb: *glb,
@@ -215,6 +230,11 @@ fn describe(node: &PlanNode) -> String {
         PlanNode::Scan { relations } => {
             format!("Scan [{}] (shared block index)", relations.join(", "))
         }
+        PlanNode::Seek { relations, paths } => format!(
+            "Seek [{}] (restricted block index: {})",
+            relations.join(", "),
+            paths.join(" · ")
+        ),
         PlanNode::Join {
             levels,
             open_body,

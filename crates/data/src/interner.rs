@@ -161,6 +161,43 @@ impl ValueInterner {
         self.value(a).cmp(self.value(b))
     }
 
+    /// Locates `v` relative to the **sorted prefix**: `Ok(id)` when `v` is
+    /// interned there, `Err(bound)` where `bound` is the number of prefix
+    /// values strictly less than `v` (i.e. the id `v` would get if it were
+    /// inserted into the prefix).
+    ///
+    /// This is the precomputation behind range seeks: once the rank of a
+    /// probe value is known, comparing any sorted-prefix id against the probe
+    /// is a plain integer comparison ([`ValueInterner::cmp_id_to_value`]).
+    pub fn prefix_rank(&self, v: &Value) -> Result<u32, u32> {
+        match self.sorted.binary_search(v) {
+            Ok(i) => Ok(i as u32),
+            Err(i) => Err(i as u32),
+        }
+    }
+
+    /// Value order of an assigned id against an arbitrary probe value (which
+    /// need not be interned), given the probe's precomputed
+    /// [`ValueInterner::prefix_rank`]: integer-only when the id sits in the
+    /// sorted prefix, a materialised comparison for overlay ids.
+    pub fn cmp_id_to_value(&self, id: u32, v: &Value, rank: Result<u32, u32>) -> Ordering {
+        if (id as usize) < self.sorted.len() {
+            return match rank {
+                Ok(r) => id.cmp(&r),
+                // v sits strictly between prefix ranks r-1 and r: every id
+                // below r is less than v, every id at or above r is greater.
+                Err(r) => {
+                    if id < r {
+                        Ordering::Less
+                    } else {
+                        Ordering::Greater
+                    }
+                }
+            };
+        }
+        self.value(id).cmp(v)
+    }
+
     /// Lexicographic value order of two id tuples (the block-key order of the
     /// columnar index).
     pub fn cmp_id_tuples(&self, a: &[u32], b: &[u32]) -> Ordering {
@@ -234,6 +271,35 @@ mod tests {
         assert_eq!(
             interner.values_of(&[x, seven]),
             vec![Value::text("x"), Value::int(7)]
+        );
+    }
+
+    #[test]
+    fn rank_comparisons_match_materialised_order() {
+        let mut interner = build([Value::int(1), Value::int(3), Value::int(5)]);
+        let nine = interner.intern(&Value::int(9)); // overlay id
+        for probe in [
+            Value::int(0),
+            Value::int(1),
+            Value::int(2),
+            Value::int(4),
+            Value::int(9),
+        ] {
+            let rank = interner.prefix_rank(&probe);
+            for id in [0, 1, 2, nine] {
+                assert_eq!(
+                    interner.cmp_id_to_value(id, &probe, rank),
+                    interner.value(id).cmp(&probe),
+                    "id {id} vs {probe:?}"
+                );
+            }
+        }
+        assert_eq!(interner.prefix_rank(&Value::int(3)), Ok(1));
+        assert_eq!(interner.prefix_rank(&Value::int(4)), Err(2));
+        assert_eq!(
+            interner.prefix_rank(&Value::int(9)),
+            Err(3),
+            "overlay ids are not prefix ranks"
         );
     }
 

@@ -11,7 +11,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use rcqa_data::{DatabaseInstance, Fact, Schema, Signature, Value};
-use rcqa_query::{parse_agg_query, AggQuery};
+use rcqa_query::{parse_agg_query, AggQuery, CmpOp, Var, VarPredicate};
 
 /// Configuration of the two-relation join workload
 /// `SUM(r) <- R(x, y), S(y, z, r)` (the shape of the paper's running example,
@@ -286,6 +286,25 @@ impl ScaleWorkload {
     /// The grouped SUM query over the workload (GROUP BY `x`).
     pub fn grouped_sum_query(&self) -> AggQuery {
         parse_agg_query("(x, SUM(r)) <- R(x, y), S(y, z, r)").expect("fixed query parses")
+    }
+
+    /// The grouped MAX query with a selective range predicate on the group
+    /// key (E17): `(x, MAX(r)) <- R(x, y), S(y, z, r)` restricted to
+    /// `x >= 'x9'`. The `R` keys are `x0`, `x1`, …, so the predicate matches
+    /// exactly the `x9*` prefix family — a few percent of the blocks at the
+    /// 10⁵-fact scale — and is contiguous in the index's sorted block order,
+    /// so the cost-based planner can answer it with a binary-searched seek
+    /// while the forced-scan baseline evaluates every group and filters
+    /// rows afterwards.
+    pub fn range_query(&self) -> (AggQuery, VarPredicate) {
+        let query =
+            parse_agg_query("(x, MAX(r)) <- R(x, y), S(y, z, r)").expect("fixed query parses");
+        let predicate = VarPredicate {
+            var: Var::new("x"),
+            op: CmpOp::Ge,
+            value: Value::text("x9"),
+        };
+        (query, predicate)
     }
 
     /// Number of distinct `y` values: wide enough that the Zipf tail is

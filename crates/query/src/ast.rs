@@ -3,9 +3,111 @@
 
 use crate::error::QueryError;
 use rcqa_data::{AggFunc, Rational, Schema, Value};
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
+
+/// A comparison operator from the SQL surface. Both spellings of "not equal"
+/// (`<>` and `!=`) normalise to the single [`CmpOp::Ne`] node at parse time,
+/// so downstream layers never see the surface spelling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<>` / `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Parses a surface spelling (`=`, `<`, `<=`, `>`, `>=`, `<>`, `!=`).
+    pub fn parse(op: &str) -> Option<CmpOp> {
+        match op {
+            "=" => Some(CmpOp::Eq),
+            "<" => Some(CmpOp::Lt),
+            "<=" => Some(CmpOp::Le),
+            ">" => Some(CmpOp::Gt),
+            ">=" => Some(CmpOp::Ge),
+            "<>" | "!=" => Some(CmpOp::Ne),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling (`Ne` renders as `<>`).
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Ne => "<>",
+        }
+    }
+
+    /// Whether `lhs OP rhs` holds given `lhs.cmp(&rhs)`.
+    pub fn holds(&self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+            CmpOp::Ne => ord != Ordering::Equal,
+        }
+    }
+
+    /// Whether the satisfying set `{x : x OP c}` is contiguous in the total
+    /// value order (everything except `Ne`) — the precondition for answering
+    /// the predicate with one ordered range seek instead of a filter scan.
+    pub fn is_contiguous(&self) -> bool {
+        !matches!(self, CmpOp::Ne)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// A comparison predicate `v OP c` over a body variable, produced by the SQL
+/// front-end for non-equality WHERE conditions (equality conditions are
+/// applied by unification instead and never appear here).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarPredicate {
+    /// The body variable being constrained.
+    pub var: Var,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The literal the variable is compared against.
+    pub value: Value,
+}
+
+impl VarPredicate {
+    /// Whether a concrete value satisfies the predicate, in the engine's
+    /// total value order (numbers before text).
+    pub fn holds_value(&self, v: &Value) -> bool {
+        self.op.holds(v.cmp(&self.value))
+    }
+}
+
+impl fmt::Display for VarPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.value {
+            Value::Text(s) => write!(f, "{} {} '{s}'", self.var, self.op),
+            other => write!(f, "{} {} {other}", self.var, self.op),
+        }
+    }
+}
 
 /// A variable.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -23,11 +23,11 @@ pub mod fd;
 pub mod fuxman;
 pub mod sql;
 
-pub use ast::{AggQuery, AggTerm, Atom, ConjunctiveQuery, Term, Var};
+pub use ast::{AggQuery, AggTerm, Atom, CmpOp, ConjunctiveQuery, Term, Var, VarPredicate};
 pub use attack::{AttackGraph, CertaintyComplexity};
 pub use catalog::{Catalog, TableDef};
 pub use datalog::{parse_agg_query, parse_body};
 pub use error::QueryError;
 pub use fd::{Fd, FdSet};
 pub use fuxman::{is_caggforest, is_cforest, FuxmanGraph};
-pub use sql::{normalize_sql, parse_sql, SqlQuery};
+pub use sql::{normalize_sql, parse_sql, HavingCond, OrderSpec, SqlQuery};

@@ -1,22 +1,35 @@
-//! SQL front-end: a parser for the SELECT-FROM-WHERE-GROUP BY fragment the
-//! paper targets (Section 1), translating into AGGR\[sjfBCQ\].
+//! SQL front-end: a parser for the SELECT-FROM-WHERE-GROUP BY-HAVING-ORDER
+//! BY-LIMIT fragment the paper targets (Section 1), translating into
+//! AGGR\[sjfBCQ\] plus the interval-level clauses evaluated over `[glb, lub]`
+//! rows.
 //!
 //! Supported grammar (case-insensitive keywords):
 //!
 //! ```text
-//! SELECT [col_ref ,]* AGG( col_ref | * | number )
+//! SELECT [col_ref ,]* AGG( col_ref | * | number ) (, AGG(...))*
 //! FROM   table [AS alias] (, table [AS alias])*
-//! [WHERE  col_ref = (col_ref | literal) (AND ...)*]
+//! [WHERE  col_ref = (col_ref | literal) (AND ...)*
+//!         | col_ref (< | <= | > | >= | <> | !=) literal (AND ...)*]
 //! [GROUP BY col_ref (, col_ref)*]
+//! [HAVING AGG(...) (= | < | <= | > | >= | <> | !=) number (AND ...)*]
+//! [ORDER BY AGG(...) [ASC | DESC] [LIMIT k]]
 //! ```
 //!
 //! Every table occurrence becomes one atom; equality conditions are applied
-//! by unifying variables or substituting constants; GROUP BY columns become
-//! the free variables of the body. Two occurrences of the same table (a
-//! self-join) are rejected, matching the paper's restriction to
-//! self-join-free queries.
+//! by unifying variables or substituting constants; non-equality comparisons
+//! against literals become [`VarPredicate`]s attached to the query; GROUP BY
+//! columns become the free variables of the body. HAVING, ORDER BY and LIMIT
+//! operate on the per-group answer *intervals* (certain/possible/violated
+//! trichotomy and certain top-k), so they compare aggregates to numeric
+//! literals only. Two occurrences of the same table (a self-join) are
+//! rejected, matching the paper's restriction to self-join-free queries.
+//!
+//! Shapes that parse but fall outside the executable fragment (column-column
+//! comparisons, ORDER BY a plain column, LIMIT without ORDER BY, …) fail with
+//! a precise [`QueryError::Unsupported`] naming the shape — never a tokenizer
+//! error.
 
-use crate::ast::{AggQuery, AggTerm, Atom, ConjunctiveQuery, Term, Var};
+use crate::ast::{AggQuery, AggTerm, Atom, CmpOp, ConjunctiveQuery, Term, Var, VarPredicate};
 use crate::catalog::Catalog;
 use crate::error::QueryError;
 use rcqa_data::{AggFunc, Rational, Value};
@@ -31,10 +44,9 @@ enum Tok {
     Dot,
     Star,
     Eq,
-    /// A recognised-but-unsupported comparison operator (`<`, `<=`, `>`,
-    /// `>=`, `<>`, `!=`). Tokenised so the parser can reject it with a
-    /// precise message naming the operator, instead of a generic
-    /// "unexpected character" error.
+    /// A non-equality comparison operator (`<`, `<=`, `>`, `>=`, `<>`,
+    /// `!=`). `<>` and `!=` are distinct tokens but normalise to the same
+    /// [`CmpOp::Ne`] AST node in the parser.
     Cmp(&'static str),
     LParen,
     RParen,
@@ -246,7 +258,16 @@ struct ParsedSql {
     select: Vec<SelectItem>,
     from: Vec<(String, String)>, // (table, alias)
     conditions: Vec<(ColRef, RhsValue)>,
+    /// Non-equality WHERE comparisons, always column-vs-literal (the parser
+    /// rejects column-column comparisons with a precise error).
+    comparisons: Vec<(ColRef, CmpOp, Value)>,
     group_by: Vec<ColRef>,
+    /// `HAVING AGG(arg) OP number` conjuncts.
+    having: Vec<(AggFunc, AggArg, CmpOp, Rational)>,
+    /// `ORDER BY AGG(arg) [ASC|DESC]`.
+    order_by: Option<(AggFunc, AggArg, bool)>,
+    /// `LIMIT k` (requires ORDER BY).
+    limit: Option<usize>,
 }
 
 struct Parser {
@@ -326,46 +347,65 @@ impl Parser {
         }
     }
 
+    /// Parses `AGG( … )` if the upcoming tokens are an aggregate call;
+    /// returns `Ok(None)` without consuming anything otherwise.
+    fn parse_aggregate(&mut self) -> Result<Option<(AggFunc, AggArg)>, QueryError> {
+        let Some(Tok::Ident(name)) = self.peek() else {
+            return Ok(None);
+        };
+        if AggFunc::parse(name).is_none() || self.toks.get(self.pos + 1) != Some(&Tok::LParen) {
+            return Ok(None);
+        }
+        let name = self.parse_ident()?;
+        let mut agg = AggFunc::parse(&name).expect("checked above");
+        self.expect(&Tok::LParen)?;
+        let distinct = self.eat_keyword("DISTINCT");
+        if distinct {
+            agg = match agg {
+                AggFunc::Count => AggFunc::CountDistinct,
+                AggFunc::Sum => AggFunc::SumDistinct,
+                other => {
+                    return Err(QueryError::Unsupported(format!(
+                        "DISTINCT is not supported for {other}"
+                    )))
+                }
+            };
+        }
+        let arg = match self.peek() {
+            Some(Tok::Star) => {
+                self.next();
+                AggArg::Star
+            }
+            Some(Tok::Num(_)) => {
+                if let Some(Tok::Num(r)) = self.next() {
+                    AggArg::Number(r)
+                } else {
+                    unreachable!()
+                }
+            }
+            _ => AggArg::Column(self.parse_col_ref()?),
+        };
+        self.expect(&Tok::RParen)?;
+        Ok(Some((agg, arg)))
+    }
+
     fn parse_select_item(&mut self) -> Result<SelectItem, QueryError> {
         // Aggregate if identifier is a known aggregate name followed by '('.
-        if let Some(Tok::Ident(name)) = self.peek() {
-            let is_agg =
-                AggFunc::parse(name).is_some() && self.toks.get(self.pos + 1) == Some(&Tok::LParen);
-            if is_agg {
-                let name = self.parse_ident()?;
-                let mut agg = AggFunc::parse(&name).expect("checked above");
-                self.expect(&Tok::LParen)?;
-                let distinct = self.eat_keyword("DISTINCT");
-                if distinct {
-                    agg = match agg {
-                        AggFunc::Count => AggFunc::CountDistinct,
-                        AggFunc::Sum => AggFunc::SumDistinct,
-                        other => {
-                            return Err(QueryError::Unsupported(format!(
-                                "DISTINCT is not supported for {other}"
-                            )))
-                        }
-                    };
-                }
-                let arg = match self.peek() {
-                    Some(Tok::Star) => {
-                        self.next();
-                        AggArg::Star
-                    }
-                    Some(Tok::Num(_)) => {
-                        if let Some(Tok::Num(r)) = self.next() {
-                            AggArg::Number(r)
-                        } else {
-                            unreachable!()
-                        }
-                    }
-                    _ => AggArg::Column(self.parse_col_ref()?),
-                };
-                self.expect(&Tok::RParen)?;
-                return Ok(SelectItem::Aggregate(agg, arg));
-            }
+        if let Some((agg, arg)) = self.parse_aggregate()? {
+            return Ok(SelectItem::Aggregate(agg, arg));
         }
         Ok(SelectItem::Column(self.parse_col_ref()?))
+    }
+
+    /// Parses the comparison operator of a HAVING conjunct.
+    fn parse_cmp_op(&mut self, clause: &str) -> Result<CmpOp, QueryError> {
+        match self.next() {
+            Some(Tok::Eq) => Ok(CmpOp::Eq),
+            Some(Tok::Cmp(s)) => Ok(CmpOp::parse(s).expect("tokenizer emits known operators")),
+            other => Err(QueryError::Parse(format!(
+                "expected a comparison operator in {clause}, found {other:?}"
+            ))),
+        }
     }
 
     fn parse(&mut self) -> Result<ParsedSql, QueryError> {
@@ -383,7 +423,7 @@ impl Parser {
                 self.parse_ident()?
             } else if let Some(Tok::Ident(s)) = self.peek() {
                 // implicit alias, unless the identifier is a keyword
-                if ["WHERE", "GROUP", "ORDER"]
+                if ["WHERE", "GROUP", "ORDER", "HAVING", "LIMIT"]
                     .iter()
                     .any(|kw| s.eq_ignore_ascii_case(kw))
                 {
@@ -402,46 +442,62 @@ impl Parser {
             }
         }
         let mut conditions = Vec::new();
+        let mut comparisons = Vec::new();
         if self.eat_keyword("WHERE") {
             loop {
                 let lhs = self.parse_col_ref()?;
-                // Non-equality comparisons are recognised so they can be
-                // rejected by name: the paper's query class (and the range
-                // semantics built on it) is defined over equality-only
-                // conjunctions of conditions.
-                if let Some(Tok::Cmp(op)) = self.peek() {
-                    return Err(QueryError::Unsupported(format!(
-                        "comparison operator {op} in WHERE: conditions are \
-                         restricted to equality (column = column or \
-                         column = literal)"
-                    )));
-                }
-                self.expect(&Tok::Eq)?;
-                let rhs = match self.next() {
-                    Some(Tok::Str(s)) => RhsValue::Text(s),
-                    Some(Tok::Num(r)) => RhsValue::Number(r),
-                    Some(Tok::Ident(name)) => {
-                        if self.peek() == Some(&Tok::Dot) {
-                            self.next();
-                            let column = self.parse_ident()?;
-                            RhsValue::Column(ColRef {
-                                qualifier: Some(name),
-                                column,
-                            })
-                        } else {
-                            RhsValue::Column(ColRef {
-                                qualifier: None,
-                                column: name,
-                            })
+                // Non-equality comparisons restrict a column against a
+                // literal; column-column comparisons stay outside the
+                // executable fragment (equality joins go through the
+                // unifier instead) and are rejected by name.
+                if let Some(Tok::Cmp(op_str)) = self.peek().cloned() {
+                    self.next();
+                    let op = CmpOp::parse(op_str).expect("tokenizer emits known operators");
+                    let rhs = match self.next() {
+                        Some(Tok::Str(s)) => Value::text(s),
+                        Some(Tok::Num(r)) => Value::Num(r),
+                        Some(Tok::Ident(_)) => {
+                            return Err(QueryError::Unsupported(format!(
+                                "comparison operator {op_str} between two columns in WHERE: \
+                                 non-equality comparisons must be against a literal \
+                                 (column {op_str} constant)"
+                            )))
                         }
-                    }
-                    other => {
-                        return Err(QueryError::Parse(format!(
-                            "expected a column or literal, found {other:?}"
-                        )))
-                    }
-                };
-                conditions.push((lhs, rhs));
+                        other => {
+                            return Err(QueryError::Parse(format!(
+                                "expected a literal after {op_str}, found {other:?}"
+                            )))
+                        }
+                    };
+                    comparisons.push((lhs, op, rhs));
+                } else {
+                    self.expect(&Tok::Eq)?;
+                    let rhs = match self.next() {
+                        Some(Tok::Str(s)) => RhsValue::Text(s),
+                        Some(Tok::Num(r)) => RhsValue::Number(r),
+                        Some(Tok::Ident(name)) => {
+                            if self.peek() == Some(&Tok::Dot) {
+                                self.next();
+                                let column = self.parse_ident()?;
+                                RhsValue::Column(ColRef {
+                                    qualifier: Some(name),
+                                    column,
+                                })
+                            } else {
+                                RhsValue::Column(ColRef {
+                                    qualifier: None,
+                                    column: name,
+                                })
+                            }
+                        }
+                        other => {
+                            return Err(QueryError::Parse(format!(
+                                "expected a column or literal, found {other:?}"
+                            )))
+                        }
+                    };
+                    conditions.push((lhs, rhs));
+                }
                 if !self.eat_keyword("AND") {
                     break;
                 }
@@ -455,6 +511,84 @@ impl Parser {
                 self.next();
                 group_by.push(self.parse_col_ref()?);
             }
+        }
+        // HAVING conjuncts compare an aggregate's answer interval against a
+        // numeric literal; anything else parses but is named unsupported.
+        let mut having = Vec::new();
+        if self.eat_keyword("HAVING") {
+            loop {
+                let Some((agg, arg)) = self.parse_aggregate()? else {
+                    return Err(QueryError::Unsupported(
+                        "HAVING over a non-aggregate expression: only conjunctions of \
+                         AGG(...) OP number are supported (the interval trichotomy is \
+                         defined over aggregate [glb, lub] bounds)"
+                            .into(),
+                    ));
+                };
+                let op = self.parse_cmp_op("HAVING")?;
+                let threshold = match self.next() {
+                    Some(Tok::Num(r)) => r,
+                    Some(Tok::Str(_)) => {
+                        return Err(QueryError::Unsupported(
+                            "HAVING compares aggregate intervals to numeric literals only".into(),
+                        ))
+                    }
+                    other => {
+                        return Err(QueryError::Parse(format!(
+                            "expected a number in HAVING, found {other:?}"
+                        )))
+                    }
+                };
+                having.push((agg, arg, op, threshold));
+                if !self.eat_keyword("AND") {
+                    break;
+                }
+            }
+        }
+        // ORDER BY an aggregate (certain top-k); plain columns are named
+        // unsupported rather than silently reordered.
+        let mut order_by = None;
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let Some((agg, arg)) = self.parse_aggregate()? else {
+                let col = self.parse_col_ref()?;
+                return Err(QueryError::Unsupported(format!(
+                    "ORDER BY column {}: only ORDER BY over an aggregate is supported \
+                     (certain top-k is defined over aggregate [glb, lub] intervals)",
+                    col.column
+                )));
+            };
+            let descending = if self.eat_keyword("DESC") {
+                true
+            } else {
+                self.eat_keyword("ASC");
+                false
+            };
+            if self.peek() == Some(&Tok::Comma) {
+                return Err(QueryError::Unsupported(
+                    "multiple ORDER BY keys: only a single aggregate sort key is supported".into(),
+                ));
+            }
+            order_by = Some((agg, arg, descending));
+        }
+        let mut limit = None;
+        if self.eat_keyword("LIMIT") {
+            let k = match self.next() {
+                Some(Tok::Num(r)) => r.to_string().parse::<usize>().map_err(|_| {
+                    QueryError::Parse(format!("LIMIT must be a non-negative integer, got {r}"))
+                })?,
+                other => {
+                    return Err(QueryError::Parse(format!(
+                        "expected a number after LIMIT, found {other:?}"
+                    )))
+                }
+            };
+            if order_by.is_none() {
+                return Err(QueryError::Unsupported(
+                    "LIMIT without ORDER BY: certain top-k needs an aggregate sort key".into(),
+                ));
+            }
+            limit = Some(k);
         }
         // A single statement terminator may close the query; anything after
         // it (or a second `;`) is trailing garbage, not more SQL.
@@ -471,7 +605,11 @@ impl Parser {
             select,
             from,
             conditions,
+            comparisons,
             group_by,
+            having,
+            order_by,
+            limit,
         })
     }
 }
@@ -532,16 +670,57 @@ impl Unifier {
     }
 }
 
-/// The result of translating a SQL query: an [`AggQuery`] plus, for reporting,
-/// the SELECT-clause column names in output order (group-by columns followed
-/// by the aggregate).
+/// A HAVING conjunct `AGG(...) OP number`, evaluated over the `[glb, lub]`
+/// interval of the aggregate at `agg_index` in [`SqlQuery::aggregates`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HavingCond {
+    /// Index into [`SqlQuery::aggregates`] of the compared aggregate.
+    pub agg_index: usize,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The numeric threshold.
+    pub threshold: Rational,
+}
+
+/// `ORDER BY AGG(...) [ASC|DESC]`, the sort key of certain top-k.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderSpec {
+    /// Index into [`SqlQuery::aggregates`] of the sort-key aggregate.
+    pub agg_index: usize,
+    /// `true` for DESC.
+    pub descending: bool,
+}
+
+/// The result of translating a SQL query: one [`AggQuery`] per aggregate
+/// (sharing the body), comparison predicates, and the interval-level
+/// HAVING / ORDER BY / LIMIT clauses, plus the SELECT-clause column names in
+/// output order (group-by columns followed by the aggregates).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SqlQuery {
-    /// The translated aggregation query.
+    /// The primary translated aggregation query (`aggregates[0]`).
     pub query: AggQuery,
     /// Human-readable output column names, one per GROUP BY column plus one
-    /// for the aggregate.
+    /// per SELECT-clause aggregate.
     pub output_columns: Vec<String>,
+    /// Every aggregate needed to answer the statement, sharing one body: the
+    /// first [`SqlQuery::visible_aggregates`] are the SELECT-clause
+    /// aggregates in order; the rest are hidden aggregates referenced only
+    /// by HAVING / ORDER BY.
+    pub aggregates: Vec<AggQuery>,
+    /// How many leading entries of [`SqlQuery::aggregates`] are SELECT items.
+    pub visible_aggregates: usize,
+    /// Non-equality WHERE comparisons against literals.
+    pub predicates: Vec<VarPredicate>,
+    /// HAVING conjuncts (interval trichotomy).
+    pub having: Vec<HavingCond>,
+    /// ORDER BY sort key (certain top-k when paired with `limit`).
+    pub order_by: Option<OrderSpec>,
+    /// LIMIT k.
+    pub limit: Option<usize>,
+    /// `true` when a WHERE comparison on a column already forced to a
+    /// constant is statically false: no repair has a satisfying embedding,
+    /// so grouped queries answer with no rows and closed queries with `⊥`.
+    pub unsatisfiable: bool,
 }
 
 /// Parses a SQL aggregation query against a [`Catalog`] and translates it into
@@ -708,24 +887,19 @@ pub fn parse_sql(input: &str, catalog: &Catalog) -> Result<SqlQuery, QueryError>
     }
 
     // SELECT items: non-aggregate columns must be in GROUP BY.
-    let mut aggregate: Option<(AggFunc, AggArg)> = None;
+    let mut select_aggs: Vec<(AggFunc, AggArg)> = Vec::new();
     let mut selected_columns: Vec<ColRef> = Vec::new();
     for item in &parsed.select {
         match item {
-            SelectItem::Aggregate(agg, arg) => {
-                if aggregate.is_some() {
-                    return Err(QueryError::Unsupported(
-                        "only one aggregate per query is supported".into(),
-                    ));
-                }
-                aggregate = Some((*agg, arg.clone()));
-            }
+            SelectItem::Aggregate(agg, arg) => select_aggs.push((*agg, arg.clone())),
             SelectItem::Column(c) => selected_columns.push(c.clone()),
         }
     }
-    let (agg, arg) = aggregate.ok_or_else(|| {
-        QueryError::Unsupported("the SELECT clause must contain an aggregate".into())
-    })?;
+    if select_aggs.is_empty() {
+        return Err(QueryError::Unsupported(
+            "the SELECT clause must contain an aggregate".into(),
+        ));
+    }
 
     // GROUP BY columns resolve to union-find roots; a selected non-aggregate
     // column must name the same *variable* (root) as some GROUP BY column.
@@ -766,37 +940,109 @@ pub fn parse_sql(input: &str, catalog: &Catalog) -> Result<SqlQuery, QueryError>
         output_columns.push(canonical_column(g));
     }
 
-    // Aggregate argument.
-    let term = match arg {
-        AggArg::Star => {
-            if agg != AggFunc::Count && agg != AggFunc::CountDistinct {
-                return Err(QueryError::Unsupported(format!(
-                    "{agg}(*) is not supported"
-                )));
-            }
-            AggTerm::Const(Rational::ONE)
-        }
-        AggArg::Number(r) => AggTerm::Const(r),
-        AggArg::Column(c) => {
-            let root = resolve_root(&c, &mut unifier)?;
-            match &unifier.constant[root] {
-                Some(Value::Num(r)) => AggTerm::Const(*r),
-                Some(Value::Text(_)) => {
-                    return Err(QueryError::Unsupported(format!(
-                        "aggregating the non-numeric constant column {}",
-                        c.column
-                    )))
+    // Aggregate arguments resolve through the unifier (same rules for SELECT,
+    // HAVING, and ORDER BY aggregates).
+    let build_term =
+        |agg: AggFunc, arg: &AggArg, unifier: &mut Unifier| -> Result<AggTerm, QueryError> {
+            match arg {
+                AggArg::Star => {
+                    if agg != AggFunc::Count && agg != AggFunc::CountDistinct {
+                        return Err(QueryError::Unsupported(format!(
+                            "{agg}(*) is not supported"
+                        )));
+                    }
+                    Ok(AggTerm::Const(Rational::ONE))
                 }
-                None => AggTerm::Var(Var::new(&var_names[root])),
+                AggArg::Number(r) => Ok(AggTerm::Const(*r)),
+                AggArg::Column(c) => {
+                    let root = resolve_root(c, &mut *unifier)?;
+                    match &unifier.constant[root] {
+                        Some(Value::Num(r)) => Ok(AggTerm::Const(*r)),
+                        Some(Value::Text(_)) => Err(QueryError::Unsupported(format!(
+                            "aggregating the non-numeric constant column {}",
+                            c.column
+                        ))),
+                        None => Ok(AggTerm::Var(Var::new(&var_names[root]))),
+                    }
+                }
             }
+        };
+
+    // SELECT aggregates come first (they define the output columns); HAVING
+    // and ORDER BY aggregates reuse a matching SELECT aggregate or append a
+    // hidden one sharing the same body.
+    let mut agg_specs: Vec<(AggFunc, AggTerm)> = Vec::new();
+    for (agg, arg) in &select_aggs {
+        let term = build_term(*agg, arg, &mut unifier)?;
+        output_columns.push(format!("{agg}"));
+        agg_specs.push((*agg, term));
+    }
+    let visible_aggregates = agg_specs.len();
+    let index_of = |specs: &mut Vec<(AggFunc, AggTerm)>, agg: AggFunc, term: AggTerm| {
+        specs
+            .iter()
+            .position(|(a, t)| *a == agg && *t == term)
+            .unwrap_or_else(|| {
+                specs.push((agg, term));
+                specs.len() - 1
+            })
+    };
+    let mut having = Vec::new();
+    for (agg, arg, op, threshold) in &parsed.having {
+        let term = build_term(*agg, arg, &mut unifier)?;
+        having.push(HavingCond {
+            agg_index: index_of(&mut agg_specs, *agg, term),
+            op: *op,
+            threshold: *threshold,
+        });
+    }
+    let order_by = match &parsed.order_by {
+        None => None,
+        Some((agg, arg, descending)) => {
+            let term = build_term(*agg, arg, &mut unifier)?;
+            Some(OrderSpec {
+                agg_index: index_of(&mut agg_specs, *agg, term),
+                descending: *descending,
+            })
         }
     };
-    output_columns.push(format!("{agg}"));
+
+    // Non-equality WHERE comparisons: a comparison on a column the equality
+    // conditions forced to a constant is decided statically; otherwise it
+    // becomes a predicate on the column's body variable.
+    let mut predicates: Vec<VarPredicate> = Vec::new();
+    let mut unsatisfiable = false;
+    for (lhs, op, value) in &parsed.comparisons {
+        let root = resolve_root(lhs, &mut unifier)?;
+        match &unifier.constant[root] {
+            Some(c) => {
+                if !op.holds(c.cmp(value)) {
+                    unsatisfiable = true;
+                }
+            }
+            None => predicates.push(VarPredicate {
+                var: Var::new(&var_names[root]),
+                op: *op,
+                value: value.clone(),
+            }),
+        }
+    }
 
     let body = ConjunctiveQuery::with_free_vars(atoms, free_vars);
+    let aggregates: Vec<AggQuery> = agg_specs
+        .into_iter()
+        .map(|(agg, term)| AggQuery::new(agg, term, body.clone()))
+        .collect();
     Ok(SqlQuery {
-        query: AggQuery::new(agg, term, body),
+        query: aggregates[0].clone(),
         output_columns,
+        aggregates,
+        visible_aggregates,
+        predicates,
+        having,
+        order_by,
+        limit: parsed.limit,
+        unsatisfiable,
     })
 }
 
@@ -1016,33 +1262,65 @@ mod tests {
     }
 
     #[test]
-    fn unsupported_comparison_operators_are_named() {
+    fn comparison_predicates_parse_and_normalise() {
         let cat = stock_catalog();
-        // Every recognised non-equality operator is rejected with a message
-        // naming the operator and the equality-only restriction — not the
-        // generic "unexpected character" parse error it used to fall into.
-        for op in ["<", "<=", ">", ">=", "<>", "!="] {
+        // Every non-equality operator parses into a predicate on the column's
+        // body variable; `<>` and `!=` normalise to the one `Ne` node.
+        for (op, cmp) in [
+            ("<", CmpOp::Lt),
+            ("<=", CmpOp::Le),
+            (">", CmpOp::Gt),
+            (">=", CmpOp::Ge),
+            ("<>", CmpOp::Ne),
+            ("!=", CmpOp::Ne),
+        ] {
             let sql = format!("SELECT SUM(S.Qty) FROM Stock AS S WHERE S.Qty {op} 35");
-            let err = parse_sql(&sql, &cat).unwrap_err();
-            match &err {
-                QueryError::Unsupported(msg) => {
-                    assert!(
-                        msg.contains(&format!("comparison operator {op}")),
-                        "{op}: {msg}"
-                    );
-                    assert!(msg.contains("equality"), "{op}: {msg}");
-                }
-                other => panic!("{op}: expected Unsupported, got {other:?}"),
-            }
+            let out = parse_sql(&sql, &cat).unwrap();
+            assert_eq!(out.predicates.len(), 1, "{op}");
+            assert_eq!(out.predicates[0].op, cmp, "{op}");
+            assert_eq!(out.predicates[0].value, Value::int(35), "{op}");
+            assert!(!out.unsatisfiable);
         }
-        // The operators are also rejected between columns, and mid-conjunction.
-        let err = parse_sql(
+        let a = parse_sql("SELECT SUM(S.Qty) FROM Stock AS S WHERE S.Qty <> 35", &cat).unwrap();
+        let b = parse_sql("SELECT SUM(S.Qty) FROM Stock AS S WHERE S.Qty != 35", &cat).unwrap();
+        assert_eq!(a, b, "<> and != must produce identical ASTs");
+        // Comparisons compose with equality conditions mid-conjunction.
+        let out = parse_sql(
             "SELECT SUM(S.Qty) FROM Dealers AS D, Stock AS S \
              WHERE D.Town = S.Town AND S.Qty >= 10",
             &cat,
         )
+        .unwrap();
+        assert_eq!(out.predicates.len(), 1);
+        assert_eq!(out.predicates[0].op, CmpOp::Ge);
+        // Column-column comparisons stay outside the fragment, named by
+        // operator — not a tokenizer error.
+        let err = parse_sql(
+            "SELECT SUM(S.Qty) FROM Dealers AS D, Stock AS S \
+             WHERE D.Town = S.Town AND S.Qty >= D.Name",
+            &cat,
+        )
         .unwrap_err();
-        assert!(err.to_string().contains(">="), "{err}");
+        match &err {
+            QueryError::Unsupported(msg) => {
+                assert!(msg.contains(">="), "{msg}");
+                assert!(msg.contains("two columns"), "{msg}");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        // A comparison on a column forced to a constant is decided statically.
+        let out = parse_sql(
+            "SELECT SUM(S.Qty) FROM Stock AS S WHERE S.Town = 'a' AND S.Town < 'b'",
+            &cat,
+        )
+        .unwrap();
+        assert!(out.predicates.is_empty() && !out.unsatisfiable);
+        let out = parse_sql(
+            "SELECT SUM(S.Qty) FROM Stock AS S WHERE S.Town = 'b' AND S.Town < 'a'",
+            &cat,
+        )
+        .unwrap();
+        assert!(out.unsatisfiable);
         // A bare `!` (not part of `!=`) stays a character-level parse error.
         assert!(matches!(
             parse_sql("SELECT SUM(S.Qty) FROM Stock AS S WHERE S.Qty ! 35", &cat),
@@ -1050,6 +1328,87 @@ mod tests {
         ));
         // Equality keeps working.
         assert!(parse_sql("SELECT SUM(S.Qty) FROM Stock AS S WHERE S.Qty = 35", &cat).is_ok());
+    }
+
+    #[test]
+    fn having_order_by_and_limit_parse() {
+        let cat = stock_catalog();
+        let sql = "SELECT S.Town, SUM(S.Qty), COUNT(*) FROM Stock AS S GROUP BY S.Town \
+                   HAVING SUM(S.Qty) > 10 AND MIN(S.Qty) <> 3 \
+                   ORDER BY SUM(S.Qty) DESC LIMIT 2";
+        let out = parse_sql(sql, &cat).unwrap();
+        assert_eq!(out.visible_aggregates, 2);
+        // SELECT SUM and COUNT, plus the hidden MIN from HAVING; the HAVING
+        // SUM reuses the SELECT aggregate.
+        assert_eq!(out.aggregates.len(), 3);
+        assert_eq!(out.having.len(), 2);
+        assert_eq!(out.having[0].agg_index, 0);
+        assert_eq!(out.having[0].op, CmpOp::Gt);
+        assert_eq!(out.having[1].agg_index, 2);
+        assert_eq!(out.having[1].op, CmpOp::Ne);
+        assert_eq!(
+            out.order_by,
+            Some(OrderSpec {
+                agg_index: 0,
+                descending: true
+            })
+        );
+        assert_eq!(out.limit, Some(2));
+        assert_eq!(out.output_columns, vec!["Town", "SUM", "COUNT"]);
+        assert_eq!(out.query, out.aggregates[0]);
+        // HAVING without GROUP BY (the single implicit group) parses too.
+        let out = parse_sql(
+            "SELECT SUM(S.Qty) FROM Stock AS S HAVING COUNT(*) >= 1",
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(out.aggregates.len(), 2);
+        assert_eq!(out.having[0].agg_index, 1);
+        // ORDER BY ASC and bare ORDER BY both mean ascending.
+        let asc = parse_sql(
+            "SELECT S.Town, MAX(S.Qty) FROM Stock AS S GROUP BY S.Town ORDER BY MAX(S.Qty) ASC",
+            &cat,
+        )
+        .unwrap();
+        let bare = parse_sql(
+            "SELECT S.Town, MAX(S.Qty) FROM Stock AS S GROUP BY S.Town ORDER BY MAX(S.Qty)",
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(asc.order_by, bare.order_by);
+        assert!(!asc.order_by.unwrap().descending);
+    }
+
+    #[test]
+    fn staged_unsupported_shapes_are_named() {
+        let cat = stock_catalog();
+        let unsupported = |sql: &str| -> String {
+            match parse_sql(sql, &cat).unwrap_err() {
+                QueryError::Unsupported(msg) => msg,
+                other => panic!("{sql}: expected Unsupported, got {other:?}"),
+            }
+        };
+        // Each shape that parses but isn't executable fails with a message
+        // naming the shape precisely.
+        let msg = unsupported(
+            "SELECT S.Town, SUM(S.Qty) FROM Stock AS S GROUP BY S.Town ORDER BY S.Town",
+        );
+        assert!(msg.contains("ORDER BY column Town"), "{msg}");
+        let msg = unsupported("SELECT SUM(S.Qty) FROM Stock AS S LIMIT 5");
+        assert!(msg.contains("LIMIT without ORDER BY"), "{msg}");
+        let msg = unsupported(
+            "SELECT S.Town, SUM(S.Qty) FROM Stock AS S GROUP BY S.Town HAVING S.Town = 'a'",
+        );
+        assert!(msg.contains("non-aggregate"), "{msg}");
+        let msg = unsupported(
+            "SELECT S.Town, SUM(S.Qty) FROM Stock AS S GROUP BY S.Town HAVING SUM(S.Qty) > 'a'",
+        );
+        assert!(msg.contains("numeric literals"), "{msg}");
+        let msg = unsupported(
+            "SELECT S.Town, MAX(S.Qty) FROM Stock AS S GROUP BY S.Town \
+             ORDER BY MAX(S.Qty), MIN(S.Qty)",
+        );
+        assert!(msg.contains("multiple ORDER BY keys"), "{msg}");
     }
 
     #[test]
@@ -1078,7 +1437,22 @@ mod tests {
         )
         .is_err());
         // trailing garbage
-        assert!(parse_sql("SELECT SUM(S.Qty) FROM Stock AS S LIMIT 5", &cat).is_err());
+        assert!(parse_sql("SELECT SUM(S.Qty) FROM Stock AS S GARBAGE 5", &cat).is_err());
+        // a fractional or negative LIMIT is a parse error
+        assert!(matches!(
+            parse_sql(
+                "SELECT MAX(S.Qty) FROM Stock AS S ORDER BY MAX(S.Qty) LIMIT 2.5",
+                &cat
+            ),
+            Err(QueryError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_sql(
+                "SELECT MAX(S.Qty) FROM Stock AS S ORDER BY MAX(S.Qty) LIMIT -1",
+                &cat
+            ),
+            Err(QueryError::Parse(_))
+        ));
     }
 
     /// Deterministically re-spells `word` with a per-bit random case and
@@ -1099,8 +1473,11 @@ mod tests {
 
     /// Builds a syntactically valid statement over [`stock_catalog`] from a
     /// vector of draws: aggregate, shape (closed / grouped / unqualified),
-    /// literal, optional terminator — each keyword and identifier re-spelled
-    /// with random case and whitespace.
+    /// literal, optional comparison predicate, HAVING, ORDER BY / LIMIT, and
+    /// terminator — each keyword and identifier re-spelled with random case
+    /// and whitespace.
+    const SQL_CHOICES: usize = 33;
+
     fn build_sql(choices: &[u64]) -> String {
         let pick = |i: usize, n: usize| (choices[i] % n as u64) as usize;
         let mut sql = String::new();
@@ -1114,6 +1491,12 @@ mod tests {
         sql.push('(');
         push_respelled(&mut sql, "S.Qty", choices[5]);
         sql.push(')');
+        // Optionally a second SELECT aggregate (multi-aggregate lists).
+        if pick(25, 2) == 1 {
+            sql.push(',');
+            push_respelled(&mut sql, "COUNT", choices[26]);
+            sql.push_str("(*)");
+        }
         push_respelled(&mut sql, "FROM", choices[6]);
         push_respelled(&mut sql, "Dealers", choices[7]);
         push_respelled(&mut sql, "AS", choices[8]);
@@ -1125,7 +1508,7 @@ mod tests {
         push_respelled(&mut sql, "D.Town", choices[14]);
         sql.push('=');
         push_respelled(&mut sql, "S.Town", choices[15]);
-        match pick(16, 3) {
+        match pick(16, 4) {
             0 => {}
             1 => {
                 push_respelled(&mut sql, "AND", choices[17]);
@@ -1137,10 +1520,17 @@ mod tests {
                     ["'Smith'", "'O''Brien'", "'New  York'", "\"a \"\"b\"\"\""][pick(19, 4)],
                 );
             }
-            _ => {
+            2 => {
                 push_respelled(&mut sql, "AND", choices[17]);
                 push_respelled(&mut sql, "S.Qty", choices[18]);
                 sql.push('=');
+                sql.push_str(["35", "3.5", "-7"][pick(19, 3)]);
+            }
+            _ => {
+                // Comparison predicate over the new operator palette.
+                push_respelled(&mut sql, "AND", choices[17]);
+                push_respelled(&mut sql, "S.Qty", choices[18]);
+                sql.push_str(["<", "<=", ">", ">=", "<>", "!="][pick(27, 6)]);
                 sql.push_str(["35", "3.5", "-7"][pick(19, 3)]);
             }
         }
@@ -1148,6 +1538,32 @@ mod tests {
             push_respelled(&mut sql, "GROUP", choices[20]);
             push_respelled(&mut sql, "BY", choices[21]);
             push_respelled(&mut sql, "D.Name", choices[22]);
+        }
+        if pick(28, 2) == 1 {
+            push_respelled(&mut sql, "HAVING", choices[29]);
+            push_respelled(&mut sql, "SUM", choices[26]);
+            sql.push('(');
+            push_respelled(&mut sql, "S.Qty", choices[5]);
+            sql.push(')');
+            sql.push_str(["=", "<", "<=", ">", ">=", "<>", "!="][pick(30, 7)]);
+            sql.push_str("10");
+        }
+        if pick(31, 2) == 1 {
+            push_respelled(&mut sql, "ORDER", choices[29]);
+            push_respelled(&mut sql, "BY", choices[21]);
+            push_respelled(&mut sql, "MAX", choices[26]);
+            sql.push('(');
+            push_respelled(&mut sql, "S.Qty", choices[5]);
+            sql.push(')');
+            match pick(32, 3) {
+                0 => {}
+                1 => push_respelled(&mut sql, "ASC", choices[29]),
+                _ => push_respelled(&mut sql, "DESC", choices[29]),
+            }
+            if pick(24, 2) == 1 {
+                push_respelled(&mut sql, "LIMIT", choices[29]);
+                sql.push_str(" 3");
+            }
         }
         if pick(23, 2) == 1 {
             push_respelled(&mut sql, ";", choices[24]);
@@ -1191,7 +1607,7 @@ mod tests {
         /// parsing the normalized spelling yields exactly the same query as
         /// parsing the original.
         #[test]
-        fn prop_parse_of_normalized_equals_parse(choices in proptest::collection::vec(0u64..u64::MAX, 25)) {
+        fn prop_parse_of_normalized_equals_parse(choices in proptest::collection::vec(0u64..u64::MAX, SQL_CHOICES)) {
             let cat = stock_catalog();
             let sql = build_sql(&choices);
             let direct = parse_sql(&sql, &cat);
@@ -1201,6 +1617,22 @@ mod tests {
                 (Err(_), Err(_)) => {}
                 (a, b) => panic!("normalization changed the outcome of {sql:?}: {a:?} vs {b:?}"),
             }
+        }
+
+        /// `<>` and `!=` are one operator: for any generated statement whose
+        /// WHERE carries a not-equal comparison, the two spellings parse to
+        /// identical ASTs.
+        #[test]
+        fn prop_ne_spellings_identical_ast(choices in proptest::collection::vec(0u64..u64::MAX, SQL_CHOICES)) {
+            let cat = stock_catalog();
+            let mut with_angle = choices.clone();
+            with_angle[16] = 3; // force the comparison arm
+            with_angle[27] = 4; // "<>"
+            let mut with_bang = with_angle.clone();
+            with_bang[27] = 5; // "!="
+            let a = parse_sql(&build_sql(&with_angle), &cat);
+            let b = parse_sql(&build_sql(&with_bang), &cat);
+            prop_assert_eq!(a, b);
         }
     }
 }

@@ -115,11 +115,13 @@
 #![warn(missing_docs)]
 
 use rcqa_core::classify::Classification;
-use rcqa_core::engine::{EngineOptions, GroupLocality, GroupRange, RangeCqa};
+use rcqa_core::engine::{BoundAnswer, EngineOptions, GroupLocality, GroupRange, Method, RangeCqa};
 use rcqa_core::index::{DbIndex, DirtyBlock};
+pub use rcqa_core::interval::HavingStatus;
+use rcqa_core::interval::{certain_topk, having_status, having_status_all, order_rows};
 use rcqa_core::CoreError;
 use rcqa_data::{DataError, DatabaseInstance, DeltaEvent, Fact, Rational};
-use rcqa_query::{parse_sql, AggQuery, Catalog, QueryError};
+use rcqa_query::{parse_sql, AggQuery, Catalog, HavingCond, OrderSpec, QueryError};
 use rcqa_wal::{FsStorage, Wal, WalError, WalStorage};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -254,11 +256,22 @@ pub struct QueryOutcome {
     pub classification: Arc<Classification>,
     /// Output column names: one per GROUP BY column, then the aggregate.
     pub columns: Vec<String>,
-    /// One `[glb, lub]` interval per group, in sorted group-key order.
-    /// Shared with the session's result cache (an `Arc` slice), so serving a
-    /// cached answer — and re-serving it to every later hit — never re-clones
-    /// the rows.
+    /// One `[glb, lub]` interval per output row for the **first**
+    /// SELECT-clause aggregate, after HAVING filtering and ORDER BY / LIMIT
+    /// selection (sorted group-key order when neither is present). Shared
+    /// with the session's result cache (an `Arc` slice), so serving a cached
+    /// answer — and re-serving it to every later hit — never re-clones the
+    /// rows.
     pub rows: Arc<[GroupRange]>,
+    /// Row-aligned intervals of the second and later SELECT-clause
+    /// aggregates (empty for single-aggregate statements). The group key of
+    /// `more_aggregates[a][i]` equals `rows[i].key`.
+    pub more_aggregates: Vec<Arc<[GroupRange]>>,
+    /// Row-aligned HAVING trichotomy: for each output row, whether the
+    /// HAVING conjunction holds in every repair (`Certain`), in some
+    /// (`Possible`), or — never present here, such rows are dropped — in
+    /// none (`Violated`). Empty when the statement has no HAVING clause.
+    pub having: Arc<[HavingStatus]>,
     /// The epoch of the snapshot this answer was computed against — the
     /// version of the data the rows are byte-identical to a cold evaluation
     /// of.
@@ -273,29 +286,60 @@ fn fmt_bound(v: Option<Rational>) -> String {
 }
 
 impl QueryOutcome {
-    /// Renders the answer as a plain-text table (group key columns, then
-    /// `glb` and `lub`), for reports and examples.
+    /// Renders the answer as a plain-text table: group key columns, then a
+    /// `glb`/`lub` pair per SELECT-clause aggregate (suffixed with the
+    /// aggregate's column name when there is more than one), then — when the
+    /// statement has a HAVING clause — its trichotomy status per row.
     pub fn to_table(&self) -> String {
         let mut out = String::new();
-        let key_cols = self.columns.len().saturating_sub(1);
+        let agg_cols = 1 + self.more_aggregates.len();
+        let key_cols = self.columns.len().saturating_sub(agg_cols);
         for c in &self.columns[..key_cols] {
             out.push_str(&format!("{c:<14} "));
         }
-        out.push_str(&format!("{:>12} {:>12}\n", "glb", "lub"));
-        for row in self.rows.iter() {
-            for value in &row.key {
-                out.push_str(&format!("{:<14} ", value.to_string()));
+        for a in 0..agg_cols {
+            if agg_cols == 1 {
+                out.push_str(&format!("{:>12} {:>12}", "glb", "lub"));
+            } else {
+                let name = &self.columns[key_cols + a];
+                out.push_str(&format!(
+                    "{:>12} {:>12}",
+                    format!("glb({name})"),
+                    format!("lub({name})")
+                ));
             }
-            let bound = |b: &Option<rcqa_core::engine::BoundAnswer>| {
-                b.as_ref()
-                    .map(|b| fmt_bound(b.value))
-                    .unwrap_or_else(|| "-".to_string())
-            };
-            out.push_str(&format!(
-                "{:>12} {:>12}\n",
-                bound(&row.glb),
-                bound(&row.lub)
-            ));
+            out.push(' ');
+        }
+        if !self.having.is_empty() {
+            out.push_str(&format!("{:>10}", "having"));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+        let bound = |b: &Option<BoundAnswer>| {
+            b.as_ref()
+                .map(|b| fmt_bound(b.value))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        for (i, row) in self.rows.iter().enumerate() {
+            let mut line = String::new();
+            for value in &row.key {
+                line.push_str(&format!("{:<14} ", value.to_string()));
+            }
+            line.push_str(&format!("{:>12} {:>12} ", bound(&row.glb), bound(&row.lub)));
+            for extra in &self.more_aggregates {
+                let r = &extra[i];
+                line.push_str(&format!("{:>12} {:>12} ", bound(&r.glb), bound(&r.lub)));
+            }
+            if let Some(status) = self.having.get(i) {
+                line.push_str(&format!("{:>10}", status.to_string()));
+            }
+            while line.ends_with(' ') {
+                line.pop();
+            }
+            out.push_str(&line);
+            out.push('\n');
         }
         out
     }
@@ -320,7 +364,16 @@ pub struct PreparedStatement {
     sql: String,
     query: Arc<AggQuery>,
     columns: Vec<String>,
-    engine: RangeCqa,
+    /// One fully prepared engine per aggregate of the statement (the first
+    /// [`PreparedStatement::visible_aggregates`] are SELECT items, the rest
+    /// are hidden HAVING / ORDER BY aggregates); they share one body and one
+    /// predicate set, so their group keys align row for row.
+    engines: Vec<RangeCqa>,
+    visible_aggregates: usize,
+    having: Vec<HavingCond>,
+    order_by: Option<OrderSpec>,
+    limit: Option<usize>,
+    unsatisfiable: bool,
     classification: Arc<Classification>,
     locality: Option<GroupLocality>,
 }
@@ -336,7 +389,8 @@ impl PreparedStatement {
         &self.query
     }
 
-    /// Output column names: one per GROUP BY column, then the aggregate.
+    /// Output column names: one per GROUP BY column, then one per
+    /// SELECT-clause aggregate.
     pub fn columns(&self) -> &[String] {
         &self.columns
     }
@@ -349,8 +403,20 @@ impl PreparedStatement {
 
     /// The statement's group locality, if its GROUP BY keys are
     /// block-key-determined (the licence for dirty-group maintenance).
+    ///
+    /// Conservatively `None` for every statement beyond the plain
+    /// single-aggregate shape: comparison predicates, HAVING, ORDER BY,
+    /// LIMIT, and multi-aggregate SELECTs all couple an output row to state
+    /// outside its own level-0 blocks (a restricted index view, another
+    /// row's interval, the top-k competition), so any dirty block
+    /// invalidates the whole cached result.
     pub fn locality(&self) -> Option<&GroupLocality> {
         self.locality.as_ref()
+    }
+
+    /// The primary engine (first SELECT-clause aggregate).
+    fn engine(&self) -> &RangeCqa {
+        &self.engines[0]
     }
 }
 
@@ -380,12 +446,33 @@ pub struct SessionStats {
     pub checkpoint_failures: u64,
 }
 
+/// The complete row block of one statement's answer at one epoch: the
+/// primary aggregate's rows, the later visible aggregates' row-aligned
+/// intervals, and the row-aligned HAVING statuses.
+#[derive(Clone, Debug)]
+struct CachedRows {
+    rows: Arc<[GroupRange]>,
+    more: Vec<Arc<[GroupRange]>>,
+    having: Arc<[HavingStatus]>,
+}
+
+impl CachedRows {
+    /// A plain single-aggregate result (no HAVING, no hidden aggregates).
+    fn plain(rows: Vec<GroupRange>) -> CachedRows {
+        CachedRows {
+            rows: rows.into(),
+            more: Vec::new(),
+            having: Vec::new().into(),
+        }
+    }
+}
+
 /// One cached statement plus its last computed result (if any), versioned by
 /// the epoch the result was computed at.
 #[derive(Clone, Debug)]
 struct CachedStatement {
     stmt: Arc<PreparedStatement>,
-    result: Option<(u64, Arc<[GroupRange]>)>,
+    result: Option<(u64, CachedRows)>,
 }
 
 /// The lock-free interior of [`SessionStats`]: relaxed atomic counters, so
@@ -910,15 +997,40 @@ impl Session {
         // preparations of the same statement are idempotent and the first
         // one to publish wins.
         let translated = parse_sql(&key, &self.catalog)?;
-        let engine =
-            RangeCqa::new(&translated.query, &self.catalog.schema())?.with_options(self.options);
-        let classification = engine.classification(snapshot.db.numeric_domain());
-        let locality = engine.group_locality();
+        let schema = self.catalog.schema();
+        let mut engines = Vec::with_capacity(translated.aggregates.len());
+        for agg in &translated.aggregates {
+            engines.push(
+                RangeCqa::new(agg, &schema)?
+                    .with_predicates(translated.predicates.clone())?
+                    .with_options(self.options),
+            );
+        }
+        let classification = engines[0].classification(snapshot.db.numeric_domain());
+        // Dirty-group maintenance is only certified for the plain shape; any
+        // richer statement invalidates conservatively on every write (see
+        // `PreparedStatement::locality`).
+        let plain = translated.aggregates.len() == 1
+            && translated.predicates.is_empty()
+            && translated.having.is_empty()
+            && translated.order_by.is_none()
+            && translated.limit.is_none()
+            && !translated.unsatisfiable;
+        let locality = if plain {
+            engines[0].group_locality()
+        } else {
+            None
+        };
         let stmt = Arc::new(PreparedStatement {
             sql: key.clone(),
             query: Arc::new(translated.query),
             columns: translated.output_columns,
-            engine,
+            engines,
+            visible_aggregates: translated.visible_aggregates,
+            having: translated.having,
+            order_by: translated.order_by,
+            limit: translated.limit,
+            unsatisfiable: translated.unsatisfiable,
             classification: Arc::new(classification),
             locality,
         });
@@ -993,14 +1105,120 @@ impl Session {
         out
     }
 
-    fn outcome(stmt: &PreparedStatement, rows: Arc<[GroupRange]>, epoch: u64) -> QueryOutcome {
+    fn outcome(stmt: &PreparedStatement, rows: CachedRows, epoch: u64) -> QueryOutcome {
         QueryOutcome {
             query: stmt.query.clone(),
             classification: stmt.classification.clone(),
             columns: stmt.columns.to_vec(),
-            rows,
+            rows: rows.rows,
+            more_aggregates: rows.more,
+            having: rows.having,
             epoch,
         }
+    }
+
+    /// The full evaluation pipeline of one statement over one pinned
+    /// snapshot: evaluate every aggregate engine, align the per-aggregate
+    /// rows by group key, apply the HAVING trichotomy (dropping `Violated`
+    /// rows), then ORDER BY / certain top-k selection, then project the
+    /// SELECT-clause aggregates.
+    fn compute_rows(
+        stmt: &PreparedStatement,
+        db: &DatabaseInstance,
+        index: &DbIndex,
+    ) -> Result<CachedRows, SessionError> {
+        // A statically contradictory WHERE clause needs no engine run: no
+        // repair has a satisfying embedding, so a grouped statement has no
+        // possible answer rows, while a closed statement answers its single
+        // `[⊥, ⊥]` row. The synthetic rows still flow through the normal
+        // HAVING / ORDER BY pipeline below (a comparison against `⊥` is
+        // `Possible`; a `⊥` row is never certainly in a top-k).
+        let per_agg: Vec<Vec<GroupRange>> = if stmt.unsatisfiable {
+            let rows = if stmt.query.body.free_vars().is_empty() {
+                let bottom = Some(BoundAnswer {
+                    value: None,
+                    method: Method::Rewriting,
+                });
+                vec![GroupRange {
+                    key: Vec::new(),
+                    glb: bottom,
+                    lub: bottom,
+                }]
+            } else {
+                Vec::new()
+            };
+            stmt.engines.iter().map(|_| rows.clone()).collect()
+        } else {
+            let mut per_agg = Vec::with_capacity(stmt.engines.len());
+            for engine in &stmt.engines {
+                per_agg.push(engine.range_with_index(db, index)?);
+            }
+            per_agg
+        };
+        let primary = &per_agg[0];
+        debug_assert!(
+            per_agg.iter().all(|rows| {
+                rows.len() == primary.len()
+                    && rows.iter().zip(primary.iter()).all(|(a, b)| a.key == b.key)
+            }),
+            "aggregates share body and predicates, so group keys must align"
+        );
+        // HAVING trichotomy per row; Violated rows are certainly absent in
+        // every repair and are dropped.
+        let statuses: Vec<HavingStatus> = if stmt.having.is_empty() {
+            Vec::new()
+        } else {
+            (0..primary.len())
+                .map(|i| {
+                    having_status_all(stmt.having.iter().map(|c| {
+                        let row = &per_agg[c.agg_index][i];
+                        having_status(
+                            row.glb.and_then(|b| b.value),
+                            row.lub.and_then(|b| b.value),
+                            c.op,
+                            c.threshold,
+                        )
+                    }))
+                })
+                .collect()
+        };
+        let kept: Vec<usize> = (0..primary.len())
+            .filter(|&i| statuses.is_empty() || statuses[i] != HavingStatus::Violated)
+            .collect();
+        // ORDER BY (presentation order) / LIMIT (certain top-k) over the
+        // sort-key aggregate's intervals of the surviving rows. The parser
+        // guarantees LIMIT implies ORDER BY.
+        let selected: Vec<usize> = match stmt.order_by {
+            Some(spec) => {
+                let sort_rows: Vec<GroupRange> = kept
+                    .iter()
+                    .map(|&i| per_agg[spec.agg_index][i].clone())
+                    .collect();
+                let picked = match stmt.limit {
+                    Some(k) => certain_topk(&sort_rows, k, spec.descending),
+                    None => order_rows(&sort_rows, spec.descending),
+                };
+                picked.into_iter().map(|j| kept[j]).collect()
+            }
+            None => kept,
+        };
+        let project = |agg: usize| -> Vec<GroupRange> {
+            selected.iter().map(|&i| per_agg[agg][i].clone()).collect()
+        };
+        let rows = project(0);
+        let more: Vec<Arc<[GroupRange]>> = (1..stmt.visible_aggregates)
+            .map(|a| project(a).into())
+            .collect();
+        let having: Vec<HavingStatus> = if statuses.is_empty() {
+            Vec::new()
+        } else {
+            selected.iter().map(|&i| statuses[i]).collect()
+        };
+        Ok(CachedRows {
+            rows: rows.into(),
+            more,
+            having: having.into(),
+        })
     }
 
     /// The cache-aware execution path shared by [`Session::execute`] and
@@ -1031,7 +1249,7 @@ impl Session {
         // A stale result (an epoch *behind* this snapshot) is the patch
         // basis; results from epochs ahead of the pinned snapshot are
         // useless to this reader and are left in place for current ones.
-        let cached: Option<(u64, Arc<[GroupRange]>)> = self
+        let cached: Option<(u64, CachedRows)> = self
             .read_statements()
             .get(stmt.sql())
             .and_then(|entry| entry.result.clone());
@@ -1041,9 +1259,13 @@ impl Session {
             Full,
         }
         let (path, rows) = match cached {
-            Some((cached_epoch, rows)) if cached_epoch < epoch => {
+            Some((cached_epoch, cached_rows)) if cached_epoch < epoch => {
                 // Patch if every delta in (cached, pinned] is confined to
-                // blocks this statement can localise to groups.
+                // blocks this statement can localise to groups. Statements
+                // with predicates, HAVING, ORDER BY, or several aggregates
+                // have no locality certificate (conservatively `None` from
+                // `prepare_at`), so any dirty block sends them down the full
+                // pipeline — stale post-processed rows are never patched.
                 let patch_keys = self.dirty_since(cached_epoch, epoch).and_then(|dirty| {
                     let locality = stmt.locality()?;
                     dirty
@@ -1055,26 +1277,25 @@ impl Session {
                 });
                 match patch_keys {
                     Some(keys) => {
-                        let fresh = stmt.engine.range_for_groups(&snapshot.db, &index, &keys)?;
-                        let kept: Vec<GroupRange> = rows
+                        let fresh = stmt
+                            .engine()
+                            .range_for_groups(&snapshot.db, &index, &keys)?;
+                        let kept: Vec<GroupRange> = cached_rows
+                            .rows
                             .iter()
                             .filter(|r| !keys.contains(&r.key))
                             .cloned()
                             .collect();
-                        (Path::Patch, Self::merge_rows(kept, fresh))
+                        (
+                            Path::Patch,
+                            CachedRows::plain(Self::merge_rows(kept, fresh)),
+                        )
                     }
-                    None => (
-                        Path::Full,
-                        stmt.engine.range_with_index(&snapshot.db, &index)?,
-                    ),
+                    None => (Path::Full, Self::compute_rows(&stmt, &snapshot.db, &index)?),
                 }
             }
-            _ => (
-                Path::Full,
-                stmt.engine.range_with_index(&snapshot.db, &index)?,
-            ),
+            _ => (Path::Full, Self::compute_rows(&stmt, &snapshot.db, &index)?),
         };
-        let rows: Arc<[GroupRange]> = rows.into();
         match path {
             Path::Patch => AtomicStats::bump(&self.stats.partial_recomputes),
             Path::Full => AtomicStats::bump(&self.stats.full_recomputes),
@@ -1119,11 +1340,55 @@ impl Session {
     }
 
     /// An `EXPLAIN`-style rendering of the physical plan [`Session::execute`]
-    /// would run for this SQL query (served from the statement cache).
+    /// would run for this SQL query (served from the statement cache). The
+    /// per-aggregate plan — including the chosen access path with its
+    /// statistics estimate — is followed by the session-level post-processing
+    /// steps (HAVING trichotomy, ORDER BY, certain top-k).
     pub fn explain(&self, sql: &str) -> Result<String, SessionError> {
         let snapshot = self.snapshot();
         let stmt = self.prepare_at(&snapshot, sql)?;
-        Ok(stmt.engine.explain(&snapshot.db))
+        let index = self.pinned_index(&snapshot);
+        let mut out = String::new();
+        if stmt.unsatisfiable {
+            out.push_str(
+                "contradictory WHERE clause: no repair satisfies it; answered statically\n",
+            );
+            return Ok(out);
+        }
+        for (i, engine) in stmt.engines.iter().enumerate() {
+            if stmt.engines.len() > 1 {
+                out.push_str(&format!(
+                    "aggregate #{i}{}: {}\n",
+                    if i >= stmt.visible_aggregates {
+                        " (hidden: HAVING/ORDER BY only)"
+                    } else {
+                        ""
+                    },
+                    engine.prepared().original.agg,
+                ));
+            }
+            out.push_str(&engine.explain_with_index(&snapshot.db, &index));
+        }
+        for cond in &stmt.having {
+            out.push_str(&format!(
+                "post-process: HAVING aggregate #{} {} {} -> certain/possible kept, violated dropped\n",
+                cond.agg_index, cond.op, cond.threshold,
+            ));
+        }
+        if let Some(spec) = stmt.order_by {
+            let dir = if spec.descending { "DESC" } else { "ASC" };
+            match stmt.limit {
+                Some(k) => out.push_str(&format!(
+                    "post-process: certain top-{k} by aggregate #{} {dir} (rows certainly in the top {k} of every repair)\n",
+                    spec.agg_index,
+                )),
+                None => out.push_str(&format!(
+                    "post-process: ORDER BY aggregate #{} {dir} (presentation order over intervals)\n",
+                    spec.agg_index,
+                )),
+            }
+        }
+        Ok(out)
     }
 }
 

@@ -1,0 +1,236 @@
+//! Property-based agreement tests for the widened SQL surface: on random
+//! small inconsistent instances, comparison predicates, HAVING trichotomies,
+//! and certain top-k selections must agree with exhaustive repair
+//! enumeration — identically at every thread count, on both access-path
+//! arms, and across warm / cold / crash-recovered sessions.
+
+use proptest::prelude::*;
+use rcqa::core::engine::{BoundAnswer, EngineOptions, GroupRange, Method, RangeCqa};
+use rcqa::core::exact::exact_bounds_by_group_filtered;
+use rcqa::core::prepared::PreparedAggQuery;
+use rcqa::core::{certain_topk, having_status, HavingStatus};
+use rcqa::data::{rat, DatabaseInstance, Fact, Rational, Schema, Signature, Value};
+use rcqa::query::{parse_agg_query, Catalog, CmpOp, TableDef, Var, VarPredicate};
+use rcqa::session::Session;
+use rcqa::session::{SyncPolicy, WalOptions};
+use rcqa::wal::MemStorage;
+
+/// The Fig. 3 schema: R(x, y) with key x, S(y, z, r) with key (y, z).
+fn schema() -> Schema {
+    Schema::new()
+        .with_relation("R", Signature::new(2, 1, []).unwrap())
+        .with_relation("S", Signature::new(3, 2, [2]).unwrap())
+}
+
+/// The same schema as a SQL catalog.
+fn catalog() -> Catalog {
+    Catalog::new()
+        .with_table(TableDef::new("R").key_column("X").column("Y"))
+        .with_table(
+            TableDef::new("S")
+                .key_column("Y")
+                .key_column("Z")
+                .numeric_column("Qty"),
+        )
+}
+
+/// Strategy generating small random inconsistent instances over the schema.
+fn small_instance() -> impl Strategy<Value = DatabaseInstance> {
+    let r_facts = proptest::collection::vec((0u8..4, 0u8..4), 0..8);
+    let s_facts = proptest::collection::vec((0u8..4, 0u8..3, 0i64..20), 0..10);
+    (r_facts, s_facts).prop_map(|(rs, ss)| {
+        let mut db = DatabaseInstance::new(schema());
+        for (x, y) in rs {
+            let _ = db.insert(Fact::new(
+                "R",
+                [Value::text(format!("x{x}")), Value::text(format!("y{y}"))],
+            ));
+        }
+        for (y, z, r) in ss {
+            let _ = db.insert(Fact::new(
+                "S",
+                [
+                    Value::text(format!("y{y}")),
+                    Value::text(format!("z{z}")),
+                    Value::int(r),
+                ],
+            ));
+        }
+        db
+    })
+}
+
+/// A pool of predicates exercising every routing class: free group key
+/// (block-pushable), non-free key positions (pushable, including the
+/// non-contiguous `Ne`), and the value column at no key position (residual —
+/// forces the exact fallback).
+fn predicate_pool() -> Vec<VarPredicate> {
+    let text = |n: &str, op, v: &str| VarPredicate {
+        var: Var::new(n),
+        op,
+        value: Value::text(v),
+    };
+    let num = |n: &str, op, v: i64| VarPredicate {
+        var: Var::new(n),
+        op,
+        value: Value::int(v),
+    };
+    vec![
+        text("x", CmpOp::Gt, "x1"),
+        text("x", CmpOp::Le, "x2"),
+        text("y", CmpOp::Ne, "y1"),
+        text("y", CmpOp::Lt, "y2"),
+        text("z", CmpOp::Ge, "z1"),
+        num("r", CmpOp::Lt, 10),
+        num("r", CmpOp::Ge, 5),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every predicate routing class agrees with the filtered repair
+    /// enumeration oracle, byte-identically at 1/2/4/8 threads and on both
+    /// the seek and the forced-scan arm.
+    #[test]
+    fn predicates_agree_with_repair_enumeration(
+        db in small_instance(),
+        choice in 0usize..7,
+        pair in proptest::bool::ANY,
+    ) {
+        prop_assume!(db.repair_count().unwrap_or(u128::MAX) <= 2048);
+        let pool = predicate_pool();
+        let mut preds = vec![pool[choice].clone()];
+        if pair {
+            // A second predicate from a different routing class.
+            preds.push(pool[(choice + 3) % pool.len()].clone());
+        }
+        for text in ["(x, SUM(r)) <- R(x, y), S(y, z, r)", "(x, MAX(r)) <- R(x, y), S(y, z, r)"] {
+            let q = parse_agg_query(text).unwrap();
+            let prepared = PreparedAggQuery::new(&q, &schema()).unwrap();
+            let oracle =
+                exact_bounds_by_group_filtered(&prepared, &db, 1 << 20, &preds).unwrap();
+            let mut reference: Option<Vec<GroupRange>> = None;
+            for threads in [1usize, 2, 4, 8] {
+                for force_scan in [false, true] {
+                    let engine = RangeCqa::new(&q, &schema())
+                        .unwrap()
+                        .with_predicates(preds.clone())
+                        .unwrap()
+                        .with_options(EngineOptions {
+                            threads,
+                            force_scan,
+                            ..EngineOptions::default()
+                        });
+                    let rows = engine.range(&db).unwrap();
+                    prop_assert_eq!(rows.len(), oracle.len(), "{} {:?}", text, preds);
+                    for (row, (key, bounds)) in rows.iter().zip(oracle.iter()) {
+                        prop_assert_eq!(&row.key, key, "{}", text);
+                        prop_assert_eq!(
+                            row.glb.unwrap().value, bounds.glb,
+                            "{} glb of {:?} with {:?} @{}T force_scan={}",
+                            text, key, preds, threads, force_scan
+                        );
+                        prop_assert_eq!(
+                            row.lub.unwrap().value, bounds.lub,
+                            "{} lub of {:?} with {:?} @{}T force_scan={}",
+                            text, key, preds, threads, force_scan
+                        );
+                    }
+                    match &reference {
+                        None => reference = Some(rows),
+                        Some(first) => prop_assert_eq!(&rows, first, "{}", text),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The session's HAVING trichotomy and certain top-k equal the reference
+    /// pipeline applied to the *oracle's* intervals — and the answers are
+    /// identical warm, cold, and crash-recovered.
+    #[test]
+    fn having_and_topk_agree_with_the_oracle(
+        db in small_instance(),
+        threshold in 0i64..40,
+        k in 1usize..4,
+    ) {
+        prop_assume!(db.repair_count().unwrap_or(u128::MAX) <= 2048);
+        let q = parse_agg_query("(x, SUM(r)) <- R(x, y), S(y, z, r)").unwrap();
+        let prepared = PreparedAggQuery::new(&q, &schema()).unwrap();
+        let oracle = exact_bounds_by_group_filtered(&prepared, &db, 1 << 20, &[]).unwrap();
+
+        // Reference pipeline over oracle intervals: trichotomy, drop
+        // violated, certain top-k descending.
+        let statuses: Vec<HavingStatus> = oracle
+            .iter()
+            .map(|(_, b)| having_status(b.glb, b.lub, CmpOp::Ge, rat(threshold)))
+            .collect();
+        let kept: Vec<usize> = (0..oracle.len())
+            .filter(|&i| statuses[i] != HavingStatus::Violated)
+            .collect();
+        let kept_rows: Vec<GroupRange> = kept
+            .iter()
+            .map(|&i| {
+                let (key, b) = &oracle[i];
+                let wrap = |v: Option<Rational>| {
+                    Some(BoundAnswer { value: v, method: Method::Rewriting })
+                };
+                GroupRange { key: key.clone(), glb: wrap(b.glb), lub: wrap(b.lub) }
+            })
+            .collect();
+        let expect: Vec<&GroupRange> = certain_topk(&kept_rows, k, true)
+            .into_iter()
+            .map(|j| &kept_rows[j])
+            .collect();
+
+        let sql = format!(
+            "SELECT R.X, SUM(S.Qty) FROM R, S WHERE R.Y = S.Y GROUP BY R.X \
+             HAVING SUM(S.Qty) >= {threshold} ORDER BY SUM(S.Qty) DESC LIMIT {k}"
+        );
+        let mem = MemStorage::new();
+        let wal_options = WalOptions {
+            sync: SyncPolicy::Never,
+            checkpoint_every: 0,
+            ..WalOptions::default()
+        };
+        let warm = Session::open_storage(catalog(), Box::new(mem.handle()), wal_options)
+            .unwrap();
+        for fact in db.facts() {
+            warm.insert(fact.clone()).unwrap();
+        }
+        let outcome = warm.execute(&sql).unwrap();
+        prop_assert_eq!(outcome.rows.len(), expect.len(), "{}", sql);
+        for (row, exp) in outcome.rows.iter().zip(expect.iter()) {
+            prop_assert_eq!(&row.key, &exp.key, "{}", sql);
+            prop_assert_eq!(
+                row.glb.unwrap().value, exp.glb.unwrap().value, "{} glb", sql
+            );
+            prop_assert_eq!(
+                row.lub.unwrap().value, exp.lub.unwrap().value, "{} lub", sql
+            );
+        }
+        // Surfaced statuses are exactly the kept rows' trichotomy verdicts,
+        // and violated never appears.
+        prop_assert_eq!(outcome.having.len(), outcome.rows.len());
+        for status in outcome.having.iter() {
+            prop_assert!(*status != HavingStatus::Violated);
+        }
+
+        // Warm repeat, cold session, and crash-recovered session all give
+        // byte-identical answers.
+        let again = warm.execute(&sql).unwrap();
+        prop_assert_eq!(&again.rows, &outcome.rows);
+        prop_assert_eq!(&again.having, &outcome.having);
+        let cold = Session::with_instance(catalog(), warm.database());
+        let cold_outcome = cold.execute(&sql).unwrap();
+        prop_assert_eq!(&cold_outcome.rows, &outcome.rows);
+        prop_assert_eq!(&cold_outcome.having, &outcome.having);
+        warm.sync().unwrap();
+        let recovered =
+            Session::open_storage(catalog(), Box::new(mem.handle()), wal_options).unwrap();
+        let rec_outcome = recovered.execute(&sql).unwrap();
+        prop_assert_eq!(&rec_outcome.rows, &outcome.rows);
+        prop_assert_eq!(&rec_outcome.having, &outcome.having);
+    }
+}
