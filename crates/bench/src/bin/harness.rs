@@ -1,4 +1,4 @@
-//! The experiment harness: regenerates every experiment report (E1–E17).
+//! The experiment harness: regenerates every experiment report (E1–E18).
 //!
 //! Usage:
 //!   cargo run -p rcqa-bench --bin harness --release             # E1–E10
@@ -31,7 +31,11 @@
 //! columnar layout against the pre-interning row layout on a Zipf-skewed
 //! 10⁵-fact join; `range` writes `BENCH_range.json` (`BENCH_RANGE_PATH`,
 //! `BENCH_RANGE_FACTS`), comparing the cost-based range seek against the
-//! forced full-scan baseline on the same 10⁵-fact tier.
+//! forced full-scan baseline on the same 10⁵-fact tier; `incremental` writes
+//! `BENCH_incremental.json` (`BENCH_INCREMENTAL_PATH`), tracking per-write
+//! warm-read latency of the support-tracked patch path against forced full
+//! recompute across growing group counts, with the `SessionStats` per-path
+//! counters (supported patches, support misses, top-k fallbacks) alongside.
 
 use std::process::ExitCode;
 
@@ -97,6 +101,11 @@ const MODES: &[(&str, &[&str], &str)] = &[
         "range",
         &["e17"],
         "cost-based range seek vs forced full scan on a 10^5-fact skewed join (writes BENCH_range.json; opt-in)",
+    ),
+    (
+        "incremental",
+        &["e18"],
+        "support-tracked result patching vs full recompute per write (writes BENCH_incremental.json; opt-in)",
     ),
 ];
 
@@ -257,6 +266,19 @@ fn main() -> ExitCode {
         println!("{}", rcqa_bench::format_range(&bench));
         let path =
             std::env::var("BENCH_RANGE_PATH").unwrap_or_else(|_| "BENCH_range.json".to_string());
+        match std::fs::write(&path, bench.to_json()) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(err) => eprintln!("  failed to write {path}: {err}"),
+        }
+    }
+    if want_opt_in("incremental") {
+        // Group counts span 16x so the scaling contrast (flat patched arm vs
+        // group-proportional full recompute) is unmistakable even on a noisy
+        // shared runner.
+        let bench = rcqa_bench::bench_incremental(&[50, 200, 800], 16, 5);
+        println!("{}", rcqa_bench::format_incremental(&bench));
+        let path = std::env::var("BENCH_INCREMENTAL_PATH")
+            .unwrap_or_else(|_| "BENCH_incremental.json".to_string());
         match std::fs::write(&path, bench.to_json()) {
             Ok(()) => println!("  wrote {path}"),
             Err(err) => eprintln!("  failed to write {path}: {err}"),

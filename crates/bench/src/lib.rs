@@ -2242,3 +2242,287 @@ pub fn format_durability(bench: &DurabilityBench) -> String {
     writeln!(out, "  answers agree   : {}", bench.agree).unwrap();
     out
 }
+
+/// One instance size of the incremental-maintenance benchmark (E18).
+#[derive(Clone, Debug)]
+pub struct IncrementalSize {
+    /// GROUP BY groups in the answer before the update sequence.
+    pub groups: usize,
+    /// Facts in the instance.
+    pub facts: usize,
+    /// Best per-round insert-then-read latency (ms) on the support-patched
+    /// warm session.
+    pub patched_ms: f64,
+    /// Best per-round insert-then-read latency (ms) with patching disabled
+    /// (`dirty_log_cap = 0`), i.e. the pre-refactor full-recompute behaviour
+    /// for this statement.
+    pub full_ms: f64,
+    /// `full_ms / patched_ms` at this size.
+    pub speedup: f64,
+    /// Stale results served by the supported-patch path in the patched arm.
+    pub supported_patches: u64,
+    /// Stale results that fell back to full recompute in the patched arm
+    /// (must stay 0 here — every write localises to one group).
+    pub patched_support_misses: u64,
+    /// Stale results that fell back to full recompute in the disabled arm
+    /// (one per write — the honest-miss counter at work).
+    pub full_support_misses: u64,
+    /// Top-k selections recomputed in the patched arm (0: no ORDER BY).
+    pub topk_fallbacks: u64,
+}
+
+/// Result of the incremental-maintenance benchmark (E18): per-write warm-read
+/// latency of the support-tracked patch path vs forced full recompute on a
+/// statement the old `group_locality` certificate rejected (GROUP BY over a
+/// non-key column, plus HAVING), across growing group counts. Each write
+/// dirties exactly one `S` block, so the patched cost should track
+/// |affected groups| = 1 while the full-recompute cost tracks |all groups|.
+#[derive(Clone, Debug)]
+pub struct IncrementalBench {
+    /// Insert-then-read rounds per timed arm.
+    pub updates: usize,
+    /// Number of timed samples per arm (best sample reported).
+    pub samples: usize,
+    /// Per-size measurements, smallest to largest group count.
+    pub sizes: Vec<IncrementalSize>,
+    /// Patched-arm latency at the largest size over the smallest — flat
+    /// (near 1) when cost scales with |affected groups|.
+    pub patched_scaling: f64,
+    /// Full-recompute latency at the largest size over the smallest — grows
+    /// with |all groups|.
+    pub full_scaling: f64,
+    /// `full_ms / patched_ms` at the largest size (the CI-gated figure).
+    pub speedup: f64,
+    /// Whether every arm agreed with cold sessions at 1 and 4 threads after
+    /// the full update sequence (rows, extra aggregates, and HAVING
+    /// statuses).
+    pub agree: bool,
+    /// `std::thread::available_parallelism()` — CI gates the speedup floor
+    /// only on >= 2 cores.
+    pub available_parallelism: usize,
+}
+
+impl IncrementalBench {
+    /// Machine-readable JSON encoding (hand-written; no serialisation crates
+    /// in this offline workspace).
+    pub fn to_json(&self) -> String {
+        let sizes = self
+            .sizes
+            .iter()
+            .map(|s| {
+                format!(
+                    "    {{ \"groups\": {}, \"facts\": {}, \"patched_ms\": {:.4}, \
+                     \"full_ms\": {:.4}, \"speedup\": {:.2}, \"supported_patches\": {}, \
+                     \"patched_support_misses\": {}, \"full_support_misses\": {}, \
+                     \"topk_fallbacks\": {} }}",
+                    s.groups,
+                    s.facts,
+                    s.patched_ms,
+                    s.full_ms,
+                    s.speedup,
+                    s.supported_patches,
+                    s.patched_support_misses,
+                    s.full_support_misses,
+                    s.topk_fallbacks
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"benchmark\": \"incremental_support_patching\",\n  \"updates\": {},\n  \
+             \"samples\": {},\n  \"sizes\": [\n{}\n  ],\n  \"patched_scaling\": {:.2},\n  \
+             \"full_scaling\": {:.2},\n  \"speedup\": {:.2},\n  \"agree\": {},\n  \
+             \"available_parallelism\": {}\n}}\n",
+            self.updates,
+            self.samples,
+            sizes,
+            self.patched_scaling,
+            self.full_scaling,
+            self.speedup,
+            self.agree,
+            self.available_parallelism
+        )
+    }
+}
+
+/// E18 — support-tracked differential maintenance. The statement groups by
+/// `R.Y` (not a key column of `R`, so the old locality certificate refused to
+/// patch it and every dirty block forced a full recompute) and carries a
+/// HAVING clause re-decided from the patched rows. Each round inserts one
+/// fresh `S` fact into the `y0` join key — exactly one dirty block, whose
+/// support pattern `[Group(0), Any]` localises to the single `y0` group —
+/// then reads the statement warm. The baseline arm runs the identical session
+/// machinery with `dirty_log_cap = 0`, which disables patching and reproduces
+/// the pre-refactor full-recompute path. MAX is rewriting-backed on both
+/// bounds, so no arm falls off the one-pass pipeline.
+pub fn bench_incremental(y_domains: &[usize], updates: usize, samples: usize) -> IncrementalBench {
+    use rcqa_data::Fact;
+    use rcqa_query::{Catalog, TableDef};
+    use rcqa_session::{Session, SessionOptions};
+
+    let catalog = || {
+        Catalog::new()
+            .with_table(TableDef::new("R").key_column("X").column("Y"))
+            .with_table(
+                TableDef::new("S")
+                    .key_column("Y")
+                    .key_column("Z")
+                    .numeric_column("Qty"),
+            )
+    };
+    let sql = "SELECT R.Y, MAX(S.Qty) FROM R, S WHERE R.Y = S.Y GROUP BY R.Y \
+               HAVING MAX(S.Qty) > 50";
+    let update_fact = |u: usize| {
+        Fact::new(
+            "S",
+            [
+                Value::text("y0"),
+                Value::text(format!("zu{u:03}")),
+                Value::int(40 + (u % 20) as i64),
+            ],
+        )
+    };
+    let updates = updates.max(1);
+    let samples = samples.max(1);
+    let mut agree = true;
+    let mut sizes = Vec::new();
+    for &y_domain in y_domains {
+        let db = JoinWorkload {
+            r_blocks: y_domain * 2,
+            y_domain,
+            s_blocks_per_y: 2,
+            inconsistency_ratio: 0.1,
+            block_size: 2,
+            max_value: 100,
+            seed: 19,
+        }
+        .generate();
+
+        // The timed region covers one serving round trip: commit one fact,
+        // then read the statement warm. Patching on (default options) vs off
+        // (cap 0 ages every cached result past the dirty log immediately).
+        let mut run = |options: SessionOptions| -> (f64, rcqa_session::SessionStats) {
+            let mut best = f64::INFINITY;
+            let mut stats = rcqa_session::SessionStats::default();
+            for _ in 0..samples {
+                let session =
+                    Session::with_instance(catalog(), db.clone()).with_session_options(options);
+                session.execute(sql).expect("warm-up");
+                let before = session.stats();
+                // Per-write warm-READ latency: the commit happens off the
+                // clock (both arms pay the identical delta-replay cost); the
+                // timed region is exactly the stale-result refresh the
+                // support layer is responsible for.
+                let mut elapsed = 0.0;
+                for u in 0..updates {
+                    session.insert(update_fact(u)).expect("insert");
+                    let t0 = Instant::now();
+                    session.execute(sql).expect("warm read");
+                    elapsed += t0.elapsed().as_secs_f64();
+                }
+                best = best.min(elapsed * 1e3 / updates as f64);
+                let after = session.stats();
+                stats = rcqa_session::SessionStats {
+                    supported_patches: after.supported_patches - before.supported_patches,
+                    support_misses: after.support_misses - before.support_misses,
+                    topk_fallbacks: after.topk_fallbacks - before.topk_fallbacks,
+                    ..after
+                };
+                // Every arm must agree with cold sessions at 1 and 4 threads
+                // over the final instance.
+                let warm = session.execute(sql).expect("final warm read");
+                for threads in [1usize, 4] {
+                    let cold = Session::with_instance(catalog(), session.database().clone())
+                        .with_options(rcqa_core::engine::EngineOptions {
+                            threads,
+                            ..Default::default()
+                        });
+                    let cold = cold.execute(sql).expect("cold read");
+                    agree = agree
+                        && cold.rows == warm.rows
+                        && cold.more_aggregates == warm.more_aggregates
+                        && cold.having == warm.having;
+                }
+            }
+            (best, stats)
+        };
+        let (patched_ms, patched_stats) = run(SessionOptions::default());
+        let (full_ms, full_stats) = run(SessionOptions { dirty_log_cap: 0 });
+        sizes.push(IncrementalSize {
+            groups: y_domain,
+            facts: db.len(),
+            patched_ms,
+            full_ms,
+            speedup: full_ms / patched_ms.max(f64::MIN_POSITIVE),
+            supported_patches: patched_stats.supported_patches,
+            patched_support_misses: patched_stats.support_misses,
+            full_support_misses: full_stats.support_misses,
+            topk_fallbacks: patched_stats.topk_fallbacks,
+        });
+    }
+    let (first, last) = (&sizes[0], &sizes[sizes.len() - 1]);
+    IncrementalBench {
+        updates,
+        samples,
+        patched_scaling: last.patched_ms / first.patched_ms.max(f64::MIN_POSITIVE),
+        full_scaling: last.full_ms / first.full_ms.max(f64::MIN_POSITIVE),
+        speedup: last.speedup,
+        agree,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        sizes,
+    }
+}
+
+/// Formats the E18 report for the harness, surfacing the per-path
+/// [`rcqa_session::SessionStats`] counters next to the latencies they
+/// explain.
+pub fn format_incremental(bench: &IncrementalBench) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E18 Incremental maintenance: support-tracked patching vs full recompute \
+         (GROUP BY R.Y + HAVING, one dirty S block per write)"
+    )
+    .unwrap();
+    for s in &bench.sizes {
+        writeln!(
+            out,
+            "  {:>5} groups ({:>6} facts) : patched {:.4} ms, full {:.4} ms  ({:.2}x)  \
+             [patches={}, misses={}/{}, topk_fallbacks={}]",
+            s.groups,
+            s.facts,
+            s.patched_ms,
+            s.full_ms,
+            s.speedup,
+            s.supported_patches,
+            s.patched_support_misses,
+            s.full_support_misses,
+            s.topk_fallbacks
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "  patched scaling : {:.2}x across {:.0}x more groups (tracks |affected groups|)",
+        bench.patched_scaling,
+        bench.sizes[bench.sizes.len() - 1].groups as f64 / bench.sizes[0].groups as f64
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  full scaling    : {:.2}x (tracks |all groups|)",
+        bench.full_scaling
+    )
+    .unwrap();
+    writeln!(out, "  speedup (largest size) : {:.2}x", bench.speedup).unwrap();
+    writeln!(out, "  answers agree   : {}", bench.agree).unwrap();
+    writeln!(
+        out,
+        "  machine cores   : {} (CI gates the floor only with >= 2)",
+        bench.available_parallelism
+    )
+    .unwrap();
+    out
+}

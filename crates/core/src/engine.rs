@@ -71,15 +71,15 @@
 
 use crate::classify::{classify_prepared, Classification};
 use crate::error::CoreError;
-use crate::forall::CompiledLevels;
-use crate::index::{AccessPath, BlockRestriction, DbIndex};
-use crate::plan::exec::{execute, execute_for_groups, partition_groups, ExecContext};
+use crate::forall::{embeddings_dirty_pinned_ids, CompiledLevels};
+use crate::index::{AccessPath, BlockRestriction, DbIndex, DirtyBlock};
+use crate::plan::exec::{execute, execute_for_groups, partition_groups, ExecContext, RowSupport};
 use crate::plan::{LogicalPlan, PhysicalPlan};
 use crate::prepared::PreparedAggQuery;
 use crate::rewrite::{rewriting_for, BoundKind, Rewriting};
 use rcqa_data::{DatabaseInstance, NumericDomain, Rational, Schema, Value};
 use rcqa_query::{AggQuery, QueryError, Term, Var, VarPredicate};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// How an answer was obtained.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -167,38 +167,6 @@ impl EngineOptions {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
-    }
-}
-
-/// Where a query's group keys live inside the physical data: every GROUP BY
-/// variable is embedded at a fixed key position of the level-0 atom of the
-/// open body.
-///
-/// When a query has this property, a change confined to blocks of
-/// [`GroupLocality::relation`] can only affect the groups whose key equals
-/// the projection of a changed block's key through
-/// [`GroupLocality::key_positions`]: embeddings of any group draw their
-/// level-0 fact exclusively from blocks carrying that group's key, and the
-/// closed per-group evaluation pins the group key at those same positions, so
-/// no other block of the relation is ever consulted for another group. This
-/// is the soundness certificate behind incremental (dirty-group) answer
-/// maintenance in the serving layer.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct GroupLocality {
-    /// The relation of the level-0 atom of the open body.
-    pub relation: String,
-    /// For the i-th GROUP BY variable (in free-variable order), the key
-    /// position of the level-0 atom where its value is bound.
-    pub key_positions: Vec<usize>,
-}
-
-impl GroupLocality {
-    /// Projects a level-0 block key onto the group key it determines.
-    pub fn project(&self, block_key: &[Value]) -> Vec<Value> {
-        self.key_positions
-            .iter()
-            .map(|&p| block_key[p].clone())
-            .collect()
     }
 }
 
@@ -368,40 +336,98 @@ impl RangeCqa {
         self.evaluate(db, index, true, true)
     }
 
-    /// The query's [`GroupLocality`], if every GROUP BY variable is bound at
-    /// a key position of the level-0 atom of the open body. `None` for closed
-    /// queries and for queries whose group keys are not block-key-determined
-    /// (for those, a delta anywhere may affect any group).
-    pub fn group_locality(&self) -> Option<GroupLocality> {
-        let level0 = self.prepared.open_levels().first()?;
-        let free = self.prepared.normalised.body.free_vars();
-        if free.is_empty() {
-            return None;
+    /// The [`RowSupport`] of this engine's result rows for the given numeric
+    /// domain: per body atom, the block-key pattern whose instantiation with
+    /// a row's group key over-approximates every block the row's evaluation
+    /// can consult. Exhaustive — every block supports every row — when the
+    /// plan uses the exact-enumeration fallback on either bound (the
+    /// fallback's repair budget depends on the whole instance), which also
+    /// covers residual predicates ([`LogicalPlan::force_exact`]).
+    ///
+    /// The support is data-independent (patterns mention only the query and
+    /// the group key), so one computation at preparation time stays valid
+    /// for the engine's lifetime: the instance's numeric domain is fixed at
+    /// construction and a commit can never change it.
+    pub fn row_support(&self, domain: NumericDomain) -> RowSupport {
+        let plan = self.logical_plan(domain, true, true).lower(&self.prepared);
+        RowSupport::for_plan(&plan, &self.prepared)
+    }
+
+    /// The group keys a commit's dirty blocks may have **created** rows for:
+    /// the keys of every open-body embedding that draws at least one fact
+    /// from a dirty block. Each level is pinned in turn to the dirty blocks
+    /// of its relation ([`embeddings_dirty_pinned_ids`]), so a brand-new
+    /// embedding — which must pass through a changed block at some level —
+    /// is found at that level. Closed queries return the empty set (their
+    /// single row's key is always known).
+    ///
+    /// Retractions need no lookup here: a destroyed embedding belonged to a
+    /// cached row, and the cached row's [`RowSupport`] already intersects
+    /// the dirty block that carried it.
+    pub fn dirty_candidate_keys(
+        &self,
+        index: &DbIndex,
+        dirty: &[DirtyBlock],
+    ) -> BTreeSet<Vec<Value>> {
+        let mut out = BTreeSet::new();
+        let free = self.prepared.normalised.body.free_vars().to_vec();
+        if free.is_empty() || dirty.is_empty() {
+            return out;
         }
-        let key_positions = free
+        let routing = self.route_predicates();
+        let (view, _access) = self.restricted_view(index, &routing);
+        let index = view.as_ref().unwrap_or(index);
+        let interner = index.interner();
+        // Dirty block keys per relation, in id space. A key with a value this
+        // lineage never interned names a block the current index cannot
+        // contain — it cannot carry a new embedding and is skipped.
+        let mut pinned: HashMap<&str, HashSet<Vec<u32>>> = HashMap::new();
+        for block in dirty {
+            if let Some(ids) = block
+                .key
+                .iter()
+                .map(|v| interner.id_of(v))
+                .collect::<Option<Vec<u32>>>()
+            {
+                pinned
+                    .entry(block.relation.as_str())
+                    .or_default()
+                    .insert(ids);
+            }
+        }
+        if pinned.is_empty() {
+            return out;
+        }
+        let open = CompiledLevels::new(self.prepared.open_levels());
+        let free_slots: Vec<usize> = free
             .iter()
             .map(|v| {
-                level0.atom.terms()[..level0.key_len]
-                    .iter()
-                    .position(|t| t.as_var() == Some(v))
+                open.table()
+                    .slot(v)
+                    .expect("free variable occurs in the open body")
             })
-            .collect::<Option<Vec<usize>>>()?;
-        Some(GroupLocality {
-            relation: level0.atom.relation().to_string(),
-            key_positions,
-        })
+            .collect();
+        for (level, lvl) in self.prepared.open_levels().iter().enumerate() {
+            let Some(pins) = pinned.get(lvl.atom.relation()) else {
+                continue;
+            };
+            for theta in embeddings_dirty_pinned_ids(&open, index, &open.unbound_ids(), level, pins)
+            {
+                let key_ids: Vec<u32> = free_slots.iter().map(|&s| theta[s]).collect();
+                out.insert(interner.values_of(&key_ids));
+            }
+        }
+        out
     }
 
     /// Computes both bounds for **only** the groups whose key is in `keys`,
     /// over a caller-supplied index. The returned rows (sorted by group key;
     /// keys with no embedding are absent, exactly as in a full run) are
     /// byte-identical to the corresponding rows of
-    /// [`RangeCqa::range_with_index`].
-    ///
-    /// When the query has a [`GroupLocality`], only level-0 blocks whose key
-    /// projects into `keys` are joined, making the cost proportional to the
-    /// touched groups rather than the whole instance; otherwise the full
-    /// partition runs and the requested rows are filtered out of it.
+    /// [`RangeCqa::range_with_index`] — for **every** query shape, including
+    /// group keys bound at no block-key position (the executor pins the free
+    /// variables per key instead of projecting level-0 block keys; see
+    /// [`execute_for_groups`]).
     ///
     /// Like [`RangeCqa::range_with_index`], the index is typically a borrow
     /// of a snapshot's shared `Arc<DbIndex>`; the call never mutates it, so
@@ -426,13 +452,7 @@ impl RangeCqa {
             options: &self.options,
             exact_predicates: &routing.exact,
         };
-        let mut rows = match self.group_locality() {
-            Some(locality) => execute_for_groups(&plan, &cx, &locality.key_positions, keys)?,
-            None => execute(&plan, &cx)?
-                .into_iter()
-                .filter(|g| keys.contains(&g.key))
-                .collect(),
-        };
+        let mut rows = execute_for_groups(&plan, &cx, keys)?;
         routing.filter_rows(&mut rows);
         Ok(rows)
     }
@@ -865,30 +885,106 @@ mod tests {
     }
 
     #[test]
-    fn group_locality_for_key_bound_groups() {
+    fn row_support_patterns_and_exhaustiveness() {
         let db = db_stock();
-        // x is the key of Dealers, the level-0 atom of the open body.
+        // MAX uses rewriting + plain extremum on both bounds: pattern support.
+        let q = parse_agg_query("(x, MAX(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+        let support = engine.row_support(db.numeric_domain());
+        assert!(!support.is_exhaustive());
+        let smith = [Value::text("Smith")];
+        // Dealers(x, t): the group key pins the block key.
+        assert!(support.hits(&smith, "Dealers", &[Value::text("Smith")]));
+        assert!(!support.hits(&smith, "Dealers", &[Value::text("James")]));
+        // Stock(p, t, y): no key position is group-bound — every block hits.
+        assert!(support.hits(
+            &smith,
+            "Stock",
+            &[Value::text("Tesla X"), Value::text("Boston")]
+        ));
+        assert!(!support.hits(&smith, "Unknown", &[Value::text("Smith")]));
+        // Grouping by a non-key variable still yields a (looser) pattern
+        // support — the shape the old level-0 locality certificate rejected.
+        let q = parse_agg_query("(t, MAX(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+        let support = engine.row_support(db.numeric_domain());
+        assert!(!support.is_exhaustive());
+        let boston = [Value::text("Boston")];
+        assert!(support.hits(&boston, "Dealers", &[Value::text("Smith")]));
+        assert!(support.hits(
+            &boston,
+            "Stock",
+            &[Value::text("Tesla X"), Value::text("Boston")]
+        ));
+        assert!(!support.hits(
+            &boston,
+            "Stock",
+            &[Value::text("Tesla Y"), Value::text("New York")]
+        ));
+        // SUM's lub is the exact-enumeration fallback, whose repair budget
+        // depends on the whole instance: every block supports every row.
         let q = parse_agg_query("(x, SUM(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
         let engine = RangeCqa::new(&q, db.schema()).unwrap();
-        let locality = engine.group_locality().unwrap();
-        assert_eq!(locality.relation, "Dealers");
-        assert_eq!(locality.key_positions, vec![0]);
+        let support = engine.row_support(db.numeric_domain());
+        assert!(support.is_exhaustive());
+        assert!(support.hits(&smith, "Dealers", &[Value::text("James")]));
+    }
+
+    #[test]
+    fn dirty_candidate_keys_cover_births() {
+        let db = db_stock();
+        let index = DbIndex::new(&db);
+        let q = parse_agg_query("(t, MAX(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+        let block = |relation: &str, key: &[&str]| DirtyBlock {
+            relation: relation.to_string(),
+            key: key.iter().map(|v| Value::text(*v)).collect(),
+        };
+        // A dirty Stock block in New York can only birth the New York group.
+        let keys = engine.dirty_candidate_keys(&index, &[block("Stock", &["Tesla Y", "New York"])]);
+        assert_eq!(keys, [vec![Value::text("New York")]].into());
+        // A dirty Dealers block reaches every town its rows join with.
+        let keys = engine.dirty_candidate_keys(&index, &[block("Dealers", &["Smith"])]);
         assert_eq!(
-            locality.project(&[Value::text("Smith")]),
-            vec![Value::text("Smith")]
+            keys,
+            [vec![Value::text("Boston")], vec![Value::text("New York")]].into()
         );
-        // Closed queries have no groups to localise.
+        // A never-interned key names no block of this lineage.
+        let keys = engine.dirty_candidate_keys(&index, &[block("Stock", &["Nope", "Nowhere"])]);
+        assert!(keys.is_empty());
+        // Closed queries have nothing to look up.
         let q = parse_agg_query("SUM(y) <- Dealers('Smith', t), Stock(p, t, y)").unwrap();
-        assert!(RangeCqa::new(&q, db.schema())
-            .unwrap()
-            .group_locality()
-            .is_none());
-        // Grouping by a non-key variable is not block-key-determined.
-        let q = parse_agg_query("(t, SUM(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
-        assert!(RangeCqa::new(&q, db.schema())
-            .unwrap()
-            .group_locality()
-            .is_none());
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+        assert!(engine
+            .dirty_candidate_keys(&index, &[block("Dealers", &["Smith"])])
+            .is_empty());
+    }
+
+    #[test]
+    fn range_for_groups_agrees_beyond_the_per_key_cap() {
+        // More groups than the executor's per-key pinning cap: the filtered
+        // full-partition arm must agree with the full run too.
+        let schema = Schema::new()
+            .with_relation("Dealers", Signature::new(2, 1, []).unwrap())
+            .with_relation("Stock", Signature::new(3, 2, [2]).unwrap());
+        let mut db = DatabaseInstance::new(schema);
+        for i in 0..20 {
+            db.insert(fact!("Dealers", format!("d{i:02}"), "Boston"))
+                .unwrap();
+        }
+        db.insert_all([
+            fact!("Stock", "Tesla X", "Boston", 35),
+            fact!("Stock", "Tesla X", "Boston", 40),
+        ])
+        .unwrap();
+        let index = DbIndex::new(&db);
+        let q = parse_agg_query("(x, MAX(y)) <- Dealers(x, t), Stock(p, t, y)").unwrap();
+        let engine = RangeCqa::new(&q, db.schema()).unwrap();
+        let full = engine.range_with_index(&db, &index).unwrap();
+        assert_eq!(full.len(), 20);
+        let all: BTreeSet<Vec<Value>> = full.iter().map(|r| r.key.clone()).collect();
+        let got = engine.range_for_groups(&db, &index, &all).unwrap();
+        assert_eq!(got, full);
     }
 
     #[test]

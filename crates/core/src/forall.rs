@@ -31,7 +31,7 @@ use crate::prepared::{Level, PreparedBody};
 use rcqa_data::{DatabaseInstance, Fact, Value, ValueInterner, UNBOUND_ID};
 use rcqa_query::{Atom, Term, Var};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::ops::Index;
 use std::sync::Arc;
@@ -649,7 +649,39 @@ pub(crate) fn embeddings_compiled_ids(
     let mut trail = Vec::new();
     let mut out = Vec::new();
     embed_rec(
-        compiled, &resolved, index, 0, &mut slots, &mut trail, &mut out,
+        compiled, &resolved, index, 0, None, &mut slots, &mut trail, &mut out,
+    );
+    out
+}
+
+/// Enumerates the embeddings whose fact at level `pin_level` is drawn from
+/// one of the `pinned` blocks (block keys as interned id tuples), in the same
+/// relative order as the full enumeration. This is the dirty-block →
+/// candidate-group reverse lookup of the serving layer: after a commit, an
+/// embedding can newly exist through level ℓ only if its level-ℓ fact lives
+/// in a block the commit changed, so pinning each level in turn to the dirty
+/// blocks of its relation enumerates every embedding the delta may have
+/// created — and hence every group key that may have been born.
+pub(crate) fn embeddings_dirty_pinned_ids(
+    compiled: &CompiledLevels,
+    index: &DbIndex,
+    initial: &[u32],
+    pin_level: usize,
+    pinned: &HashSet<Vec<u32>>,
+) -> Vec<Vec<u32>> {
+    let resolved = resolve_terms(compiled, index.interner());
+    let mut slots = initial.to_vec();
+    let mut trail = Vec::new();
+    let mut out = Vec::new();
+    embed_rec(
+        compiled,
+        &resolved,
+        index,
+        0,
+        Some((pin_level, pinned)),
+        &mut slots,
+        &mut trail,
+        &mut out,
     );
     out
 }
@@ -717,7 +749,7 @@ pub(crate) fn embeddings_from_blocks_ids(
             let mark = trail.len();
             if match_level_ids(&resolved[0], &block.cols, row, &mut slots, &mut trail) {
                 embed_rec(
-                    compiled, &resolved, index, 1, &mut slots, &mut trail, &mut out,
+                    compiled, &resolved, index, 1, None, &mut slots, &mut trail, &mut out,
                 );
             }
             unwind(&mut slots, &mut trail, mark);
@@ -726,11 +758,18 @@ pub(crate) fn embeddings_from_blocks_ids(
     out
 }
 
+/// The recursive join core. `pin` optionally restricts one level to a set of
+/// block keys: blocks of that level outside the set are skipped, everything
+/// else — enumeration order included — is identical to the unpinned run, so
+/// the output is the order-preserving subsequence of the full enumeration
+/// whose pinned-level fact comes from a pinned block.
+#[allow(clippy::too_many_arguments)]
 fn embed_rec(
     compiled: &CompiledLevels,
     resolved: &[Vec<RTerm>],
     index: &DbIndex,
     level: usize,
+    pin: Option<(usize, &HashSet<Vec<u32>>)>,
     slots: &mut Vec<u32>,
     trail: &mut Vec<usize>,
     out: &mut Vec<Vec<u32>>,
@@ -744,10 +783,15 @@ fn embed_rec(
     let rel = index.relation(&lvl.relation);
     let pattern = key_pattern_ids(terms, lvl.key_len, slots);
     for block in rel.blocks_matching(&pattern, index.interner()) {
+        if let Some((pin_level, pinned)) = pin {
+            if level == pin_level && !pinned.contains(&block.key[..]) {
+                continue;
+            }
+        }
         for row in 0..block.cols.rows() {
             let mark = trail.len();
             if match_level_ids(terms, &block.cols, row, slots, trail) {
-                embed_rec(compiled, resolved, index, level + 1, slots, trail, out);
+                embed_rec(compiled, resolved, index, level + 1, pin, slots, trail, out);
             }
             unwind(slots, trail, mark);
         }

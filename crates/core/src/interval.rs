@@ -184,6 +184,35 @@ pub fn certain_topk(rows: &[GroupRange], k: usize, descending: bool) -> Vec<usiz
         .collect()
 }
 
+/// Whether a patch from `old` to `new` (same keys, pointwise; some intervals
+/// changed) provably preserves certain-top-k **membership for every k**.
+///
+/// [`certain_topk`] membership is a function of the pairwise
+/// [`possibly_precedes`] relation: a row qualifies at `k` iff fewer than `k`
+/// rows possibly precede it. If for every changed row the relation to every
+/// other row is unchanged in both directions, each row's preceder count — and
+/// hence membership at every `k` — is identical, so a cached selection can be
+/// re-used (with the changed rows' fresh intervals) instead of recomputed.
+/// Conservative: returns `false` whenever the row sets are not key-aligned,
+/// which the caller must treat as "membership could change".
+pub fn topk_selection_preserved(old: &[GroupRange], new: &[GroupRange], descending: bool) -> bool {
+    if old.len() != new.len() {
+        return false;
+    }
+    if old.iter().zip(new).any(|(o, n)| o.key != n.key) {
+        return false;
+    }
+    let changed: Vec<usize> = (0..old.len()).filter(|&i| old[i] != new[i]).collect();
+    changed.iter().all(|&i| {
+        (0..old.len()).filter(|&j| j != i).all(|j| {
+            possibly_precedes(&old[i], &old[j], descending)
+                == possibly_precedes(&new[i], &new[j], descending)
+                && possibly_precedes(&old[j], &old[i], descending)
+                    == possibly_precedes(&new[j], &new[i], descending)
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +303,39 @@ mod tests {
         assert_eq!(certain_topk(&rows, 1, true), vec![0]);
         assert_eq!(certain_topk(&rows, 2, true), vec![0]);
         assert_eq!(certain_topk(&rows, 3, true), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn topk_preservation_tracks_pairwise_precedence() {
+        let old = vec![
+            row("a", Some(10), Some(10)),
+            row("b", Some(5), Some(7)),
+            row("c", Some(1), Some(2)),
+        ];
+        // b moves within its gap to a's and c's intervals: no pair flips.
+        let mut new = old.clone();
+        new[1] = row("b", Some(4), Some(8));
+        assert!(topk_selection_preserved(&old, &new, true));
+        assert!(topk_selection_preserved(&old, &new, false));
+        // b now reaches past a: it can precede a in some repair where it
+        // could not before, so membership could change. (An endpoint tie at
+        // exactly 10 would still lose to a's key tiebreak — no flip.)
+        new[1] = row("b", Some(5), Some(10));
+        assert!(topk_selection_preserved(&old, &new, true));
+        new[1] = row("b", Some(5), Some(11));
+        assert!(!topk_selection_preserved(&old, &new, true));
+        // A changed unrelated pair stays preserved even when another row
+        // changed too (only changed rows are re-checked against the rest).
+        new[1] = row("b", Some(6), Some(7));
+        assert!(topk_selection_preserved(&old, &new, true));
+        // Key misalignment (births/retractions) is never preserved.
+        assert!(!topk_selection_preserved(&old, &new[..2], true));
+        let mut renamed = old.clone();
+        renamed[2] = row("z", Some(1), Some(2));
+        assert!(!topk_selection_preserved(&old, &renamed, true));
+        // A row changing to ⊥ starts preceding everything: not preserved.
+        new[1] = row("b", None, None);
+        assert!(!topk_selection_preserved(&old, &new, true));
     }
 
     #[test]

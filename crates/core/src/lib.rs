@@ -64,7 +64,7 @@ pub mod rewrite;
 pub use classify::{
     classify, classify_prepared, classify_with_domain, Classification, Expressibility,
 };
-pub use engine::{BoundAnswer, EngineOptions, GroupLocality, GroupRange, Method, RangeCqa};
+pub use engine::{BoundAnswer, EngineOptions, GroupRange, Method, RangeCqa};
 pub use error::CoreError;
 pub use exact::{
     exact_bounds, exact_bounds_by_group, exact_bounds_by_group_filtered, exact_bounds_filtered,
@@ -73,7 +73,11 @@ pub use exact::{
 pub use forall::{analyse, Binding, CertaintyChecker, CompiledLevels, ForallAnalysis, VarTable};
 pub use glb::{global_extremum, optimal_aggregate, Choice};
 pub use index::{AccessPath, BlockRestriction, DbIndex, DirtyBlock, RelationStats};
-pub use interval::{certain_topk, having_status, having_status_all, order_rows, HavingStatus};
+pub use interval::{
+    certain_topk, having_status, having_status_all, order_rows, topk_selection_preserved,
+    HavingStatus,
+};
+pub use plan::exec::{RowSupport, SupportAtom, SupportSlot};
 pub use plan::{BoundOp, BoundStrategy, LogicalPlan, PhysicalPlan, PlanNode};
 pub use prepared::{PreparedAggQuery, PreparedBody};
 pub use rewrite::{rewriting_for, BoundKind, Rewriting};

@@ -62,7 +62,7 @@ use crate::plan::physical::{BoundOp, ExecSpec, PhysicalPlan};
 use crate::prepared::PreparedAggQuery;
 use crate::rewrite::BoundKind;
 use rcqa_data::{DatabaseInstance, Value, ValueInterner, UNBOUND_ID};
-use rcqa_query::{Var, VarPredicate};
+use rcqa_query::{Term, Var, VarPredicate};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// One partitioned group in the executor's working representation: the group
@@ -121,21 +121,33 @@ pub fn execute(plan: &PhysicalPlan, cx: &ExecContext<'_>) -> Result<Vec<GroupRan
     eval_groups(&spec, cx, &compiled, &free, groups, requested_workers)
 }
 
-/// Executes a physical plan for **only** the groups whose key is in `keys`:
-/// the level-0 blocks of the open body are filtered by projecting their block
-/// key through `key_positions` (the positions, per free variable, where the
-/// group key is embedded in the level-0 block key — see
-/// [`crate::engine::GroupLocality`]), so the join pass touches only blocks
-/// that can contribute to the requested groups.
+/// Above this many requested groups, [`execute_for_groups`] stops running one
+/// pinned join per key and falls back to a single full partition pass with a
+/// key filter: per-key enumeration costs one (pruned) level-0 walk per key,
+/// which beats the full join only while the key set is small.
+const PER_KEY_JOIN_CAP: usize = 16;
+
+/// Executes a physical plan for **only** the groups whose key is in `keys`.
+///
+/// For a small key set, the open body is enumerated once **per key** with the
+/// free-variable slots pre-bound to that key's ids: every level whose atom
+/// carries a bound variable at a key position prunes its block walk through
+/// [`crate::index::RelationIndex::blocks_matching`], and every other level
+/// rejects mismatching rows during the match, so the per-key cost is
+/// proportional to the key's own embeddings (plus the walk of blocks no
+/// bound position constrains) — independent of how many *other* groups
+/// exist. Larger key sets fall back to one full partition pass filtered to
+/// the requested keys.
 ///
 /// The returned rows are byte-identical to the corresponding rows of
-/// [`execute`]: every level-0 block whose projection is in `keys` is joined
-/// in the same order as the full enumeration, so each requested group sees
-/// exactly the embeddings it would see in a full run.
+/// [`execute`]: a pinned enumeration explores the full enumeration's
+/// recursion tree minus the branches that bind a free variable elsewhere, so
+/// each requested group sees exactly its bucket of the full run, in the same
+/// order — and requested keys are emitted in the same sorted group-key value
+/// order as a full run (keys with no embedding are absent, exactly as there).
 pub fn execute_for_groups(
     plan: &PhysicalPlan,
     cx: &ExecContext<'_>,
-    key_positions: &[usize],
     keys: &BTreeSet<Vec<Value>>,
 ) -> Result<Vec<GroupRange>, CoreError> {
     let spec = plan.spec();
@@ -149,51 +161,74 @@ pub fn execute_for_groups(
     // Resolve the requested keys into id space. A key containing a value the
     // index has never seen can match no group (every group key is assembled
     // from fact values), so it simply drops out of the filter set.
-    let key_ids: HashSet<Vec<u32>> = keys
+    let mut key_ids: Vec<Vec<u32>> = keys
         .iter()
         .filter_map(|key| key.iter().map(|v| interner.id_of(v)).collect())
         .collect();
     let compiled = CompiledLevels::new(cx.prepared.body.levels());
-    let open = CompiledLevels::new(cx.prepared.open_levels());
-    let groups: Vec<IdGroup> = match level0_blocks(&open, cx.index, &open.binding()) {
-        Some(blocks) => {
-            let selected: Vec<_> = blocks
-                .into_iter()
-                .filter(|b| {
-                    let projection: Vec<u32> = key_positions.iter().map(|&p| b.key[p]).collect();
-                    key_ids.contains(&projection)
-                })
-                .collect();
-            let (free_slots, remap) = group_projection(&open, &compiled, &free);
-            let embs = embeddings_from_blocks_ids(&open, cx.index, &open.unbound_ids(), &selected);
-            sorted_groups(
-                bucket_embeddings(
-                    compiled.table().len(),
-                    &free_slots,
-                    &remap,
-                    embs,
-                    spec.keep_embeddings,
-                ),
-                interner,
-            )
-        }
-        None => {
-            // No levels to filter on: partition everything and keep the
-            // requested groups.
-            partition_groups_ids(
-                cx.prepared,
-                cx.index,
-                &compiled,
-                &free,
-                spec.keep_embeddings,
-            )
-            .into_iter()
-            .filter(|(key, _)| key_ids.contains(key))
-            .collect()
-        }
+    let groups: Vec<IdGroup> = if key_ids.len() <= PER_KEY_JOIN_CAP {
+        // Evaluate keys in sorted value order, matching `sorted_groups`.
+        key_ids.sort_by(|a, b| interner.cmp_id_tuples(a, b));
+        pinned_groups(cx, &compiled, &free, spec.keep_embeddings, &key_ids)
+    } else {
+        let key_set: HashSet<Vec<u32>> = key_ids.into_iter().collect();
+        partition_groups_ids(
+            cx.prepared,
+            cx.index,
+            &compiled,
+            &free,
+            spec.keep_embeddings,
+        )
+        .into_iter()
+        .filter(|(key, _)| key_set.contains(key))
+        .collect()
     };
     let requested_workers = cx.options.resolve_threads().max(1);
     eval_groups(&spec, cx, &compiled, &free, groups, requested_workers)
+}
+
+/// The per-key arm of [`execute_for_groups`]: one pinned open-body
+/// enumeration per requested key (already sorted in group-key value order),
+/// re-expressed over the closed body's slot table. Keys with no embedding
+/// produce no partition, exactly as in a full run.
+fn pinned_groups(
+    cx: &ExecContext<'_>,
+    closed: &CompiledLevels,
+    free: &[Var],
+    keep_embeddings: bool,
+    key_ids: &[Vec<u32>],
+) -> Vec<IdGroup> {
+    let open = CompiledLevels::new(cx.prepared.open_levels());
+    let (free_slots, remap) = group_projection(&open, closed, free);
+    let closed_len = closed.table().len();
+    let mut out = Vec::new();
+    for kid in key_ids {
+        let mut initial = open.unbound_ids();
+        for (&slot, &id) in free_slots.iter().zip(kid.iter()) {
+            initial[slot] = id;
+        }
+        let embs = embeddings_compiled_ids(&open, cx.index, &initial);
+        if embs.is_empty() {
+            continue;
+        }
+        let closed_embs: Vec<Vec<u32>> = if keep_embeddings {
+            embs.iter()
+                .map(|theta| {
+                    let mut closed_slots: Vec<u32> = vec![UNBOUND_ID; closed_len];
+                    for (o, c) in remap.iter().enumerate() {
+                        if let Some(c) = c {
+                            closed_slots[*c] = theta[o];
+                        }
+                    }
+                    closed_slots
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        out.push((kid.clone(), closed_embs));
+    }
+    out
 }
 
 /// The `ForallCheck + AggregateBound + RangeMerge` tail shared by [`execute`]
@@ -597,6 +632,148 @@ fn partition_groups_sharded(
         }
     }
     sorted_groups(merged, index.interner())
+}
+
+/// One key position of a [`SupportAtom`]'s block-key pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SupportSlot {
+    /// Any block key matches at this position.
+    Any,
+    /// Only this constant matches (the query pins the position).
+    Const(Value),
+    /// The `i`-th component (free-variable order) of the group key matches.
+    Group(usize),
+}
+
+/// The block-key pattern of one body atom, instantiable per group row: which
+/// blocks of [`SupportAtom::relation`] the row's evaluation may consult.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SupportAtom {
+    /// The atom's relation.
+    pub relation: String,
+    /// One pattern slot per key position of the relation.
+    pub key: Vec<SupportSlot>,
+}
+
+/// The **support set** of a statement's result rows, described intensionally:
+/// instantiating the atom patterns with a row's group key over-approximates
+/// every `(relation, block key)` pair that row's embeddings and certainty
+/// checks can touch.
+///
+/// Soundness: the executor probes blocks exclusively through
+/// [`crate::index::RelationIndex::blocks_matching`] with patterns built by
+/// `key_pattern_ids` — each atom's key positions with constants resolved and
+/// bound slots filled in. During a group's evaluation (join, certainty memo,
+/// ∀embedding filter) a free variable is always bound to the group key and
+/// every other slot only *refines* the pattern, so each probed pattern is a
+/// specialisation of the atom's base pattern with the group key substituted —
+/// and matches only blocks the instantiated [`RowSupport`] covers. Block
+/// restrictions (pushed-down predicates) shrink the visible block set, which
+/// the over-approximation soundly ignores. A row's value is therefore a
+/// function of the covered blocks alone: a commit none of whose dirty blocks
+/// is covered cannot change the row.
+///
+/// The one escape hatch is [`BoundOp::ExactEnumeration`]: the exhaustive
+/// fallback enumerates repairs of the **whole instance** (its repair-count
+/// budget check included), so any plan using it on either bound gets an
+/// `exhaustive` support — every block supports every row.
+#[derive(Clone, Debug)]
+pub struct RowSupport {
+    atoms: Vec<SupportAtom>,
+    exhaustive: bool,
+}
+
+impl RowSupport {
+    /// The support of the rows produced by `plan` for `prepared`.
+    pub(crate) fn for_plan(plan: &PhysicalPlan, prepared: &PreparedAggQuery) -> RowSupport {
+        let spec = plan.spec();
+        if matches!(spec.glb, Some(BoundOp::ExactEnumeration))
+            || matches!(spec.lub, Some(BoundOp::ExactEnumeration))
+        {
+            return RowSupport::exhaustive();
+        }
+        let free = prepared.normalised.body.free_vars();
+        let schema = prepared.body.schema();
+        let mut atoms = Vec::new();
+        for atom in prepared.normalised.body.atoms() {
+            let Some(sig) = schema.signature(atom.relation()) else {
+                // An atom outside the schema cannot be localised; give up.
+                return RowSupport::exhaustive();
+            };
+            let key = atom.terms()[..sig.key_len()]
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => SupportSlot::Const(c.clone()),
+                    Term::Var(v) => match free.iter().position(|f| f == v) {
+                        Some(i) => SupportSlot::Group(i),
+                        None => SupportSlot::Any,
+                    },
+                })
+                .collect();
+            atoms.push(SupportAtom {
+                relation: atom.relation().to_string(),
+                key,
+            });
+        }
+        RowSupport {
+            atoms,
+            exhaustive: false,
+        }
+    }
+
+    /// The all-blocks support: every block supports every row.
+    pub fn exhaustive() -> RowSupport {
+        RowSupport {
+            atoms: Vec::new(),
+            exhaustive: true,
+        }
+    }
+
+    /// Whether every block supports every row (any delta invalidates all
+    /// cached rows, and dirty-block intersection is pointless).
+    pub fn is_exhaustive(&self) -> bool {
+        self.exhaustive
+    }
+
+    /// The per-atom block-key patterns (empty when exhaustive).
+    pub fn atoms(&self) -> &[SupportAtom] {
+        &self.atoms
+    }
+
+    /// Whether the block `(relation, block_key)` supports the row with group
+    /// key `row_key`: some atom pattern, instantiated with the row's key,
+    /// matches the block.
+    pub fn hits(&self, row_key: &[Value], relation: &str, block_key: &[Value]) -> bool {
+        if self.exhaustive {
+            return true;
+        }
+        self.atoms.iter().any(|a| {
+            a.relation == relation
+                && a.key.len() == block_key.len()
+                && a.key.iter().zip(block_key).all(|(slot, v)| match slot {
+                    SupportSlot::Any => true,
+                    SupportSlot::Const(c) => c == v,
+                    SupportSlot::Group(i) => &row_key[*i] == v,
+                })
+        })
+    }
+
+    /// Merges the supports of several plans over one shared body (the
+    /// serving layer prepares one engine per aggregate): the atoms coincide,
+    /// so the merge only widens to exhaustive when any constituent is.
+    pub fn merge(self, other: RowSupport) -> RowSupport {
+        if self.exhaustive {
+            self
+        } else if other.exhaustive {
+            other
+        } else {
+            debug_assert_eq!(
+                self.atoms, other.atoms,
+                "supports merged across one statement share the body"
+            );
+            self
+        }
+    }
 }
 
 #[cfg(test)]

@@ -27,12 +27,21 @@
 //!   case-folded outside string literals, one trailing `;` stripped), so
 //!   textual re-submissions of the same query never re-parse, never re-run
 //!   attack-graph classification, and never re-plan;
-//! * a **per-statement result cache with dirty-group maintenance**: answers
-//!   are cached against the epoch they were computed at; a reader whose
-//!   pinned epoch is ahead of the cached result recomputes only the groups
-//!   whose level-0 blocks changed in between — when the statement's GROUP BY
-//!   keys are block-key-determined ([`rcqa_core::engine::GroupLocality`]) —
-//!   and keeps every other cached row;
+//! * a **per-statement result cache with support-tracked differential
+//!   maintenance**: answers are cached against the epoch they were computed
+//!   at, together with the statement's [`RowSupport`] — a per-row
+//!   over-approximation of the (relation, block-key) pairs the row's
+//!   embeddings and certainty checks can touch. A reader whose pinned epoch
+//!   is ahead of the cached result intersects the dirty blocks committed in
+//!   between with the cached rows' supports, adds the candidate keys the
+//!   dirty blocks can newly derive ([`RangeCqa::dirty_candidate_keys`]), and
+//!   re-derives **only** that affected key set — DRed-style: affected groups
+//!   are over-deleted and re-derived, so retracted groups vanish and new
+//!   groups appear — keeping every other cached row. HAVING trichotomy and
+//!   certain top-k are then re-decided from the patched row set; top-k falls
+//!   back to a full selection recompute only when pairwise interval
+//!   precedence shifted, i.e. membership could change (counted in
+//!   [`SessionStats::topk_fallbacks`]);
 //! * a **batch API**: [`Session::execute_many`] answers a whole batch
 //!   against one pinned snapshot, so the batch is mutually consistent even
 //!   with concurrent writers.
@@ -55,12 +64,20 @@
 //! thread count and under any interleaving with writers. The incrementally
 //! maintained index is structurally identical to a cold rebuild
 //! (`DbIndex::apply_delta` keeps facts and blocks at their cold-scan sorted
-//! positions), and dirty-group recomputation is only used when the engine
-//! certifies locality — every GROUP BY variable is bound at a key position of
-//! the level-0 atom, so blocks of untouched keys can never influence another
-//! group's answer. `tests/serving_cache.rs`, `tests/session_sql.rs`, and
-//! `tests/session_concurrent.rs` assert the guarantee, including concurrent
-//! readers racing a writer.
+//! positions), and differential patching is sound because a group row's
+//! interval is a function of the blocks matching its instantiated support
+//! patterns: a commit whose dirty blocks miss a row's support cannot change
+//! that row, and a commit that could *birth* a row must route at least one
+//! new embedding through a dirty block, which the dirty-pinned reverse
+//! lookup enumerates. Plans that consult state beyond pattern-matched blocks
+//! — exhaustive repair enumeration (including residual comparison
+//! predicates, whose repair budget is instance-global) — carry an
+//! *exhaustive* support and honestly recompute in full on any write
+//! ([`SessionStats::support_misses`]). `tests/serving_cache.rs`,
+//! `tests/session_sql.rs`, and `tests/session_concurrent.rs` assert the
+//! guarantee, including concurrent readers racing a writer and random
+//! insert/delete interleavings checked against cold and crash-recovered
+//! sessions after every commit.
 //!
 //! Every consumer — the experiment harness, the examples, and the
 //! integration tests — goes through this one path, so the SQL parser, the
@@ -115,12 +132,14 @@
 #![warn(missing_docs)]
 
 use rcqa_core::classify::Classification;
-use rcqa_core::engine::{BoundAnswer, EngineOptions, GroupLocality, GroupRange, Method, RangeCqa};
+use rcqa_core::engine::{BoundAnswer, EngineOptions, GroupRange, Method, RangeCqa};
 use rcqa_core::index::{DbIndex, DirtyBlock};
 pub use rcqa_core::interval::HavingStatus;
-use rcqa_core::interval::{certain_topk, having_status, having_status_all, order_rows};
-use rcqa_core::CoreError;
-use rcqa_data::{DataError, DatabaseInstance, DeltaEvent, Fact, Rational};
+use rcqa_core::interval::{
+    certain_topk, having_status, having_status_all, order_rows, topk_selection_preserved,
+};
+use rcqa_core::{CoreError, RowSupport};
+use rcqa_data::{DataError, DatabaseInstance, DeltaEvent, Fact, Rational, Value};
 use rcqa_query::{parse_sql, AggQuery, Catalog, HavingCond, OrderSpec, QueryError};
 use rcqa_wal::{FsStorage, Wal, WalError, WalStorage};
 use std::collections::hash_map::Entry;
@@ -349,8 +368,8 @@ impl QueryOutcome {
 /// translated [`AggQuery`], its output column names, the fully prepared
 /// [`RangeCqa`] engine (attack graph, level structure, interned variable
 /// slots, logical→physical plan choice), the [`Classification`] for the
-/// session instance's numeric domain, and — when the engine certifies it —
-/// the [`GroupLocality`] that licenses dirty-group result maintenance.
+/// session instance's numeric domain, and the [`RowSupport`] that drives
+/// differential result maintenance.
 ///
 /// Statements are keyed by *normalized* SQL ([`Session::normalize_sql`]):
 /// whitespace runs outside string literals collapse to one space, text
@@ -375,7 +394,7 @@ pub struct PreparedStatement {
     limit: Option<usize>,
     unsatisfiable: bool,
     classification: Arc<Classification>,
-    locality: Option<GroupLocality>,
+    support: RowSupport,
 }
 
 impl PreparedStatement {
@@ -401,17 +420,13 @@ impl PreparedStatement {
         &self.classification
     }
 
-    /// The statement's group locality, if its GROUP BY keys are
-    /// block-key-determined (the licence for dirty-group maintenance).
-    ///
-    /// Conservatively `None` for every statement beyond the plain
-    /// single-aggregate shape: comparison predicates, HAVING, ORDER BY,
-    /// LIMIT, and multi-aggregate SELECTs all couple an output row to state
-    /// outside its own level-0 blocks (a restricted index view, another
-    /// row's interval, the top-k competition), so any dirty block
-    /// invalidates the whole cached result.
-    pub fn locality(&self) -> Option<&GroupLocality> {
-        self.locality.as_ref()
+    /// The statement's [`RowSupport`]: per cached row, an over-approximation
+    /// of the (relation, block-key) pairs the row's embeddings and certainty
+    /// checks can touch. Exhaustive — every dirty block forces a full
+    /// recompute — exactly when some bound of some aggregate runs exhaustive
+    /// repair enumeration, whose repair budget is instance-global.
+    pub fn support(&self) -> &RowSupport {
+        &self.support
     }
 
     /// The primary engine (first SELECT-clause aggregate).
@@ -433,6 +448,20 @@ pub struct SessionStats {
     pub partial_recomputes: u64,
     /// Executions that ran the full pipeline.
     pub full_recomputes: u64,
+    /// Stale cached results served by the support-tracked patch path:
+    /// the commit's dirty blocks were intersected with the cached rows'
+    /// supports and only the affected groups were re-derived.
+    pub supported_patches: u64,
+    /// Stale cached results the support layer could **not** patch (exhaustive
+    /// support, dirty history evicted past the retention cap, or an affected
+    /// set so large a full pass is cheaper): these fell back to a full
+    /// recompute.
+    pub support_misses: u64,
+    /// Patched results whose certain top-k selection had to be recomputed
+    /// because some pairwise interval precedence shifted — top-k membership
+    /// could change, so reusing the cached selection would be unsound. The
+    /// rows themselves were still patched, not recomputed.
+    pub topk_fallbacks: u64,
     /// Cold index constructions (should stay at 1 for a serving session).
     pub index_builds: u64,
     /// Delta events replayed into a successor snapshot's index.
@@ -456,15 +485,19 @@ struct CachedRows {
     having: Arc<[HavingStatus]>,
 }
 
-impl CachedRows {
-    /// A plain single-aggregate result (no HAVING, no hidden aggregates).
-    fn plain(rows: Vec<GroupRange>) -> CachedRows {
-        CachedRows {
-            rows: rows.into(),
-            more: Vec::new(),
-            having: Vec::new().into(),
-        }
-    }
+/// One statement's cached answer at one epoch: the post-processed
+/// presentation ([`CachedRows`]) **and** the raw per-aggregate group rows it
+/// was derived from — the patch basis differential maintenance re-derives
+/// affected rows against (the presentation alone is not patchable: HAVING
+/// has dropped rows and top-k has reordered them).
+#[derive(Clone, Debug)]
+struct CachedResult {
+    epoch: u64,
+    /// Raw rows per aggregate engine (SELECT items first, then hidden
+    /// HAVING / ORDER BY aggregates), each in sorted group-key order and
+    /// key-aligned across aggregates.
+    raw: Arc<Vec<Vec<GroupRange>>>,
+    rows: CachedRows,
 }
 
 /// One cached statement plus its last computed result (if any), versioned by
@@ -472,7 +505,7 @@ impl CachedRows {
 #[derive(Clone, Debug)]
 struct CachedStatement {
     stmt: Arc<PreparedStatement>,
-    result: Option<(u64, CachedRows)>,
+    result: Option<CachedResult>,
 }
 
 /// The lock-free interior of [`SessionStats`]: relaxed atomic counters, so
@@ -485,6 +518,9 @@ struct AtomicStats {
     result_hits: AtomicU64,
     partial_recomputes: AtomicU64,
     full_recomputes: AtomicU64,
+    supported_patches: AtomicU64,
+    support_misses: AtomicU64,
+    topk_fallbacks: AtomicU64,
     index_builds: AtomicU64,
     deltas_applied: AtomicU64,
     wal_appends: AtomicU64,
@@ -504,6 +540,9 @@ impl AtomicStats {
             result_hits: self.result_hits.load(Ordering::Relaxed),
             partial_recomputes: self.partial_recomputes.load(Ordering::Relaxed),
             full_recomputes: self.full_recomputes.load(Ordering::Relaxed),
+            supported_patches: self.supported_patches.load(Ordering::Relaxed),
+            support_misses: self.support_misses.load(Ordering::Relaxed),
+            topk_fallbacks: self.topk_fallbacks.load(Ordering::Relaxed),
             index_builds: self.index_builds.load(Ordering::Relaxed),
             deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
@@ -521,6 +560,9 @@ impl From<SessionStats> for AtomicStats {
             result_hits: AtomicU64::new(s.result_hits),
             partial_recomputes: AtomicU64::new(s.partial_recomputes),
             full_recomputes: AtomicU64::new(s.full_recomputes),
+            supported_patches: AtomicU64::new(s.supported_patches),
+            support_misses: AtomicU64::new(s.support_misses),
+            topk_fallbacks: AtomicU64::new(s.topk_fallbacks),
             index_builds: AtomicU64::new(s.index_builds),
             deltas_applied: AtomicU64::new(s.deltas_applied),
             wal_appends: AtomicU64::new(s.wal_appends),
@@ -535,18 +577,33 @@ impl From<SessionStats> for AtomicStats {
 /// oldest first. Results cached at an epoch `< log_floor` predate the
 /// retained (gap-free) history and must recompute in full.
 ///
-/// The log is a [`VecDeque`]: eviction past [`DIRTY_LOG_CAP`] pops the oldest
-/// entry from the front in `O(1)` (a `Vec::remove(0)` here used to shift the
-/// whole capacity on every write of a long-lived session).
+/// The log is a [`VecDeque`]: eviction past
+/// [`SessionOptions::dirty_log_cap`] pops the oldest entry from the front in
+/// `O(1)` (a `Vec::remove(0)` here used to shift the whole capacity on every
+/// write of a long-lived session).
 #[derive(Clone, Debug, Default)]
 struct Maintenance {
     dirty_log: VecDeque<(u64, Vec<DirtyBlock>)>,
     log_floor: u64,
 }
 
-/// Upper bound on retained dirty batches; older results fall back to a full
-/// recompute, which re-caches them at the reader's epoch.
-const DIRTY_LOG_CAP: usize = 128;
+/// Serving-layer tunables, distinct from the evaluation-level
+/// [`EngineOptions`]: these shape how the session maintains cached state,
+/// never what an answer is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionOptions {
+    /// Upper bound on retained dirty write batches (the patch history).
+    /// Results cached before the oldest retained batch fall back to a full
+    /// recompute — still correct, just not differential — which re-caches
+    /// them at the reader's epoch. `0` disables patching entirely.
+    pub dirty_log_cap: usize,
+}
+
+impl Default for SessionOptions {
+    fn default() -> SessionOptions {
+        SessionOptions { dirty_log_cap: 128 }
+    }
+}
 
 /// A stateful, thread-safe SQL serving session: catalog + engine options +
 /// an immutable snapshot chain (instance, block index, epoch), plus cached
@@ -557,6 +614,7 @@ const DIRTY_LOG_CAP: usize = 128;
 pub struct Session {
     catalog: Catalog,
     options: EngineOptions,
+    session_options: SessionOptions,
     /// The swap point: readers share the read lock to clone the `Arc` out
     /// of a short critical section; the writer takes the write lock only
     /// for the final pointer swap.
@@ -587,6 +645,7 @@ impl Clone for Session {
         Session {
             catalog: self.catalog.clone(),
             options: self.options,
+            session_options: self.session_options,
             // The snapshot itself is immutable and safely shared; the clone
             // diverges from here through its own writers.
             current: RwLock::new(self.snapshot()),
@@ -639,6 +698,7 @@ impl Session {
         Session {
             catalog,
             options: EngineOptions::default(),
+            session_options: SessionOptions::default(),
             current: RwLock::new(Arc::new(Snapshot {
                 db,
                 index: OnceLock::new(),
@@ -736,6 +796,34 @@ impl Session {
             .unwrap_or_else(|e| e.into_inner())
             .clear();
         self
+    }
+
+    /// Overrides the serving-layer options. Unlike [`Session::with_options`]
+    /// this never invalidates prepared statements — the tunables shape cache
+    /// maintenance, not answers. A shrunken dirty-log cap takes effect
+    /// immediately: over-budget history is evicted (flooring the patch
+    /// horizon), so results older than the new cap full-recompute.
+    pub fn with_session_options(mut self, options: SessionOptions) -> Session {
+        self.session_options = options;
+        {
+            let maintenance = self
+                .maintenance
+                .get_mut()
+                .unwrap_or_else(|e| e.into_inner());
+            while maintenance.dirty_log.len() > options.dirty_log_cap {
+                let dropped = maintenance
+                    .dirty_log
+                    .pop_front()
+                    .expect("len > cap implies non-empty");
+                maintenance.log_floor = dropped.0;
+            }
+        }
+        self
+    }
+
+    /// The session's serving-layer options.
+    pub fn session_options(&self) -> SessionOptions {
+        self.session_options
     }
 
     /// The session's catalog.
@@ -880,7 +968,7 @@ impl Session {
                     .fetch_add(events.len() as u64, Ordering::Relaxed);
                 let mut maintenance = self.lock_maintenance();
                 maintenance.dirty_log.push_back((epoch, dirty));
-                if maintenance.dirty_log.len() > DIRTY_LOG_CAP {
+                while maintenance.dirty_log.len() > self.session_options.dirty_log_cap {
                     let dropped = maintenance
                         .dirty_log
                         .pop_front()
@@ -1006,21 +1094,20 @@ impl Session {
                     .with_options(self.options),
             );
         }
-        let classification = engines[0].classification(snapshot.db.numeric_domain());
-        // Dirty-group maintenance is only certified for the plain shape; any
-        // richer statement invalidates conservatively on every write (see
-        // `PreparedStatement::locality`).
-        let plain = translated.aggregates.len() == 1
-            && translated.predicates.is_empty()
-            && translated.having.is_empty()
-            && translated.order_by.is_none()
-            && translated.limit.is_none()
-            && !translated.unsatisfiable;
-        let locality = if plain {
-            engines[0].group_locality()
-        } else {
-            None
-        };
+        let domain = snapshot.db.numeric_domain();
+        let classification = engines[0].classification(domain);
+        // The statement's support is the merge over every aggregate engine's
+        // plan (they share one body and one predicate set, so the patterns
+        // coincide; the merge only widens to exhaustive when any bound of
+        // any aggregate enumerates repairs). The numeric domain is fixed at
+        // instance construction, so the support — like the plan — is static
+        // for the statement's lifetime.
+        let support = engines
+            .iter()
+            .skip(1)
+            .fold(engines[0].row_support(domain), |acc, engine| {
+                acc.merge(engine.row_support(domain))
+            });
         let stmt = Arc::new(PreparedStatement {
             sql: key.clone(),
             query: Arc::new(translated.query),
@@ -1032,7 +1119,7 @@ impl Session {
             limit: translated.limit,
             unsatisfiable: translated.unsatisfiable,
             classification: Arc::new(classification),
-            locality,
+            support,
         });
         match self.write_statements().entry(key) {
             Entry::Occupied(entry) => {
@@ -1117,16 +1204,15 @@ impl Session {
         }
     }
 
-    /// The full evaluation pipeline of one statement over one pinned
-    /// snapshot: evaluate every aggregate engine, align the per-aggregate
-    /// rows by group key, apply the HAVING trichotomy (dropping `Violated`
-    /// rows), then ORDER BY / certain top-k selection, then project the
-    /// SELECT-clause aggregates.
-    fn compute_rows(
+    /// Evaluates every aggregate engine of one statement over one pinned
+    /// snapshot, returning the raw per-aggregate group rows — key-aligned,
+    /// in sorted group-key order, before HAVING / ORDER BY post-processing.
+    /// These are what the result cache keeps as the patch basis.
+    fn raw_rows(
         stmt: &PreparedStatement,
         db: &DatabaseInstance,
         index: &DbIndex,
-    ) -> Result<CachedRows, SessionError> {
+    ) -> Result<Vec<Vec<GroupRange>>, SessionError> {
         // A statically contradictory WHERE clause needs no engine run: no
         // repair has a satisfying embedding, so a grouped statement has no
         // possible answer rows, while a closed statement answers its single
@@ -1163,31 +1249,73 @@ impl Session {
             }),
             "aggregates share body and predicates, so group keys must align"
         );
-        // HAVING trichotomy per row; Violated rows are certainly absent in
-        // every repair and are dropped.
-        let statuses: Vec<HavingStatus> = if stmt.having.is_empty() {
+        Ok(per_agg)
+    }
+
+    /// HAVING trichotomy per raw row (empty when the statement has no HAVING
+    /// clause).
+    fn having_statuses(stmt: &PreparedStatement, per_agg: &[Vec<GroupRange>]) -> Vec<HavingStatus> {
+        if stmt.having.is_empty() {
+            return Vec::new();
+        }
+        (0..per_agg[0].len())
+            .map(|i| {
+                having_status_all(stmt.having.iter().map(|c| {
+                    let row = &per_agg[c.agg_index][i];
+                    having_status(
+                        row.glb.and_then(|b| b.value),
+                        row.lub.and_then(|b| b.value),
+                        c.op,
+                        c.threshold,
+                    )
+                }))
+            })
+            .collect()
+    }
+
+    /// Raw-row indices surviving HAVING. `Violated` rows are certainly
+    /// absent in every repair and are dropped.
+    fn kept_indices(statuses: &[HavingStatus], len: usize) -> Vec<usize> {
+        (0..len)
+            .filter(|&i| statuses.is_empty() || statuses[i] != HavingStatus::Violated)
+            .collect()
+    }
+
+    /// Projects the selected raw-row indices into the presented row block:
+    /// SELECT-clause aggregates, row-aligned HAVING statuses.
+    fn present(
+        stmt: &PreparedStatement,
+        per_agg: &[Vec<GroupRange>],
+        statuses: &[HavingStatus],
+        selected: &[usize],
+    ) -> CachedRows {
+        let project = |agg: usize| -> Vec<GroupRange> {
+            selected.iter().map(|&i| per_agg[agg][i].clone()).collect()
+        };
+        let rows = project(0);
+        let more: Vec<Arc<[GroupRange]>> = (1..stmt.visible_aggregates)
+            .map(|a| project(a).into())
+            .collect();
+        let having: Vec<HavingStatus> = if statuses.is_empty() {
             Vec::new()
         } else {
-            (0..primary.len())
-                .map(|i| {
-                    having_status_all(stmt.having.iter().map(|c| {
-                        let row = &per_agg[c.agg_index][i];
-                        having_status(
-                            row.glb.and_then(|b| b.value),
-                            row.lub.and_then(|b| b.value),
-                            c.op,
-                            c.threshold,
-                        )
-                    }))
-                })
-                .collect()
+            selected.iter().map(|&i| statuses[i]).collect()
         };
-        let kept: Vec<usize> = (0..primary.len())
-            .filter(|&i| statuses.is_empty() || statuses[i] != HavingStatus::Violated)
-            .collect();
-        // ORDER BY (presentation order) / LIMIT (certain top-k) over the
-        // sort-key aggregate's intervals of the surviving rows. The parser
-        // guarantees LIMIT implies ORDER BY.
+        CachedRows {
+            rows: rows.into(),
+            more,
+            having: having.into(),
+        }
+    }
+
+    /// Full post-processing of one statement's raw rows: HAVING trichotomy
+    /// (dropping `Violated` rows), then ORDER BY (presentation order) /
+    /// LIMIT (certain top-k) over the sort-key aggregate's intervals of the
+    /// surviving rows, then SELECT-clause projection. The parser guarantees
+    /// LIMIT implies ORDER BY.
+    fn post_process(stmt: &PreparedStatement, per_agg: &[Vec<GroupRange>]) -> CachedRows {
+        let statuses = Self::having_statuses(stmt, per_agg);
+        let kept = Self::kept_indices(&statuses, per_agg[0].len());
         let selected: Vec<usize> = match stmt.order_by {
             Some(spec) => {
                 let sort_rows: Vec<GroupRange> = kept
@@ -1202,29 +1330,153 @@ impl Session {
             }
             None => kept,
         };
-        let project = |agg: usize| -> Vec<GroupRange> {
-            selected.iter().map(|&i| per_agg[agg][i].clone()).collect()
-        };
-        let rows = project(0);
-        let more: Vec<Arc<[GroupRange]>> = (1..stmt.visible_aggregates)
-            .map(|a| project(a).into())
-            .collect();
-        let having: Vec<HavingStatus> = if statuses.is_empty() {
-            Vec::new()
-        } else {
-            selected.iter().map(|&i| statuses[i]).collect()
-        };
-        Ok(CachedRows {
-            rows: rows.into(),
-            more,
-            having: having.into(),
+        Self::present(stmt, per_agg, &statuses, &selected)
+    }
+
+    /// The full evaluation pipeline of one statement over one pinned
+    /// snapshot, producing both the presentation and the raw patch basis.
+    fn compute_result(
+        stmt: &PreparedStatement,
+        db: &DatabaseInstance,
+        index: &DbIndex,
+        epoch: u64,
+    ) -> Result<CachedResult, SessionError> {
+        let raw = Self::raw_rows(stmt, db, index)?;
+        let rows = Self::post_process(stmt, &raw);
+        Ok(CachedResult {
+            epoch,
+            raw: Arc::new(raw),
+            rows,
         })
+    }
+
+    /// Attempts to bring a stale cached result up to `epoch` by
+    /// support-tracked differential maintenance. Returns `None` — fall back
+    /// to a full recompute — when the support is exhaustive, the dirty
+    /// history no longer reaches back to the cached epoch, or the affected
+    /// key set is so large that one full pass is cheaper than per-key
+    /// pinned joins.
+    ///
+    /// The affected key set is the union of (a) cached rows whose
+    /// instantiated support patterns intersect the dirty blocks — covering
+    /// value changes and retractions, since a destroyed embedding belonged
+    /// to a cached row — and (b) the candidate keys the dirty blocks can
+    /// newly derive ([`RangeCqa::dirty_candidate_keys`]) — covering births.
+    /// Affected keys are then over-deleted and re-derived DRed-style via
+    /// [`RangeCqa::range_for_groups`]: keys whose embeddings vanished stay
+    /// gone, new keys appear, everything else keeps its cached row
+    /// unexamined.
+    fn try_patch(
+        &self,
+        stmt: &PreparedStatement,
+        snapshot: &Snapshot,
+        index: &DbIndex,
+        cached: &CachedResult,
+        epoch: u64,
+    ) -> Result<Option<CachedResult>, SessionError> {
+        let restamped = || {
+            Some(CachedResult {
+                epoch,
+                raw: cached.raw.clone(),
+                rows: cached.rows.clone(),
+            })
+        };
+        // A statically contradictory WHERE clause is answered independently
+        // of the data: the cached synthetic rows hold at every epoch.
+        if stmt.unsatisfiable {
+            return Ok(restamped());
+        }
+        if stmt.support().is_exhaustive() {
+            return Ok(None);
+        }
+        let Some(dirty) = self.dirty_since(cached.epoch, epoch) else {
+            return Ok(None);
+        };
+        let support = stmt.support();
+        let raw = &*cached.raw;
+        let mut affected: BTreeSet<Vec<Value>> = raw[0]
+            .iter()
+            .filter(|row| {
+                dirty
+                    .iter()
+                    .any(|b| support.hits(&row.key, &b.relation, &b.key))
+            })
+            .map(|row| row.key.clone())
+            .collect();
+        affected.extend(stmt.engine().dirty_candidate_keys(index, &dirty));
+        if affected.is_empty() {
+            // Nothing cached can change and nothing can be born: the result
+            // is untouched by the whole delta range.
+            return Ok(restamped());
+        }
+        if raw[0].len() >= 16 && affected.len() * 2 > raw[0].len() {
+            return Ok(None);
+        }
+        let mut new_raw = Vec::with_capacity(stmt.engines.len());
+        for (engine, old) in stmt.engines.iter().zip(raw.iter()) {
+            let fresh = engine.range_for_groups(&snapshot.db, index, &affected)?;
+            let kept: Vec<GroupRange> = old
+                .iter()
+                .filter(|r| !affected.contains(&r.key))
+                .cloned()
+                .collect();
+            new_raw.push(Self::merge_rows(kept, fresh));
+        }
+        if new_raw == *raw {
+            // Re-derivation confirmed every affected row unchanged, so the
+            // cached presentation (HAVING, selection included) is still
+            // exact.
+            return Ok(restamped());
+        }
+        let rows = match (stmt.order_by, stmt.limit) {
+            (Some(spec), Some(_)) => {
+                // Certain top-k membership is a function of the pairwise
+                // possibly-precedes relation over the HAVING survivors. When
+                // the patch provably preserved that relation, the cached
+                // selection's keys still name exactly the certain rows —
+                // re-presented with their fresh intervals in the fresh
+                // deterministic order. Otherwise membership could change:
+                // recompute the selection honestly (the rows themselves stay
+                // patched — only the selection re-runs).
+                let old_statuses = Self::having_statuses(stmt, raw);
+                let old_kept = Self::kept_indices(&old_statuses, raw[0].len());
+                let new_statuses = Self::having_statuses(stmt, &new_raw);
+                let new_kept = Self::kept_indices(&new_statuses, new_raw[0].len());
+                let old_sort: Vec<GroupRange> = old_kept
+                    .iter()
+                    .map(|&i| raw[spec.agg_index][i].clone())
+                    .collect();
+                let new_sort: Vec<GroupRange> = new_kept
+                    .iter()
+                    .map(|&i| new_raw[spec.agg_index][i].clone())
+                    .collect();
+                if topk_selection_preserved(&old_sort, &new_sort, spec.descending) {
+                    let members: BTreeSet<&[Value]> =
+                        cached.rows.rows.iter().map(|r| r.key.as_slice()).collect();
+                    let selected: Vec<usize> = order_rows(&new_sort, spec.descending)
+                        .into_iter()
+                        .filter(|&j| members.contains(new_sort[j].key.as_slice()))
+                        .map(|j| new_kept[j])
+                        .collect();
+                    Self::present(stmt, &new_raw, &new_statuses, &selected)
+                } else {
+                    AtomicStats::bump(&self.stats.topk_fallbacks);
+                    Self::post_process(stmt, &new_raw)
+                }
+            }
+            _ => Self::post_process(stmt, &new_raw),
+        };
+        Ok(Some(CachedResult {
+            epoch,
+            raw: Arc::new(new_raw),
+            rows,
+        }))
     }
 
     /// The cache-aware execution path shared by [`Session::execute`] and
     /// [`Session::execute_many`], against one pinned snapshot: statement
-    /// lookup, then result hit / dirty-group patch / full pipeline, in that
-    /// order. No session-wide lock is held while the plan executes.
+    /// lookup, then result hit / support-tracked patch / full pipeline, in
+    /// that order. No session-wide lock is held while the plan executes.
     fn execute_at(&self, snapshot: &Snapshot, sql: &str) -> Result<QueryOutcome, SessionError> {
         let stmt = self.prepare_at(snapshot, sql)?;
         let epoch = snapshot.epoch;
@@ -1234,9 +1486,9 @@ impl Session {
         {
             let statements = self.read_statements();
             if let Some(entry) = statements.get(stmt.sql()) {
-                if let Some((e, rows)) = &entry.result {
-                    if *e == epoch {
-                        let rows = rows.clone();
+                if let Some(result) = &entry.result {
+                    if result.epoch == epoch {
+                        let rows = result.rows.clone();
                         drop(statements);
                         AtomicStats::bump(&self.stats.result_hits);
                         return Ok(Self::outcome(&stmt, rows, epoch));
@@ -1249,7 +1501,7 @@ impl Session {
         // A stale result (an epoch *behind* this snapshot) is the patch
         // basis; results from epochs ahead of the pinned snapshot are
         // useless to this reader and are left in place for current ones.
-        let cached: Option<(u64, CachedRows)> = self
+        let cached: Option<CachedResult> = self
             .read_statements()
             .get(stmt.sql())
             .and_then(|entry| entry.result.clone());
@@ -1258,46 +1510,29 @@ impl Session {
             Patch,
             Full,
         }
-        let (path, rows) = match cached {
-            Some((cached_epoch, cached_rows)) if cached_epoch < epoch => {
-                // Patch if every delta in (cached, pinned] is confined to
-                // blocks this statement can localise to groups. Statements
-                // with predicates, HAVING, ORDER BY, or several aggregates
-                // have no locality certificate (conservatively `None` from
-                // `prepare_at`), so any dirty block sends them down the full
-                // pipeline — stale post-processed rows are never patched.
-                let patch_keys = self.dirty_since(cached_epoch, epoch).and_then(|dirty| {
-                    let locality = stmt.locality()?;
-                    dirty
-                        .iter()
-                        .map(|b| {
-                            (b.relation == locality.relation).then(|| locality.project(&b.key))
-                        })
-                        .collect::<Option<BTreeSet<_>>>()
-                });
-                match patch_keys {
-                    Some(keys) => {
-                        let fresh = stmt
-                            .engine()
-                            .range_for_groups(&snapshot.db, &index, &keys)?;
-                        let kept: Vec<GroupRange> = cached_rows
-                            .rows
-                            .iter()
-                            .filter(|r| !keys.contains(&r.key))
-                            .cloned()
-                            .collect();
+        let (path, result) = match cached {
+            Some(cached) if cached.epoch < epoch => {
+                match self.try_patch(&stmt, snapshot, &index, &cached, epoch)? {
+                    Some(result) => (Path::Patch, result),
+                    None => {
+                        AtomicStats::bump(&self.stats.support_misses);
                         (
-                            Path::Patch,
-                            CachedRows::plain(Self::merge_rows(kept, fresh)),
+                            Path::Full,
+                            Self::compute_result(&stmt, &snapshot.db, &index, epoch)?,
                         )
                     }
-                    None => (Path::Full, Self::compute_rows(&stmt, &snapshot.db, &index)?),
                 }
             }
-            _ => (Path::Full, Self::compute_rows(&stmt, &snapshot.db, &index)?),
+            _ => (
+                Path::Full,
+                Self::compute_result(&stmt, &snapshot.db, &index, epoch)?,
+            ),
         };
         match path {
-            Path::Patch => AtomicStats::bump(&self.stats.partial_recomputes),
+            Path::Patch => {
+                AtomicStats::bump(&self.stats.partial_recomputes);
+                AtomicStats::bump(&self.stats.supported_patches);
+            }
             Path::Full => AtomicStats::bump(&self.stats.full_recomputes),
         }
         // Publish the result for this epoch — unless a reader pinned to a
@@ -1305,13 +1540,13 @@ impl Session {
         {
             let mut statements = self.write_statements();
             if let Some(entry) = statements.get_mut(stmt.sql()) {
-                let newer = matches!(&entry.result, Some((e, _)) if *e > epoch);
+                let newer = matches!(&entry.result, Some(r) if r.epoch > epoch);
                 if !newer {
-                    entry.result = Some((epoch, rows.clone()));
+                    entry.result = Some(result.clone());
                 }
             }
         }
-        Ok(Self::outcome(&stmt, rows, epoch))
+        Ok(Self::outcome(&stmt, result.rows, epoch))
     }
 
     /// Executes a SQL aggregation query: classification plus one
@@ -1573,7 +1808,7 @@ mod tests {
         // catalog's spelling even though the cache key is case-folded.
         let stmt = session.prepare(sql).unwrap();
         assert_eq!(stmt.columns(), ["Name", "MAX"]);
-        assert!(stmt.locality().is_some());
+        assert!(!stmt.support().is_exhaustive());
         assert_eq!(stmt.sql(), Session::normalize_sql(respelled));
     }
 
@@ -1618,22 +1853,68 @@ mod tests {
     }
 
     #[test]
-    fn non_local_mutations_fall_back_to_full_recompute() {
+    fn non_key_group_mutations_are_patched_via_support() {
         let session = stock_session();
         let sql = "SELECT D.Name, MAX(S.Qty) FROM Dealers AS D, Stock AS S \
                    WHERE D.Town = S.Town GROUP BY D.Name";
         session.execute(sql).unwrap();
-        // Stock is not the statement's locality relation (Dealers is), so
-        // this delta forces a full recompute — with the correct new answer.
+        // The group key (Name) is not determined by Stock's block key, so
+        // the old level-0 locality certificate rejected this statement; the
+        // support patterns still localise the dirty Stock block to the
+        // groups whose towns it can join with, and both Boston dealers are
+        // re-derived — with the correct new answer.
         session
             .insert(fact!("Stock", "Tesla Z", "Boston", 500))
             .unwrap();
         let after = session.execute(sql).unwrap();
         assert_eq!(after.rows[0].lub.unwrap().value, Some(rat(500)));
         let stats = session.stats();
-        assert_eq!(stats.partial_recomputes, 0);
-        assert_eq!(stats.full_recomputes, 2);
+        assert_eq!(stats.partial_recomputes, 1);
+        assert_eq!(stats.supported_patches, 1);
+        assert_eq!(stats.support_misses, 0);
+        assert_eq!(stats.full_recomputes, 1);
         assert_eq!(stats.index_builds, 1);
+        // Byte-identical to a cold session over the same data.
+        let cold = Session::with_instance(session.catalog().clone(), session.database());
+        assert_eq!(cold.execute(sql).unwrap().rows, after.rows);
+    }
+
+    #[test]
+    fn over_budget_dirty_history_full_recomputes_correctly() {
+        let session = stock_session().with_session_options(SessionOptions { dirty_log_cap: 2 });
+        assert_eq!(session.session_options().dirty_log_cap, 2);
+        let sql = "SELECT D.Name, MAX(S.Qty) FROM Dealers AS D, Stock AS S \
+                   WHERE D.Town = S.Town GROUP BY D.Name";
+        session.execute(sql).unwrap();
+        // Three single-fact commits: the first batch's dirty blocks are
+        // evicted past the cap, so the cached result predates the retained
+        // history and cannot be patched — it must answer via an honest full
+        // recompute, still correctly.
+        for i in 0..3 {
+            session
+                .insert(fact!("Dealers", format!("d{i}"), "Boston"))
+                .unwrap();
+        }
+        let after = session.execute(sql).unwrap();
+        assert_eq!(after.rows.len(), 5);
+        let stats = session.stats();
+        assert_eq!(stats.partial_recomputes, 0);
+        assert_eq!(stats.supported_patches, 0);
+        assert_eq!(stats.support_misses, 1);
+        assert_eq!(stats.full_recomputes, 2);
+        let cold = Session::with_instance(session.catalog().clone(), session.database());
+        assert_eq!(cold.execute(sql).unwrap().rows, after.rows);
+
+        // A zero cap disables patching outright: every commit floors the
+        // log, so even a one-commit-stale result recomputes in full.
+        let session = stock_session().with_session_options(SessionOptions { dirty_log_cap: 0 });
+        session.execute(sql).unwrap();
+        session.insert(fact!("Dealers", "Lopez", "Boston")).unwrap();
+        session.execute(sql).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.supported_patches, 0);
+        assert_eq!(stats.support_misses, 1);
+        assert_eq!(stats.full_recomputes, 2);
     }
 
     #[test]

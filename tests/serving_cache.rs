@@ -137,6 +137,149 @@ fn concurrent_clients_share_exactly_one_index_build() {
     assert_eq!(stats.statements_prepared, 1, "racing preparations dedupe");
 }
 
+/// Random insert/delete interleavings against the support-tracked
+/// maintenance layer: after EVERY commit, each statement's warm answer must
+/// be byte-identical to a cold session over the same instance at 1 and 4
+/// executor threads AND to a session crash-recovered from a copy of the
+/// write-ahead log. The statement mix covers the three post-processing
+/// shapes the old locality certificate refused to patch: HAVING over a
+/// non-key group key, certain top-k, and a residual comparison predicate
+/// (exhaustive support — the honest always-full-recompute path).
+mod random_interleavings {
+    use super::*;
+    use proptest::prelude::*;
+    use rcqa::data::{Fact, Value};
+    use rcqa::session::{SessionOptions, SyncPolicy, WalOptions};
+    use rcqa::wal::{MemStorage, WalStorage};
+
+    const STATEMENTS: &[&str] = &[
+        // Non-key GROUP BY key + HAVING: patched via support patterns.
+        "SELECT R.Y, MAX(S.Qty) FROM R, S WHERE R.Y = S.Y GROUP BY R.Y \
+         HAVING MAX(S.Qty) > 20",
+        // Certain top-k: selection reuse when pairwise precedence holds.
+        "SELECT R.X, MAX(S.Qty) FROM R, S WHERE R.Y = S.Y GROUP BY R.X \
+         ORDER BY MAX(S.Qty) DESC LIMIT 3",
+        // Residual predicate (Qty is at no key position and not free):
+        // exhaustive repair enumeration, hence exhaustive support.
+        "SELECT R.X, MIN(S.Qty) FROM R, S WHERE R.Y = S.Y AND S.Qty > 10 \
+         GROUP BY R.X",
+    ];
+
+    /// Small value domains so draws collide: inserts become duplicates,
+    /// deletes hit present facts, and S keys accumulate conflicting Qty
+    /// values (two per key, keeping exact enumeration's repair count small).
+    fn pool_fact(draw: u64) -> Fact {
+        if draw.is_multiple_of(2) {
+            let draw = draw / 2;
+            fact!(
+                "R",
+                format!("x{}", draw % 4),
+                format!("y{}", (draw / 4) % 3)
+            )
+        } else {
+            let draw = draw / 2;
+            Fact::new(
+                "S",
+                [
+                    Value::text(format!("y{}", draw % 3)),
+                    Value::text(format!("z{}", (draw / 3) % 2)),
+                    Value::int(5 + 20 * ((draw / 6) % 2) as i64),
+                ],
+            )
+        }
+    }
+
+    /// An isolated deep copy of the log bytes, so recovery cannot disturb
+    /// the live session's storage (the in-memory analogue of imaging the
+    /// disk before remounting it elsewhere).
+    fn image(mem: &MemStorage) -> MemStorage {
+        let mut src = mem.handle();
+        let copy = MemStorage::new();
+        for name in src.list().expect("list in-memory files") {
+            copy.set_file(&name, src.file(&name).unwrap_or_default());
+        }
+        copy
+    }
+
+    fn wal_options() -> WalOptions {
+        WalOptions {
+            sync: SyncPolicy::Never,
+            checkpoint_every: 4,
+            ..WalOptions::default()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn every_commit_agrees_with_cold_and_crash_recovered_sessions(
+            ops in proptest::collection::vec((0u8..3, 0u64..1_000_000), 2..10),
+        ) {
+            let mem = MemStorage::new();
+            let warm =
+                Session::open_storage(rs_catalog(), Box::new(mem.handle()), wal_options())
+                    .expect("open")
+                    .with_session_options(SessionOptions { dirty_log_cap: 8 });
+            let mut effective = 0u64;
+            for (op, draw) in ops {
+                let f = pool_fact(draw);
+                let changed = match op {
+                    0 | 1 => warm.insert(f).expect("insert conforms"),
+                    _ => warm.delete(&f).expect("delete"),
+                };
+                if changed {
+                    effective += 1;
+                }
+                for sql in STATEMENTS {
+                    let got = warm.execute(sql).expect("warm execute");
+                    for threads in [1usize, 4] {
+                        let cold = Session::with_instance(
+                            rs_catalog(),
+                            warm.database().clone(),
+                        )
+                        .with_options(EngineOptions {
+                            threads,
+                            ..EngineOptions::default()
+                        });
+                        let want = cold.execute(sql).expect("cold execute");
+                        prop_assert_eq!(&want.rows, &got.rows, "cold@{}T: {}", threads, sql);
+                        prop_assert_eq!(
+                            &want.more_aggregates, &got.more_aggregates,
+                            "cold@{}T extra aggregates: {}", threads, sql
+                        );
+                        prop_assert_eq!(
+                            &want.having, &got.having,
+                            "cold@{}T having statuses: {}", threads, sql
+                        );
+                    }
+                }
+                let recovered = Session::open_storage(
+                    rs_catalog(),
+                    Box::new(image(&mem)),
+                    wal_options(),
+                )
+                .expect("recover from a clean log image");
+                prop_assert_eq!(recovered.epoch(), warm.epoch());
+                for sql in STATEMENTS {
+                    prop_assert_eq!(
+                        &recovered.execute(sql).expect("recovered execute").rows,
+                        &warm.execute(sql).expect("warm re-execute").rows,
+                        "crash-recovered session differs: {}", sql
+                    );
+                }
+            }
+            // The exhaustive-support statement full-recomputes on every
+            // effective commit past the first answered one; the counters
+            // must have recorded honest misses, never a bogus patch of an
+            // exhaustive plan.
+            if effective >= 2 {
+                prop_assert!(warm.stats().support_misses > 0);
+            }
+        }
+    }
+}
+
 #[test]
 fn warm_answers_equal_cold_sessions_at_every_thread_count() {
     let _guard = COUNTER_LOCK.lock().unwrap();
