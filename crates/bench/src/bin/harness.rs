@@ -35,7 +35,16 @@
 //! `BENCH_incremental.json` (`BENCH_INCREMENTAL_PATH`), tracking per-write
 //! warm-read latency of the support-tracked patch path against forced full
 //! recompute across growing group counts, with the `SessionStats` per-path
-//! counters (supported patches, support misses, top-k fallbacks) alongside.
+//! counters (supported patches, support misses, top-k fallbacks) alongside;
+//! `shard` writes `BENCH_shard.json` (`BENCH_SHARD_PATH`), tracking the
+//! sharded front-end's write-then-warm-read latency at 1/2/4 shards plus
+//! group-commit write throughput against serial single-session commits,
+//! with the aggregated `ShardedStats` route counters alongside.
+//!
+//! Scaling artifacts (`parallel`, `shard`) record the machine's available
+//! parallelism, and on a single-core box they refuse to overwrite an
+//! existing artifact (the numbers would be misleading); CI regenerates them
+//! on multi-core runners with `BENCH_FORCE_WRITE=1`.
 
 use std::process::ExitCode;
 
@@ -107,14 +116,42 @@ const MODES: &[(&str, &[&str], &str)] = &[
         &["e18"],
         "support-tracked result patching vs full recompute per write (writes BENCH_incremental.json; opt-in)",
     ),
+    (
+        "shard",
+        &["e19"],
+        "sharded front-end: 1/2/4-shard reads + group-commit writes (writes BENCH_shard.json; opt-in)",
+    ),
 ];
+
+/// Writes a machine-readable scaling artifact, unless this is a
+/// single-core box that would overwrite an existing (presumably
+/// multi-core CI) artifact with misleading numbers. `BENCH_FORCE_WRITE=1`
+/// overrides the guard — CI sets it when regenerating.
+fn write_scaling_artifact(env_var: &str, default_path: &str, json: String) {
+    let path = std::env::var(env_var).unwrap_or_else(|_| default_path.to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let forced = std::env::var("BENCH_FORCE_WRITE").is_ok_and(|v| v != "0");
+    if cores < 2 && !forced && std::path::Path::new(&path).exists() {
+        println!(
+            "  kept existing {path}: this machine has {cores} core(s), so fresh \
+             scaling numbers would be misleading (set BENCH_FORCE_WRITE=1 to overwrite)"
+        );
+        return;
+    }
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("  wrote {path}"),
+        Err(err) => eprintln!("  failed to write {path}: {err}"),
+    }
+}
 
 fn print_help() {
     println!("usage: harness [MODE ...]");
     println!();
     println!("With no MODE, runs E1-E10 (the paper experiments). The timing modes");
-    println!("`groupby`, `parallel`, `serving`, `concurrent`, and `durability`");
-    println!("are opt-in. Modes:");
+    println!("(`groupby`, `parallel`, `serving`, `concurrent`, `durability`,");
+    println!("`scale`, `range`, `incremental`, `shard`) are opt-in. Modes:");
     println!();
     for (name, aliases, desc) in MODES {
         let alias = if aliases.is_empty() {
@@ -289,12 +326,16 @@ fn main() -> ExitCode {
         // runners, so favour noise immunity over a few seconds of runtime.
         let bench = rcqa_bench::bench_parallel(150, 9);
         println!("{}", rcqa_bench::format_parallel(&bench));
-        let path = std::env::var("BENCH_PARALLEL_PATH")
-            .unwrap_or_else(|_| "BENCH_parallel.json".to_string());
-        match std::fs::write(&path, bench.to_json()) {
-            Ok(()) => println!("  wrote {path}"),
-            Err(err) => eprintln!("  failed to write {path}: {err}"),
-        }
+        write_scaling_artifact(
+            "BENCH_PARALLEL_PATH",
+            "BENCH_parallel.json",
+            bench.to_json(),
+        );
+    }
+    if want_opt_in("shard") {
+        let bench = rcqa_bench::bench_shard(48, 8, 24, 5);
+        println!("{}", rcqa_bench::format_shard(&bench));
+        write_scaling_artifact("BENCH_SHARD_PATH", "BENCH_shard.json", bench.to_json());
     }
     ExitCode::SUCCESS
 }

@@ -2447,7 +2447,10 @@ pub fn bench_incremental(y_domains: &[usize], updates: usize, samples: usize) ->
             (best, stats)
         };
         let (patched_ms, patched_stats) = run(SessionOptions::default());
-        let (full_ms, full_stats) = run(SessionOptions { dirty_log_cap: 0 });
+        let (full_ms, full_stats) = run(SessionOptions {
+            dirty_log_cap: 0,
+            ..Default::default()
+        });
         sizes.push(IncrementalSize {
             groups: y_domain,
             facts: db.len(),
@@ -2521,6 +2524,447 @@ pub fn format_incremental(bench: &IncrementalBench) -> String {
     writeln!(
         out,
         "  machine cores   : {} (CI gates the floor only with >= 2)",
+        bench.available_parallelism
+    )
+    .unwrap();
+    out
+}
+
+/// Result of the sharded-serving benchmark (E19): a [`rcqa_session::ShardedSession`]
+/// front-end at 1/2/4 shards on a write-then-warm-read serving loop, plus
+/// group-commit write throughput against serial single-shard commits.
+#[derive(Clone, Debug)]
+pub struct ShardBench {
+    /// Level-0 blocks in the seeded instance.
+    pub blocks: usize,
+    /// Facts in the seeded instance.
+    pub facts: usize,
+    /// Write-then-warm-read rounds per timed read arm.
+    pub rounds: usize,
+    /// Number of timed samples per arm (best sample reported).
+    pub samples: usize,
+    /// The shard counts measured (first entry is the unsharded baseline).
+    pub shard_counts: Vec<usize>,
+    /// Best per-round warm-read latency (milliseconds) per shard count.
+    pub read_ms: Vec<f64>,
+    /// Read speedup of 4 shards over 1 shard (`read_ms[1] / read_ms[4]`).
+    /// The win is work confinement, not thread parallelism: a write dirties
+    /// one shard, the other shards answer from their per-snapshot result
+    /// caches, so only 1/N of the instance is recomputed per round.
+    pub read_scaling_at_4: f64,
+    /// Concurrent writer threads in the group-commit arm.
+    pub writers: usize,
+    /// Total committed write operations per write arm.
+    pub write_ops: usize,
+    /// Durable commits/second through the 4-shard group-commit coordinator.
+    pub group_commit_ops_per_s: f64,
+    /// Durable commits/second through one serial per-op session.
+    pub serial_ops_per_s: f64,
+    /// `group_commit_ops_per_s / serial_ops_per_s`.
+    pub write_speedup: f64,
+    /// Fan-out queries answered by the 4-shard read arm.
+    pub fanout_queries: u64,
+    /// Designated-shard queries answered by the 4-shard read arm.
+    pub designated_queries: u64,
+    /// Cross-shard combine queries answered by the 4-shard read arm.
+    pub combine_queries: u64,
+    /// Per-shard result-cache hits summed over the 4-shard read arm.
+    pub result_hits: u64,
+    /// Honest support misses (full recomputes) over the 4-shard read arm.
+    pub support_misses: u64,
+    /// Multi-event group commits coalesced in the write arm.
+    pub group_commits: u64,
+    /// Events carried by those multi-event group commits.
+    pub group_commit_events: u64,
+    /// Per-shard epoch frontier of the 4-shard read arm after all rounds.
+    pub epoch_frontier: Vec<u64>,
+    /// Whether every arm (all shard counts, read and write) answered every
+    /// statement shape byte-identically to an unsharded session.
+    pub agree: bool,
+    /// The machine's available parallelism while measuring. The read
+    /// scaling holds even on one core (it is work reduction); the write
+    /// arm's group commit needs real concurrency to coalesce.
+    pub available_parallelism: usize,
+}
+
+impl ShardBench {
+    /// Machine-readable JSON encoding (hand-written; no serialisation
+    /// crates in this offline workspace).
+    pub fn to_json(&self) -> String {
+        let join = |xs: &[String]| xs.join(", ");
+        format!(
+            "{{\n  \"benchmark\": \"sharded_serving\",\n  \"blocks\": {},\n  \
+             \"facts\": {},\n  \"rounds\": {},\n  \"samples\": {},\n  \
+             \"shard_counts\": [{}],\n  \"read_ms\": [{}],\n  \
+             \"read_scaling_at_4\": {:.2},\n  \"writers\": {},\n  \
+             \"write_ops\": {},\n  \"group_commit_ops_per_s\": {:.0},\n  \
+             \"serial_ops_per_s\": {:.0},\n  \"write_speedup\": {:.2},\n  \
+             \"fanout_queries\": {},\n  \"designated_queries\": {},\n  \
+             \"combine_queries\": {},\n  \"result_hits\": {},\n  \
+             \"support_misses\": {},\n  \"group_commits\": {},\n  \
+             \"group_commit_events\": {},\n  \"epoch_frontier\": [{}],\n  \
+             \"agree\": {},\n  \"available_parallelism\": {}\n}}\n",
+            self.blocks,
+            self.facts,
+            self.rounds,
+            self.samples,
+            join(
+                &self
+                    .shard_counts
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+            ),
+            join(
+                &self
+                    .read_ms
+                    .iter()
+                    .map(|m| format!("{m:.4}"))
+                    .collect::<Vec<_>>()
+            ),
+            self.read_scaling_at_4,
+            self.writers,
+            self.write_ops,
+            self.group_commit_ops_per_s,
+            self.serial_ops_per_s,
+            self.write_speedup,
+            self.fanout_queries,
+            self.designated_queries,
+            self.combine_queries,
+            self.result_hits,
+            self.support_misses,
+            self.group_commits,
+            self.group_commit_events,
+            join(
+                &self
+                    .epoch_frontier
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+            ),
+            self.agree,
+            self.available_parallelism
+        )
+    }
+}
+
+/// E19 — sharded serving. Two arms:
+///
+/// **Reads** run the E18-style serving loop (commit one fact off the clock,
+/// read the statement warm on the clock) against a full-key grouped MAX at
+/// 1, 2, and 4 shards with result patching disabled (`dirty_log_cap: 0`),
+/// i.e. the support-miss regime E18 measures the escape from. Unsharded,
+/// every write invalidates the whole cached result and the recompute covers
+/// the full instance; sharded, the write dirties exactly one shard, the
+/// rest answer from their per-snapshot result caches, and the recompute
+/// covers 1/N of the facts. The speedup is work confinement, so it holds
+/// even on a single core.
+///
+/// **Writes** commit the same fact set durably (`SyncPolicy::Always`, real
+/// directories) two ways: `writers` concurrent threads through the 4-shard
+/// group-commit coordinator (concurrent submits to one shard coalesce into
+/// one WAL append + one fsync) vs one thread through a single session with
+/// one append + fsync per commit.
+///
+/// Every arm's final answers are checked byte-identical to an unsharded
+/// session over the same facts across all routing shapes (fan-out, HAVING,
+/// top-k, subset-key combine, residual combine, designated closed lookup).
+pub fn bench_shard(y_domain: usize, per_y: usize, rounds: usize, samples: usize) -> ShardBench {
+    use rcqa_data::Fact;
+    use rcqa_query::{Catalog, TableDef};
+    use rcqa_session::{Session, SessionOptions, ShardedSession, SyncPolicy, WalOptions};
+
+    let catalog = || {
+        Catalog::new().with_table(
+            TableDef::new("S")
+                .key_column("Y")
+                .key_column("Z")
+                .numeric_column("Qty"),
+        )
+    };
+    // One statement per routing shape; the first (full-key fan-out) is the
+    // timed one.
+    const TIMED: &str = "SELECT S.Y, S.Z, MAX(S.Qty) FROM S GROUP BY S.Y, S.Z";
+    // MAX everywhere except the residual shape: MAX is rewriting-backed on
+    // both bounds, so these stay on the one-pass pipeline. The residual
+    // statement is *meant* to hit the exhaustive fallback (it routes
+    // combine and enumerates repairs), which is why the seed keeps the
+    // inconsistent-block count tiny.
+    const STATEMENTS: &[&str] = &[
+        TIMED,
+        "SELECT S.Y, S.Z, MAX(S.Qty) FROM S GROUP BY S.Y, S.Z HAVING MAX(S.Qty) > 30",
+        "SELECT S.Y, S.Z, MAX(S.Qty) FROM S GROUP BY S.Y, S.Z \
+         ORDER BY MAX(S.Qty) DESC LIMIT 5",
+        "SELECT S.Y, MAX(S.Qty) FROM S GROUP BY S.Y",
+        "SELECT S.Y, S.Z, MIN(S.Qty) FROM S WHERE S.Qty > 15 GROUP BY S.Y, S.Z",
+        "SELECT MAX(S.Qty) FROM S WHERE S.Y = 'y000' AND S.Z = 'z000'",
+    ];
+    let seed_facts = || -> Vec<Fact> {
+        let mut facts = Vec::new();
+        for y in 0..y_domain {
+            for z in 0..per_y {
+                let block = y * per_y + z;
+                let qty = 10 + (block % 50) as i64;
+                let mk = |q: i64| {
+                    Fact::new(
+                        "S",
+                        [
+                            Value::text(format!("y{y:03}")),
+                            Value::text(format!("z{z:03}")),
+                            Value::int(q),
+                        ],
+                    )
+                };
+                facts.push(mk(qty));
+                if block < 4 {
+                    // A handful of inconsistent blocks (two key-equal facts
+                    // disagreeing on Qty) keeps the intervals non-trivial
+                    // while the residual agree-check statement — whose exact
+                    // fallback enumerates every repair — stays at 2^4 = 16
+                    // repairs.
+                    facts.push(mk(qty + 40));
+                }
+            }
+        }
+        facts
+    };
+    let round_fact = |u: usize| {
+        Fact::new(
+            "S",
+            [
+                Value::text(format!("y{:03}", u % y_domain)),
+                Value::text(format!("zw{u:03}")),
+                Value::int(10 + (u % 50) as i64),
+            ],
+        )
+    };
+    let rounds = rounds.max(1);
+    let samples = samples.max(1);
+    let seeded = seed_facts();
+    let blocks = y_domain * per_y;
+    let mut agree = true;
+
+    // An unsharded reference at the post-rounds state, shared by every read
+    // arm (each arm commits the identical facts).
+    let reference = Session::new(catalog());
+    reference
+        .insert_all(seeded.clone())
+        .expect("seed reference");
+    for u in 0..rounds {
+        reference.insert(round_fact(u)).expect("round fact");
+    }
+
+    let shard_counts = vec![1usize, 2, 4];
+    let mut read_ms = Vec::with_capacity(shard_counts.len());
+    let mut four_shard_stats = None;
+    for &shards in &shard_counts {
+        let mut best = f64::INFINITY;
+        let mut last_session = None;
+        for _ in 0..samples {
+            let session =
+                ShardedSession::new(catalog(), shards).with_session_options(SessionOptions {
+                    dirty_log_cap: 0,
+                    ..Default::default()
+                });
+            session.insert_all(seeded.clone()).expect("seed shards");
+            session.execute(TIMED).expect("warm-up");
+            let mut elapsed = 0.0;
+            for u in 0..rounds {
+                session.insert(round_fact(u)).expect("round insert");
+                let t0 = Instant::now();
+                session.execute(TIMED).expect("warm read");
+                elapsed += t0.elapsed().as_secs_f64();
+            }
+            best = best.min(elapsed * 1e3 / rounds as f64);
+            last_session = Some(session);
+        }
+        // Every statement shape must agree with the unsharded reference at
+        // the final state. Each sample commits the identical facts, so one
+        // check per arm covers them all (the residual statement's
+        // exhaustive fallback is deliberately off the clock).
+        let session = last_session.expect("at least one sample ran");
+        for sql in STATEMENTS {
+            let got = session.execute(sql).expect("sharded read");
+            let want = reference.execute(sql).expect("reference read");
+            agree = agree
+                && got.rows == want.rows
+                && got.more_aggregates == want.more_aggregates
+                && got.having == want.having;
+        }
+        if shards == 4 {
+            four_shard_stats = Some(session.stats());
+        }
+        read_ms.push(best);
+    }
+    let four_shard_stats = four_shard_stats.expect("the 4-shard arm ran");
+    let read_scaling_at_4 = read_ms[0]
+        / read_ms[shard_counts.iter().position(|&s| s == 4).unwrap()].max(f64::MIN_POSITIVE);
+
+    // Write arm: the same durable fact set, group-committed by concurrent
+    // writers vs serially committed one by one.
+    let writers = 4usize;
+    let per_writer = 64usize;
+    let write_ops = writers * per_writer;
+    let writer_fact = |w: usize, j: usize| {
+        Fact::new(
+            "S",
+            [
+                Value::text(format!("wy{w}-{j:03}")),
+                Value::text("wz"),
+                Value::int((10 + (w * per_writer + j) % 50) as i64),
+            ],
+        )
+    };
+    let wal = WalOptions {
+        sync: SyncPolicy::Always,
+        ..WalOptions::default()
+    };
+    let dir = tempfile::TempDir::new().expect("tempdir");
+    let mut group_best = f64::INFINITY;
+    let mut serial_best = f64::INFINITY;
+    let mut group_commits = 0;
+    let mut group_commit_events = 0;
+    for sample in 0..samples {
+        let sharded = ShardedSession::open_with(
+            catalog(),
+            dir.path().join(format!("group-{sample}")),
+            4,
+            wal,
+        )
+        .expect("open sharded");
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let sharded = &sharded;
+                scope.spawn(move || {
+                    for j in 0..per_writer {
+                        sharded.insert(writer_fact(w, j)).expect("group commit");
+                    }
+                });
+            }
+        });
+        group_best = group_best.min(t0.elapsed().as_secs_f64());
+        let stats = sharded.stats();
+        group_commits = stats.group_commits;
+        group_commit_events = stats.group_commit_events;
+
+        let serial =
+            Session::open_with(catalog(), dir.path().join(format!("serial-{sample}")), wal)
+                .expect("open serial");
+        let t0 = Instant::now();
+        for w in 0..writers {
+            for j in 0..per_writer {
+                serial.insert(writer_fact(w, j)).expect("serial commit");
+            }
+        }
+        serial_best = serial_best.min(t0.elapsed().as_secs_f64());
+        // Both write arms hold the same facts; the sharded union must
+        // answer identically to the serial session.
+        let got = sharded.execute(TIMED).expect("sharded read");
+        let want = serial.execute(TIMED).expect("serial read");
+        agree = agree && got.rows == want.rows;
+    }
+    let group_commit_ops_per_s = write_ops as f64 / group_best.max(f64::MIN_POSITIVE);
+    let serial_ops_per_s = write_ops as f64 / serial_best.max(f64::MIN_POSITIVE);
+
+    ShardBench {
+        blocks,
+        facts: seeded.len(),
+        rounds,
+        samples,
+        shard_counts,
+        read_ms,
+        read_scaling_at_4,
+        writers,
+        write_ops,
+        group_commit_ops_per_s,
+        serial_ops_per_s,
+        write_speedup: group_commit_ops_per_s / serial_ops_per_s.max(f64::MIN_POSITIVE),
+        fanout_queries: four_shard_stats.fanout_queries,
+        designated_queries: four_shard_stats.designated_queries,
+        combine_queries: four_shard_stats.combine_queries,
+        result_hits: four_shard_stats.totals.result_hits,
+        support_misses: four_shard_stats.totals.support_misses,
+        group_commits,
+        group_commit_events,
+        epoch_frontier: four_shard_stats.epoch_frontier,
+        agree,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Formats the E19 report for the harness, surfacing the aggregated
+/// [`rcqa_session::ShardedStats`] route and cache counters next to the
+/// latencies they explain.
+pub fn format_shard(bench: &ShardBench) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E19 Sharded serving: partitioned sessions, fan-out/merge reads, \
+         group-commit writes"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  blocks / facts : {} / {} (+{} write rounds per read arm)",
+        bench.blocks, bench.facts, bench.rounds
+    )
+    .unwrap();
+    for (s, ms) in bench.shard_counts.iter().zip(bench.read_ms.iter()) {
+        writeln!(
+            out,
+            "  shards = {s:<3} : {ms:.4} ms per write+warm-read round"
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "  read scaling @4 shards : {:.2}x (work confinement: one dirty shard \
+         recomputes, the rest serve cached rows)",
+        bench.read_scaling_at_4
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  group commit   : {:.0} ops/s ({} writers), serial {:.0} ops/s  ({:.2}x)",
+        bench.group_commit_ops_per_s, bench.writers, bench.serial_ops_per_s, bench.write_speedup
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  sharded stats  : fanout={}, designated={}, combine={}, \
+         result_hits={}, support_misses={}",
+        bench.fanout_queries,
+        bench.designated_queries,
+        bench.combine_queries,
+        bench.result_hits,
+        bench.support_misses
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  group commits  : {} multi-event batches carrying {} events",
+        bench.group_commits, bench.group_commit_events
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  epoch frontier : [{}] (sums to the front-end epoch)",
+        bench
+            .epoch_frontier
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+    .unwrap();
+    writeln!(out, "  answers agree  : {}", bench.agree).unwrap();
+    writeln!(
+        out,
+        "  machine cores  : {} (read scaling holds on one core; write \
+         coalescing needs >= 2)",
         bench.available_parallelism
     )
     .unwrap();

@@ -151,6 +151,9 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
 
 pub use rcqa_wal::{SyncPolicy, WalOptions};
 
+mod sharded;
+pub use sharded::{ShardedSession, ShardedStats};
+
 /// Errors raised by a [`Session`].
 #[derive(Debug, Clone)]
 pub enum SessionError {
@@ -295,6 +298,11 @@ pub struct QueryOutcome {
     /// version of the data the rows are byte-identical to a cold evaluation
     /// of.
     pub epoch: u64,
+    /// How many data partitions the answer was assembled from: always `1`
+    /// for a plain [`Session`]; for a [`ShardedSession`] the number of
+    /// shards the route consulted (1 for a designated-shard route, the shard
+    /// count for a fan-out or cross-shard combine).
+    pub shards: usize,
 }
 
 fn fmt_bound(v: Option<Rational>) -> String {
@@ -473,6 +481,44 @@ pub struct SessionStats {
     /// Checkpoint attempts that failed (the commit itself still succeeded —
     /// the batch was already on the log — so these only delay truncation).
     pub checkpoint_failures: u64,
+    /// Commits that applied a coalesced multi-event batch through
+    /// [`Session::apply_batch`] — one snapshot publish and at most one WAL
+    /// append for the whole batch. The sharded front-end's group-commit
+    /// coordinator drives this counter; `wal_appends / batched_commits`
+    /// against `batched_events` shows the coalescing ratio.
+    pub batched_commits: u64,
+    /// Events carried by those coalesced batches.
+    pub batched_events: u64,
+    /// Prepared statements evicted from the bounded statement cache
+    /// (LRU, capacity [`SessionOptions::statement_cache_cap`]). Eviction
+    /// drops the statement's cached result too; answers stay correct via
+    /// re-preparation and recompute.
+    pub statements_evicted: u64,
+}
+
+impl SessionStats {
+    /// Field-wise sum. The sharded front-end reports every shard's counters
+    /// and their total through this.
+    pub fn merge(self, other: SessionStats) -> SessionStats {
+        SessionStats {
+            statements_prepared: self.statements_prepared + other.statements_prepared,
+            statement_hits: self.statement_hits + other.statement_hits,
+            result_hits: self.result_hits + other.result_hits,
+            partial_recomputes: self.partial_recomputes + other.partial_recomputes,
+            full_recomputes: self.full_recomputes + other.full_recomputes,
+            supported_patches: self.supported_patches + other.supported_patches,
+            support_misses: self.support_misses + other.support_misses,
+            topk_fallbacks: self.topk_fallbacks + other.topk_fallbacks,
+            index_builds: self.index_builds + other.index_builds,
+            deltas_applied: self.deltas_applied + other.deltas_applied,
+            wal_appends: self.wal_appends + other.wal_appends,
+            checkpoints: self.checkpoints + other.checkpoints,
+            checkpoint_failures: self.checkpoint_failures + other.checkpoint_failures,
+            batched_commits: self.batched_commits + other.batched_commits,
+            batched_events: self.batched_events + other.batched_events,
+            statements_evicted: self.statements_evicted + other.statements_evicted,
+        }
+    }
 }
 
 /// The complete row block of one statement's answer at one epoch: the
@@ -502,10 +548,24 @@ struct CachedResult {
 
 /// One cached statement plus its last computed result (if any), versioned by
 /// the epoch the result was computed at.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 struct CachedStatement {
     stmt: Arc<PreparedStatement>,
     result: Option<CachedResult>,
+    /// LRU stamp from the session's cache clock, touched on every lookup
+    /// hit. An atomic so the warm read path can touch it under the
+    /// statement map's shared **read** lock.
+    last_used: AtomicU64,
+}
+
+impl Clone for CachedStatement {
+    fn clone(&self) -> CachedStatement {
+        CachedStatement {
+            stmt: self.stmt.clone(),
+            result: self.result.clone(),
+            last_used: AtomicU64::new(self.last_used.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// The lock-free interior of [`SessionStats`]: relaxed atomic counters, so
@@ -526,6 +586,9 @@ struct AtomicStats {
     wal_appends: AtomicU64,
     checkpoints: AtomicU64,
     checkpoint_failures: AtomicU64,
+    batched_commits: AtomicU64,
+    batched_events: AtomicU64,
+    statements_evicted: AtomicU64,
 }
 
 impl AtomicStats {
@@ -548,6 +611,9 @@ impl AtomicStats {
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
+            batched_commits: self.batched_commits.load(Ordering::Relaxed),
+            batched_events: self.batched_events.load(Ordering::Relaxed),
+            statements_evicted: self.statements_evicted.load(Ordering::Relaxed),
         }
     }
 }
@@ -568,6 +634,9 @@ impl From<SessionStats> for AtomicStats {
             wal_appends: AtomicU64::new(s.wal_appends),
             checkpoints: AtomicU64::new(s.checkpoints),
             checkpoint_failures: AtomicU64::new(s.checkpoint_failures),
+            batched_commits: AtomicU64::new(s.batched_commits),
+            batched_events: AtomicU64::new(s.batched_events),
+            statements_evicted: AtomicU64::new(s.statements_evicted),
         }
     }
 }
@@ -597,11 +666,21 @@ pub struct SessionOptions {
     /// recompute — still correct, just not differential — which re-caches
     /// them at the reader's epoch. `0` disables patching entirely.
     pub dirty_log_cap: usize,
+    /// Upper bound on cached prepared statements. The cache used to grow
+    /// without bound (keyed by normalized SQL); at the cap the
+    /// least-recently-used statement is evicted, together with its cached
+    /// result — eviction never changes answers, only forces the evicted
+    /// statement to re-prepare and recompute when it next runs. `0`
+    /// disables statement (and therefore result) caching entirely.
+    pub statement_cache_cap: usize,
 }
 
 impl Default for SessionOptions {
     fn default() -> SessionOptions {
-        SessionOptions { dirty_log_cap: 128 }
+        SessionOptions {
+            dirty_log_cap: 128,
+            statement_cache_cap: 256,
+        }
     }
 }
 
@@ -626,6 +705,9 @@ pub struct Session {
     statements: RwLock<HashMap<String, CachedStatement>>,
     /// Dirty-block history for result patching.
     maintenance: Mutex<Maintenance>,
+    /// Monotonic LRU clock for the bounded statement cache: bumped on every
+    /// statement touch, stored into the touched entry's `last_used`.
+    cache_clock: AtomicU64,
     /// The durability layer, when the session was opened over storage
     /// ([`Session::open`] and friends); `None` for in-memory sessions. Only
     /// ever locked while holding [`Session::writer`] (commits) or briefly
@@ -652,6 +734,7 @@ impl Clone for Session {
             writer: Mutex::new(()),
             statements: RwLock::new(self.read_statements().clone()),
             maintenance: Mutex::new(self.lock_maintenance().clone()),
+            cache_clock: AtomicU64::new(self.cache_clock.load(Ordering::Relaxed)),
             // The clone is in-memory: two sessions diverging through one
             // write-ahead log would interleave incompatible histories, so
             // durability stays with the original.
@@ -707,6 +790,7 @@ impl Session {
             writer: Mutex::new(()),
             statements: RwLock::new(HashMap::new()),
             maintenance: Mutex::new(Maintenance::default()),
+            cache_clock: AtomicU64::new(0),
             wal: Mutex::new(wal),
             stats: AtomicStats::default(),
         }
@@ -799,10 +883,12 @@ impl Session {
     }
 
     /// Overrides the serving-layer options. Unlike [`Session::with_options`]
-    /// this never invalidates prepared statements — the tunables shape cache
-    /// maintenance, not answers. A shrunken dirty-log cap takes effect
-    /// immediately: over-budget history is evicted (flooring the patch
-    /// horizon), so results older than the new cap full-recompute.
+    /// this never invalidates *current* prepared statements gratuitously —
+    /// the tunables shape cache maintenance, not answers. A shrunken
+    /// dirty-log cap takes effect immediately: over-budget history is
+    /// evicted (flooring the patch horizon), so results older than the new
+    /// cap full-recompute. A shrunken statement-cache cap likewise evicts
+    /// the least-recently-used statements down to the new capacity.
     pub fn with_session_options(mut self, options: SessionOptions) -> Session {
         self.session_options = options;
         {
@@ -818,7 +904,31 @@ impl Session {
                 maintenance.log_floor = dropped.0;
             }
         }
+        {
+            let statements = self.statements.get_mut().unwrap_or_else(|e| e.into_inner());
+            while statements.len() > options.statement_cache_cap {
+                Self::evict_lru(statements, &self.stats);
+            }
+        }
         self
+    }
+
+    /// Evicts the least-recently-used statement (with its cached result)
+    /// from the map. Callers guarantee the map is non-empty.
+    fn evict_lru(statements: &mut HashMap<String, CachedStatement>, stats: &AtomicStats) {
+        let coldest = statements
+            .iter()
+            .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+            .map(|(key, _)| key.clone())
+            .expect("eviction requires a non-empty cache");
+        statements.remove(&coldest);
+        AtomicStats::bump(&stats.statements_evicted);
+    }
+
+    /// Bumps the LRU clock and stamps the entry as just-used.
+    fn touch(&self, entry: &CachedStatement) {
+        let stamp = self.cache_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(stamp, Ordering::Relaxed);
     }
 
     /// The session's serving-layer options.
@@ -1002,32 +1112,52 @@ impl Session {
         Ok(out)
     }
 
+    /// Applies a batch of change events as **one atomic commit** — one
+    /// successor snapshot, one dirty-log entry, and (on a durable session)
+    /// at most one WAL append for the whole batch. Returns one effectiveness
+    /// flag per event, in order: `true` when the event changed the instance
+    /// (the inserted fact was new / the deleted fact was present). No-op
+    /// events cost nothing downstream — only effective events are logged
+    /// and replayed into the index.
+    ///
+    /// This is the single write path of the session: [`Session::insert`],
+    /// [`Session::insert_all`], and [`Session::delete`] are thin wrappers,
+    /// and the sharded front-end's group-commit coordinator submits its
+    /// coalesced batches here — single-node and sharded writers share one
+    /// commit implementation. If any event's fact violates the schema the
+    /// whole batch fails and nothing is published.
+    pub fn apply_batch(&self, events: &[DeltaEvent]) -> Result<Vec<bool>, SessionError> {
+        let flags = self.commit(|db| {
+            let mut effective = Vec::new();
+            let mut flags = Vec::with_capacity(events.len());
+            for event in events {
+                let applied = db.apply(event.clone())?;
+                flags.push(applied.is_some());
+                effective.extend(applied);
+            }
+            Ok((effective, flags))
+        })?;
+        if events.len() > 1 {
+            AtomicStats::bump(&self.stats.batched_commits);
+            self.stats
+                .batched_events
+                .fetch_add(events.len() as u64, Ordering::Relaxed);
+        }
+        Ok(flags)
+    }
+
     /// Inserts one fact. Returns `true` if the fact was new.
     pub fn insert(&self, fact: Fact) -> Result<bool, SessionError> {
-        self.commit(|db| {
-            let new = db.insert(fact.clone())?;
-            let events = if new {
-                vec![DeltaEvent::insert(fact.clone())]
-            } else {
-                Vec::new()
-            };
-            Ok((events, new))
-        })
+        let flags = self.apply_batch(&[DeltaEvent::insert(fact)])?;
+        Ok(flags[0])
     }
 
     /// Inserts many facts as **one atomic batch**: either every fact is
     /// applied and a single successor snapshot is published, or — if any
     /// fact violates the schema — nothing changes.
     pub fn insert_all(&self, facts: impl IntoIterator<Item = Fact>) -> Result<(), SessionError> {
-        self.commit(|db| {
-            let mut events = Vec::new();
-            for fact in facts {
-                if db.insert(fact.clone())? {
-                    events.push(DeltaEvent::insert(fact));
-                }
-            }
-            Ok((events, ()))
-        })
+        let events: Vec<DeltaEvent> = facts.into_iter().map(DeltaEvent::insert).collect();
+        self.apply_batch(&events).map(drop)
     }
 
     /// Deletes one fact. Returns `true` if it was present.
@@ -1037,15 +1167,8 @@ impl Session {
     /// (this used to `expect`, which would have turned a full disk into a
     /// panic).
     pub fn delete(&self, fact: &Fact) -> Result<bool, SessionError> {
-        self.commit(|db| {
-            let removed = db.remove(fact);
-            let events = if removed {
-                vec![DeltaEvent::delete(fact.clone())]
-            } else {
-                Vec::new()
-            };
-            Ok((events, removed))
-        })
+        let flags = self.apply_batch(&[DeltaEvent::delete(fact.clone())])?;
+        Ok(flags[0])
     }
 
     /// Normalizes SQL text into its statement-cache key: whitespace runs
@@ -1078,6 +1201,7 @@ impl Session {
         let key = Self::normalize_sql(sql);
         if let Some(entry) = self.read_statements().get(&key) {
             let stmt = entry.stmt.clone();
+            self.touch(entry);
             AtomicStats::bump(&self.stats.statement_hits);
             return Ok(stmt);
         }
@@ -1121,17 +1245,33 @@ impl Session {
             classification: Arc::new(classification),
             support,
         });
-        match self.write_statements().entry(key) {
+        let cap = self.session_options.statement_cache_cap;
+        if cap == 0 {
+            // Caching disabled: the statement (and any result it computes)
+            // lives only for this call.
+            AtomicStats::bump(&self.stats.statements_prepared);
+            return Ok(stmt);
+        }
+        let mut statements = self.write_statements();
+        match statements.entry(key) {
             Entry::Occupied(entry) => {
-                let stmt = entry.get().stmt.clone();
+                let racing = entry.get();
+                let stmt = racing.stmt.clone();
+                self.touch(racing);
                 AtomicStats::bump(&self.stats.statement_hits);
                 Ok(stmt)
             }
             Entry::Vacant(slot) => {
-                slot.insert(CachedStatement {
+                let entry = CachedStatement {
                     stmt: stmt.clone(),
                     result: None,
-                });
+                    last_used: AtomicU64::new(0),
+                };
+                self.touch(&entry);
+                slot.insert(entry);
+                while statements.len() > cap {
+                    Self::evict_lru(&mut statements, &self.stats);
+                }
                 AtomicStats::bump(&self.stats.statements_prepared);
                 Ok(stmt)
             }
@@ -1201,6 +1341,7 @@ impl Session {
             more_aggregates: rows.more,
             having: rows.having,
             epoch,
+            shards: 1,
         }
     }
 
@@ -1473,11 +1614,18 @@ impl Session {
         }))
     }
 
-    /// The cache-aware execution path shared by [`Session::execute`] and
-    /// [`Session::execute_many`], against one pinned snapshot: statement
-    /// lookup, then result hit / support-tracked patch / full pipeline, in
-    /// that order. No session-wide lock is held while the plan executes.
-    fn execute_at(&self, snapshot: &Snapshot, sql: &str) -> Result<QueryOutcome, SessionError> {
+    /// The cache-aware execution path shared by [`Session::execute`],
+    /// [`Session::execute_many`], and the sharded front-end's fan-out,
+    /// against one pinned snapshot: statement lookup, then result hit /
+    /// support-tracked patch / full pipeline, in that order. Returns the
+    /// full [`CachedResult`] — the post-processed presentation *and* the
+    /// raw per-aggregate rows, which a sharded merge re-post-processes
+    /// globally. No session-wide lock is held while the plan executes.
+    fn fetch_result_at(
+        &self,
+        snapshot: &Snapshot,
+        sql: &str,
+    ) -> Result<(Arc<PreparedStatement>, CachedResult), SessionError> {
         let stmt = self.prepare_at(snapshot, sql)?;
         let epoch = snapshot.epoch;
 
@@ -1488,10 +1636,10 @@ impl Session {
             if let Some(entry) = statements.get(stmt.sql()) {
                 if let Some(result) = &entry.result {
                     if result.epoch == epoch {
-                        let rows = result.rows.clone();
+                        let result = result.clone();
                         drop(statements);
                         AtomicStats::bump(&self.stats.result_hits);
-                        return Ok(Self::outcome(&stmt, rows, epoch));
+                        return Ok((stmt, result));
                     }
                 }
             }
@@ -1546,7 +1694,13 @@ impl Session {
                 }
             }
         }
-        Ok(Self::outcome(&stmt, result.rows, epoch))
+        Ok((stmt, result))
+    }
+
+    /// [`Session::fetch_result_at`] reduced to the presented outcome.
+    fn execute_at(&self, snapshot: &Snapshot, sql: &str) -> Result<QueryOutcome, SessionError> {
+        let (stmt, result) = self.fetch_result_at(snapshot, sql)?;
+        Ok(Self::outcome(&stmt, result.rows, snapshot.epoch))
     }
 
     /// Executes a SQL aggregation query: classification plus one
@@ -1881,7 +2035,10 @@ mod tests {
 
     #[test]
     fn over_budget_dirty_history_full_recomputes_correctly() {
-        let session = stock_session().with_session_options(SessionOptions { dirty_log_cap: 2 });
+        let session = stock_session().with_session_options(SessionOptions {
+            dirty_log_cap: 2,
+            ..Default::default()
+        });
         assert_eq!(session.session_options().dirty_log_cap, 2);
         let sql = "SELECT D.Name, MAX(S.Qty) FROM Dealers AS D, Stock AS S \
                    WHERE D.Town = S.Town GROUP BY D.Name";
@@ -1907,7 +2064,10 @@ mod tests {
 
         // A zero cap disables patching outright: every commit floors the
         // log, so even a one-commit-stale result recomputes in full.
-        let session = stock_session().with_session_options(SessionOptions { dirty_log_cap: 0 });
+        let session = stock_session().with_session_options(SessionOptions {
+            dirty_log_cap: 0,
+            ..Default::default()
+        });
         session.execute(sql).unwrap();
         session.insert(fact!("Dealers", "Lopez", "Boston")).unwrap();
         session.execute(sql).unwrap();
@@ -2030,5 +2190,98 @@ mod tests {
         let final_rows = session.execute(sql).unwrap().rows;
         let cold = Session::with_instance(session.catalog().clone(), session.database());
         assert_eq!(cold.execute(sql).unwrap().rows, final_rows);
+    }
+
+    #[test]
+    fn statement_cache_evicts_lru_and_eviction_never_changes_answers() {
+        let session = stock_session().with_session_options(SessionOptions {
+            statement_cache_cap: 2,
+            ..Default::default()
+        });
+        let statements = [
+            "SELECT MAX(S.Qty) FROM Stock AS S",
+            "SELECT MIN(S.Qty) FROM Stock AS S",
+            "SELECT SUM(S.Qty) FROM Stock AS S",
+            "SELECT S.Town, MAX(S.Qty) FROM Stock AS S GROUP BY S.Town",
+        ];
+        // Answers with an unbounded cache are the reference.
+        let unbounded = stock_session();
+        let reference: Vec<_> = statements
+            .iter()
+            .map(|sql| unbounded.execute(sql).unwrap())
+            .collect();
+        // Thrash the bounded cache in an order that evicts every statement
+        // several times, interleaving writes so evicted statements lose
+        // their cached results too.
+        for round in 0..3u64 {
+            let transient = fact!("Stock", format!("P{round}"), "Boston", round as i64);
+            session.insert(transient.clone()).unwrap();
+            for sql in statements.iter().chain(statements.iter().rev()) {
+                session.execute(sql).unwrap();
+            }
+            session.delete(&transient).unwrap();
+        }
+        let stats = session.stats();
+        assert!(
+            stats.statements_evicted > 0,
+            "cap 2 with 4 statements must evict: {stats:?}"
+        );
+        assert!(
+            session.read_statements().len() <= 2,
+            "cache stays within its cap"
+        );
+        for (sql, expect) in statements.iter().zip(&reference) {
+            let out = session.execute(sql).unwrap();
+            assert_eq!(out.rows, expect.rows, "{sql}");
+            assert_eq!(out.having, expect.having, "{sql}");
+        }
+    }
+
+    #[test]
+    fn statement_cache_cap_zero_disables_caching_but_not_answers() {
+        let session = stock_session().with_session_options(SessionOptions {
+            statement_cache_cap: 0,
+            ..Default::default()
+        });
+        let sql = "SELECT S.Town, MAX(S.Qty) FROM Stock AS S GROUP BY S.Town";
+        let first = session.execute(sql).unwrap();
+        let second = session.execute(sql).unwrap();
+        assert_eq!(first.rows, second.rows);
+        assert_eq!(session.read_statements().len(), 0);
+        let stats = session.stats();
+        assert_eq!(stats.statement_hits, 0);
+        assert_eq!(stats.result_hits, 0);
+        assert_eq!(stats.statements_prepared, 2, "every execution re-prepares");
+    }
+
+    #[test]
+    fn shrinking_the_statement_cache_cap_evicts_down_to_capacity() {
+        let session = stock_session();
+        for sql in [
+            "SELECT MAX(S.Qty) FROM Stock AS S",
+            "SELECT MIN(S.Qty) FROM Stock AS S",
+            "SELECT SUM(S.Qty) FROM Stock AS S",
+        ] {
+            session.execute(sql).unwrap();
+        }
+        assert_eq!(session.read_statements().len(), 3);
+        let hot = "SELECT MAX(S.Qty) FROM Stock AS S";
+        session.execute(hot).unwrap();
+        let session = session.with_session_options(SessionOptions {
+            statement_cache_cap: 1,
+            ..Default::default()
+        });
+        assert_eq!(session.read_statements().len(), 1);
+        assert_eq!(session.stats().statements_evicted, 2);
+        // The survivor is the most recently used statement, still serving
+        // the correct (cached) answer.
+        assert!(session
+            .read_statements()
+            .contains_key(&Session::normalize_sql(hot)));
+        let cold = Session::with_instance(session.catalog().clone(), session.database());
+        assert_eq!(
+            session.execute(hot).unwrap().rows,
+            cold.execute(hot).unwrap().rows
+        );
     }
 }

@@ -220,7 +220,10 @@ mod random_interleavings {
             let warm =
                 Session::open_storage(rs_catalog(), Box::new(mem.handle()), wal_options())
                     .expect("open")
-                    .with_session_options(SessionOptions { dirty_log_cap: 8 });
+                    .with_session_options(SessionOptions {
+                        dirty_log_cap: 8,
+                        ..Default::default()
+                    });
             let mut effective = 0u64;
             for (op, draw) in ops {
                 let f = pool_fact(draw);
